@@ -1,0 +1,140 @@
+// Ablation harness for the design choices DESIGN.md §6 calls out (not a
+// table of the paper — engineering evidence behind its claims):
+//
+//   A. allocation-side dynamic wear leveling (lifo / fifo / coldest-first)
+//      with and without SWL — the paper's premise that dynamic wear leveling
+//      alone leaves cold blocks behind;
+//   B. wear-leveling policy comparison at equal workload: the BET-based SW
+//      Leveler (k = 0 and k = 3) against the full-counter oracle, with the
+//      RAM each needs — the paper's central cost/benefit claim;
+//   C. cyclic scan vs random victim-set selection — Section 3.3's surmise
+//      that the cyclic design "is close to that in a random selection
+//      policy";
+//   D. FTL hot/cold data separation (a stronger Cleaner) with and without
+//      SWL — the claim that static wear leveling is orthogonal to dynamic
+//      improvements.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/report.hpp"
+#include "swl/bet.hpp"
+#include "swl/oracle_leveler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace swl;
+  using sim::fmt;
+
+  bench::Options opt = bench::parse_options(argc, argv);
+  std::cout << "Ablations (first failure time in simulated years; erase-count stddev)\n";
+  bench::print_scale(opt);
+  const double t100 = bench::eff_t(opt, 100);
+
+  const auto run_custom = [&](sim::LayerKind layer, auto&& mutate) {
+    sim::SimConfig config = sim::make_sim_config(opt.scale, layer, std::nullopt);
+    mutate(config);
+    auto probe = sim::make_simulator(config);
+    const trace::Trace base = trace::generate_synthetic_trace(
+        sim::make_trace_config(opt.scale, probe->lba_count()));
+    return sim::run_config_on(config, opt.scale, base, opt.scale.max_years, true);
+  };
+  const auto swl_cfg = [&]() {
+    wear::LevelerConfig lc;
+    lc.threshold = t100;
+    return lc;
+  };
+
+  {
+    std::cout << "A. allocation policy x SWL (paper premise: dynamic WL alone is not enough)\n";
+    sim::TableWriter table({"layer", "allocation", "SWL", "first failure (y)", "dev"});
+    for (const sim::LayerKind layer : {sim::LayerKind::ftl, sim::LayerKind::nftl}) {
+      for (const tl::AllocPolicy policy :
+           {tl::AllocPolicy::lifo, tl::AllocPolicy::fifo, tl::AllocPolicy::coldest_first}) {
+        for (const bool with_swl : {false, true}) {
+          const sim::SimResult r = run_custom(layer, [&](sim::SimConfig& c) {
+            c.ftl.alloc_policy = policy;
+            c.nftl.alloc_policy = policy;
+            if (with_swl) c.leveler = swl_cfg();
+          });
+          table.add_row({std::string(sim::to_string(layer)), std::string(to_string(policy)),
+                         with_swl ? "yes" : "no",
+                         fmt(r.first_failure_years.value_or(opt.scale.max_years), 4),
+                         fmt(r.erase_summary.stddev, 1)});
+        }
+      }
+    }
+    std::cout << table.str() << "\n";
+  }
+
+  {
+    std::cout << "B. leveling policy vs RAM cost (NFTL)\n";
+    sim::TableWriter table({"policy", "RAM", "first failure (y)", "dev", "extra erases"});
+    const auto add = [&](const char* name, std::uint64_t ram, const sim::SimResult& r,
+                         const sim::SimResult& base) {
+      const double extra =
+          100.0 * (static_cast<double>(r.counters.total_erases()) /
+                       static_cast<double>(base.counters.total_erases()) * base.elapsed_years /
+                       r.elapsed_years -
+                   1.0);
+      table.add_row({name, ram == 0 ? "-" : std::to_string(ram) + "B",
+                     fmt(r.first_failure_years.value_or(opt.scale.max_years), 4),
+                     fmt(r.erase_summary.stddev, 1), fmt(extra, 1) + "%"});
+    };
+    const sim::SimResult base = run_custom(sim::LayerKind::nftl, [](sim::SimConfig&) {});
+    add("none", 0, base, base);
+    for (const std::uint32_t k : {0u, 3u}) {
+      const sim::SimResult r = run_custom(sim::LayerKind::nftl, [&](sim::SimConfig& c) {
+        c.leveler = swl_cfg();
+        c.leveler->k = k;
+      });
+      add(k == 0 ? "SWL (BET, k=0)" : "SWL (BET, k=3)",
+          wear::Bet::size_bytes(opt.scale.block_count, k), r, base);
+    }
+    const sim::SimResult oracle = run_custom(sim::LayerKind::nftl, [&](sim::SimConfig& c) {
+      c.oracle_leveler.emplace();
+      c.oracle_leveler->gap_threshold =
+          std::max<std::uint32_t>(2, opt.scale.endurance / 50);
+    });
+    add("oracle (32-bit counters)", wear::OracleLeveler::size_bytes(opt.scale.block_count),
+        oracle, base);
+    std::cout << table.str() << "\n";
+  }
+
+  {
+    std::cout << "C. victim-set selection policy (Section 3.3's surmise)\n";
+    sim::TableWriter table({"selection", "layer", "first failure (y)", "dev"});
+    for (const sim::LayerKind layer : {sim::LayerKind::ftl, sim::LayerKind::nftl}) {
+      for (const auto sel : {wear::LevelerConfig::Selection::cyclic_scan,
+                             wear::LevelerConfig::Selection::random}) {
+        const sim::SimResult r = run_custom(layer, [&](sim::SimConfig& c) {
+          c.leveler = swl_cfg();
+          c.leveler->selection = sel;
+        });
+        table.add_row(
+            {sel == wear::LevelerConfig::Selection::cyclic_scan ? "cyclic scan" : "random",
+             std::string(sim::to_string(layer)),
+             fmt(r.first_failure_years.value_or(opt.scale.max_years), 4),
+             fmt(r.erase_summary.stddev, 1)});
+      }
+    }
+    std::cout << table.str() << "\n";
+  }
+
+  {
+    std::cout << "D. FTL hot/cold separation x SWL (orthogonality)\n";
+    sim::TableWriter table({"separation", "SWL", "first failure (y)", "dev", "live copies"});
+    for (const bool separate : {false, true}) {
+      for (const bool with_swl : {false, true}) {
+        const sim::SimResult r = run_custom(sim::LayerKind::ftl, [&](sim::SimConfig& c) {
+          c.ftl.hot_cold_separation = separate;
+          if (with_swl) c.leveler = swl_cfg();
+        });
+        table.add_row({separate ? "yes" : "no", with_swl ? "yes" : "no",
+                       fmt(r.first_failure_years.value_or(opt.scale.max_years), 4),
+                       fmt(r.erase_summary.stddev, 1),
+                       std::to_string(r.counters.total_live_copies())});
+      }
+    }
+    std::cout << table.str();
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared command-line handling for the table/figure reproduction binaries.
+//
+// Every binary runs a scaled-down configuration by default (same block shape
+// and workload structure as the paper, fewer blocks and lower endurance so a
+// full sweep finishes in seconds) and accepts:
+//   --paper-scale          the full 1 GB MLC×2 / 10k-cycle configuration
+//   --blocks N             block count override
+//   --endurance N          endurance override
+//   --trace-days D         base-trace length override
+//   --years Y              simulated duration for fixed-length experiments
+//   --seed S               workload seed
+#ifndef SWL_BENCH_BENCH_COMMON_HPP
+#define SWL_BENCH_BENCH_COMMON_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sim/experiments.hpp"
+
+namespace swl::bench {
+
+struct Options {
+  sim::ExperimentScale scale;
+  double years = 0.02;  // fixed-duration experiments (Table 4, Figs. 6-7)
+  bool paper_scale = false;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;  // scaled defaults come from sim::ExperimentScale
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--paper-scale") {
+      const auto seed = opt.scale.seed;
+      opt.scale = sim::ExperimentScale::paper();
+      opt.scale.seed = seed;
+      opt.years = 10.0;
+      opt.paper_scale = true;
+    } else if (arg == "--blocks") {
+      opt.scale.block_count = static_cast<BlockIndex>(std::stoul(need_value("--blocks")));
+    } else if (arg == "--endurance") {
+      opt.scale.endurance = static_cast<std::uint32_t>(std::stoul(need_value("--endurance")));
+    } else if (arg == "--trace-days") {
+      opt.scale.base_trace_days = std::stod(need_value("--trace-days"));
+    } else if (arg == "--years") {
+      opt.years = std::stod(need_value("--years"));
+    } else if (arg == "--seed") {
+      opt.scale.seed = std::stoull(need_value("--seed"));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "flags: --paper-scale --blocks N --endurance N --trace-days D "
+                   "--years Y --seed S\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+inline void print_scale(const Options& opt) {
+  std::cout << "scale: " << opt.scale.block_count << " blocks x 128 pages x 2 KiB, endurance "
+            << opt.scale.endurance << ", base trace " << opt.scale.base_trace_days
+            << " day(s), seed " << opt.scale.seed
+            << (opt.paper_scale ? " [paper scale]" : " [scaled default; --paper-scale for full]")
+            << "\n\n";
+}
+
+/// Effective threshold for a paper T at this scale (see sim::scaled_threshold).
+inline double eff_t(const Options& opt, double paper_t) {
+  return sim::scaled_threshold(paper_t, opt.scale);
+}
+
+}  // namespace swl::bench
+
+#endif  // SWL_BENCH_BENCH_COMMON_HPP

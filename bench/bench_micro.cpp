@@ -1,0 +1,169 @@
+// Micro-benchmarks (google-benchmark) of the mechanism's hot paths and of
+// the ablations called out in DESIGN.md §6:
+//   - SWL-BETUpdate cost (the per-erase overhead the paper argues is "very
+//     minor" compared to a ~1.5 ms block erase);
+//   - BET zero-flag scanning (cyclic queue) across densities;
+//   - cyclic vs random victim-set selection;
+//   - raw FTL / NFTL write throughput with and without SWL attached.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <optional>
+
+#include "core/permutation.hpp"
+#include "core/rng.hpp"
+#include "ftl/ftl.hpp"
+#include "hotness/hot_data.hpp"
+#include "nftl/nftl.hpp"
+#include "swl/bet.hpp"
+#include "swl/leveler.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace swl;
+
+void BM_BetUpdate(benchmark::State& state) {
+  const auto blocks = static_cast<BlockIndex>(state.range(0));
+  wear::LevelerConfig lc;
+  lc.threshold = 1e18;  // isolate SWL-BETUpdate: never run the procedure
+  wear::SwLeveler lev(blocks, lc);
+  Rng rng(1);
+  for (auto _ : state) {
+    lev.on_block_erased(static_cast<BlockIndex>(rng.below(blocks)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BetUpdate)->Arg(4096)->Arg(65536);
+
+void BM_BetScan(benchmark::State& state) {
+  // Scan cost for a BET that is `percent_set`% full — the worst case for the
+  // cyclic scan is a nearly-full table.
+  const std::size_t flags = 65536;
+  const auto percent_set = static_cast<std::size_t>(state.range(0));
+  wear::Bet bet(flags, 0);
+  Rng rng(2);
+  while (bet.set_count() < flags * percent_set / 100) {
+    bet.mark_erased(static_cast<BlockIndex>(rng.below(flags)));
+  }
+  std::size_t start = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bet.next_clear_flag(start));
+    start = (start + 97) % flags;
+  }
+}
+BENCHMARK(BM_BetScan)->Arg(0)->Arg(50)->Arg(99);
+
+void BM_SwlSelection(benchmark::State& state) {
+  // Ablation: cyclic scan vs random selection policy, full procedure runs.
+  const bool random = state.range(0) == 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    wear::LevelerConfig lc;
+    lc.threshold = 4;
+    lc.selection = random ? wear::LevelerConfig::Selection::random
+                          : wear::LevelerConfig::Selection::cyclic_scan;
+    wear::SwLeveler lev(4096, lc);
+    class CountingCleaner final : public wear::Cleaner {
+     public:
+      explicit CountingCleaner(wear::SwLeveler& l) : lev_(l) {}
+      void collect_blocks(BlockIndex first, BlockIndex count) override {
+        for (BlockIndex b = first; b < first + count; ++b) lev_.on_block_erased(b);
+      }
+
+     private:
+      wear::SwLeveler& lev_;
+    } cleaner(lev);
+    for (int i = 0; i < 512; ++i) lev.on_block_erased(0);
+    state.ResumeTiming();
+    lev.run(cleaner);
+  }
+}
+BENCHMARK(BM_SwlSelection)->Arg(0)->Arg(1);
+
+template <typename MakeLayer>
+void run_write_benchmark(benchmark::State& state, MakeLayer&& make_layer, bool with_swl) {
+  nand::NandConfig nc;
+  nc.geometry = FlashGeometry{.block_count = 256, .pages_per_block = 64, .page_size_bytes = 2048};
+  nc.timing = default_timing(CellType::mlc_x2);
+  auto chip = std::make_unique<nand::NandChip>(nc);
+  auto layer = make_layer(*chip);
+  if (with_swl) {
+    wear::LevelerConfig lc;
+    lc.threshold = 100;
+    layer->attach_leveler(std::make_unique<wear::SwLeveler>(256, lc));
+  }
+  const Lba lbas = layer->lba_count();
+  Rng rng(3);
+  std::uint64_t token = 1;
+  for (auto _ : state) {
+    // Hot/cold mix: half the writes to 64 hot pages.
+    const Lba lba =
+        rng.chance(0.5) ? static_cast<Lba>(rng.below(64)) : static_cast<Lba>(rng.below(lbas));
+    benchmark::DoNotOptimize(layer->write(lba, token++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_FtlWrite(benchmark::State& state) {
+  run_write_benchmark(
+      state,
+      [](nand::NandChip& chip) { return std::make_unique<ftl::Ftl>(chip, ftl::FtlConfig{}); },
+      state.range(0) == 1);
+}
+BENCHMARK(BM_FtlWrite)->Arg(0)->Arg(1);
+
+void BM_NftlWrite(benchmark::State& state) {
+  run_write_benchmark(
+      state,
+      [](nand::NandChip& chip) { return std::make_unique<nftl::Nftl>(chip, nftl::NftlConfig{}); },
+      state.range(0) == 1);
+}
+BENCHMARK(BM_NftlWrite)->Arg(0)->Arg(1);
+
+void BM_HotDataRecordWrite(benchmark::State& state) {
+  hotness::HotDataIdentifier id(hotness::HotDataConfig{});
+  Rng rng(4);
+  for (auto _ : state) {
+    id.record_write(static_cast<Lba>(rng.below(1'000'000)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HotDataRecordWrite);
+
+void BM_HotDataClassify(benchmark::State& state) {
+  hotness::HotDataIdentifier id(hotness::HotDataConfig{});
+  Rng rng(5);
+  for (int i = 0; i < 100'000; ++i) id.record_write(static_cast<Lba>(rng.below(10'000)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(id.is_hot(static_cast<Lba>(rng.below(10'000))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HotDataClassify);
+
+void BM_ScatterPermutation(benchmark::State& state) {
+  RandomPermutation perm(524'288, 9);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm(x));
+    x = (x + 1) % perm.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScatterPermutation);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  // Cost of synthesizing one hour of the calibrated desktop workload.
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    trace::SyntheticConfig tc;
+    tc.lba_count = 100'000;
+    tc.duration_s = 3600;
+    tc.seed = seed++;
+    benchmark::DoNotOptimize(trace::generate_synthetic_trace(tc).size());
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+}  // namespace

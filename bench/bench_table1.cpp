@@ -1,0 +1,49 @@
+// Table 1 of the paper: "The BET Size for SLC Flash Memory".
+//
+// RAM footprint of the Block Erasing Table for 128 MB .. 4 GB large-block
+// SLC devices and mapping modes k = 0..3, computed by the real Bet sizing
+// rule (this table is analytic — no simulation involved). An MLC×2 variant
+// is appended to substantiate the paper's remark that MLC devices need an
+// even smaller BET per gigabyte.
+#include <iostream>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "sim/report.hpp"
+#include "swl/bet.hpp"
+
+namespace {
+
+std::string bytes_str(std::uint64_t b) { return std::to_string(b) + "B"; }
+
+void print_bet_table(swl::CellType cell, const std::vector<std::uint64_t>& capacities) {
+  using swl::sim::TableWriter;
+  std::vector<std::string> headers{"k"};
+  for (const auto cap : capacities) {
+    headers.push_back(cap >= (1ULL << 30) ? std::to_string(cap >> 30) + "GB"
+                                          : std::to_string(cap >> 20) + "MB");
+  }
+  TableWriter table(headers);
+  for (std::uint32_t k = 0; k <= 3; ++k) {
+    std::vector<std::string> row{"k = " + std::to_string(k)};
+    for (const auto cap : capacities) {
+      const swl::FlashGeometry g = swl::make_geometry(cell, cap);
+      row.push_back(bytes_str(swl::wear::Bet::size_bytes(g.block_count, k)));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table.str();
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::uint64_t> capacities{128ULL << 20, 256ULL << 20, 512ULL << 20,
+                                              1ULL << 30,   2ULL << 30,   4ULL << 30};
+  std::cout << "Table 1: BET size for SLC flash memory (large-block SLC, 64 x 2KB pages)\n";
+  print_bet_table(swl::CellType::slc_large_block, capacities);
+  std::cout << "\nSupplement: BET size for MLCx2 flash memory (128 x 2KB pages)\n";
+  print_bet_table(swl::CellType::mlc_x2, capacities);
+  std::cout << "\npaper reference (SLC, k=0): 128B 256B 512B 1024B 2048B 4096B\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 3 of the paper: "The Increased Ratio in Live-page Copyings of a 1GB
+// MLC×2 Flash-Memory Storage System" — the worst case of Section 4.3, N=128.
+#include <iostream>
+
+#include "sim/report.hpp"
+#include "sim/worst_case.hpp"
+
+int main() {
+  using swl::sim::fmt;
+  using swl::sim::TableWriter;
+
+  struct Row {
+    std::uint64_t h, c;
+    double t;
+    double l;
+    double paper_percent;
+  };
+  const Row rows[] = {
+      {256, 3840, 100, 16, 7.572},  {2048, 2048, 100, 16, 4.002},
+      {256, 3840, 100, 32, 3.786},  {2048, 2048, 100, 32, 2.001},
+      {256, 3840, 1000, 16, 0.757}, {2048, 2048, 1000, 16, 0.400},
+      {256, 3840, 1000, 32, 0.379}, {2048, 2048, 1000, 32, 0.200},
+  };
+
+  std::cout << "Table 3: increased ratio of live-page copyings (worst case, N = 128)\n";
+  TableWriter table(
+      {"H", "C", "T", "L", "N/(TL)", "paper(%)", "model(%)", "approx(%)", "measured(%)"});
+  for (const auto& row : rows) {
+    swl::stats::WorstCaseParams p;
+    p.hot_blocks = row.h;
+    p.cold_blocks = row.c;
+    p.threshold = row.t;
+    p.pages_per_block = 128;
+    p.live_copies_per_gc = row.l;
+    const auto sim = swl::sim::simulate_worst_case(p, /*k=*/0, /*intervals=*/3);
+    table.add_row({std::to_string(row.h), std::to_string(row.c), fmt(row.t, 0), fmt(row.l, 0),
+                   fmt(128.0 / (row.t * row.l), 4), fmt(row.paper_percent, 3),
+                   fmt(sim.model_extra_copy_ratio * 100, 3),
+                   fmt(swl::stats::extra_copy_ratio_approx(p) * 100, 3),
+                   fmt(sim.measured_extra_copy_ratio * 100, 3)});
+  }
+  std::cout << table.str();
+  return 0;
+}

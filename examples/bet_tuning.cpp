@@ -1,0 +1,62 @@
+// BET tuning: the central engineering trade-off of the paper. For a fixed
+// device and workload, sweep the mapping mode k and the unevenness threshold
+// T and print, side by side:
+//   - the BET's RAM footprint (what a large k buys),
+//   - the first failure time (what a small k and small T buy),
+//   - the extra erase overhead SWL introduces (what a large T buys).
+//
+//   $ ./bet_tuning
+#include <iostream>
+
+#include "sim/experiments.hpp"
+#include "sim/report.hpp"
+#include "swl/bet.hpp"
+
+int main() {
+  using namespace swl;
+  using sim::fmt;
+
+  sim::ExperimentScale scale;
+  scale.block_count = 96;
+  scale.endurance = 150;
+  scale.base_trace_days = 0.5;
+  scale.seed = 21;
+  const sim::LayerKind layer = sim::LayerKind::nftl;
+
+  std::cout << "device: " << scale.block_count << " blocks MLCx2, endurance " << scale.endurance
+            << "; layer: " << sim::to_string(layer) << "\n\n";
+
+  const trace::Trace base = sim::make_base_trace(scale, layer);
+  const sim::SimResult baseline =
+      sim::run_infinite_on(scale, layer, std::nullopt, base, scale.max_years, true);
+  const double baseline_years = baseline.first_failure_years.value_or(scale.max_years);
+  std::cout << "baseline (no SWL): first failure after " << fmt(baseline_years, 3)
+            << " years, " << baseline.counters.total_erases() << " erases\n\n";
+
+  sim::TableWriter table({"k", "T", "BET RAM", "first failure (years)", "vs baseline",
+                          "extra erases (%)"});
+  for (const std::uint32_t k : {0u, 1u, 2u, 3u}) {
+    for (const double t : {50.0, 200.0, 800.0}) {
+      wear::LevelerConfig lc;
+      lc.k = k;
+      lc.threshold = t;
+      const sim::SimResult r = sim::run_infinite_on(scale, layer, lc, base, scale.max_years, true);
+      const double years = r.first_failure_years.value_or(scale.max_years);
+      // Normalize erase overhead per simulated year against the baseline
+      // rate, since runs of different lengths do different amounts of work.
+      const double erases_per_year =
+          static_cast<double>(r.counters.total_erases()) / r.elapsed_years;
+      const double base_rate =
+          static_cast<double>(baseline.counters.total_erases()) / baseline.elapsed_years;
+      table.add_row({std::to_string(k), fmt(t, 0),
+                     std::to_string(wear::Bet::size_bytes(scale.block_count, k)) + "B",
+                     fmt(years, 3), "+" + fmt((years / baseline_years - 1.0) * 100.0, 1) + "%",
+                     fmt((erases_per_year / base_rate - 1.0) * 100.0, 2)});
+    }
+  }
+  std::cout << table.str();
+  std::cout << "\nreading guide: small T and small k level hardest (longest lifetime, most "
+               "overhead); large k shrinks the BET exponentially; k and T both large "
+               "degenerates toward the baseline\n";
+  return 0;
+}

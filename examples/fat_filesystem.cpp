@@ -1,0 +1,105 @@
+// Full-stack demo of the paper's Figure 1: a DOS-FAT-style file system on a
+// sector block device on an FTL with static wear leveling on simulated NAND.
+//
+// Shows the natural workload structure the paper's mechanisms exist for:
+// the file allocation table and directory sectors are rewritten on every
+// file operation (hot), file contents are written once (cold) — and the SW
+// Leveler keeps the wear even anyway. Ends with a power-loss remount.
+//
+//   $ ./fat_filesystem
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bdev/block_device.hpp"
+#include "core/rng.hpp"
+#include "fs/fat_fs.hpp"
+#include "ftl/ftl.hpp"
+#include "sim/report.hpp"
+#include "stats/summary.hpp"
+#include "swl/leveler.hpp"
+
+int main() {
+  using namespace swl;
+
+  nand::NandConfig nand_config;
+  nand_config.geometry = make_geometry(CellType::mlc_x2, 8ULL << 20);  // 8 MiB
+  nand_config.timing = default_timing(CellType::mlc_x2);
+  nand_config.store_payload_bytes = true;  // the FS stores real bytes
+  nand::NandChip chip(nand_config);
+
+  auto ftl = std::make_unique<ftl::Ftl>(chip, ftl::FtlConfig{});
+  wear::LevelerConfig lc;
+  lc.threshold = 10;
+  ftl->attach_leveler(std::make_unique<wear::SwLeveler>(chip.geometry().block_count, lc));
+  auto dev = std::make_unique<bdev::BlockDevice>(*ftl);
+
+  if (fs::FatFs::format(*dev, fs::FatConfig{}) != Status::ok) return 1;
+  Status st = Status::ok;
+  auto fatfs = fs::FatFs::mount(*dev, &st);
+  if (st != Status::ok) return 1;
+  std::cout << "formatted: " << fatfs->cluster_count() << " clusters of "
+            << fatfs->cluster_bytes() << " B (data region starts at sector "
+            << fatfs->data_start() << ")\n";
+
+  // A desktop-ish session: documents edited repeatedly, downloads written
+  // once, a log appended to.
+  Rng rng(7);
+  std::vector<std::uint8_t> buf;
+  const auto fill = [&](std::size_t n) {
+    buf.resize(n);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.below(256));
+  };
+  if (fatfs->create("session.log") != Status::ok) return 1;
+  for (int round = 0; round < 600; ++round) {
+    fill(900 + rng.below(4'000));
+    if (fatfs->write_file("doc" + std::to_string(rng.below(4)) + ".txt", buf) != Status::ok) {
+      return 1;
+    }
+    if (round % 10 == 0) {
+      fill(20'000 + rng.below(20'000));
+      if (fatfs->write_file("download" + std::to_string((round / 10) % 30) + ".bin", buf) != Status::ok) {
+        return 1;
+      }
+    }
+    fill(120);
+    if (fatfs->append("session.log", buf) != Status::ok) return 1;
+  }
+
+  const auto& fsc = fatfs->counters();
+  std::cout << "file ops done: " << fatfs->list().size() << " files\n";
+  const double meta_sectors = static_cast<double>(fatfs->data_start());
+  const double data_sectors =
+      static_cast<double>(dev->sector_count()) - meta_sectors;
+  std::cout << "sector writes by region: FAT " << fsc.fat_writes << ", directory "
+            << fsc.dir_writes << ", data " << fsc.data_writes << "\n";
+  std::cout << "write intensity: "
+            << sim::fmt(static_cast<double>(fsc.fat_writes + fsc.dir_writes) / meta_sectors, 1)
+            << " writes/sector in the metadata region vs "
+            << sim::fmt(static_cast<double>(fsc.data_writes) / data_sectors, 3)
+            << " in the data region — metadata is the natural hot data\n";
+  const auto& tc = ftl->counters();
+  std::cout << "flash: " << tc.host_writes << " page writes, " << tc.total_erases()
+            << " erases (" << tc.swl_erases << " by SWL)\n";
+  const stats::Summary wear = stats::summarize(chip.erase_counts());
+  std::cout << "erase counts: mean " << sim::fmt(wear.mean, 1) << ", stddev "
+            << sim::fmt(wear.stddev, 1) << ", max " << wear.max << "\n";
+
+  // Power loss + full-stack remount.
+  const auto files_before = fatfs->list();
+  fatfs.reset();
+  dev.reset();
+  ftl.reset();
+  chip.forget_logical_state();
+  std::cout << "power loss; remounting the whole stack...\n";
+  auto ftl2 = ftl::Ftl::mount(chip, ftl::FtlConfig{});
+  bdev::BlockDevice dev2(*ftl2);
+  auto fatfs2 = fs::FatFs::mount(dev2, &st);
+  if (st != Status::ok) return 1;
+  if (fatfs2->list().size() != files_before.size()) return 1;
+  std::vector<std::uint8_t> log;
+  if (fatfs2->read_file("session.log", &log) != Status::ok) return 1;
+  std::cout << "remount ok: " << fatfs2->list().size() << " files intact, session.log is "
+            << log.size() << " B\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Sector-level block device demo: the paper counts LBAs in 512-byte sectors
+// (2,097,152 on its 1 GB device) while flash pages are 2 KB. This example
+// runs the sector adapter over an NFTL with static wear leveling and shows
+// the read-modify-write amplification sub-page writes cause.
+//
+//   $ ./sector_device
+#include <iostream>
+
+#include "bdev/block_device.hpp"
+#include "nftl/nftl.hpp"
+#include "sim/report.hpp"
+#include "swl/leveler.hpp"
+
+int main() {
+  using namespace swl;
+
+  nand::NandConfig nand_config;
+  nand_config.geometry = make_geometry(CellType::mlc_x2, 32ULL << 20);  // 32 MiB
+  nand_config.timing = default_timing(CellType::mlc_x2);
+  nand::NandChip chip(nand_config);
+
+  nftl::Nftl nftl(chip, nftl::NftlConfig{});
+  wear::LevelerConfig lc;
+  lc.threshold = 10;
+  nftl.attach_leveler(std::make_unique<wear::SwLeveler>(chip.geometry().block_count, lc));
+
+  bdev::BlockDevice dev(nftl);
+  std::cout << "device exports " << dev.sector_count() << " sectors of 512 B ("
+            << dev.sectors_per_page() << " per " << chip.geometry().page_size_bytes
+            << " B flash page)\n";
+
+  // A file-system-like mixture: 4 KB cluster writes (8 sectors, page aligned
+  // when lucky) plus single-sector metadata updates.
+  Rng rng(99);
+  const bdev::SectorIndex sectors = dev.sector_count();
+  for (int i = 0; i < 30'000; ++i) {
+    if (rng.chance(0.3)) {
+      // metadata: single sector, hot region
+      const auto s = rng.below(64);
+      if (dev.write_sector(s, rng.next()) != Status::ok) return 1;
+    } else {
+      // data: an 8-sector cluster anywhere
+      const auto s = rng.below(sectors - 8);
+      if (dev.write_sectors(s, 8, rng.next()) != Status::ok) return 1;
+    }
+  }
+
+  const auto& c = dev.counters();
+  std::cout << "sector writes: " << c.sector_writes << "\n";
+  std::cout << "page writes:   " << c.page_writes << "  ("
+            << sim::fmt(static_cast<double>(c.sector_writes) /
+                            static_cast<double>(c.page_writes),
+                        2)
+            << " sectors per page write)\n";
+  std::cout << "RMW page reads caused by sub-page writes: " << c.rmw_page_reads << "\n";
+  std::cout << "flash erases: " << chip.counters().erases << " (" << nftl.counters().swl_erases
+            << " requested by static wear leveling)\n";
+
+  // Verify a few sectors round-trip.
+  if (dev.write_sector(7, 0x1234) != Status::ok) return 1;
+  std::uint64_t v = 0;
+  if (dev.read_sector(7, &v) != Status::ok || v != 0x1234) return 1;
+  std::cout << "sector 7 round-trip ok\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "core/bitvec.hpp"
+
+#include <bit>
+
+#include "core/contracts.hpp"
+
+namespace swl {
+
+namespace {
+
+constexpr std::size_t kWordBits = 64;
+
+constexpr std::size_t word_count_for(std::size_t bits) noexcept {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+
+}  // namespace
+
+BitVec::BitVec(std::size_t size) : words_(word_count_for(size), 0), size_(size) {}
+
+bool BitVec::test(std::size_t i) const {
+  SWL_REQUIRE(i < size_, "bit index out of range");
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+}
+
+bool BitVec::set(std::size_t i) {
+  SWL_REQUIRE(i < size_, "bit index out of range");
+  std::uint64_t& w = words_[i / kWordBits];
+  const std::uint64_t mask = 1ULL << (i % kWordBits);
+  if (w & mask) return false;
+  w |= mask;
+  ++count_;
+  return true;
+}
+
+bool BitVec::clear(std::size_t i) {
+  SWL_REQUIRE(i < size_, "bit index out of range");
+  std::uint64_t& w = words_[i / kWordBits];
+  const std::uint64_t mask = 1ULL << (i % kWordBits);
+  if (!(w & mask)) return false;
+  w &= ~mask;
+  --count_;
+  return true;
+}
+
+void BitVec::reset() noexcept {
+  for (auto& w : words_) w = 0;
+  count_ = 0;
+}
+
+std::size_t BitVec::next_zero_cyclic(std::size_t start) const {
+  SWL_REQUIRE(size_ > 0 && start < size_, "scan start out of range");
+  SWL_REQUIRE(!all_set(), "no zero bit to find");
+  std::size_t i = start;
+  // First, finish the word `start` lands in bit-by-bit; then skip whole words.
+  while (true) {
+    const std::size_t wi = i / kWordBits;
+    const std::size_t bi = i % kWordBits;
+    const std::uint64_t w = words_[wi];
+    if (bi == 0 && w == ~0ULL) {
+      // whole word set: jump to next word
+      i = (wi + 1) * kWordBits;
+      if (i >= size_) i = 0;
+      continue;
+    }
+    if (!((w >> bi) & 1ULL)) return i;
+    ++i;
+    if (i >= size_) i = 0;
+  }
+}
+
+void BitVec::resize(std::size_t size) {
+  // Drop stray bits if shrinking, then recount.
+  std::vector<std::uint64_t> words = std::move(words_);
+  words.resize(word_count_for(size), 0);
+  assign(std::move(words), size);
+}
+
+void BitVec::assign(std::vector<std::uint64_t> words, std::size_t size) {
+  SWL_REQUIRE(words.size() >= word_count_for(size), "word buffer too small for bit size");
+  words.resize(word_count_for(size));
+  // Zero bits beyond `size` in the tail word so popcounts stay exact.
+  const std::size_t tail_bits = size % kWordBits;
+  if (tail_bits != 0 && !words.empty()) {
+    words.back() &= (1ULL << tail_bits) - 1;
+  }
+  words_ = std::move(words);
+  size_ = size;
+  count_ = 0;
+  for (const auto w : words_) count_ += static_cast<std::size_t>(std::popcount(w));
+}
+
+}  // namespace swl

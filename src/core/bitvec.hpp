@@ -1,0 +1,66 @@
+// Packed bit vector with popcount-assisted scanning.
+//
+// This is the storage engine behind the Block Erasing Table (Section 3.2 of
+// the paper): one bit per block set, packed 64 to a word so that the cyclic
+// scan for a zero flag (Algorithm 1, steps 9–10) can skip fully-set words.
+#ifndef SWL_CORE_BITVEC_HPP
+#define SWL_CORE_BITVEC_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace swl {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// A vector of `size` zero bits.
+  explicit BitVec(std::size_t size);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Number of set bits; O(1), maintained incrementally.
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  [[nodiscard]] bool all_set() const noexcept { return count_ == size_; }
+  [[nodiscard]] bool none_set() const noexcept { return count_ == 0; }
+
+  /// Value of bit `i`. Requires i < size().
+  [[nodiscard]] bool test(std::size_t i) const;
+
+  /// Sets bit `i`; returns true when the bit transitioned 0 → 1.
+  bool set(std::size_t i);
+
+  /// Clears bit `i`; returns true when the bit transitioned 1 → 0.
+  bool clear(std::size_t i);
+
+  /// Clears every bit.
+  void reset() noexcept;
+
+  /// Index of the first zero bit at or after `start`, scanning cyclically and
+  /// wrapping past the end; requires not all_set() and start < size().
+  /// O(words) worst case, O(1) amortized over a full scan.
+  [[nodiscard]] std::size_t next_zero_cyclic(std::size_t start) const;
+
+  /// Resizes to `size` bits, preserving the prefix; new bits are zero.
+  void resize(std::size_t size);
+
+  /// Raw 64-bit words (for serialization). The tail word's unused high bits
+  /// are guaranteed zero.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+  /// Rebuilds from raw words + bit size (for deserialization); recomputes the
+  /// popcount and zeroes any stray bits beyond `size`.
+  void assign(std::vector<std::uint64_t> words, std::size_t size);
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace swl
+
+#endif  // SWL_CORE_BITVEC_HPP

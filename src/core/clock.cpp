@@ -1,0 +1,15 @@
+#include "core/clock.hpp"
+
+#include <cmath>
+
+namespace swl {
+
+void SimClock::advance_seconds(double s) noexcept {
+  if (s <= 0.0) return;
+  const double total_us = s * static_cast<double>(kUsPerSecond) + fraction_us_;
+  const double whole = std::floor(total_us);
+  fraction_us_ = total_us - whole;
+  now_us_ += static_cast<SimTime>(whole);
+}
+
+}  // namespace swl

@@ -1,0 +1,65 @@
+// Simulated time base for the whole stack.
+//
+// All flash-operation latencies and trace inter-arrival gaps advance one
+// shared SimClock; endurance results ("first failure time in years") are read
+// off this clock, so decade-long experiments complete in seconds of wall time.
+#ifndef SWL_CORE_CLOCK_HPP
+#define SWL_CORE_CLOCK_HPP
+
+#include <cstdint>
+
+namespace swl {
+
+/// Simulated microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kUsPerSecond = 1'000'000ULL;
+inline constexpr double kSecondsPerYear = 365.25 * 24 * 3600;
+
+/// Monotonic simulated clock; advanced by device latencies and workload gaps.
+class SimClock {
+ public:
+  [[nodiscard]] SimTime now() const noexcept { return now_us_; }
+
+  /// Advance by `us` microseconds.
+  void advance_us(SimTime us) noexcept { now_us_ += us; }
+
+  /// Advance to an absolute time; no-op when `t` is in the past (device
+  /// operations may already have pushed the clock beyond a trace timestamp).
+  void advance_to(SimTime t) noexcept {
+    if (t > now_us_) now_us_ = t;
+  }
+
+  /// Advance by (possibly fractional) seconds; sub-microsecond remainders are
+  /// accumulated so long runs do not drift.
+  void advance_seconds(double s) noexcept;
+
+  /// Current time in seconds / years (for reporting).
+  [[nodiscard]] double seconds() const noexcept {
+    return static_cast<double>(now_us_) / static_cast<double>(kUsPerSecond);
+  }
+  [[nodiscard]] double years() const noexcept { return seconds() / kSecondsPerYear; }
+
+  void reset() noexcept {
+    now_us_ = 0;
+    fraction_us_ = 0.0;
+  }
+
+ private:
+  SimTime now_us_ = 0;
+  double fraction_us_ = 0.0;
+};
+
+/// Converts seconds to simulated microseconds (rounds down; saturates at the
+/// SimTime range so "effectively forever" horizons stay well defined).
+[[nodiscard]] constexpr SimTime seconds_to_us(double s) noexcept {
+  if (s <= 0.0) return 0;
+  const double us = s * static_cast<double>(kUsPerSecond);
+  // 2^64 as a double; anything at or beyond saturates.
+  if (us >= 18446744073709551616.0) return ~SimTime{0};
+  return static_cast<SimTime>(us);
+}
+
+}  // namespace swl
+
+#endif  // SWL_CORE_CLOCK_HPP

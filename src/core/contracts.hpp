@@ -1,0 +1,59 @@
+// Lightweight precondition / invariant checking for the SWL library.
+//
+// All checks throw (rather than abort) so that tests can assert on contract
+// violations and so that example programs fail with a readable diagnostic.
+#ifndef SWL_CORE_CONTRACTS_HPP
+#define SWL_CORE_CONTRACTS_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace swl {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant is found broken (a library bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail_precondition(const char* expr, const char* file, int line,
+                                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void contract_fail_invariant(const char* expr, const char* file, int line,
+                                                 const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace swl
+
+/// Check a caller-facing precondition; throws swl::PreconditionError on failure.
+#define SWL_REQUIRE(expr, msg)                                                       \
+  do {                                                                               \
+    if (!(expr)) ::swl::detail::contract_fail_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Check an internal invariant; throws swl::InvariantError on failure.
+#define SWL_ASSERT(expr, msg)                                                      \
+  do {                                                                             \
+    if (!(expr)) ::swl::detail::contract_fail_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#endif  // SWL_CORE_CONTRACTS_HPP

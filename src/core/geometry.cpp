@@ -1,0 +1,86 @@
+#include "core/geometry.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "core/contracts.hpp"
+
+namespace swl {
+
+std::string_view to_string(CellType t) noexcept {
+  switch (t) {
+    case CellType::slc_small_block:
+      return "SLC(small-block)";
+    case CellType::slc_large_block:
+      return "SLC(large-block)";
+    case CellType::mlc_x2:
+      return "MLCx2";
+  }
+  return "unknown";
+}
+
+bool FlashGeometry::valid() const noexcept {
+  if (block_count == 0 || pages_per_block == 0 || page_size_bytes == 0) return false;
+  const auto pages = static_cast<std::uint64_t>(block_count) * pages_per_block;
+  return pages <= std::numeric_limits<std::uint64_t>::max() / page_size_bytes;
+}
+
+NandTiming default_timing(CellType t) noexcept {
+  switch (t) {
+    case CellType::slc_small_block:
+      return NandTiming{.read_page_us = 15, .program_page_us = 200, .erase_block_us = 2000, .endurance = 100'000};
+    case CellType::slc_large_block:
+      return NandTiming{.read_page_us = 25, .program_page_us = 200, .erase_block_us = 2000, .endurance = 100'000};
+    case CellType::mlc_x2:
+      return NandTiming{.read_page_us = 50, .program_page_us = 800, .erase_block_us = 1500, .endurance = 10'000};
+  }
+  return NandTiming{};
+}
+
+namespace {
+
+FlashGeometry block_shape(CellType t) {
+  switch (t) {
+    case CellType::slc_small_block:
+      return FlashGeometry{.block_count = 0, .pages_per_block = 32, .page_size_bytes = 512};
+    case CellType::slc_large_block:
+      return FlashGeometry{.block_count = 0, .pages_per_block = 64, .page_size_bytes = 2048};
+    case CellType::mlc_x2:
+      return FlashGeometry{.block_count = 0, .pages_per_block = 128, .page_size_bytes = 2048};
+  }
+  SWL_ASSERT(false, "unreachable cell type");
+}
+
+}  // namespace
+
+FlashGeometry make_geometry(CellType t, std::uint64_t capacity_bytes) {
+  FlashGeometry g = block_shape(t);
+  const std::uint64_t block_bytes =
+      static_cast<std::uint64_t>(g.pages_per_block) * g.page_size_bytes;
+  SWL_REQUIRE(capacity_bytes > 0 && capacity_bytes % block_bytes == 0,
+              "capacity must be a positive multiple of the block size");
+  const std::uint64_t blocks = capacity_bytes / block_bytes;
+  SWL_REQUIRE(blocks <= std::numeric_limits<BlockIndex>::max() - 1, "too many blocks");
+  g.block_count = static_cast<BlockIndex>(blocks);
+  return g;
+}
+
+FlashGeometry paper_geometry() {
+  return make_geometry(CellType::mlc_x2, 1ULL << 30);  // 1 GiB
+}
+
+FlashGeometry scaled_geometry(const FlashGeometry& g, BlockIndex block_count) {
+  SWL_REQUIRE(block_count > 0, "scaled geometry needs at least one block");
+  FlashGeometry s = g;
+  s.block_count = block_count;
+  return s;
+}
+
+std::string describe(const FlashGeometry& g) {
+  std::ostringstream os;
+  os << g.block_count << " blk x " << g.pages_per_block << " pg x " << g.page_size_bytes
+     << " B (" << (g.capacity_bytes() >> 20) << " MiB)";
+  return os.str();
+}
+
+}  // namespace swl

@@ -1,0 +1,77 @@
+// Flash-chip geometry and the paper's standard device presets.
+//
+// The paper (Section 1) fixes three NAND organizations:
+//   - small-block SLC:  512 B pages,  32 pages/block, 100k erase endurance
+//   - large-block SLC:  2 KB  pages,  64 pages/block, 100k erase endurance
+//   - MLC×2:            2 KB  pages, 128 pages/block,  10k erase endurance
+// The evaluation (Section 5) uses 1 GB MLC×2: 4096 blocks × 128 pages × 2 KB,
+// i.e. 2,097,152 LBAs wide with one LBA per 512 B sector mapped to pages by
+// the translation layer; here one LBA covers one page, matching the paper's
+// 2,097,152-LBA count divided by the 4 sectors/page the FTL groups (we expose
+// the page-granularity address space directly).
+#ifndef SWL_CORE_GEOMETRY_HPP
+#define SWL_CORE_GEOMETRY_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace swl {
+
+/// NAND cell technology; determines endurance and default timing.
+enum class CellType { slc_small_block, slc_large_block, mlc_x2 };
+
+[[nodiscard]] std::string_view to_string(CellType t) noexcept;
+
+/// Static description of a flash chip's layout.
+struct FlashGeometry {
+  BlockIndex block_count = 0;
+  PageIndex pages_per_block = 0;
+  std::uint32_t page_size_bytes = 0;
+
+  [[nodiscard]] constexpr std::uint64_t page_count() const noexcept {
+    return static_cast<std::uint64_t>(block_count) * pages_per_block;
+  }
+  [[nodiscard]] constexpr std::uint64_t capacity_bytes() const noexcept {
+    return page_count() * page_size_bytes;
+  }
+  /// Number of logical page addresses the device exports (1 LBA == 1 page).
+  [[nodiscard]] constexpr std::uint64_t lba_count() const noexcept { return page_count(); }
+
+  /// True when every field is non-zero and products do not overflow.
+  [[nodiscard]] bool valid() const noexcept;
+
+  friend constexpr bool operator==(const FlashGeometry&, const FlashGeometry&) = default;
+};
+
+/// Operation latencies and endurance for a cell technology.
+struct NandTiming {
+  std::uint64_t read_page_us = 0;
+  std::uint64_t program_page_us = 0;
+  std::uint64_t erase_block_us = 0;
+  /// Erase cycles a block sustains before wearing out.
+  std::uint32_t endurance = 0;
+};
+
+/// Default timing/endurance for a cell technology (MLC×2 erase ≈ 1.5 ms per
+/// the STMicroelectronics part the paper cites [8]).
+[[nodiscard]] NandTiming default_timing(CellType t) noexcept;
+
+/// Geometry of a device of `capacity_bytes` built from `t` cells.
+/// Requires capacity to be a multiple of the block size of `t`.
+[[nodiscard]] FlashGeometry make_geometry(CellType t, std::uint64_t capacity_bytes);
+
+/// The paper's evaluation device: 1 GB MLC×2 (4096 blocks × 128 × 2 KB).
+[[nodiscard]] FlashGeometry paper_geometry();
+
+/// A geometry with the same block shape as `g` but `block_count` blocks;
+/// used to run shape-preserving scaled-down experiments.
+[[nodiscard]] FlashGeometry scaled_geometry(const FlashGeometry& g, BlockIndex block_count);
+
+/// One-line description, e.g. "4096 blk x 128 pg x 2048 B (1024 MiB)".
+[[nodiscard]] std::string describe(const FlashGeometry& g);
+
+}  // namespace swl
+
+#endif  // SWL_CORE_GEOMETRY_HPP

@@ -1,0 +1,40 @@
+// Seeded random bijection over [0, size) — used to scatter the synthetic
+// workload's logical regions across the LBA space the way a real file system
+// scatters files over a disk.
+//
+// Implementation: a 4-round Feistel network over the smallest even-width bit
+// domain covering `size`, with cycle walking (re-apply until the value lands
+// inside [0, size)). Both directions are deterministic functions of the
+// seed; forward() is a bijection on [0, size).
+#ifndef SWL_CORE_PERMUTATION_HPP
+#define SWL_CORE_PERMUTATION_HPP
+
+#include <array>
+#include <cstdint>
+
+namespace swl {
+
+class RandomPermutation {
+ public:
+  /// Bijection over [0, size). Requires size >= 1.
+  explicit RandomPermutation(std::uint64_t size, std::uint64_t seed = 0x5ca77e2ULL);
+
+  /// Image of x under the permutation. Requires x < size().
+  [[nodiscard]] std::uint64_t forward(std::uint64_t x) const;
+
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t x) const { return forward(x); }
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+ private:
+  [[nodiscard]] std::uint64_t feistel(std::uint64_t x) const noexcept;
+
+  std::uint64_t size_;
+  std::uint32_t half_bits_;
+  std::uint64_t half_mask_;
+  std::array<std::uint64_t, 4> keys_{};
+};
+
+}  // namespace swl
+
+#endif  // SWL_CORE_PERMUTATION_HPP

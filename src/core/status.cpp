@@ -1,0 +1,43 @@
+#include "core/status.hpp"
+
+#include <ostream>
+
+namespace swl {
+
+std::string_view to_string(Status s) noexcept {
+  switch (s) {
+    case Status::ok:
+      return "ok";
+    case Status::page_already_programmed:
+      return "page_already_programmed";
+    case Status::block_worn_out:
+      return "block_worn_out";
+    case Status::bad_block:
+      return "bad_block";
+    case Status::page_not_programmed:
+      return "page_not_programmed";
+    case Status::lba_not_mapped:
+      return "lba_not_mapped";
+    case Status::program_failed:
+      return "program_failed";
+    case Status::erase_failed:
+      return "erase_failed";
+    case Status::out_of_space:
+      return "out_of_space";
+    case Status::corrupt_snapshot:
+      return "corrupt_snapshot";
+    case Status::file_not_found:
+      return "file_not_found";
+    case Status::file_exists:
+      return "file_exists";
+    case Status::invalid_name:
+      return "invalid_name";
+    case Status::fs_full:
+      return "fs_full";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, Status s) { return os << to_string(s); }
+
+}  // namespace swl

@@ -1,0 +1,53 @@
+// Operation status codes for flash and translation-layer operations.
+//
+// Expected, recoverable outcomes (a worn-out block, a read of an unmapped
+// LBA) are reported through Status values; contract violations throw.
+#ifndef SWL_CORE_STATUS_HPP
+#define SWL_CORE_STATUS_HPP
+
+#include <iosfwd>
+#include <string_view>
+
+namespace swl {
+
+enum class Status {
+  ok,
+  /// Page was already programmed; NAND pages are program-once between erases.
+  page_already_programmed,
+  /// Block reached its endurance limit and can no longer be erased reliably.
+  block_worn_out,
+  /// Block was previously retired as bad.
+  bad_block,
+  /// Read of a page that holds no valid data.
+  page_not_programmed,
+  /// Translation layer has no mapping for the requested LBA.
+  lba_not_mapped,
+  /// Program operation failed (injected media error); the page is consumed.
+  program_failed,
+  /// Erase operation failed (injected media error); the block is retired.
+  erase_failed,
+  /// No free page/block could be allocated even after garbage collection.
+  out_of_space,
+  /// Persistent state (e.g. a BET snapshot) failed checksum validation.
+  corrupt_snapshot,
+  /// File-system: no such file.
+  file_not_found,
+  /// File-system: a file with that name already exists.
+  file_exists,
+  /// File-system: name empty or too long for a directory entry.
+  invalid_name,
+  /// File-system: no free cluster / directory entry left.
+  fs_full,
+};
+
+/// Human-readable name of a status code (for logs and test diagnostics).
+[[nodiscard]] std::string_view to_string(Status s) noexcept;
+
+std::ostream& operator<<(std::ostream& os, Status s);
+
+/// True when the status denotes success.
+[[nodiscard]] constexpr bool ok(Status s) noexcept { return s == Status::ok; }
+
+}  // namespace swl
+
+#endif  // SWL_CORE_STATUS_HPP

@@ -1,0 +1,59 @@
+// Fundamental identifier types shared by every layer of the stack.
+#ifndef SWL_CORE_TYPES_HPP
+#define SWL_CORE_TYPES_HPP
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace swl {
+
+/// Logical block address: the sector index the host file system uses.
+/// One LBA addresses one flash page worth of data (the paper's convention).
+using Lba = std::uint32_t;
+
+/// Physical block index within a chip.
+using BlockIndex = std::uint32_t;
+
+/// Page index within a block.
+using PageIndex = std::uint32_t;
+
+/// Virtual block address used by NFTL (LBA divided by pages-per-block).
+using Vba = std::uint32_t;
+
+/// Sentinel for "no LBA / unmapped".
+inline constexpr Lba kInvalidLba = std::numeric_limits<Lba>::max();
+
+/// Sentinel for "no physical block".
+inline constexpr BlockIndex kInvalidBlock = std::numeric_limits<BlockIndex>::max();
+
+/// Sentinel for "no page".
+inline constexpr PageIndex kInvalidPage = std::numeric_limits<PageIndex>::max();
+
+/// Physical page address: (residing block number, page number in the block),
+/// exactly the two-part PBA of the paper's Figure 2(a).
+struct Ppa {
+  BlockIndex block = kInvalidBlock;
+  PageIndex page = kInvalidPage;
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return block != kInvalidBlock && page != kInvalidPage;
+  }
+
+  friend constexpr auto operator<=>(const Ppa&, const Ppa&) = default;
+};
+
+/// Invalid / unmapped physical page address.
+inline constexpr Ppa kInvalidPpa{};
+
+}  // namespace swl
+
+template <>
+struct std::hash<swl::Ppa> {
+  std::size_t operator()(const swl::Ppa& p) const noexcept {
+    return (static_cast<std::size_t>(p.block) << 32) ^ p.page;
+  }
+};
+
+#endif  // SWL_CORE_TYPES_HPP

@@ -1,0 +1,468 @@
+#include "fs/fat_fs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/contracts.hpp"
+
+namespace swl::fs {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53574C46;  // "SWLF"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kSuperblockSector = 0;
+
+void put_u16(std::span<std::uint8_t> buf, std::size_t at, std::uint16_t v) {
+  buf[at] = static_cast<std::uint8_t>(v & 0xFF);
+  buf[at + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::span<std::uint8_t> buf, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf[at + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::span<std::uint8_t> buf, std::size_t at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf[at + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> buf, std::size_t at) {
+  return static_cast<std::uint16_t>(buf[at] | (buf[at + 1] << 8));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> buf, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[at + static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> buf, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[at + static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+struct Layout {
+  std::uint32_t fat_start = 1;
+  std::uint32_t fat_sectors = 0;
+  std::uint32_t root_start = 0;
+  std::uint32_t root_sectors = 0;
+  std::uint32_t data_start = 0;
+  std::uint32_t cluster_count = 0;
+};
+
+Layout compute_layout(std::uint64_t total_sectors, std::uint32_t sector_size,
+                      const FatConfig& config) {
+  SWL_REQUIRE(config.sectors_per_cluster >= 1, "sectors_per_cluster must be positive");
+  SWL_REQUIRE(config.root_entries >= 1, "need at least one root entry");
+  SWL_REQUIRE(sector_size >= 64 && sector_size % 32 == 0,
+              "sector size must be >= 64 and a multiple of 32");
+  Layout l;
+  const std::uint32_t entries_per_fat_sector = sector_size / 2;
+  l.root_sectors = (config.root_entries * 32 + sector_size - 1) / sector_size;
+  // Iterate: more FAT sectors mean fewer clusters and vice versa.
+  std::uint32_t fat_sectors = 1;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t meta = 1ULL + fat_sectors + l.root_sectors;
+    SWL_REQUIRE(total_sectors > meta + config.sectors_per_cluster,
+                "device too small for this file-system configuration");
+    const auto clusters = static_cast<std::uint32_t>(
+        (total_sectors - meta) / config.sectors_per_cluster);
+    const std::uint32_t needed =
+        (clusters + entries_per_fat_sector - 1) / entries_per_fat_sector;
+    if (needed == fat_sectors) break;
+    fat_sectors = needed;
+  }
+  l.fat_sectors = fat_sectors;
+  l.root_start = l.fat_start + l.fat_sectors;
+  l.data_start = l.root_start + l.root_sectors;
+  l.cluster_count = static_cast<std::uint32_t>(
+      (total_sectors - l.data_start) / config.sectors_per_cluster);
+  SWL_REQUIRE(l.cluster_count >= 1, "device too small: no data clusters");
+  SWL_REQUIRE(l.cluster_count < 0xFFFE, "too many clusters for 16-bit FAT entries");
+  return l;
+}
+
+}  // namespace
+
+Status FatFs::format(bdev::BlockDevice& dev, const FatConfig& config) {
+  const std::uint32_t sector_size = dev.sector_size_bytes();
+  const Layout l = compute_layout(dev.sector_count(), sector_size, config);
+
+  std::vector<std::uint8_t> sector(sector_size, 0);
+  put_u32(sector, 0, kMagic);
+  put_u32(sector, 4, kVersion);
+  put_u64(sector, 8, dev.sector_count());
+  put_u32(sector, 16, config.sectors_per_cluster);
+  put_u32(sector, 20, l.fat_start);
+  put_u32(sector, 24, l.fat_sectors);
+  put_u32(sector, 28, l.root_start);
+  put_u32(sector, 32, config.root_entries);
+  put_u32(sector, 36, l.root_sectors);
+  put_u32(sector, 40, l.data_start);
+  put_u32(sector, 44, l.cluster_count);
+  Status st = dev.write_sector_bytes(kSuperblockSector, sector);
+  if (st != Status::ok) return st;
+
+  std::fill(sector.begin(), sector.end(), std::uint8_t{0});
+  for (std::uint32_t s = l.fat_start; s < l.root_start + l.root_sectors; ++s) {
+    st = dev.write_sector_bytes(s, sector);
+    if (st != Status::ok) return st;
+  }
+  return Status::ok;
+}
+
+std::unique_ptr<FatFs> FatFs::mount(bdev::BlockDevice& dev, Status* status) {
+  SWL_REQUIRE(status != nullptr, "null status output");
+  std::unique_ptr<FatFs> fs(new FatFs(dev));
+  *status = fs->load();
+  if (*status != Status::ok) return nullptr;
+  return fs;
+}
+
+Status FatFs::load() {
+  const std::uint32_t sector_size = dev_.sector_size_bytes();
+  std::vector<std::uint8_t> sector(sector_size, 0);
+  Status st = dev_.read_sector_bytes(kSuperblockSector, sector);
+  if (st != Status::ok) return Status::corrupt_snapshot;
+  if (get_u32(sector, 0) != kMagic || get_u32(sector, 4) != kVersion) {
+    return Status::corrupt_snapshot;
+  }
+  if (get_u64(sector, 8) != dev_.sector_count()) return Status::corrupt_snapshot;
+  sectors_per_cluster_ = get_u32(sector, 16);
+  fat_start_ = get_u32(sector, 20);
+  fat_sectors_ = get_u32(sector, 24);
+  root_start_ = get_u32(sector, 28);
+  const std::uint32_t root_entries = get_u32(sector, 32);
+  root_sectors_ = get_u32(sector, 36);
+  data_start_ = get_u32(sector, 40);
+  cluster_count_ = get_u32(sector, 44);
+  if (sectors_per_cluster_ == 0 || cluster_count_ == 0 || cluster_count_ >= 0xFFFE) {
+    return Status::corrupt_snapshot;
+  }
+
+  // FAT.
+  fat_.assign(cluster_count_, kFatFree);
+  const std::uint32_t entries_per_sector = sector_size / 2;
+  for (std::uint32_t s = 0; s < fat_sectors_; ++s) {
+    st = dev_.read_sector_bytes(fat_start_ + s, sector);
+    if (st == Status::lba_not_mapped) continue;  // never written: all free
+    if (st != Status::ok) return Status::corrupt_snapshot;
+    for (std::uint32_t e = 0; e < entries_per_sector; ++e) {
+      const std::uint64_t cluster = static_cast<std::uint64_t>(s) * entries_per_sector + e;
+      if (cluster >= cluster_count_) break;
+      fat_[cluster] = get_u16(sector, e * 2);
+    }
+  }
+
+  // Root directory.
+  dir_.assign(root_entries, DirEntry{});
+  const std::uint32_t entries_per_dir_sector = sector_size / kDirEntrySize;
+  for (std::uint32_t s = 0; s < root_sectors_; ++s) {
+    st = dev_.read_sector_bytes(root_start_ + s, sector);
+    if (st == Status::lba_not_mapped) continue;
+    if (st != Status::ok) return Status::corrupt_snapshot;
+    for (std::uint32_t e = 0; e < entries_per_dir_sector; ++e) {
+      const std::uint64_t index = static_cast<std::uint64_t>(s) * entries_per_dir_sector + e;
+      if (index >= dir_.size()) break;
+      const std::size_t at = e * kDirEntrySize;
+      DirEntry& entry = dir_[index];
+      entry.used = sector[at + 20] != 0;
+      if (!entry.used) continue;
+      const char* name = reinterpret_cast<const char*>(sector.data() + at);
+      entry.name.assign(name, strnlen(name, kMaxName));
+      entry.first_cluster = get_u16(sector, at + 22);
+      entry.size = get_u32(sector, at + 24);
+    }
+  }
+  return Status::ok;
+}
+
+int FatFs::find_entry(std::string_view name) const {
+  for (std::size_t i = 0; i < dir_.size(); ++i) {
+    if (dir_[i].used && dir_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int FatFs::find_free_entry() const {
+  for (std::size_t i = 0; i < dir_.size(); ++i) {
+    if (!dir_[i].used) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status FatFs::flush_fat_entry(std::uint32_t cluster) {
+  const std::uint32_t sector_size = dev_.sector_size_bytes();
+  const std::uint32_t entries_per_sector = sector_size / 2;
+  const std::uint32_t s = cluster / entries_per_sector;
+  std::vector<std::uint8_t> sector(sector_size, 0);
+  for (std::uint32_t e = 0; e < entries_per_sector; ++e) {
+    const std::uint64_t c = static_cast<std::uint64_t>(s) * entries_per_sector + e;
+    if (c >= cluster_count_) break;
+    put_u16(sector, e * 2, fat_[c]);
+  }
+  ++counters_.fat_writes;
+  return dev_.write_sector_bytes(fat_start_ + s, sector);
+}
+
+Status FatFs::flush_dir_entry(std::uint32_t index) {
+  const std::uint32_t sector_size = dev_.sector_size_bytes();
+  const std::uint32_t entries_per_sector = sector_size / kDirEntrySize;
+  const std::uint32_t s = index / entries_per_sector;
+  std::vector<std::uint8_t> sector(sector_size, 0);
+  for (std::uint32_t e = 0; e < entries_per_sector; ++e) {
+    const std::uint64_t i = static_cast<std::uint64_t>(s) * entries_per_sector + e;
+    if (i >= dir_.size()) break;
+    const DirEntry& entry = dir_[i];
+    const std::size_t at = e * kDirEntrySize;
+    if (!entry.used) continue;  // zeros already in place
+    const std::size_t len = std::min(entry.name.size(), kMaxName);
+    std::memcpy(sector.data() + at, entry.name.data(), len);
+    sector[at + 20] = 1;
+    put_u16(sector, at + 22, entry.first_cluster);
+    put_u32(sector, at + 24, entry.size);
+  }
+  ++counters_.dir_writes;
+  return dev_.write_sector_bytes(root_start_ + s, sector);
+}
+
+Status FatFs::allocate_cluster(std::uint32_t* out) {
+  for (std::uint32_t c = 0; c < cluster_count_; ++c) {
+    if (fat_[c] == kFatFree) {
+      fat_[c] = kFatEnd;
+      const Status st = flush_fat_entry(c);
+      if (st != Status::ok) return st;
+      *out = c;
+      return Status::ok;
+    }
+  }
+  return Status::fs_full;
+}
+
+Status FatFs::free_chain(std::uint16_t first) {
+  std::uint16_t cur = first;
+  while (cur != kFatEnd) {
+    SWL_ASSERT(cur < cluster_count_, "FAT chain points out of range");
+    const std::uint16_t link = fat_[cur];
+    SWL_ASSERT(link != kFatFree, "FAT chain runs into a free cluster");
+    fat_[cur] = kFatFree;
+    const Status st = flush_fat_entry(cur);
+    if (st != Status::ok) return st;
+    cur = link == kFatEnd ? kFatEnd : static_cast<std::uint16_t>(link - 1);
+  }
+  return Status::ok;
+}
+
+Status FatFs::write_cluster(std::uint32_t cluster, std::uint32_t offset_in_cluster,
+                            std::span<const std::uint8_t> bytes) {
+  const std::uint32_t sector_size = dev_.sector_size_bytes();
+  const bdev::SectorIndex base =
+      data_start_ + static_cast<bdev::SectorIndex>(cluster) * sectors_per_cluster_;
+  std::vector<std::uint8_t> buffer(sector_size, 0);
+  std::size_t written = 0;
+  std::uint32_t pos = offset_in_cluster;
+  while (written < bytes.size()) {
+    SWL_ASSERT(pos < cluster_bytes(), "write past the end of a cluster");
+    const bdev::SectorIndex sec = base + pos / sector_size;
+    const std::uint32_t in_off = pos % sector_size;
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::size_t>(sector_size - in_off, bytes.size() - written));
+    Status st;
+    if (in_off == 0 && chunk == sector_size) {
+      st = dev_.write_sector_bytes(sec, bytes.subspan(written, chunk));
+    } else {
+      // Partial sector: read-merge-write (a hole reads as zeros).
+      std::fill(buffer.begin(), buffer.end(), std::uint8_t{0});
+      st = dev_.read_sector_bytes(sec, buffer);
+      if (st != Status::ok && st != Status::lba_not_mapped) return st;
+      std::copy(bytes.begin() + static_cast<std::ptrdiff_t>(written),
+                bytes.begin() + static_cast<std::ptrdiff_t>(written + chunk),
+                buffer.begin() + in_off);
+      st = dev_.write_sector_bytes(sec, buffer);
+    }
+    if (st != Status::ok) return st;
+    ++counters_.data_writes;
+    written += chunk;
+    pos += chunk;
+  }
+  return Status::ok;
+}
+
+Status FatFs::read_cluster(std::uint32_t cluster, std::uint32_t offset_in_cluster,
+                           std::span<std::uint8_t> out) {
+  const std::uint32_t sector_size = dev_.sector_size_bytes();
+  const bdev::SectorIndex base =
+      data_start_ + static_cast<bdev::SectorIndex>(cluster) * sectors_per_cluster_;
+  std::vector<std::uint8_t> buffer(sector_size, 0);
+  std::size_t done = 0;
+  std::uint32_t pos = offset_in_cluster;
+  while (done < out.size()) {
+    SWL_ASSERT(pos < cluster_bytes(), "read past the end of a cluster");
+    const bdev::SectorIndex sec = base + pos / sector_size;
+    const std::uint32_t in_off = pos % sector_size;
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::size_t>(sector_size - in_off, out.size() - done));
+    std::fill(buffer.begin(), buffer.end(), std::uint8_t{0});
+    const Status st = dev_.read_sector_bytes(sec, buffer);
+    if (st != Status::ok && st != Status::lba_not_mapped) return st;
+    std::copy(buffer.begin() + in_off, buffer.begin() + in_off + chunk,
+              out.begin() + static_cast<std::ptrdiff_t>(done));
+    done += chunk;
+    pos += chunk;
+  }
+  return Status::ok;
+}
+
+Status FatFs::create(std::string_view name) {
+  if (name.empty() || name.size() > kMaxName) return Status::invalid_name;
+  if (find_entry(name) >= 0) return Status::file_exists;
+  const int slot = find_free_entry();
+  if (slot < 0) return Status::fs_full;
+  DirEntry& entry = dir_[static_cast<std::size_t>(slot)];
+  entry.used = true;
+  entry.name = std::string(name);
+  entry.size = 0;
+  entry.first_cluster = kFatEnd;
+  return flush_dir_entry(static_cast<std::uint32_t>(slot));
+}
+
+Status FatFs::write_file(std::string_view name, std::span<const std::uint8_t> content) {
+  if (name.empty() || name.size() > kMaxName) return Status::invalid_name;
+  int slot = find_entry(name);
+  if (slot < 0) {
+    const Status st = create(name);
+    if (st != Status::ok) return st;
+    slot = find_entry(name);
+  }
+  DirEntry& entry = dir_[static_cast<std::size_t>(slot)];
+
+  // Capacity check before mutating: the old chain is reusable.
+  const std::uint32_t cb = cluster_bytes();
+  const auto needed =
+      static_cast<std::uint32_t>((content.size() + cb - 1) / cb);
+  std::uint32_t old_chain = 0;
+  for (std::uint16_t c = entry.first_cluster; c != kFatEnd;) {
+    ++old_chain;
+    const std::uint16_t link = fat_[c];
+    c = link == kFatEnd ? kFatEnd : static_cast<std::uint16_t>(link - 1);
+  }
+  if (needed > free_clusters() + old_chain) return Status::fs_full;
+
+  Status st = free_chain(entry.first_cluster);
+  if (st != Status::ok) return st;
+  entry.first_cluster = kFatEnd;
+  entry.size = 0;
+
+  std::uint32_t prev = kFatEnd;
+  std::size_t written = 0;
+  for (std::uint32_t i = 0; i < needed; ++i) {
+    std::uint32_t cluster = 0;
+    st = allocate_cluster(&cluster);
+    if (st != Status::ok) return st;
+    if (prev == kFatEnd) {
+      entry.first_cluster = static_cast<std::uint16_t>(cluster);
+    } else {
+      fat_[prev] = static_cast<std::uint16_t>(cluster + 1);
+      st = flush_fat_entry(prev);
+      if (st != Status::ok) return st;
+    }
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::size_t>(cb, content.size() - written));
+    st = write_cluster(cluster, 0, content.subspan(written, chunk));
+    if (st != Status::ok) return st;
+    written += chunk;
+    prev = cluster;
+  }
+  entry.size = static_cast<std::uint32_t>(content.size());
+  return flush_dir_entry(static_cast<std::uint32_t>(slot));
+}
+
+Status FatFs::append(std::string_view name, std::span<const std::uint8_t> content) {
+  const int slot = find_entry(name);
+  if (slot < 0) return Status::file_not_found;
+  DirEntry& entry = dir_[static_cast<std::size_t>(slot)];
+  const std::uint32_t cb = cluster_bytes();
+
+  // Find the last cluster of the chain.
+  std::uint32_t last = kFatEnd;
+  for (std::uint16_t c = entry.first_cluster; c != kFatEnd;) {
+    last = c;
+    const std::uint16_t link = fat_[c];
+    c = link == kFatEnd ? kFatEnd : static_cast<std::uint16_t>(link - 1);
+  }
+
+  std::size_t done = 0;
+  while (done < content.size()) {
+    std::uint32_t offset = entry.size % cb;
+    const bool need_new_cluster = entry.size == 0 || (offset == 0 && entry.size > 0);
+    if (need_new_cluster || last == kFatEnd) {
+      std::uint32_t cluster = 0;
+      const Status st = allocate_cluster(&cluster);
+      if (st != Status::ok) return st;
+      if (last == kFatEnd) {
+        entry.first_cluster = static_cast<std::uint16_t>(cluster);
+      } else {
+        fat_[last] = static_cast<std::uint16_t>(cluster + 1);
+        const Status fst = flush_fat_entry(last);
+        if (fst != Status::ok) return fst;
+      }
+      last = cluster;
+      offset = 0;
+    }
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::size_t>(cb - offset, content.size() - done));
+    const Status st = write_cluster(last, offset, content.subspan(done, chunk));
+    if (st != Status::ok) return st;
+    entry.size += chunk;
+    done += chunk;
+  }
+  return flush_dir_entry(static_cast<std::uint32_t>(slot));
+}
+
+Status FatFs::read_file(std::string_view name, std::vector<std::uint8_t>* out) {
+  SWL_REQUIRE(out != nullptr, "null output");
+  const int slot = find_entry(name);
+  if (slot < 0) return Status::file_not_found;
+  const DirEntry& entry = dir_[static_cast<std::size_t>(slot)];
+  out->assign(entry.size, 0);
+  const std::uint32_t cb = cluster_bytes();
+  std::size_t done = 0;
+  for (std::uint16_t c = entry.first_cluster; c != kFatEnd && done < entry.size;) {
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::size_t>(cb, entry.size - done));
+    const Status st = read_cluster(c, 0, std::span<std::uint8_t>(*out).subspan(done, chunk));
+    if (st != Status::ok) return st;
+    done += chunk;
+    const std::uint16_t link = fat_[c];
+    c = link == kFatEnd ? kFatEnd : static_cast<std::uint16_t>(link - 1);
+  }
+  SWL_ASSERT(done == entry.size, "FAT chain shorter than the recorded file size");
+  return Status::ok;
+}
+
+Status FatFs::remove(std::string_view name) {
+  const int slot = find_entry(name);
+  if (slot < 0) return Status::file_not_found;
+  DirEntry& entry = dir_[static_cast<std::size_t>(slot)];
+  const Status st = free_chain(entry.first_cluster);
+  if (st != Status::ok) return st;
+  entry = DirEntry{};
+  return flush_dir_entry(static_cast<std::uint32_t>(slot));
+}
+
+std::vector<FileInfo> FatFs::list() const {
+  std::vector<FileInfo> files;
+  for (const auto& entry : dir_) {
+    if (entry.used) files.push_back({entry.name, entry.size});
+  }
+  return files;
+}
+
+bool FatFs::exists(std::string_view name) const { return find_entry(name) >= 0; }
+
+std::uint32_t FatFs::free_clusters() const {
+  return static_cast<std::uint32_t>(std::count(fat_.begin(), fat_.end(), kFatFree));
+}
+
+}  // namespace swl::fs

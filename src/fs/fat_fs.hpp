@@ -1,0 +1,143 @@
+// FatFs — a minimal FAT-style file system on the sector block device.
+//
+// The paper's system architecture (Figure 1) places "File Systems (e.g.,
+// DOS FAT)" on top of the Flash Translation Layer; this is that top layer,
+// so whole-stack experiments can run real file workloads whose metadata
+// (the file allocation table and the root directory) forms the naturally
+// hot data the wear-leveling story is about.
+//
+// On-disk layout (little-endian, one 512 B sector granularity):
+//   sector 0              superblock
+//   [fat_start, +fat_sectors)      FAT: one 16-bit entry per cluster
+//                                  (0 = free, 0xFFFF = end of chain,
+//                                   otherwise the next cluster index)
+//   [root_start, +root_sectors)    root directory: 32-byte entries
+//   [data_start, ...)              clusters of sectors_per_cluster sectors
+//
+// Flat namespace (root directory only), whole-file write/append semantics —
+// deliberately small, but every structure really lives in flash sectors and
+// every metadata update really rewrites its sector (write-through), which is
+// what makes the FAT region hot.
+#ifndef SWL_FS_FAT_FS_HPP
+#define SWL_FS_FAT_FS_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bdev/block_device.hpp"
+
+namespace swl::fs {
+
+struct FatConfig {
+  std::uint32_t sectors_per_cluster = 4;
+  std::uint32_t root_entries = 64;
+};
+
+struct FileInfo {
+  std::string name;
+  std::uint32_t size = 0;
+};
+
+/// Sector-write counters by region — the file system's own view of where
+/// its write heat goes (the FAT and directory regions are the hot spots).
+struct FsCounters {
+  std::uint64_t superblock_writes = 0;
+  std::uint64_t fat_writes = 0;
+  std::uint64_t dir_writes = 0;
+  std::uint64_t data_writes = 0;
+};
+
+class FatFs {
+ public:
+  /// Longest allowed file name.
+  static constexpr std::size_t kMaxName = 19;
+
+  /// Formats the device: writes the superblock, an empty FAT and an empty
+  /// root directory. Destroys any previous contents logically.
+  static Status format(bdev::BlockDevice& dev, const FatConfig& config);
+
+  /// Mounts a formatted device (reads and validates the superblock, loads
+  /// the FAT and root directory). Returns nullptr and sets *status on
+  /// failure.
+  static std::unique_ptr<FatFs> mount(bdev::BlockDevice& dev, Status* status);
+
+  /// Creates an empty file.
+  Status create(std::string_view name);
+
+  /// Replaces `name`'s content (creating the file if needed).
+  Status write_file(std::string_view name, std::span<const std::uint8_t> content);
+
+  /// Appends to an existing file.
+  Status append(std::string_view name, std::span<const std::uint8_t> content);
+
+  /// Reads the whole file into *out.
+  Status read_file(std::string_view name, std::vector<std::uint8_t>* out);
+
+  /// Deletes a file, freeing its clusters.
+  Status remove(std::string_view name);
+
+  [[nodiscard]] std::vector<FileInfo> list() const;
+  [[nodiscard]] bool exists(std::string_view name) const;
+
+  [[nodiscard]] std::uint32_t cluster_count() const noexcept { return cluster_count_; }
+  [[nodiscard]] std::uint32_t free_clusters() const;
+  [[nodiscard]] std::uint32_t cluster_bytes() const noexcept {
+    return sectors_per_cluster_ * dev_.sector_size_bytes();
+  }
+  [[nodiscard]] const FsCounters& counters() const noexcept { return counters_; }
+  /// First data-region sector (for experiments that want to classify the
+  /// metadata region of the LBA space).
+  [[nodiscard]] bdev::SectorIndex data_start() const noexcept { return data_start_; }
+
+ private:
+  static constexpr std::uint16_t kFatFree = 0x0000;
+  static constexpr std::uint16_t kFatEnd = 0xFFFF;
+  static constexpr std::uint32_t kDirEntrySize = 32;
+
+  struct DirEntry {
+    std::string name;
+    std::uint32_t size = 0;
+    std::uint16_t first_cluster = kFatEnd;
+    bool used = false;
+  };
+
+  explicit FatFs(bdev::BlockDevice& dev) : dev_(dev) {}
+
+  Status load();
+
+  [[nodiscard]] int find_entry(std::string_view name) const;
+  [[nodiscard]] int find_free_entry() const;
+
+  Status flush_fat_entry(std::uint32_t cluster);
+  Status flush_dir_entry(std::uint32_t index);
+
+  /// Allocates one free cluster (marked end-of-chain); fs_full if none.
+  Status allocate_cluster(std::uint32_t* out);
+  /// Frees the whole chain starting at `first`.
+  Status free_chain(std::uint16_t first);
+
+  Status write_cluster(std::uint32_t cluster, std::uint32_t offset_in_cluster,
+                       std::span<const std::uint8_t> bytes);
+  Status read_cluster(std::uint32_t cluster, std::uint32_t offset_in_cluster,
+                      std::span<std::uint8_t> out);
+
+  bdev::BlockDevice& dev_;
+  std::uint32_t sectors_per_cluster_ = 0;
+  std::uint32_t fat_start_ = 0;
+  std::uint32_t fat_sectors_ = 0;
+  std::uint32_t root_start_ = 0;
+  std::uint32_t root_sectors_ = 0;
+  std::uint32_t data_start_ = 0;
+  std::uint32_t cluster_count_ = 0;
+  std::vector<std::uint16_t> fat_;
+  std::vector<DirEntry> dir_;
+  FsCounters counters_;
+};
+
+}  // namespace swl::fs
+
+#endif  // SWL_FS_FAT_FS_HPP

@@ -1,0 +1,30 @@
+#include "fs/fs_snapshot_store.hpp"
+
+#include "core/contracts.hpp"
+
+namespace swl::fs {
+
+FileSystemSnapshotStore::FileSystemSnapshotStore(FatFs& fs, std::string prefix)
+    : fs_(fs), prefix_(std::move(prefix)) {
+  SWL_REQUIRE(!prefix_.empty() && prefix_.size() + 2 <= FatFs::kMaxName,
+              "snapshot file prefix too long");
+}
+
+std::string FileSystemSnapshotStore::slot_name(unsigned slot) const {
+  return prefix_ + "." + std::to_string(slot);
+}
+
+void FileSystemSnapshotStore::write_slot(unsigned slot, const std::vector<std::uint8_t>& bytes) {
+  SWL_REQUIRE(slot < kSlots, "slot out of range");
+  const Status st = fs_.write_file(slot_name(slot), bytes);
+  SWL_REQUIRE(st == Status::ok, "snapshot file write failed");
+}
+
+std::vector<std::uint8_t> FileSystemSnapshotStore::read_slot(unsigned slot) const {
+  SWL_REQUIRE(slot < kSlots, "slot out of range");
+  std::vector<std::uint8_t> bytes;
+  if (fs_.read_file(slot_name(slot), &bytes) != Status::ok) return {};
+  return bytes;
+}
+
+}  // namespace swl::fs

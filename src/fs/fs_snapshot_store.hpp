@@ -1,0 +1,35 @@
+// SnapshotStore backend that keeps the SW Leveler's BET snapshots inside the
+// flash-memory storage system itself, as Section 3.2 of the paper proposes
+// ("to save the BET in the flash-memory storage system when the system shuts
+// down"), using the FAT file system's namespace. The two slots map to two
+// files — the paper's "popular dual buffer concept" — so a torn write of one
+// slot leaves the other intact.
+#ifndef SWL_FS_FS_SNAPSHOT_STORE_HPP
+#define SWL_FS_FS_SNAPSHOT_STORE_HPP
+
+#include <string>
+
+#include "fs/fat_fs.hpp"
+#include "swl/snapshot.hpp"
+
+namespace swl::fs {
+
+class FileSystemSnapshotStore final : public wear::SnapshotStore {
+ public:
+  /// Snapshots are stored as "<prefix>.0" and "<prefix>.1" in `fs`'s root
+  /// directory. The FatFs must outlive this store.
+  explicit FileSystemSnapshotStore(FatFs& fs, std::string prefix = "bet");
+
+  void write_slot(unsigned slot, const std::vector<std::uint8_t>& bytes) override;
+  [[nodiscard]] std::vector<std::uint8_t> read_slot(unsigned slot) const override;
+
+ private:
+  [[nodiscard]] std::string slot_name(unsigned slot) const;
+
+  FatFs& fs_;
+  std::string prefix_;
+};
+
+}  // namespace swl::fs
+
+#endif  // SWL_FS_FS_SNAPSHOT_STORE_HPP

@@ -1,0 +1,73 @@
+#include "hotness/hot_data.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/contracts.hpp"
+
+namespace swl::hotness {
+
+namespace {
+
+/// SplitMix64-style mixer; `salt` derives independent hash functions.
+std::uint64_t mix(std::uint64_t x, std::uint64_t salt) noexcept {
+  x += 0x9E3779B97F4A7C15ULL * (salt + 1);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HotDataIdentifier::HotDataIdentifier(HotDataConfig config)
+    : config_(config), writes_until_decay_(config.decay_interval) {
+  SWL_REQUIRE(config_.table_entries >= 2 && std::has_single_bit(config_.table_entries),
+              "table_entries must be a power of two >= 2");
+  SWL_REQUIRE(config_.hash_count >= 1 && config_.hash_count <= 8, "hash_count out of range");
+  SWL_REQUIRE(config_.counter_bits >= 1 && config_.counter_bits <= 8,
+              "counter_bits out of range");
+  SWL_REQUIRE(config_.decay_interval >= 1, "decay_interval must be positive");
+  saturation_ = static_cast<std::uint8_t>((1U << config_.counter_bits) - 1);
+  SWL_REQUIRE(config_.hot_threshold >= 1 && config_.hot_threshold <= saturation_,
+              "hot_threshold must fit in the counter range");
+  counters_.assign(config_.table_entries, 0);
+}
+
+std::uint32_t HotDataIdentifier::slot(Lba lba, std::uint32_t hash_index) const noexcept {
+  return static_cast<std::uint32_t>(mix(lba, hash_index) & (config_.table_entries - 1));
+}
+
+void HotDataIdentifier::record_write(Lba lba) {
+  for (std::uint32_t h = 0; h < config_.hash_count; ++h) {
+    std::uint8_t& c = counters_[slot(lba, h)];
+    if (c < saturation_) ++c;
+  }
+  ++writes_;
+  if (--writes_until_decay_ == 0) {
+    decay();
+    writes_until_decay_ = config_.decay_interval;
+  }
+}
+
+void HotDataIdentifier::decay() noexcept {
+  for (auto& c : counters_) c = static_cast<std::uint8_t>(c >> 1);
+  ++decays_;
+}
+
+std::uint32_t HotDataIdentifier::min_counter(Lba lba) const {
+  std::uint32_t m = saturation_;
+  for (std::uint32_t h = 0; h < config_.hash_count; ++h) {
+    m = std::min<std::uint32_t>(m, counters_[slot(lba, h)]);
+  }
+  return m;
+}
+
+bool HotDataIdentifier::is_hot(Lba lba) const { return min_counter(lba) >= config_.hot_threshold; }
+
+std::uint64_t HotDataIdentifier::size_bytes() const noexcept {
+  // One byte per counter in this implementation; a packed firmware build
+  // would use counter_bits per entry, which is what we report.
+  return (static_cast<std::uint64_t>(config_.table_entries) * config_.counter_bits + 7) / 8;
+}
+
+}  // namespace swl::hotness

@@ -1,0 +1,73 @@
+// On-line hot data identification — the multi-hash-function counter scheme
+// of Hsieh, Chang and Kuo ("Efficient On-Line Identification of Hot Data for
+// Flash-Memory Management", SAC 2005), reference [14] of the paper.
+//
+// A small table of saturating counters is indexed by K independent hashes of
+// the LBA. A write increments the K counters; every `decay_interval` writes
+// all counters decay by a right shift (exponential aging). An LBA is *hot*
+// when the minimum of its K counters reaches the threshold. False positives
+// are possible (hash aliasing), false negatives are not — the properties the
+// original paper proves.
+//
+// This substrate powers the FTL's optional hot/cold data separation, which
+// in turn strengthens dynamic wear leveling — letting the ablation benches
+// measure the paper's claim that *static* wear leveling is orthogonal to
+// dynamic-wear-leveling improvements.
+#ifndef SWL_HOTNESS_HOT_DATA_HPP
+#define SWL_HOTNESS_HOT_DATA_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace swl::hotness {
+
+struct HotDataConfig {
+  /// Counter-table entries; must be a power of two.
+  std::uint32_t table_entries = 4096;
+  /// Independent hash functions per LBA (K).
+  std::uint32_t hash_count = 2;
+  /// Counter width in bits; counters saturate at 2^counter_bits - 1.
+  std::uint32_t counter_bits = 4;
+  /// An LBA is hot when all its K counters are >= this value.
+  std::uint32_t hot_threshold = 4;
+  /// Writes between exponential-decay passes (counters >>= 1).
+  std::uint32_t decay_interval = 4096;
+};
+
+class HotDataIdentifier {
+ public:
+  explicit HotDataIdentifier(HotDataConfig config);
+
+  /// Records one write to `lba`, decaying the table when the interval ends.
+  void record_write(Lba lba);
+
+  /// Classification of `lba` given the writes recorded so far.
+  [[nodiscard]] bool is_hot(Lba lba) const;
+
+  /// Smallest of the K counters for `lba` (the classification statistic).
+  [[nodiscard]] std::uint32_t min_counter(Lba lba) const;
+
+  /// RAM footprint of the counter table in bytes.
+  [[nodiscard]] std::uint64_t size_bytes() const noexcept;
+
+  [[nodiscard]] std::uint64_t writes_recorded() const noexcept { return writes_; }
+  [[nodiscard]] std::uint64_t decays_performed() const noexcept { return decays_; }
+  [[nodiscard]] const HotDataConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] std::uint32_t slot(Lba lba, std::uint32_t hash_index) const noexcept;
+  void decay() noexcept;
+
+  HotDataConfig config_;
+  std::uint8_t saturation_;
+  std::vector<std::uint8_t> counters_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t decays_ = 0;
+  std::uint32_t writes_until_decay_;
+};
+
+}  // namespace swl::hotness
+
+#endif  // SWL_HOTNESS_HOT_DATA_HPP

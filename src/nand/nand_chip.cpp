@@ -1,0 +1,205 @@
+#include "nand/nand_chip.hpp"
+
+#include "core/contracts.hpp"
+
+namespace swl::nand {
+
+NandChip::NandChip(NandConfig config, SimClock* clock)
+    : config_(std::move(config)), clock_(clock), failure_rng_(config_.failures.seed) {
+  SWL_REQUIRE(config_.geometry.valid(), "invalid flash geometry");
+  SWL_REQUIRE(config_.timing.endurance > 0, "endurance must be positive");
+  blocks_.resize(config_.geometry.block_count);
+  for (auto& b : blocks_) {
+    b.pages.resize(config_.geometry.pages_per_block);
+  }
+  erase_counts_.assign(config_.geometry.block_count, 0);
+}
+
+void NandChip::check_ppa(Ppa addr) const {
+  SWL_REQUIRE(addr.block < config_.geometry.block_count, "block index out of range");
+  SWL_REQUIRE(addr.page < config_.geometry.pages_per_block, "page index out of range");
+}
+
+void NandChip::check_block(BlockIndex block) const {
+  SWL_REQUIRE(block < config_.geometry.block_count, "block index out of range");
+}
+
+void NandChip::tick(std::uint64_t us) const {
+  if (clock_ != nullptr) clock_->advance_us(us);
+}
+
+bool NandChip::inject_program_failure(BlockIndex block) {
+  const auto& f = config_.failures;
+  if (!f.enabled()) return false;
+  const double wear_ratio =
+      static_cast<double>(erase_counts_[block]) / static_cast<double>(config_.timing.endurance);
+  return failure_rng_.chance(f.program_fail_p + f.wear_factor * wear_ratio);
+}
+
+bool NandChip::inject_erase_failure() {
+  const auto& f = config_.failures;
+  return f.enabled() && failure_rng_.chance(f.erase_fail_p);
+}
+
+PageReadResult NandChip::read_page(Ppa addr) const {
+  check_ppa(addr);
+  tick(config_.timing.read_page_us);
+  ++counters_.reads;
+  const Page& page = blocks_[addr.block].pages[addr.page];
+  PageReadResult result;
+  result.state = page.state;
+  if (page.state == PageState::free) {
+    result.status = Status::page_not_programmed;
+    return result;
+  }
+  result.payload_token = page.payload;
+  result.spare = page.spare;
+  result.data = page.data;
+  result.status = Status::ok;
+  return result;
+}
+
+Status NandChip::program_page(Ppa addr, std::uint64_t payload_token, const SpareArea& spare,
+                              std::span<const std::uint8_t> data) {
+  SWL_REQUIRE(data.empty() || data.size() == config_.geometry.page_size_bytes,
+              "payload bytes must be exactly one page");
+  check_ppa(addr);
+  Block& block = blocks_[addr.block];
+  if (block.retired) return Status::bad_block;
+  Page& page = block.pages[addr.page];
+  if (page.state != PageState::free) return Status::page_already_programmed;
+  if (config_.enforce_sequential_program && addr.page != block.next_program) {
+    return Status::page_already_programmed;  // out-of-order program is rejected
+  }
+  tick(config_.timing.program_page_us);
+  ++counters_.programs;
+  if (inject_program_failure(addr.block)) {
+    // The page is consumed: its cells were partially programmed and cannot
+    // be trusted or re-programmed before the next erase. The garbage it
+    // holds fails ECC, which the spare-area scan recognizes by the
+    // kInvalidLba marker.
+    ++counters_.program_failures;
+    page.payload = 0xBAD0BAD0BAD0BAD0ULL;
+    page.spare = SpareArea{};
+    page.data.clear();
+    page.state = PageState::invalid;
+    ++block.invalid;
+    if (addr.page >= block.next_program) block.next_program = addr.page + 1;
+    return Status::program_failed;
+  }
+  page.payload = payload_token;
+  page.spare = spare;
+  page.spare.ecc = compute_ecc(payload_token);
+  if (config_.store_payload_bytes && !data.empty()) {
+    page.data.assign(data.begin(), data.end());
+  }
+  page.state = PageState::valid;
+  ++block.valid;
+  if (addr.page >= block.next_program) block.next_program = addr.page + 1;
+  return Status::ok;
+}
+
+Status NandChip::erase_block(BlockIndex index) {
+  check_block(index);
+  Block& block = blocks_[index];
+  if (block.retired) return Status::bad_block;
+  if (config_.retire_worn_blocks && erase_counts_[index] >= config_.timing.endurance) {
+    block.retired = true;
+    return Status::block_worn_out;
+  }
+  tick(config_.timing.erase_block_us);
+  if (inject_erase_failure()) {
+    ++counters_.erase_failures;
+    block.retired = true;  // a failed erase permanently retires the block
+    return Status::erase_failed;
+  }
+  ++counters_.erases;
+  for (auto& page : block.pages) {
+    page = Page{};
+  }
+  block.valid = 0;
+  block.invalid = 0;
+  block.next_program = 0;
+  const std::uint32_t count = ++erase_counts_[index];
+  if (!first_failure_ && count >= config_.timing.endurance) {
+    first_failure_ = FailureEvent{
+        .block = index,
+        .time_us = clock_ != nullptr ? clock_->now() : 0,
+        .total_erases = counters_.erases,
+    };
+  }
+  for (const auto& observer : erase_observers_) observer(index, count);
+  return Status::ok;
+}
+
+Status NandChip::invalidate_page(Ppa addr) {
+  check_ppa(addr);
+  Block& block = blocks_[addr.block];
+  Page& page = block.pages[addr.page];
+  if (page.state == PageState::free) return Status::page_not_programmed;
+  if (page.state == PageState::valid) {
+    page.state = PageState::invalid;
+    --block.valid;
+    ++block.invalid;
+  }
+  return Status::ok;
+}
+
+void NandChip::forget_logical_state() {
+  for (auto& block : blocks_) {
+    PageIndex valid = 0;
+    for (auto& page : block.pages) {
+      if (page.state == PageState::invalid) page.state = PageState::valid;
+      if (page.state == PageState::valid) ++valid;
+    }
+    block.valid = valid;
+    block.invalid = 0;
+  }
+}
+
+PageState NandChip::page_state(Ppa addr) const {
+  check_ppa(addr);
+  return blocks_[addr.block].pages[addr.page].state;
+}
+
+const SpareArea& NandChip::spare(Ppa addr) const {
+  check_ppa(addr);
+  return blocks_[addr.block].pages[addr.page].spare;
+}
+
+PageIndex NandChip::valid_page_count(BlockIndex block) const {
+  check_block(block);
+  return blocks_[block].valid;
+}
+
+PageIndex NandChip::invalid_page_count(BlockIndex block) const {
+  check_block(block);
+  return blocks_[block].invalid;
+}
+
+PageIndex NandChip::free_page_count(BlockIndex block) const {
+  check_block(block);
+  return config_.geometry.pages_per_block - blocks_[block].valid - blocks_[block].invalid;
+}
+
+std::uint32_t NandChip::erase_count(BlockIndex block) const {
+  check_block(block);
+  return erase_counts_[block];
+}
+
+bool NandChip::is_worn_out(BlockIndex block) const {
+  check_block(block);
+  return erase_counts_[block] >= config_.timing.endurance;
+}
+
+bool NandChip::is_retired(BlockIndex block) const {
+  check_block(block);
+  return blocks_[block].retired;
+}
+
+void NandChip::add_erase_observer(EraseObserver observer) {
+  SWL_REQUIRE(static_cast<bool>(observer), "null erase observer");
+  erase_observers_.push_back(std::move(observer));
+}
+
+}  // namespace swl::nand

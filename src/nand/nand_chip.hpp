@@ -1,0 +1,209 @@
+// NAND flash chip simulator.
+//
+// Models the device semantics the paper's mechanisms depend on:
+//   - a chip is an array of blocks; a block is an array of pages;
+//   - reads and programs operate on pages, erases on whole blocks;
+//   - a page is program-once between erases (out-of-place updates);
+//   - each block sustains a bounded number of erases (endurance), after which
+//     it is worn out — the chip records the *first failure time*;
+//   - every operation costs simulated time on an attached SimClock.
+//
+// Page payloads are modelled as 64-bit content tokens (cheap enough to keep
+// for every page, so data-integrity is checked end-to-end in tests) plus the
+// spare-area metadata of Figure 2(a).
+#ifndef SWL_NAND_NAND_CHIP_HPP
+#define SWL_NAND_NAND_CHIP_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/clock.hpp"
+#include "core/geometry.hpp"
+#include "core/rng.hpp"
+#include "core/status.hpp"
+#include "core/types.hpp"
+#include "nand/spare_area.hpp"
+
+namespace swl::nand {
+
+/// Media-error injection model. Program failures become more likely as a
+/// block wears (probability = program_fail_p + wear_factor * wear_ratio,
+/// where wear_ratio = erase_count / endurance); erase failures retire the
+/// block outright. All zeros (the default) disables injection.
+struct FailureInjection {
+  double program_fail_p = 0.0;
+  double erase_fail_p = 0.0;
+  double wear_factor = 0.0;
+  std::uint64_t seed = 0xBAD5EEDULL;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return program_fail_p > 0.0 || erase_fail_p > 0.0 || wear_factor > 0.0;
+  }
+};
+
+/// Chip construction parameters.
+struct NandConfig {
+  FlashGeometry geometry;
+  NandTiming timing;
+  FailureInjection failures;
+  /// When true, a block whose erase count reaches the endurance limit is
+  /// retired: further erases fail with Status::block_worn_out. When false the
+  /// chip keeps operating (the paper's Table 4 runs 10 simulated years "even
+  /// though some blocks were worn out") but the first failure is recorded
+  /// either way.
+  bool retire_worn_blocks = false;
+  /// Enforce ascending-page-order programming within a block (a real MLC
+  /// constraint; FTL obeys it, NFTL's primary blocks do not, hence optional).
+  bool enforce_sequential_program = false;
+  /// Store full page payload bytes in addition to the 64-bit content token.
+  /// Needed by byte-accurate clients (the block-device byte API and the FAT
+  /// file system); costs page_size bytes of host RAM per programmed page.
+  bool store_payload_bytes = false;
+};
+
+/// Moment the first block reached its endurance limit.
+struct FailureEvent {
+  BlockIndex block = kInvalidBlock;
+  SimTime time_us = 0;
+  std::uint64_t total_erases = 0;
+};
+
+/// Result of a page read.
+struct PageReadResult {
+  Status status = Status::ok;
+  std::uint64_t payload_token = 0;
+  SpareArea spare;
+  PageState state = PageState::free;
+  /// Page payload bytes; empty unless the chip stores payload bytes and the
+  /// page was programmed with them. Valid until the block is erased.
+  std::span<const std::uint8_t> data;
+};
+
+/// Counters of everything the chip has done since construction.
+struct NandCounters {
+  std::uint64_t reads = 0;
+  std::uint64_t programs = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t program_failures = 0;
+  std::uint64_t erase_failures = 0;
+};
+
+class NandChip {
+ public:
+  /// Observer invoked after every successful block erase with the block index
+  /// and its new erase count — this is the hook SWL-BETUpdate attaches to.
+  using EraseObserver = std::function<void(BlockIndex, std::uint32_t)>;
+
+  /// Constructs an erased chip. `clock` may be null (no timing accounted).
+  explicit NandChip(NandConfig config, SimClock* clock = nullptr);
+
+  // -- primitive operations (the MTD layer of Figure 1) --------------------
+
+  /// Reads a page. Succeeds on programmed pages (valid or invalid — the MTD
+  /// layer does not know logical validity); Status::page_not_programmed on
+  /// free pages.
+  [[nodiscard]] PageReadResult read_page(Ppa addr) const;
+
+  /// Programs a free page with payload + spare. Fails with
+  /// Status::page_already_programmed on a non-free page, with
+  /// Status::bad_block on retired blocks, and with Status::program_failed on
+  /// an injected media error (the page is then consumed — marked invalid —
+  /// exactly as firmware treats a failed program). `data`, when non-empty,
+  /// must be exactly one page of bytes and is stored verbatim when the chip
+  /// was configured with store_payload_bytes (ignored otherwise).
+  Status program_page(Ppa addr, std::uint64_t payload_token, const SpareArea& spare,
+                      std::span<const std::uint8_t> data = {});
+
+  /// Erases a block: all pages become free, erase count increments, the
+  /// erase observers fire. Fails on retired blocks; an injected erase
+  /// failure (Status::erase_failed) retires the block permanently.
+  Status erase_block(BlockIndex block);
+
+  // -- logical page state, maintained for the translation layer ------------
+
+  /// Marks a valid page invalid (an out-of-place update superseded it).
+  /// The payload remains readable, as on a real chip.
+  Status invalidate_page(Ppa addr);
+
+  /// Simulates a power loss: the valid/invalid distinction is firmware
+  /// knowledge, not chip state, so after a crash every programmed page reads
+  /// back as "valid" until the translation layer's mount scan re-derives
+  /// which versions are current (see Ftl::mount / Nftl::mount). Erase
+  /// counts, payloads, spare areas and retirement survive, like real flash.
+  void forget_logical_state();
+
+  [[nodiscard]] PageState page_state(Ppa addr) const;
+  [[nodiscard]] const SpareArea& spare(Ppa addr) const;
+
+  /// Live (valid) pages currently in `block`.
+  [[nodiscard]] PageIndex valid_page_count(BlockIndex block) const;
+  /// Programmed-but-superseded pages in `block`.
+  [[nodiscard]] PageIndex invalid_page_count(BlockIndex block) const;
+  /// Free pages remaining in `block`.
+  [[nodiscard]] PageIndex free_page_count(BlockIndex block) const;
+
+  // -- wear accounting ------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t erase_count(BlockIndex block) const;
+  [[nodiscard]] bool is_worn_out(BlockIndex block) const;
+  [[nodiscard]] bool is_retired(BlockIndex block) const;
+
+  /// First time any block's erase count reached the endurance limit.
+  [[nodiscard]] const std::optional<FailureEvent>& first_failure() const noexcept {
+    return first_failure_;
+  }
+
+  /// Erase counts of all blocks (index == block number).
+  [[nodiscard]] const std::vector<std::uint32_t>& erase_counts() const noexcept {
+    return erase_counts_;
+  }
+
+  void add_erase_observer(EraseObserver observer);
+
+  // -- misc -----------------------------------------------------------------
+
+  [[nodiscard]] const FlashGeometry& geometry() const noexcept { return config_.geometry; }
+  [[nodiscard]] const NandTiming& timing() const noexcept { return config_.timing; }
+  [[nodiscard]] const NandConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const NandCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] SimClock* clock() const noexcept { return clock_; }
+
+ private:
+  struct Page {
+    std::uint64_t payload = 0;
+    SpareArea spare;
+    PageState state = PageState::free;
+    std::vector<std::uint8_t> data;  // only used with store_payload_bytes
+  };
+
+  struct Block {
+    std::vector<Page> pages;
+    PageIndex valid = 0;
+    PageIndex invalid = 0;
+    PageIndex next_program = 0;  // for sequential-program enforcement
+    bool retired = false;
+  };
+
+  void check_ppa(Ppa addr) const;
+  void check_block(BlockIndex block) const;
+  void tick(std::uint64_t us) const;
+  [[nodiscard]] bool inject_program_failure(BlockIndex block);
+  [[nodiscard]] bool inject_erase_failure();
+
+  NandConfig config_;
+  SimClock* clock_;
+  std::vector<Block> blocks_;
+  std::vector<std::uint32_t> erase_counts_;
+  std::vector<EraseObserver> erase_observers_;
+  // mutable: reads are logically const but still count and cost time
+  mutable NandCounters counters_;
+  std::optional<FailureEvent> first_failure_;
+  Rng failure_rng_;
+};
+
+}  // namespace swl::nand
+
+#endif  // SWL_NAND_NAND_CHIP_HPP

@@ -1,0 +1,53 @@
+// Out-of-band (spare-area) metadata stored with every flash page.
+//
+// Mirrors the paper's Figure 2(a): the spare area records the page's LBA, an
+// ECC word and a status field. Translation layers use it to rebuild mappings
+// and the simulator uses it to validate data movement during GC and SWL.
+#ifndef SWL_NAND_SPARE_AREA_HPP
+#define SWL_NAND_SPARE_AREA_HPP
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace swl::nand {
+
+/// Lifecycle of a physical page between two erases of its block.
+enum class PageState : std::uint8_t {
+  free,     ///< erased, never programmed since the last block erase
+  valid,    ///< programmed and holding live data
+  invalid,  ///< programmed but superseded by an out-of-place update
+};
+
+/// Block role a page's writer records, so a mount-time scan can classify
+/// blocks without host metadata (NFTL tags primary vs replacement blocks;
+/// the page-mapping FTL uses plain data pages).
+enum class PageRole : std::uint8_t { data = 0, primary = 1, replacement = 2 };
+
+/// Spare-area contents written atomically with the page payload.
+struct SpareArea {
+  /// Logical address the payload belongs to (kInvalidLba for metadata pages).
+  Lba lba = kInvalidLba;
+  /// Monotonic write sequence number; lets a scan order competing versions.
+  std::uint64_t sequence = 0;
+  /// Simulated ECC word over the payload token (parity of the token bits).
+  std::uint16_t ecc = 0;
+  /// Role of the containing block, as known by the writer.
+  PageRole role = PageRole::data;
+
+  friend constexpr bool operator==(const SpareArea&, const SpareArea&) = default;
+};
+
+/// ECC word the chip computes/verifies for a payload token.
+[[nodiscard]] constexpr std::uint16_t compute_ecc(std::uint64_t payload_token) noexcept {
+  // Fold the token to 16 bits; enough to detect the simulator's injected
+  // corruption in tests without modelling a real BCH code.
+  std::uint64_t x = payload_token;
+  x ^= x >> 32;
+  x ^= x >> 16;
+  return static_cast<std::uint16_t>(x & 0xFFFF);
+}
+
+}  // namespace swl::nand
+
+#endif  // SWL_NAND_SPARE_AREA_HPP

@@ -1,0 +1,495 @@
+#include "nftl/nftl.hpp"
+
+#include <algorithm>
+
+#include "core/contracts.hpp"
+
+namespace swl::nftl {
+
+using nand::PageState;
+
+Nftl::Nftl(nand::NandChip& chip, NftlConfig config)
+    : tl::TranslationLayer(chip),
+      config_(config),
+      pool_(chip.geometry().block_count, config.alloc_policy),
+      scanner_(chip.geometry().block_count) {
+  init_config();
+  for (BlockIndex b = 0; b < chip.geometry().block_count; ++b) {
+    pool_.add(b, chip.erase_count(b));
+  }
+}
+
+Nftl::Nftl(nand::NandChip& chip, NftlConfig config, MountTag)
+    : tl::TranslationLayer(chip),
+      config_(config),
+      pool_(chip.geometry().block_count, config.alloc_policy),
+      scanner_(chip.geometry().block_count) {
+  init_config();
+  rebuild_from_flash();
+}
+
+std::unique_ptr<Nftl> Nftl::mount(nand::NandChip& chip, NftlConfig config) {
+  return std::unique_ptr<Nftl>(new Nftl(chip, config, MountTag{}));
+}
+
+void Nftl::init_config() {
+  const auto& geo = chip().geometry();
+  SWL_REQUIRE(geo.block_count > 2, "flash too small for an NFTL");
+  if (config_.vba_count == 0) {
+    config_.vba_count = static_cast<Vba>(
+        std::min<BlockIndex>(geo.block_count * 90 / 100, geo.block_count - 2));
+  }
+  SWL_REQUIRE(config_.vba_count > 0, "NFTL needs at least one virtual block");
+  SWL_REQUIRE(config_.vba_count + 2 <= geo.block_count,
+              "NFTL needs at least two spare blocks for replacements and folds");
+  SWL_REQUIRE(config_.min_free_blocks >= 2, "NFTL needs at least 2 reserve blocks");
+  SWL_REQUIRE(config_.gc_trigger_fraction >= 0.0 && config_.gc_trigger_fraction < 1.0,
+              "gc_trigger_fraction out of range");
+  lba_count_ = config_.vba_count * geo.pages_per_block;
+  primary_.assign(config_.vba_count, kInvalidBlock);
+  replacement_.assign(config_.vba_count, kInvalidBlock);
+  replacement_next_.assign(config_.vba_count, 0);
+  owner_.assign(geo.block_count, kInvalidVba);
+  latest_.assign(lba_count_, kInvalidPpa);
+  last_write_seq_.assign(geo.block_count, 0);
+}
+
+void Nftl::rebuild_from_flash() {
+  const auto& geo = chip().geometry();
+  const PageIndex pages = geo.pages_per_block;
+
+  // Pass 1: classify every block from its pages' spare areas. A block whose
+  // readable pages disagree on VBA or role was corrupted beyond what this
+  // layer can produce — that is a true invariant violation.
+  struct BlockInfo {
+    bool programmed = false;
+    bool any_readable = false;
+    Vba vba = 0;
+    nand::PageRole role = nand::PageRole::data;
+    std::uint64_t max_sequence = 0;
+    PageIndex last_programmed = 0;
+  };
+  std::vector<BlockInfo> info(geo.block_count);
+  for (BlockIndex b = 0; b < geo.block_count; ++b) {
+    BlockInfo& bi = info[b];
+    for (PageIndex p = 0; p < pages; ++p) {
+      const Ppa addr{b, p};
+      if (chip().page_state(addr) == PageState::free) continue;
+      bi.programmed = true;
+      bi.last_programmed = p;
+      const nand::SpareArea& spare = chip().spare(addr);
+      write_sequence_ = std::max(write_sequence_, spare.sequence);
+      if (spare.lba == kInvalidLba || spare.lba >= lba_count_) {
+        (void)chip().invalidate_page(addr);  // garbage (failed program)
+        continue;
+      }
+      const Vba vba = spare.lba / pages;
+      bi.max_sequence = std::max(bi.max_sequence, spare.sequence);
+      last_write_seq_[b] = std::max(last_write_seq_[b], spare.sequence);
+      if (!bi.any_readable) {
+        bi.any_readable = true;
+        bi.vba = vba;
+        bi.role = spare.role;
+      } else {
+        SWL_ASSERT(bi.vba == vba && bi.role == spare.role,
+                   "block pages disagree on VBA/role during mount");
+      }
+    }
+  }
+
+  // Pass 2: elect one primary and at most one replacement per VBA; stale
+  // duplicates (a crash between a fold's commit and the erase of the old
+  // pair) lose by max sequence and are erased back into the pool.
+  std::vector<BlockIndex> to_recycle;
+  for (BlockIndex b = 0; b < geo.block_count; ++b) {
+    const BlockInfo& bi = info[b];
+    if (chip().is_retired(b)) continue;
+    if (!bi.programmed) {
+      pool_.add(b, chip().erase_count(b));
+      continue;
+    }
+    if (!bi.any_readable) {
+      to_recycle.push_back(b);  // only garbage pages: reclaim
+      continue;
+    }
+    BlockIndex& slot =
+        bi.role == nand::PageRole::replacement ? replacement_[bi.vba] : primary_[bi.vba];
+    if (slot == kInvalidBlock) {
+      slot = b;
+    } else if (info[slot].max_sequence < bi.max_sequence) {
+      to_recycle.push_back(slot);
+      slot = b;
+    } else {
+      to_recycle.push_back(b);
+    }
+  }
+
+  for (const BlockIndex b : to_recycle) {
+    // Stale or unreadable blocks hold no current data; erase them now.
+    if (chip().erase_block(b) == Status::ok) pool_.add(b, chip().erase_count(b));
+  }
+
+  // Pass 3: version election within each VBA's elected pair.
+  std::vector<std::uint64_t> winning_sequence(lba_count_, 0);
+  const auto elect_pages = [&](BlockIndex b) {
+    if (b == kInvalidBlock) return;
+    for (PageIndex p = 0; p < pages; ++p) {
+      const Ppa addr{b, p};
+      if (chip().page_state(addr) != PageState::valid) continue;
+      const nand::SpareArea& spare = chip().spare(addr);
+      const Lba lba = spare.lba;
+      const Ppa previous = latest_[lba];
+      if (!previous.valid() || spare.sequence > winning_sequence[lba]) {
+        if (previous.valid()) (void)chip().invalidate_page(previous);
+        latest_[lba] = addr;
+        winning_sequence[lba] = spare.sequence;
+      } else {
+        (void)chip().invalidate_page(addr);
+      }
+    }
+  };
+  for (Vba v = 0; v < config_.vba_count; ++v) {
+    if (primary_[v] != kInvalidBlock) {
+      owner_[primary_[v]] = v;
+      elect_pages(primary_[v]);
+    }
+    if (replacement_[v] != kInvalidBlock) {
+      if (primary_[v] == kInvalidBlock) {
+        // A replacement can never outlive its primary in this layer's crash
+        // model; finding one orphaned means corruption.
+        SWL_ASSERT(false, "orphan replacement block during mount");
+      }
+      owner_[replacement_[v]] = v;
+      elect_pages(replacement_[v]);
+      replacement_next_[v] = info[replacement_[v]].last_programmed + 1;
+    }
+  }
+}
+
+BlockIndex Nftl::gc_trigger_level() const noexcept {
+  const auto frac = static_cast<BlockIndex>(config_.gc_trigger_fraction *
+                                            static_cast<double>(chip().geometry().block_count));
+  return std::max(config_.min_free_blocks, frac);
+}
+
+BlockIndex Nftl::allocate_block(Vba vba) {
+  SWL_ASSERT(!pool_.empty(), "free-block pool exhausted");
+  const BlockIndex block = pool_.take();
+  SWL_ASSERT(chip().free_page_count(block) == chip().geometry().pages_per_block,
+             "pooled block was not empty");
+  owner_[block] = vba;
+  return block;
+}
+
+void Nftl::release_block(BlockIndex block) {
+  owner_[block] = kInvalidVba;
+  if (chip().erase_block(block) == Status::ok) {
+    pool_.add(block, chip().erase_count(block));
+  }
+  // A worn-out, retired block is silently dropped from circulation.
+}
+
+Status Nftl::write(Lba lba, std::uint64_t payload_token) {
+  return write_internal(lba, payload_token, {});
+}
+
+Status Nftl::write(Lba lba, std::uint64_t payload_token, std::span<const std::uint8_t> data) {
+  SWL_REQUIRE(chip().config().store_payload_bytes,
+              "byte-accurate writes need a chip with store_payload_bytes");
+  SWL_REQUIRE(data.size() == chip().geometry().page_size_bytes,
+              "data must be exactly one page");
+  return write_internal(lba, payload_token, data);
+}
+
+Status Nftl::write_internal(Lba lba, std::uint64_t payload_token,
+                            std::span<const std::uint8_t> data) {
+  SWL_REQUIRE(lba < lba_count_, "LBA out of range");
+  maybe_gc();
+  // A write may need up to one allocation while a fold transiently needs one
+  // more; refuse when the reserve is gone (device effectively full).
+  if (pool_.size() < config_.min_free_blocks) return Status::out_of_space;
+
+  const PageIndex pages = chip().geometry().pages_per_block;
+  const Vba vba = lba / pages;
+  const PageIndex offset = lba % pages;
+
+  if (primary_[vba] == kInvalidBlock) {
+    primary_[vba] = allocate_block(vba);
+  }
+  Ppa dst{primary_[vba], offset};
+  Status st = Status::page_already_programmed;
+  if (chip().page_state(dst) == PageState::free) {
+    // First write of this offset since the last fold: it goes to the page
+    // with the corresponding block offset in the primary block.
+    st = chip().program_page(
+        dst, payload_token,
+        nand::SpareArea{lba, ++write_sequence_, 0, nand::PageRole::primary}, data);
+    SWL_ASSERT(st == Status::ok || st == Status::program_failed,
+               "free primary page was not programmable");
+    if (st == Status::ok) last_write_seq_[dst.block] = write_sequence_;
+  }
+  if (st != Status::ok) {
+    // Overwrite (or a failed primary program): append sequentially to the
+    // replacement block.
+    dst = append_to_replacement(vba, lba, payload_token, data);
+    if (!dst.valid()) return Status::program_failed;  // media-error storm
+  }
+  const Ppa old = latest_[lba];
+  if (old.valid()) {
+    const Status inv = chip().invalidate_page(old);
+    SWL_ASSERT(inv == Status::ok, "stale version pointed at an unprogrammed page");
+  }
+  latest_[lba] = dst;
+  finish_host_write();
+  return Status::ok;
+}
+
+Ppa Nftl::append_to_replacement(Vba vba, Lba lba, std::uint64_t payload_token,
+                                std::span<const std::uint8_t> data) {
+  const PageIndex pages = chip().geometry().pages_per_block;
+  // Bounded retries: each failed program consumes one replacement page, so a
+  // media-error storm eventually exhausts the budget instead of spinning.
+  for (PageIndex attempt = 0; attempt < 4 * pages; ++attempt) {
+    if (replacement_[vba] == kInvalidBlock) {
+      replacement_[vba] = allocate_block(vba);
+      replacement_next_[vba] = 0;
+    } else if (replacement_next_[vba] >= pages) {
+      // "When a replacement block is full, valid pages in the block and its
+      // associated primary block are merged into a new primary block."
+      if (!fold(vba)) return kInvalidPpa;
+      replacement_[vba] = allocate_block(vba);
+      replacement_next_[vba] = 0;
+    }
+    const Ppa dst{replacement_[vba], replacement_next_[vba]++};
+    const Status st = chip().program_page(
+        dst, payload_token,
+        nand::SpareArea{lba, ++write_sequence_, 0, nand::PageRole::replacement}, data);
+    if (st == Status::ok) {
+      last_write_seq_[dst.block] = write_sequence_;
+      return dst;
+    }
+    SWL_ASSERT(st == Status::program_failed, "replacement page was not programmable");
+  }
+  return kInvalidPpa;
+}
+
+bool Nftl::fold(Vba vba) {
+  const PageIndex pages = chip().geometry().pages_per_block;
+  const BlockIndex old_primary = primary_[vba];
+  const BlockIndex old_replacement = replacement_[vba];
+  SWL_ASSERT(old_primary != kInvalidBlock, "fold of an unmapped VBA");
+  const Lba base = vba * pages;
+
+  constexpr int kMaxAttempts = 4;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (pool_.empty()) return false;  // no destination block available
+    const BlockIndex fresh = allocate_block(vba);
+    // Two-phase: copy everything first, commit the version index only when
+    // the whole block succeeded — a failed program abandons `fresh` without
+    // ever publishing pointers into it.
+    std::vector<Ppa> new_location(pages, kInvalidPpa);
+    bool copied_all = true;
+    for (PageIndex offset = 0; offset < pages; ++offset) {
+      const Ppa cur = latest_[base + offset];
+      if (!cur.valid()) continue;
+      const nand::PageReadResult r = chip().read_page(cur);
+      SWL_ASSERT(r.status == Status::ok, "current version unreadable during fold");
+      SWL_ASSERT(r.spare.lba == base + offset,
+                 "spare-area LBA does not match the version index");
+      // Fresh sequence: a crash between the fold and the erase of the old
+      // pair must resolve in favor of the folded copies at mount time.
+      const Status st = chip().program_page(
+          Ppa{fresh, offset}, r.payload_token,
+          nand::SpareArea{base + offset, ++write_sequence_, 0, nand::PageRole::primary},
+          r.data);
+      if (st != Status::ok) {
+        SWL_ASSERT(st == Status::program_failed, "fold destination page was not programmable");
+        copied_all = false;
+        break;
+      }
+      count_live_copy();  // real work even if this attempt is abandoned
+      last_write_seq_[fresh] = write_sequence_;
+      new_location[offset] = Ppa{fresh, offset};
+    }
+    if (!copied_all) {
+      release_block(fresh);  // erase (or retire) the abandoned block, retry
+      continue;
+    }
+    for (PageIndex offset = 0; offset < pages; ++offset) {
+      if (new_location[offset].valid()) latest_[base + offset] = new_location[offset];
+    }
+    primary_[vba] = fresh;
+    replacement_[vba] = kInvalidBlock;
+    replacement_next_[vba] = 0;
+    release_block(old_primary);
+    if (old_replacement != kInvalidBlock) release_block(old_replacement);
+    return true;
+  }
+  return false;
+}
+
+Status Nftl::read(Lba lba, std::uint64_t* payload_token) {
+  SWL_REQUIRE(lba < lba_count_, "LBA out of range");
+  SWL_REQUIRE(payload_token != nullptr, "null output");
+  const Ppa src = latest_[lba];
+  if (!src.valid()) return Status::lba_not_mapped;
+  const nand::PageReadResult r = chip().read_page(src);
+  SWL_ASSERT(r.status == Status::ok, "current version unreadable");
+  SWL_ASSERT(r.spare.lba == lba, "spare-area LBA does not match the version index");
+  *payload_token = r.payload_token;
+  finish_host_read();
+  return Status::ok;
+}
+
+Status Nftl::read_bytes(Lba lba, std::span<std::uint8_t> out) {
+  SWL_REQUIRE(lba < lba_count_, "LBA out of range");
+  SWL_REQUIRE(out.size() == chip().geometry().page_size_bytes, "out must be exactly one page");
+  const Ppa src = latest_[lba];
+  if (!src.valid()) return Status::lba_not_mapped;
+  const nand::PageReadResult r = chip().read_page(src);
+  SWL_ASSERT(r.status == Status::ok, "current version unreadable");
+  std::fill(out.begin(), out.end(), std::uint8_t{0});
+  std::copy(r.data.begin(), r.data.end(), out.begin());
+  finish_host_read();
+  return Status::ok;
+}
+
+Ppa Nftl::translate(Lba lba) const {
+  SWL_REQUIRE(lba < lba_count_, "LBA out of range");
+  return latest_[lba];
+}
+
+BlockIndex Nftl::primary_block(Vba vba) const {
+  SWL_REQUIRE(vba < config_.vba_count, "VBA out of range");
+  return primary_[vba];
+}
+
+BlockIndex Nftl::replacement_block(Vba vba) const {
+  SWL_REQUIRE(vba < config_.vba_count, "VBA out of range");
+  return replacement_[vba];
+}
+
+void Nftl::maybe_gc() {
+  while (pool_.size() < gc_trigger_level()) {
+    if (!gc_once()) break;
+  }
+}
+
+bool Nftl::gc_once() {
+  // A fold can fail under injected media errors; try a few victims before
+  // reporting that nothing could be reclaimed.
+  for (int tries = 0; tries < 4; ++tries) {
+    if (pool_.empty()) return false;  // a fold needs a destination block
+    if (gc_select_and_fold()) return true;
+  }
+  return false;
+}
+
+bool Nftl::gc_select_and_fold() {
+  const auto& geo = chip().geometry();
+  if (config_.victim_policy == tl::VictimPolicy::cost_benefit_age) {
+    BlockIndex best = kInvalidBlock;
+    double best_score = 0.0;
+    for (BlockIndex b = 0; b < geo.block_count; ++b) {
+      if (pool_.contains(b) || chip().is_retired(b) || owner_[b] == kInvalidVba) continue;
+      if (chip().invalid_page_count(b) == 0) continue;
+      const auto age = static_cast<double>(write_sequence_ - last_write_seq_[b]);
+      const double score =
+          tl::cost_benefit_score(chip().valid_page_count(b), geo.pages_per_block, age);
+      if (best == kInvalidBlock || score > best_score) {
+        best = b;
+        best_score = score;
+      }
+    }
+    if (best == kInvalidBlock) return false;
+    return fold(owner_[best]);
+  }
+  BlockIndex victim = scanner_.next([&](BlockIndex b) {
+    if (pool_.contains(b) || chip().is_retired(b) || owner_[b] == kInvalidVba) return false;
+    return tl::gc_score(chip().valid_page_count(b), chip().invalid_page_count(b),
+                        config_.gc_cost_weight) > 0.0;
+  });
+  if (victim == kInvalidBlock) {
+    // Fall back to the most-invalid block so space can still be reclaimed.
+    PageIndex best_invalid = 0;
+    std::uint32_t best_erases = 0;
+    for (BlockIndex b = 0; b < geo.block_count; ++b) {
+      if (pool_.contains(b) || chip().is_retired(b) || owner_[b] == kInvalidVba) continue;
+      const PageIndex invalid = chip().invalid_page_count(b);
+      if (invalid == 0) continue;
+      if (victim == kInvalidBlock || invalid > best_invalid ||
+          (invalid == best_invalid && chip().erase_count(b) < best_erases)) {
+        victim = b;
+        best_invalid = invalid;
+        best_erases = chip().erase_count(b);
+      }
+    }
+  }
+  if (victim == kInvalidBlock) return false;
+  return fold(owner_[victim]);
+}
+
+void Nftl::do_collect_blocks(BlockIndex first, BlockIndex count) {
+  const auto& geo = chip().geometry();
+  SWL_REQUIRE(first < geo.block_count && count > 0 && first + count <= geo.block_count,
+              "block set out of range");
+  // A fold can erase two blocks of this set at once; remember the erase
+  // counts we started from so such blocks are not pointlessly erased again.
+  std::vector<std::uint32_t> before(count);
+  for (BlockIndex i = 0; i < count; ++i) before[i] = chip().erase_count(first + i);
+
+  for (BlockIndex b = first; b < first + count; ++b) {
+    if (chip().is_retired(b)) continue;
+    if (chip().erase_count(b) > before[b - first]) continue;  // already recycled above
+    if (pool_.contains(b)) {
+      // A free block simply gets its erase (and thereby its BET flag).
+      pool_.remove(b);
+      if (chip().erase_block(b) == Status::ok) pool_.add(b, chip().erase_count(b));
+      continue;
+    }
+    if (owner_[b] == kInvalidVba) continue;  // dropped block (should be retired)
+    if (pool_.empty()) continue;             // no destination for a fold
+    (void)fold(owner_[b]);  // a failed fold under media errors is skipped
+  }
+}
+
+void Nftl::check_invariants() const {
+  const auto& geo = chip().geometry();
+  const PageIndex pages = geo.pages_per_block;
+
+  std::uint64_t versioned = 0;
+  for (Lba lba = 0; lba < lba_count_; ++lba) {
+    const Ppa p = latest_[lba];
+    if (!p.valid()) continue;
+    ++versioned;
+    SWL_ASSERT(chip().page_state(p) == PageState::valid, "version index points at non-valid page");
+    SWL_ASSERT(chip().spare(p).lba == lba, "version index and spare area disagree");
+    const Vba vba = lba / pages;
+    SWL_ASSERT(p.block == primary_[vba] || p.block == replacement_[vba],
+               "version lives outside its VBA's blocks");
+  }
+
+  std::uint64_t valid_pages = 0;
+  for (BlockIndex b = 0; b < geo.block_count; ++b) {
+    valid_pages += chip().valid_page_count(b);
+    if (pool_.contains(b)) {
+      SWL_ASSERT(owner_[b] == kInvalidVba, "pooled block has an owner");
+      SWL_ASSERT(chip().free_page_count(b) == pages, "pooled block not empty");
+    }
+  }
+  SWL_ASSERT(versioned == valid_pages, "version count != valid page count");
+
+  for (Vba v = 0; v < config_.vba_count; ++v) {
+    if (primary_[v] != kInvalidBlock) {
+      SWL_ASSERT(owner_[primary_[v]] == v, "primary ownership mismatch");
+    }
+    if (replacement_[v] != kInvalidBlock) {
+      SWL_ASSERT(owner_[replacement_[v]] == v, "replacement ownership mismatch");
+      SWL_ASSERT(primary_[v] != kInvalidBlock, "replacement without a primary");
+      SWL_ASSERT(chip().free_page_count(replacement_[v]) == pages - replacement_next_[v],
+                 "replacement write pointer out of sync");
+    }
+  }
+}
+
+}  // namespace swl::nftl

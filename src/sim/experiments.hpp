@@ -1,0 +1,114 @@
+// Paper-experiment harness (Section 5 of the paper).
+//
+// Wraps the simulator into the three experiment shapes of the evaluation:
+//   - endurance / first-failure-time runs        (Figure 5)
+//   - fixed-duration wear-distribution runs      (Table 4)
+//   - SWL-vs-baseline overhead comparisons       (Figures 6 and 7)
+//
+// Experiments run at a configurable scale. The default scale preserves the
+// paper's block shape (MLC×2: 128 pages × 2 KB) and hot/cold workload
+// structure but shrinks the block count and endurance so a full sweep
+// finishes in seconds; ExperimentScale::paper() is the full 1 GB / 10k-cycle
+// configuration.
+#ifndef SWL_SIM_EXPERIMENTS_HPP
+#define SWL_SIM_EXPERIMENTS_HPP
+
+#include <optional>
+
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+
+namespace swl::sim {
+
+struct ExperimentScale {
+  BlockIndex block_count = 256;
+  CellType cell = CellType::mlc_x2;
+  /// Erase-endurance limit (paper MLC×2: 10,000); scaled down by default so
+  /// first-failure runs finish quickly.
+  std::uint32_t endurance = 1'000;
+  /// Length of the finite base trace the infinite trace replays segments of
+  /// (the paper collected one month; segments are 10 minutes). Longer base
+  /// traces make cold data colder: a once-written LBA recurs once per
+  /// base-trace length on average under segment replay.
+  double base_trace_days = 4.0;
+  double segment_minutes = 10.0;
+  /// Safety horizon for first-failure runs.
+  double max_years = 2'000.0;
+  std::uint64_t seed = 42;
+
+  /// The paper's full-scale configuration (Section 5.1).
+  [[nodiscard]] static ExperimentScale paper();
+};
+
+/// Maps a paper threshold T to this scale. The unevenness threshold is
+/// calibrated against the endurance budget: a resetting interval covers
+/// roughly T * size(BET) erases, so the number of intervals in a device
+/// lifetime is ~ endurance / T. Keeping that ratio fixed preserves the
+/// paper's leveling cadence at scaled endurance (identity at paper scale).
+[[nodiscard]] double scaled_threshold(double paper_threshold, const ExperimentScale& scale);
+
+/// Geometry/timing/layer plumbing for a scale.
+[[nodiscard]] SimConfig make_sim_config(const ExperimentScale& scale, LayerKind layer,
+                                        std::optional<wear::LevelerConfig> leveler);
+
+/// The calibrated synthetic workload over `lba_count` logical pages.
+[[nodiscard]] trace::SyntheticConfig make_trace_config(const ExperimentScale& scale,
+                                                       Lba lba_count);
+
+/// Logical pages the given layer kind exports at this scale (what the trace
+/// must address).
+[[nodiscard]] Lba exported_lba_count(const ExperimentScale& scale, LayerKind layer);
+
+/// Generates the finite base trace the infinite trace replays segments of.
+/// Sweeps should generate this once per layer kind and pass it to
+/// run_endurance_on / run_for_years_on below.
+[[nodiscard]] trace::Trace make_base_trace(const ExperimentScale& scale, LayerKind layer);
+
+/// As run_endurance / run_for_years, but replaying segments of an existing
+/// base trace (avoids regenerating the workload for every sweep point).
+[[nodiscard]] SimResult run_infinite_on(const ExperimentScale& scale, LayerKind layer,
+                                        std::optional<wear::LevelerConfig> leveler,
+                                        const trace::Trace& base, double years,
+                                        bool stop_on_failure);
+
+/// Fully custom variant: the caller builds the SimConfig (alternative
+/// levelers, allocation policies, hot/cold separation, ...) and supplies the
+/// base trace; segment replay and batching come from `scale`.
+[[nodiscard]] SimResult run_config_on(const SimConfig& config, const ExperimentScale& scale,
+                                      const trace::Trace& base, double years,
+                                      bool stop_on_failure);
+
+struct EnduranceOutcome {
+  /// Years to the first worn-out block; equals the horizon when no block
+  /// wore out within scale.max_years (failed == false then).
+  double first_failure_years = 0.0;
+  bool failed = false;
+  SimResult sim;
+};
+
+/// Figure 5: run the infinite trace until the first block failure.
+[[nodiscard]] EnduranceOutcome run_endurance(const ExperimentScale& scale, LayerKind layer,
+                                             std::optional<wear::LevelerConfig> leveler);
+
+/// Table 4: run the infinite trace for a fixed number of simulated years and
+/// report the erase-count distribution.
+[[nodiscard]] SimResult run_for_years(const ExperimentScale& scale, LayerKind layer,
+                                      std::optional<wear::LevelerConfig> leveler, double years);
+
+struct OverheadOutcome {
+  /// 100 * (erases with SWL) / (erases without SWL) — Figure 6's y-axis.
+  double erase_ratio_percent = 0.0;
+  /// 100 * (live copies with SWL) / (live copies without SWL) — Figure 7.
+  double copy_ratio_percent = 0.0;
+  SimResult with_swl;
+  SimResult without_swl;
+};
+
+/// Figures 6 and 7: identical workload with and without SWL for a fixed
+/// number of simulated years.
+[[nodiscard]] OverheadOutcome run_overhead(const ExperimentScale& scale, LayerKind layer,
+                                           const wear::LevelerConfig& leveler, double years);
+
+}  // namespace swl::sim
+
+#endif  // SWL_SIM_EXPERIMENTS_HPP

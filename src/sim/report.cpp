@@ -1,0 +1,47 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/contracts.hpp"
+
+namespace swl::sim {
+
+TableWriter::TableWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SWL_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  SWL_REQUIRE(cells.size() == headers_.size(), "row width does not match the header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c])) << row[c];
+      os << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit(headers_);
+  std::size_t rule = 0;
+  for (const auto w : widths) rule += w + 2;
+  os << std::string(rule - 2, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+}  // namespace swl::sim

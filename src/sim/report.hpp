@@ -1,0 +1,31 @@
+// Fixed-width table rendering for the bench harness so every reproduced
+// table/figure prints in a uniform, diff-able format.
+#ifndef SWL_SIM_REPORT_HPP
+#define SWL_SIM_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+namespace swl::sim {
+
+/// Right-aligned fixed-width text table with a header rule.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column widths fitted to content.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals.
+[[nodiscard]] std::string fmt(double value, int digits = 2);
+
+}  // namespace swl::sim
+
+#endif  // SWL_SIM_REPORT_HPP

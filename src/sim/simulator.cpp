@@ -1,0 +1,97 @@
+#include "sim/simulator.hpp"
+
+#include "core/contracts.hpp"
+
+namespace swl::sim {
+
+std::string_view to_string(LayerKind k) noexcept {
+  switch (k) {
+    case LayerKind::ftl:
+      return "FTL";
+    case LayerKind::nftl:
+      return "NFTL";
+  }
+  return "unknown";
+}
+
+Simulator::Simulator(const SimConfig& config) {
+  SWL_REQUIRE(config.geometry.valid(), "invalid geometry");
+  chip_ = std::make_unique<nand::NandChip>(
+      nand::NandConfig{.geometry = config.geometry, .timing = config.timing,
+                       .failures = config.failures},
+      &clock_);
+  switch (config.layer) {
+    case LayerKind::ftl:
+      layer_ = std::make_unique<ftl::Ftl>(*chip_, config.ftl);
+      break;
+    case LayerKind::nftl:
+      layer_ = std::make_unique<nftl::Nftl>(*chip_, config.nftl);
+      break;
+  }
+  SWL_REQUIRE(!(config.leveler.has_value() && config.oracle_leveler.has_value()),
+              "choose either the SW Leveler or the oracle policy, not both");
+  if (config.leveler.has_value()) {
+    layer_->attach_leveler(
+        std::make_unique<wear::SwLeveler>(config.geometry.block_count, *config.leveler));
+  } else if (config.oracle_leveler.has_value()) {
+    layer_->attach_leveler(std::make_unique<wear::OracleLeveler>(config.geometry.block_count,
+                                                                 *config.oracle_leveler));
+  }
+}
+
+std::uint64_t Simulator::run(trace::TraceSource& source, double max_years,
+                             bool stop_on_first_failure, std::uint64_t max_records) {
+  const SimTime horizon = seconds_to_us(max_years * kSecondsPerYear);
+  std::uint64_t processed = 0;
+  while (processed < max_records) {
+    if (stop_on_first_failure && chip_->first_failure().has_value()) break;
+    if (clock_.now() >= horizon) break;
+    const auto rec = source.next();
+    if (!rec.has_value()) break;
+    if (rec->time_us >= horizon) {
+      clock_.advance_to(horizon);
+      break;
+    }
+    clock_.advance_to(rec->time_us);
+    // Trace LBAs beyond the exported space (possible when replaying an
+    // external trace against a smaller device) wrap around.
+    const Lba lba = rec->lba % layer_->lba_count();
+    if (rec->op == trace::Op::write) {
+      const Status st = layer_->write(lba, next_payload_++);
+      SWL_ASSERT(st == Status::ok || st == Status::out_of_space || st == Status::program_failed,
+                 "unexpected write failure");
+      if (st == Status::out_of_space) break;  // device full: nothing more to learn
+    } else {
+      std::uint64_t token = 0;
+      const Status st = layer_->read(lba, &token);
+      SWL_ASSERT(st == Status::ok || st == Status::lba_not_mapped, "unexpected read failure");
+    }
+    ++processed;
+    ++records_;
+  }
+  return processed;
+}
+
+SimResult Simulator::result() const {
+  SimResult r;
+  if (const auto& f = chip_->first_failure(); f.has_value()) {
+    r.first_failure_years =
+        static_cast<double>(f->time_us) / static_cast<double>(kUsPerSecond) / kSecondsPerYear;
+  }
+  r.elapsed_years = clock_.years();
+  r.records_processed = records_;
+  r.erase_summary = stats::summarize(chip_->erase_counts());
+  r.erase_counts = chip_->erase_counts();
+  r.counters = layer_->counters();
+  r.chip_counters = chip_->counters();
+  if (const auto* lev = layer_->leveler(); lev != nullptr) {
+    r.leveler_stats = lev->stats();
+  }
+  return r;
+}
+
+std::unique_ptr<Simulator> make_simulator(const SimConfig& config) {
+  return std::make_unique<Simulator>(config);
+}
+
+}  // namespace swl::sim

@@ -1,0 +1,96 @@
+// Simulation driver: wires a trace source to a translation layer over a
+// simulated NAND chip (optionally with a SW Leveler attached) and runs until
+// a stop condition — first block failure, a simulated-time horizon, or trace
+// exhaustion.
+#ifndef SWL_SIM_SIMULATOR_HPP
+#define SWL_SIM_SIMULATOR_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/clock.hpp"
+#include "core/geometry.hpp"
+#include "ftl/ftl.hpp"
+#include "nand/nand_chip.hpp"
+#include "nftl/nftl.hpp"
+#include "stats/summary.hpp"
+#include "swl/leveler.hpp"
+#include "swl/oracle_leveler.hpp"
+#include "tl/translation_layer.hpp"
+#include "trace/trace.hpp"
+
+namespace swl::sim {
+
+enum class LayerKind { ftl, nftl };
+
+[[nodiscard]] std::string_view to_string(LayerKind k) noexcept;
+
+/// Everything needed to stand up a device + translation layer (+ leveler).
+struct SimConfig {
+  FlashGeometry geometry;
+  NandTiming timing;
+  /// Optional media-error injection (see nand::FailureInjection).
+  nand::FailureInjection failures;
+  LayerKind layer = LayerKind::ftl;
+  /// Static wear leveling configuration; std::nullopt disables SWL.
+  std::optional<wear::LevelerConfig> leveler;
+  /// Alternative: attach the counter-table oracle policy instead of the SW
+  /// Leveler (ablation baseline; mutually exclusive with `leveler`).
+  std::optional<wear::OracleConfig> oracle_leveler;
+  /// Layer tuning (lba_count/vba_count of 0 keeps the layer's default).
+  ftl::FtlConfig ftl;
+  nftl::NftlConfig nftl;
+};
+
+/// Snapshot of a simulation's outcome.
+struct SimResult {
+  /// Simulated years until any block first reached the endurance limit
+  /// (std::nullopt if the run stopped before any block wore out).
+  std::optional<double> first_failure_years;
+  /// Simulated years covered by the run.
+  double elapsed_years = 0.0;
+  std::uint64_t records_processed = 0;
+  stats::Summary erase_summary;
+  /// Per-block erase counts at the end of the run (index == block number).
+  std::vector<std::uint32_t> erase_counts;
+  tl::TlCounters counters;
+  nand::NandCounters chip_counters;
+  wear::LevelerStats leveler_stats;  // zeros when SWL is disabled
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const SimConfig& config);
+
+  /// Feeds records from `source` until (a) the source ends, (b) `max_records`
+  /// records were processed, (c) the simulated clock passes `max_years`, or
+  /// (d) `stop_on_first_failure` and a block wore out. Returns the records
+  /// processed by *this call*. Resumable: call again to continue.
+  std::uint64_t run(trace::TraceSource& source, double max_years,
+                    bool stop_on_first_failure,
+                    std::uint64_t max_records = UINT64_MAX);
+
+  [[nodiscard]] SimResult result() const;
+
+  [[nodiscard]] tl::TranslationLayer& layer() noexcept { return *layer_; }
+  [[nodiscard]] const tl::TranslationLayer& layer() const noexcept { return *layer_; }
+  [[nodiscard]] nand::NandChip& chip() noexcept { return *chip_; }
+  [[nodiscard]] const nand::NandChip& chip() const noexcept { return *chip_; }
+  [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] Lba lba_count() const noexcept { return layer_->lba_count(); }
+
+ private:
+  SimClock clock_;
+  std::unique_ptr<nand::NandChip> chip_;
+  std::unique_ptr<tl::TranslationLayer> layer_;
+  std::uint64_t records_ = 0;
+  std::uint64_t next_payload_ = 1;
+};
+
+/// Builds the standard simulator stack for a config.
+[[nodiscard]] std::unique_ptr<Simulator> make_simulator(const SimConfig& config);
+
+}  // namespace swl::sim
+
+#endif  // SWL_SIM_SIMULATOR_HPP

@@ -1,0 +1,80 @@
+#include "sim/worst_case.hpp"
+
+#include "core/contracts.hpp"
+
+namespace swl::sim {
+
+namespace {
+
+/// Cleaner for the abstract worst-case device: erasing a cold block copies a
+/// full block of live pages (N); erasing a hot block copies the average L.
+class WorstCaseCleaner final : public wear::Cleaner {
+ public:
+  WorstCaseCleaner(wear::SwLeveler& leveler, const stats::WorstCaseParams& params)
+      : leveler_(leveler), params_(params) {}
+
+  void collect_blocks(BlockIndex first, BlockIndex count) override {
+    for (BlockIndex b = first; b < first + count; ++b) {
+      ++swl_erases;
+      const bool cold = b < params_.cold_blocks;
+      swl_copies += cold ? static_cast<double>(params_.pages_per_block)
+                         : params_.live_copies_per_gc;
+      leveler_.on_block_erased(b);
+    }
+  }
+
+  std::uint64_t swl_erases = 0;
+  double swl_copies = 0.0;
+
+ private:
+  wear::SwLeveler& leveler_;
+  const stats::WorstCaseParams& params_;
+};
+
+}  // namespace
+
+WorstCaseResult simulate_worst_case(const stats::WorstCaseParams& params, std::uint32_t k,
+                                    std::uint64_t intervals, std::uint64_t seed) {
+  SWL_REQUIRE(params.hot_blocks > 0 && params.cold_blocks > 0, "H and C must be positive");
+  SWL_REQUIRE(intervals > 0, "need at least one interval");
+
+  const auto block_count =
+      static_cast<BlockIndex>(params.hot_blocks + params.cold_blocks);
+  wear::LevelerConfig lc;
+  lc.k = k;
+  lc.threshold = params.threshold;
+  lc.rng_seed = seed;
+  wear::SwLeveler leveler(block_count, lc);
+  WorstCaseCleaner cleaner(leveler, params);
+
+  // Blocks [0, C) hold cold data; blocks [C, C+H) participate in the hot
+  // update cycle (H−1 data blocks plus the free block of Figure 4), erased
+  // round-robin by regular garbage collection.
+  std::uint64_t regular_erases = 0;
+  double regular_copies = 0.0;
+  BlockIndex hot_cursor = 0;
+  const auto hot_base = static_cast<BlockIndex>(params.cold_blocks);
+  const auto hot_span = static_cast<BlockIndex>(params.hot_blocks);
+
+  while (leveler.stats().bet_resets < intervals) {
+    const BlockIndex victim = hot_base + hot_cursor;
+    hot_cursor = (hot_cursor + 1 == hot_span) ? 0 : hot_cursor + 1;
+    ++regular_erases;
+    regular_copies += params.live_copies_per_gc;
+    leveler.on_block_erased(victim);
+    if (leveler.needs_leveling()) leveler.run(cleaner);
+  }
+
+  WorstCaseResult r;
+  r.regular_erases = regular_erases;
+  r.swl_erases = cleaner.swl_erases;
+  r.resetting_intervals = leveler.stats().bet_resets;
+  r.measured_extra_erase_ratio =
+      static_cast<double>(cleaner.swl_erases) / static_cast<double>(regular_erases);
+  r.measured_extra_copy_ratio = cleaner.swl_copies / regular_copies;
+  r.model_extra_erase_ratio = stats::extra_erase_ratio(params);
+  r.model_extra_copy_ratio = stats::extra_copy_ratio(params);
+  return r;
+}
+
+}  // namespace swl::sim

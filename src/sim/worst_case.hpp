@@ -1,0 +1,42 @@
+// Simulated validation of the Section 4 worst case (Figure 4 of the paper).
+//
+// An abstract device of H+C blocks: C blocks hold cold data that only static
+// wear leveling ever touches; hot data is updated uniformly across the other
+// blocks so that regular garbage collection erases them round-robin, each
+// erase copying L live pages. The real SwLeveler runs against this process,
+// and the measured extra erase/copy ratios are compared with the closed-form
+// worst-case model (stats/overhead_model.hpp) — the simulated counterpart of
+// Tables 2 and 3.
+#ifndef SWL_SIM_WORST_CASE_HPP
+#define SWL_SIM_WORST_CASE_HPP
+
+#include <cstdint>
+
+#include "stats/overhead_model.hpp"
+#include "swl/leveler.hpp"
+
+namespace swl::sim {
+
+struct WorstCaseResult {
+  /// Extra block erases caused by SWL divided by regular erases.
+  double measured_extra_erase_ratio = 0.0;
+  /// Extra live copies caused by SWL divided by regular live copies.
+  double measured_extra_copy_ratio = 0.0;
+  /// Closed-form predictions (exact denominators, not the approximation).
+  double model_extra_erase_ratio = 0.0;
+  double model_extra_copy_ratio = 0.0;
+  std::uint64_t regular_erases = 0;
+  std::uint64_t swl_erases = 0;
+  std::uint64_t resetting_intervals = 0;
+};
+
+/// Runs the worst-case process for `intervals` complete resetting intervals
+/// with mapping mode `k` (the model assumes k = 0; other k values show how
+/// coarse mapping changes the overhead).
+[[nodiscard]] WorstCaseResult simulate_worst_case(const stats::WorstCaseParams& params,
+                                                  std::uint32_t k, std::uint64_t intervals,
+                                                  std::uint64_t seed = 0xCAFE);
+
+}  // namespace swl::sim
+
+#endif  // SWL_SIM_WORST_CASE_HPP

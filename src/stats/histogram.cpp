@@ -1,0 +1,55 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/contracts.hpp"
+
+namespace swl::stats {
+
+Histogram::Histogram(std::uint32_t bucket_width, std::size_t bucket_count)
+    : width_(bucket_width), counts_(bucket_count, 0) {
+  SWL_REQUIRE(bucket_width > 0, "bucket width must be positive");
+  SWL_REQUIRE(bucket_count > 0, "need at least one bucket");
+}
+
+void Histogram::add(std::uint32_t value) {
+  const std::size_t index = value / width_;
+  if (index < counts_.size()) {
+    ++counts_[index];
+  } else {
+    ++overflow_;
+  }
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const std::uint32_t> values) {
+  for (const auto v : values) add(v);
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  SWL_REQUIRE(i < counts_.size(), "bucket index out of range");
+  return counts_[i];
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::ostringstream os;
+  const std::uint64_t peak = std::max<std::uint64_t>(
+      overflow_, counts_.empty() ? 1 : *std::max_element(counts_.begin(), counts_.end()));
+  const auto bar = [&](std::uint64_t n) {
+    const std::size_t len =
+        peak == 0 ? 0 : static_cast<std::size_t>(n * max_bar_width / peak);
+    return std::string(len, '#');
+  };
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    os << '[' << i * width_ << ',' << (i + 1) * width_ << ") " << counts_[i] << ' '
+       << bar(counts_[i]) << '\n';
+  }
+  if (overflow_ > 0) {
+    os << "[>=" << counts_.size() * width_ << ") " << overflow_ << ' ' << bar(overflow_) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace swl::stats

@@ -1,0 +1,40 @@
+// Fixed-width histogram for erase-count distributions.
+#ifndef SWL_STATS_HISTOGRAM_HPP
+#define SWL_STATS_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace swl::stats {
+
+class Histogram {
+ public:
+  /// Buckets [0,width), [width,2*width), ...; values beyond the last bucket
+  /// land in an overflow bucket.
+  Histogram(std::uint32_t bucket_width, std::size_t bucket_count);
+
+  void add(std::uint32_t value);
+  void add_all(std::span<const std::uint32_t> values);
+
+  [[nodiscard]] std::uint32_t bucket_width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// ASCII rendering (one line per non-empty bucket with a proportional bar);
+  /// used by examples to show erase-count distributions.
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  std::uint32_t width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace swl::stats
+
+#endif  // SWL_STATS_HISTOGRAM_HPP

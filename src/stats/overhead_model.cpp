@@ -1,0 +1,46 @@
+#include "stats/overhead_model.hpp"
+
+#include "core/contracts.hpp"
+
+namespace swl::stats {
+
+namespace {
+
+double denominator(const WorstCaseParams& p) {
+  SWL_REQUIRE(p.hot_blocks > 0 && p.cold_blocks > 0, "H and C must be positive");
+  SWL_REQUIRE(p.threshold >= 1.0, "threshold T must be at least 1");
+  const double total = static_cast<double>(p.hot_blocks + p.cold_blocks);
+  const double d = p.threshold * total - static_cast<double>(p.cold_blocks);
+  SWL_REQUIRE(d > 0.0, "degenerate worst case: T(H+C) must exceed C");
+  return d;
+}
+
+}  // namespace
+
+double extra_erase_ratio(const WorstCaseParams& p) {
+  return static_cast<double>(p.cold_blocks) / denominator(p);
+}
+
+double extra_erase_ratio_approx(const WorstCaseParams& p) {
+  SWL_REQUIRE(p.hot_blocks > 0 && p.cold_blocks > 0, "H and C must be positive");
+  const double total = static_cast<double>(p.hot_blocks + p.cold_blocks);
+  return static_cast<double>(p.cold_blocks) / (p.threshold * total);
+}
+
+double extra_copy_ratio(const WorstCaseParams& p) {
+  SWL_REQUIRE(p.pages_per_block > 0, "N must be positive");
+  SWL_REQUIRE(p.live_copies_per_gc > 0.0, "L must be positive");
+  return static_cast<double>(p.cold_blocks) * static_cast<double>(p.pages_per_block) /
+         (denominator(p) * p.live_copies_per_gc);
+}
+
+double extra_copy_ratio_approx(const WorstCaseParams& p) {
+  SWL_REQUIRE(p.hot_blocks > 0 && p.cold_blocks > 0, "H and C must be positive");
+  SWL_REQUIRE(p.pages_per_block > 0, "N must be positive");
+  SWL_REQUIRE(p.live_copies_per_gc > 0.0, "L must be positive");
+  const double total = static_cast<double>(p.hot_blocks + p.cold_blocks);
+  return static_cast<double>(p.cold_blocks) * static_cast<double>(p.pages_per_block) /
+         (p.threshold * p.live_copies_per_gc * total);
+}
+
+}  // namespace swl::stats

@@ -1,0 +1,45 @@
+// Closed-form worst-case overhead models — Section 4 of the paper.
+//
+// The worst case (Figure 4): a flash of H+C blocks where H−1 blocks hold hot
+// data updated uniformly, C blocks hold cold data erased only by static wear
+// leveling, and one block is free. In each resetting interval the updates of
+// hot data cause T×(H+C)−C erases while SWL-Procedure recycles the C cold
+// blocks, so:
+//
+//   extra erase ratio  =  C / (T·(H+C) − C)            (Table 2)
+//   extra copy ratio   =  C·N / ((T·(H+C) − C)·L)      (Table 3)
+//
+// with N pages per block and L the average number of live pages copied per
+// regular GC erase. Both the exact expressions and the paper's T·(H+C) ≫ C
+// approximations are provided.
+#ifndef SWL_STATS_OVERHEAD_MODEL_HPP
+#define SWL_STATS_OVERHEAD_MODEL_HPP
+
+#include <cstdint>
+
+namespace swl::stats {
+
+struct WorstCaseParams {
+  std::uint64_t hot_blocks = 0;   // H (includes the free block, as in the paper)
+  std::uint64_t cold_blocks = 0;  // C
+  double threshold = 100.0;       // T
+  std::uint32_t pages_per_block = 128;  // N
+  double live_copies_per_gc = 16.0;     // L
+};
+
+/// Exact worst-case increased ratio of block erases: C / (T(H+C) - C).
+[[nodiscard]] double extra_erase_ratio(const WorstCaseParams& p);
+
+/// The paper's approximation C / (T(H+C)), valid when T(H+C) >> C.
+[[nodiscard]] double extra_erase_ratio_approx(const WorstCaseParams& p);
+
+/// Exact worst-case increased ratio of live-page copyings:
+/// C*N / ((T(H+C) - C) * L).
+[[nodiscard]] double extra_copy_ratio(const WorstCaseParams& p);
+
+/// The paper's approximation C*N / (T*L*(H+C)).
+[[nodiscard]] double extra_copy_ratio_approx(const WorstCaseParams& p);
+
+}  // namespace swl::stats
+
+#endif  // SWL_STATS_OVERHEAD_MODEL_HPP

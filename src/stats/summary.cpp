@@ -1,0 +1,26 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swl::stats {
+
+Summary summarize(std::span<const std::uint32_t> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (const auto v : values) sum += static_cast<double>(v);
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (const auto v : values) {
+    const double d = static_cast<double>(v) - s.mean;
+    sq += d * d;
+  }
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return s;
+}
+
+}  // namespace swl::stats

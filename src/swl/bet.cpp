@@ -1,0 +1,51 @@
+#include "swl/bet.hpp"
+
+#include "core/contracts.hpp"
+
+namespace swl::wear {
+
+namespace {
+
+std::size_t flag_count_for(BlockIndex block_count, std::uint32_t k) {
+  const std::uint64_t set_size = 1ULL << k;
+  return static_cast<std::size_t>((block_count + set_size - 1) / set_size);
+}
+
+}  // namespace
+
+Bet::Bet(BlockIndex block_count, std::uint32_t k)
+    : block_count_(block_count), k_(k), flags_(flag_count_for(block_count, k)) {
+  SWL_REQUIRE(block_count > 0, "BET needs at least one block");
+  SWL_REQUIRE(k < 32, "mapping mode k out of range");
+}
+
+std::size_t Bet::flag_of(BlockIndex block) const {
+  SWL_REQUIRE(block < block_count_, "block out of BET range");
+  return static_cast<std::size_t>(block) >> k_;
+}
+
+BlockIndex Bet::first_block_of(std::size_t flag) const {
+  SWL_REQUIRE(flag < flags_.size(), "flag out of range");
+  return static_cast<BlockIndex>(flag << k_);
+}
+
+BlockIndex Bet::set_size_of(std::size_t flag) const {
+  const BlockIndex first = first_block_of(flag);
+  const auto full = static_cast<BlockIndex>(1U << k_);
+  return (first + full <= block_count_) ? full : block_count_ - first;
+}
+
+bool Bet::mark_erased(BlockIndex block) { return flags_.set(flag_of(block)); }
+
+std::uint64_t Bet::size_bytes(BlockIndex block_count, std::uint32_t k) {
+  SWL_REQUIRE(block_count > 0, "BET needs at least one block");
+  SWL_REQUIRE(k < 32, "mapping mode k out of range");
+  const auto flags = static_cast<std::uint64_t>(flag_count_for(block_count, k));
+  return (flags + 7) / 8;
+}
+
+void Bet::restore_bits(const std::vector<std::uint64_t>& words) {
+  flags_.assign(words, flag_count_for(block_count_, k_));
+}
+
+}  // namespace swl::wear

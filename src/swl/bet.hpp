@@ -1,0 +1,80 @@
+// Block Erasing Table (BET) — Section 3.2 of the paper.
+//
+// A bit array that remembers which blocks were erased during the current
+// resetting interval. Each flag covers a *block set* of 2^k contiguous
+// blocks: k = 0 is the one-to-one mode; k > 0 is the one-to-many mode that
+// trades cold-block resolution for RAM (Table 1 of the paper).
+#ifndef SWL_SWL_BET_HPP
+#define SWL_SWL_BET_HPP
+
+#include <cstdint>
+
+#include "core/bitvec.hpp"
+#include "core/types.hpp"
+
+namespace swl::wear {
+
+class Bet {
+ public:
+  /// A BET covering `block_count` blocks with one flag per 2^k blocks.
+  /// Requires block_count > 0 and k small enough to leave at least one flag.
+  Bet(BlockIndex block_count, std::uint32_t k);
+
+  /// Mapping-mode exponent (one flag per 2^k blocks).
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+
+  /// Number of blocks covered.
+  [[nodiscard]] BlockIndex block_count() const noexcept { return block_count_; }
+
+  /// Number of flags — size(BET) in Algorithm 1.
+  [[nodiscard]] std::size_t flag_count() const noexcept { return flags_.size(); }
+
+  /// Number of flags currently set — fcnt maintained by SWL-BETUpdate.
+  [[nodiscard]] std::size_t set_count() const noexcept { return flags_.count(); }
+
+  [[nodiscard]] bool all_set() const noexcept { return flags_.all_set(); }
+
+  /// Flag index covering `block` (⌊block / 2^k⌋).
+  [[nodiscard]] std::size_t flag_of(BlockIndex block) const;
+
+  /// First block of the set covered by `flag`.
+  [[nodiscard]] BlockIndex first_block_of(std::size_t flag) const;
+
+  /// Number of blocks in the set covered by `flag` (2^k, except possibly a
+  /// short tail set when block_count is not a multiple of 2^k).
+  [[nodiscard]] BlockIndex set_size_of(std::size_t flag) const;
+
+  /// Records that `block` was erased: sets its flag, returning true when the
+  /// flag transitioned 0 → 1 (i.e. fcnt should be incremented).
+  bool mark_erased(BlockIndex block);
+
+  [[nodiscard]] bool test_flag(std::size_t flag) const { return flags_.test(flag); }
+  [[nodiscard]] bool test_block(BlockIndex block) const { return flags_.test(flag_of(block)); }
+
+  /// Clears every flag (start of a new resetting interval).
+  void reset() noexcept { flags_.reset(); }
+
+  /// Index of the first clear flag at or after `start`, cyclically — the
+  /// scan of Algorithm 1 steps 9–10. Requires !all_set().
+  [[nodiscard]] std::size_t next_clear_flag(std::size_t start) const {
+    return flags_.next_zero_cyclic(start);
+  }
+
+  /// RAM footprint in bytes of a BET for the given configuration (Table 1).
+  [[nodiscard]] static std::uint64_t size_bytes(BlockIndex block_count, std::uint32_t k);
+
+  /// Raw flag words, for persistence.
+  [[nodiscard]] const BitVec& bits() const noexcept { return flags_; }
+
+  /// Restores flag state from raw words (persistence); word count must match.
+  void restore_bits(const std::vector<std::uint64_t>& words);
+
+ private:
+  BlockIndex block_count_;
+  std::uint32_t k_;
+  BitVec flags_;
+};
+
+}  // namespace swl::wear
+
+#endif  // SWL_SWL_BET_HPP

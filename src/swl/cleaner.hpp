@@ -1,0 +1,27 @@
+// The Cleaner interface the SW Leveler drives (Figure 1 of the paper).
+//
+// The SW Leveler never manipulates mappings itself; it asks the translation
+// layer's Cleaner to garbage collect specific physical blocks, which moves
+// any live (cold) data out and erases them. Both FTL and NFTL implement this.
+#ifndef SWL_SWL_CLEANER_HPP
+#define SWL_SWL_CLEANER_HPP
+
+#include "core/types.hpp"
+
+namespace swl::wear {
+
+class Cleaner {
+ public:
+  virtual ~Cleaner() = default;
+
+  /// Garbage collect the physical blocks [first, first + count): copy any
+  /// live data elsewhere and erase them. Implementations must invoke the
+  /// chip's erase (and therefore SWL-BETUpdate via the erase observer) for
+  /// every block they actually erase. A block that cannot be erased right
+  /// now (e.g. it is the current write frontier) may be skipped.
+  virtual void collect_blocks(BlockIndex first, BlockIndex count) = 0;
+};
+
+}  // namespace swl::wear
+
+#endif  // SWL_SWL_CLEANER_HPP

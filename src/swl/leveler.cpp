@@ -1,0 +1,102 @@
+#include "swl/leveler.hpp"
+
+#include "core/contracts.hpp"
+
+namespace swl::wear {
+
+namespace {
+
+/// Restores a flag on scope exit so that run() is exception-safe.
+class RunningGuard {
+ public:
+  explicit RunningGuard(bool& flag) : flag_(flag) { flag_ = true; }
+  ~RunningGuard() { flag_ = false; }
+  RunningGuard(const RunningGuard&) = delete;
+  RunningGuard& operator=(const RunningGuard&) = delete;
+
+ private:
+  bool& flag_;
+};
+
+}  // namespace
+
+SwLeveler::SwLeveler(BlockIndex block_count, LevelerConfig config)
+    : config_(config), bet_(block_count, config.k), rng_(config.rng_seed) {
+  SWL_REQUIRE(config_.threshold >= 1.0, "threshold T must be at least 1");
+}
+
+void SwLeveler::on_block_erased(BlockIndex block) {
+  // Algorithm 2: ecnt <- ecnt + 1; set the flag, bumping fcnt on a 0->1
+  // transition (fcnt is derived from the BET's popcount, so it can never
+  // drift out of sync with the flags).
+  ++ecnt_;
+  bet_.mark_erased(block);
+}
+
+double SwLeveler::unevenness() const noexcept {
+  const std::uint64_t f = fcnt();
+  if (f == 0) return 0.0;
+  return static_cast<double>(ecnt_) / static_cast<double>(f);
+}
+
+bool SwLeveler::needs_leveling() const noexcept {
+  return fcnt() > 0 && unevenness() >= config_.threshold;
+}
+
+void SwLeveler::run(Cleaner& cleaner) {
+  if (running_) return;       // invoked re-entrantly from inside a collection
+  if (fcnt() == 0) return;    // Algorithm 1, step 1
+  const RunningGuard guard(running_);
+
+  bool activated = false;
+  std::size_t consecutive_no_progress = 0;
+
+  while (needs_leveling()) {  // step 2
+    if (!activated) {
+      activated = true;
+      ++stats_.activations;
+    }
+    if (bet_.all_set()) {  // step 3: fcnt >= size(BET)
+      start_new_interval();  // steps 4-7
+      return;                // step 8
+    }
+    findex_ = (config_.selection == LevelerConfig::Selection::random)
+                  ? bet_.next_clear_flag(rng_.below(bet_.flag_count()))
+                  : bet_.next_clear_flag(findex_);  // steps 9-10
+
+    const std::uint64_t ecnt_before = ecnt_;
+    const std::uint64_t fcnt_before = fcnt();
+    ++stats_.collections_requested;
+    cleaner.collect_blocks(bet_.first_block_of(findex_), bet_.set_size_of(findex_));  // step 11
+    findex_ = (findex_ + 1) % bet_.flag_count();  // step 12
+
+    // Defensive termination: the paper's Cleaner always erases the selected
+    // set, but ours may legitimately skip a block (e.g. the active write
+    // frontier). If a full scan of the BET makes no progress, give up until
+    // the next invocation rather than spin.
+    if (ecnt_ == ecnt_before && fcnt() == fcnt_before) {
+      if (++consecutive_no_progress >= bet_.flag_count()) {
+        ++stats_.stalls;
+        return;
+      }
+    } else {
+      consecutive_no_progress = 0;
+    }
+  }
+}
+
+void SwLeveler::start_new_interval() {
+  ecnt_ = 0;                                  // step 4 (fcnt reset falls out of the BET reset)
+  bet_.reset();                               // step 7
+  findex_ = rng_.below(bet_.flag_count());    // step 6: random restart
+  ++stats_.bet_resets;
+}
+
+void SwLeveler::restore_state(std::uint64_t ecnt, std::size_t findex,
+                              const std::vector<std::uint64_t>& bet_words) {
+  bet_.restore_bits(bet_words);
+  ecnt_ = ecnt;
+  findex_ = findex < bet_.flag_count() ? findex : 0;
+}
+
+}  // namespace swl::wear

@@ -1,0 +1,96 @@
+// SW Leveler — Section 3.3, Algorithms 1 and 2 of the paper.
+//
+// Maintains the Block Erasing Table plus the (ecnt, fcnt, findex) state and
+// implements:
+//   - SWL-BETUpdate (Algorithm 2): called on every block erase;
+//   - SWL-Procedure (Algorithm 1): while the unevenness level ecnt/fcnt is at
+//     or above threshold T, cyclically scan for a block set whose flag is
+//     still 0 and ask the Cleaner to garbage collect it; when the BET fills
+//     up, reset it and re-randomize findex (a new resetting interval).
+#ifndef SWL_SWL_LEVELER_HPP
+#define SWL_SWL_LEVELER_HPP
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "swl/bet.hpp"
+#include "swl/cleaner.hpp"
+#include "swl/leveler_base.hpp"
+
+namespace swl::wear {
+
+/// Tuning parameters of the SW Leveler.
+struct LevelerConfig {
+  /// Mapping mode: one BET flag per 2^k contiguous blocks.
+  std::uint32_t k = 0;
+  /// Unevenness-level threshold T: SWL-Procedure runs while ecnt/fcnt >= T.
+  double threshold = 100.0;
+  /// Seed for the randomized findex reset at the start of each interval.
+  std::uint64_t rng_seed = 0x5eed5eedULL;
+  /// Selection policy for the victim block set. The paper uses the cyclic
+  /// scan and argues it approximates random selection; both are provided so
+  /// the claim can be measured (see bench_micro).
+  enum class Selection { cyclic_scan, random } selection = Selection::cyclic_scan;
+};
+
+class SwLeveler final : public Leveler {
+ public:
+  SwLeveler(BlockIndex block_count, LevelerConfig config);
+
+  /// SWL-BETUpdate (Algorithm 2). Call for *every* block erase performed by
+  /// the Cleaner — typically wired to NandChip::add_erase_observer.
+  void on_block_erased(BlockIndex block);
+
+  /// Leveler interface; the BET does not need the erase count.
+  void on_block_erased(BlockIndex block, std::uint32_t /*new_erase_count*/) override {
+    on_block_erased(block);
+  }
+
+  /// Unevenness level ecnt/fcnt; +inf convention is avoided by returning 0
+  /// when fcnt == 0 (SWL-Procedure returns immediately then anyway).
+  [[nodiscard]] double unevenness() const noexcept;
+
+  /// True when SWL-Procedure would do work (fcnt > 0 and ratio >= T).
+  [[nodiscard]] bool needs_leveling() const noexcept override;
+
+  /// SWL-Procedure (Algorithm 1). Drives `cleaner` until the unevenness
+  /// level drops below T or the BET is reset. Re-entrant calls (the Cleaner
+  /// erasing blocks calls back into on_block_erased, and a layer that checks
+  /// needs_leveling() inside GC might call run again) are ignored.
+  void run(Cleaner& cleaner) override;
+
+  [[nodiscard]] BlockIndex block_count() const override { return bet_.block_count(); }
+  [[nodiscard]] std::string_view name() const override { return "SWL"; }
+
+  // -- state inspection ------------------------------------------------------
+
+  [[nodiscard]] const Bet& bet() const noexcept { return bet_; }
+  [[nodiscard]] std::uint64_t ecnt() const noexcept { return ecnt_; }
+  [[nodiscard]] std::uint64_t fcnt() const noexcept { return bet_.set_count(); }
+  [[nodiscard]] std::size_t findex() const noexcept { return findex_; }
+  [[nodiscard]] const LevelerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const LevelerStats& stats() const noexcept override { return stats_; }
+
+  // -- persistence hooks (see snapshot.hpp) ----------------------------------
+
+  /// Overwrites the interval state from a restored snapshot. The paper notes
+  /// these values "could tolerate some errors": a stale snapshot is accepted.
+  void restore_state(std::uint64_t ecnt, std::size_t findex,
+                     const std::vector<std::uint64_t>& bet_words);
+
+ private:
+  void start_new_interval();
+
+  LevelerConfig config_;
+  Bet bet_;
+  Rng rng_;
+  std::uint64_t ecnt_ = 0;  // block erases since the BET was reset
+  std::size_t findex_ = 0;  // cyclic-scan cursor over BET flags
+  bool running_ = false;
+  LevelerStats stats_;
+};
+
+}  // namespace swl::wear
+
+#endif  // SWL_SWL_LEVELER_HPP

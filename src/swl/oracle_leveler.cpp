@@ -1,0 +1,71 @@
+#include "swl/oracle_leveler.hpp"
+
+#include <algorithm>
+
+#include "core/contracts.hpp"
+
+namespace swl::wear {
+
+OracleLeveler::OracleLeveler(BlockIndex block_count, OracleConfig config)
+    : config_(config), counts_(block_count, 0) {
+  SWL_REQUIRE(block_count > 0, "leveler needs at least one block");
+  SWL_REQUIRE(config_.gap_threshold >= 1, "gap threshold must be at least 1");
+}
+
+void OracleLeveler::on_block_erased(BlockIndex block, std::uint32_t new_erase_count) {
+  SWL_REQUIRE(block < counts_.size(), "block out of range");
+  counts_[block] = new_erase_count;
+}
+
+std::uint32_t OracleLeveler::count_of(BlockIndex block) const {
+  SWL_REQUIRE(block < counts_.size(), "block out of range");
+  return counts_[block];
+}
+
+BlockIndex OracleLeveler::least_worn() const {
+  return static_cast<BlockIndex>(
+      std::min_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::uint32_t OracleLeveler::max_count() const {
+  return *std::max_element(counts_.begin(), counts_.end());
+}
+
+bool OracleLeveler::needs_leveling() const {
+  return max_count() - counts_[least_worn()] >= config_.gap_threshold;
+}
+
+void OracleLeveler::run(Cleaner& cleaner) {
+  if (running_) return;
+  running_ = true;
+  bool activated = false;
+  std::size_t consecutive_no_progress = 0;
+  try {
+    while (needs_leveling()) {
+      if (!activated) {
+        activated = true;
+        ++stats_.activations;
+      }
+      const BlockIndex victim = least_worn();
+      const std::uint32_t before = counts_[victim];
+      ++stats_.collections_requested;
+      cleaner.collect_blocks(victim, 1);
+      if (counts_[victim] == before) {
+        // The Cleaner skipped the block (e.g. an active frontier); give up
+        // after a full device worth of fruitless attempts.
+        if (++consecutive_no_progress >= counts_.size()) {
+          ++stats_.stalls;
+          break;
+        }
+      } else {
+        consecutive_no_progress = 0;
+      }
+    }
+  } catch (...) {
+    running_ = false;
+    throw;
+  }
+  running_ = false;
+}
+
+}  // namespace swl::wear

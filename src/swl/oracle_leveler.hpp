@@ -1,0 +1,57 @@
+// Oracle wear leveler — a comparison baseline for the ablation benches.
+//
+// Keeps a full 32-bit erase counter per block in RAM (the expensive design
+// the paper's BET avoids: 4 bytes/block instead of 1 bit per 2^k blocks) and
+// triggers when max(count) - min(count) reaches a threshold, then asks the
+// Cleaner to recycle the least-worn block. This is the idealized
+// counter-based static wear leveling the BET approximates; comparing the
+// two quantifies how much endurance the 32x-256x RAM saving gives up.
+#ifndef SWL_SWL_ORACLE_LEVELER_HPP
+#define SWL_SWL_ORACLE_LEVELER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "swl/leveler_base.hpp"
+
+namespace swl::wear {
+
+struct OracleConfig {
+  /// Trigger leveling when max - min erase counts reach this gap.
+  std::uint32_t gap_threshold = 16;
+};
+
+class OracleLeveler final : public Leveler {
+ public:
+  OracleLeveler(BlockIndex block_count, OracleConfig config);
+
+  void on_block_erased(BlockIndex block, std::uint32_t new_erase_count) override;
+  [[nodiscard]] bool needs_leveling() const override;
+  void run(Cleaner& cleaner) override;
+  [[nodiscard]] BlockIndex block_count() const override {
+    return static_cast<BlockIndex>(counts_.size());
+  }
+  [[nodiscard]] const LevelerStats& stats() const override { return stats_; }
+  [[nodiscard]] std::string_view name() const override { return "oracle"; }
+
+  /// RAM the counter table costs (what the BET is compared against).
+  [[nodiscard]] static std::uint64_t size_bytes(BlockIndex block_count) {
+    return static_cast<std::uint64_t>(block_count) * sizeof(std::uint32_t);
+  }
+
+  [[nodiscard]] std::uint32_t count_of(BlockIndex block) const;
+  [[nodiscard]] const OracleConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] BlockIndex least_worn() const;
+  [[nodiscard]] std::uint32_t max_count() const;
+
+  OracleConfig config_;
+  std::vector<std::uint32_t> counts_;
+  bool running_ = false;
+  LevelerStats stats_;
+};
+
+}  // namespace swl::wear
+
+#endif  // SWL_SWL_ORACLE_LEVELER_HPP

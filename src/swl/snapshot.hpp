@@ -1,0 +1,105 @@
+// Persistence of the SW Leveler state (Section 3.2–3.3 of the paper).
+//
+// The BET and the (ecnt, findex) pair are saved when the system shuts down
+// and reloaded on attach. Crash resistance uses the paper's "popular dual
+// buffer concept": writes alternate between two slots, each carrying a
+// monotonically increasing sequence number and a checksum; on load the
+// newest slot that validates wins, so a crash mid-save at worst loses one
+// interval of information — which the mechanism tolerates by design.
+#ifndef SWL_SWL_SNAPSHOT_HPP
+#define SWL_SWL_SNAPSHOT_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "core/types.hpp"
+#include "swl/leveler.hpp"
+
+namespace swl::wear {
+
+/// Decoded leveler state.
+struct Snapshot {
+  std::uint32_t k = 0;
+  BlockIndex block_count = 0;
+  std::uint64_t ecnt = 0;
+  std::uint64_t findex = 0;
+  std::vector<std::uint64_t> bet_words;
+};
+
+/// Serializes a snapshot (little-endian, checksummed). `sequence` orders
+/// competing slots.
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(const Snapshot& snap,
+                                                        std::uint64_t sequence);
+
+/// Parses and validates an encoded snapshot. Returns Status::corrupt_snapshot
+/// on any framing or checksum failure.
+[[nodiscard]] Status decode_snapshot(const std::vector<std::uint8_t>& bytes, Snapshot* out,
+                                     std::uint64_t* sequence);
+
+/// Storage backend for the two snapshot slots. In a device this region lives
+/// in a couple of reserved flash blocks; the simulator provides an in-memory
+/// backend and a host-file backend.
+class SnapshotStore {
+ public:
+  static constexpr unsigned kSlots = 2;
+
+  virtual ~SnapshotStore() = default;
+
+  /// Overwrites a slot. Requires slot < kSlots.
+  virtual void write_slot(unsigned slot, const std::vector<std::uint8_t>& bytes) = 0;
+
+  /// Reads a slot; empty vector when the slot has never been written.
+  [[nodiscard]] virtual std::vector<std::uint8_t> read_slot(unsigned slot) const = 0;
+};
+
+/// RAM-backed store (tests, and devices that stage snapshots elsewhere).
+class MemorySnapshotStore final : public SnapshotStore {
+ public:
+  void write_slot(unsigned slot, const std::vector<std::uint8_t>& bytes) override;
+  [[nodiscard]] std::vector<std::uint8_t> read_slot(unsigned slot) const override;
+
+  /// Test hook: flip `bytes` bytes of a slot to simulate a torn/corrupt write.
+  void corrupt_slot(unsigned slot, std::size_t bytes);
+
+ private:
+  std::array<std::vector<std::uint8_t>, kSlots> slots_;
+};
+
+/// Host-file-backed store (one file per slot: "<prefix>.0", "<prefix>.1").
+class FileSnapshotStore final : public SnapshotStore {
+ public:
+  explicit FileSnapshotStore(std::string path_prefix);
+
+  void write_slot(unsigned slot, const std::vector<std::uint8_t>& bytes) override;
+  [[nodiscard]] std::vector<std::uint8_t> read_slot(unsigned slot) const override;
+
+ private:
+  [[nodiscard]] std::string slot_path(unsigned slot) const;
+  std::string prefix_;
+};
+
+/// Dual-buffer save/restore driver.
+class LevelerPersistence {
+ public:
+  explicit LevelerPersistence(SnapshotStore& store);
+
+  /// Saves the leveler's state into the next slot (alternating).
+  void save(const SwLeveler& leveler);
+
+  /// Restores the newest valid snapshot into `leveler`. Returns
+  /// Status::corrupt_snapshot when no slot validates or when the snapshot's
+  /// shape (k, block_count) does not match `leveler`.
+  [[nodiscard]] Status load(SwLeveler& leveler) const;
+
+ private:
+  SnapshotStore& store_;
+  std::uint64_t next_sequence_ = 1;
+  unsigned next_slot_ = 0;
+};
+
+}  // namespace swl::wear
+
+#endif  // SWL_SWL_SNAPSHOT_HPP

@@ -1,0 +1,47 @@
+#include "trace/segment_replay.hpp"
+
+#include <algorithm>
+
+#include "core/contracts.hpp"
+
+namespace swl::trace {
+
+SegmentReplaySource::SegmentReplaySource(const Trace& base, double segment_s, std::uint64_t seed)
+    : base_(base), segment_us_(seconds_to_us(segment_s)), rng_(seed) {
+  SWL_REQUIRE(!base_.empty(), "segment replay needs a non-empty base trace");
+  SWL_REQUIRE(segment_us_ > 0, "segment length must be positive");
+  SWL_REQUIRE(std::is_sorted(base_.begin(), base_.end(),
+                             [](const TraceRecord& a, const TraceRecord& b) {
+                               return a.time_us < b.time_us;
+                             }),
+              "base trace must be sorted by time");
+  base_duration_us_ = base_.back().time_us + 1;
+  pick_segment();
+}
+
+void SegmentReplaySource::pick_segment() {
+  const SimTime span =
+      base_duration_us_ > segment_us_ ? base_duration_us_ - segment_us_ + 1 : 1;
+  segment_start_us_ = rng_.below(span);
+  const auto lo = std::lower_bound(base_.begin(), base_.end(), segment_start_us_,
+                                   [](const TraceRecord& r, SimTime t) { return r.time_us < t; });
+  const auto hi = std::lower_bound(base_.begin(), base_.end(), segment_start_us_ + segment_us_,
+                                   [](const TraceRecord& r, SimTime t) { return r.time_us < t; });
+  pos_ = static_cast<std::size_t>(lo - base_.begin());
+  segment_end_ = static_cast<std::size_t>(hi - base_.begin());
+  ++segments_;
+}
+
+std::optional<TraceRecord> SegmentReplaySource::next() {
+  // Skip (possibly several) windows that landed on quiet stretches; each
+  // skipped window still advances the output timeline by its full length.
+  while (pos_ >= segment_end_) {
+    timeline_offset_us_ += segment_us_;
+    pick_segment();
+  }
+  TraceRecord rec = base_[pos_++];
+  rec.time_us = timeline_offset_us_ + (rec.time_us - segment_start_us_);
+  return rec;
+}
+
+}  // namespace swl::trace

@@ -1,0 +1,50 @@
+// Infinite trace derivation — Section 5.1 of the paper.
+//
+// "In order to come out the first failure time of FTL and NFTL, a virtually
+// unlimited experiment trace was also derived based on the collected trace
+// by randomly picking up any 10-minute trace segment in the trace."
+//
+// SegmentReplaySource wraps a finite base trace and yields an endless stream:
+// each round it picks a uniformly random window of `segment_s` seconds from
+// the base trace and replays the records inside it, re-based onto a
+// continuously advancing timeline.
+#ifndef SWL_TRACE_SEGMENT_REPLAY_HPP
+#define SWL_TRACE_SEGMENT_REPLAY_HPP
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace swl::trace {
+
+class SegmentReplaySource final : public TraceSource {
+ public:
+  /// `base` must stay alive for the lifetime of the source and must contain
+  /// at least one record; records must be sorted by time.
+  SegmentReplaySource(const Trace& base, double segment_s = 600.0,
+                      std::uint64_t seed = 0x5e9);
+
+  /// Never returns std::nullopt.
+  std::optional<TraceRecord> next() override;
+
+  /// Segments replayed so far (for diagnostics).
+  [[nodiscard]] std::uint64_t segments_started() const noexcept { return segments_; }
+
+ private:
+  void pick_segment();
+
+  const Trace& base_;
+  SimTime segment_us_;
+  SimTime base_duration_us_;
+  Rng rng_;
+  std::size_t pos_ = 0;        // next record within the current segment
+  std::size_t segment_end_ = 0;
+  SimTime segment_start_us_ = 0;   // window start within the base trace
+  SimTime timeline_offset_us_ = 0; // maps window time onto the output timeline
+  std::uint64_t segments_ = 0;
+};
+
+}  // namespace swl::trace
+
+#endif  // SWL_TRACE_SEGMENT_REPLAY_HPP

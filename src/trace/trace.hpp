@@ -1,0 +1,57 @@
+// Trace model: a timestamped stream of page-granularity reads and writes.
+//
+// The paper evaluates against a one-month trace of a mobile PC. That trace
+// is not public, so src/trace provides (a) a calibrated synthetic equivalent
+// (synthetic.hpp), (b) the infinite-trace derivation the paper describes —
+// "randomly picking up any 10-minute trace segment" (segment_replay.hpp),
+// and (c) a file format so external traces can be replayed (trace_io.hpp).
+#ifndef SWL_TRACE_TRACE_HPP
+#define SWL_TRACE_TRACE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/clock.hpp"
+#include "core/types.hpp"
+
+namespace swl::trace {
+
+enum class Op : std::uint8_t { read = 0, write = 1 };
+
+struct TraceRecord {
+  SimTime time_us = 0;  // timestamp within the trace
+  Lba lba = 0;
+  Op op = Op::read;
+
+  friend constexpr bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+using Trace = std::vector<TraceRecord>;
+
+/// Pull-based record stream; std::nullopt signals end of trace (infinite
+/// sources never return it).
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  virtual std::optional<TraceRecord> next() = 0;
+};
+
+/// Adapts an in-memory trace to the stream interface.
+class VectorTraceSource final : public TraceSource {
+ public:
+  explicit VectorTraceSource(const Trace& records) : records_(records) {}
+
+  std::optional<TraceRecord> next() override {
+    if (pos_ >= records_.size()) return std::nullopt;
+    return records_[pos_++];
+  }
+
+ private:
+  const Trace& records_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace swl::trace
+
+#endif  // SWL_TRACE_TRACE_HPP

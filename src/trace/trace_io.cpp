@@ -1,0 +1,152 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "core/contracts.hpp"
+
+namespace swl::trace {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic{'S', 'W', 'L', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+class Fnv1a {
+ public:
+  void update(const void* data, std::size_t len) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+template <typename T>
+void write_le(std::ostream& os, Fnv1a& sum, T value) {
+  std::array<char, sizeof(T)> buf{};
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+  os.write(buf.data(), buf.size());
+  sum.update(buf.data(), buf.size());
+}
+
+template <typename T>
+bool read_le(std::istream& is, Fnv1a& sum, T* value) {
+  std::array<char, sizeof(T)> buf{};
+  if (!is.read(buf.data(), buf.size())) return false;
+  sum.update(buf.data(), buf.size());
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  }
+  *value = static_cast<T>(v);
+  return true;
+}
+
+}  // namespace
+
+void write_binary(std::ostream& os, const Trace& trace) {
+  Fnv1a sum;
+  os.write(kMagic.data(), kMagic.size());
+  sum.update(kMagic.data(), kMagic.size());
+  write_le(os, sum, kVersion);
+  write_le(os, sum, static_cast<std::uint64_t>(trace.size()));
+  for (const auto& rec : trace) {
+    write_le(os, sum, rec.time_us);
+    write_le(os, sum, rec.lba);
+    write_le(os, sum, static_cast<std::uint8_t>(rec.op));
+    write_le(os, sum, static_cast<std::uint8_t>(0));
+    write_le(os, sum, static_cast<std::uint16_t>(0));
+  }
+  Fnv1a ignored;
+  write_le(os, ignored, sum.value());
+}
+
+Status read_binary(std::istream& is, Trace* out) {
+  SWL_REQUIRE(out != nullptr, "null output");
+  Fnv1a sum;
+  std::array<char, 4> magic{};
+  if (!is.read(magic.data(), magic.size()) || magic != kMagic) return Status::corrupt_snapshot;
+  sum.update(magic.data(), magic.size());
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (!read_le(is, sum, &version) || version != kVersion) return Status::corrupt_snapshot;
+  if (!read_le(is, sum, &count)) return Status::corrupt_snapshot;
+  Trace trace;
+  trace.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceRecord rec;
+    std::uint8_t op = 0;
+    std::uint8_t pad8 = 0;
+    std::uint16_t pad16 = 0;
+    if (!read_le(is, sum, &rec.time_us) || !read_le(is, sum, &rec.lba) ||
+        !read_le(is, sum, &op) || !read_le(is, sum, &pad8) || !read_le(is, sum, &pad16)) {
+      return Status::corrupt_snapshot;
+    }
+    if (op > 1) return Status::corrupt_snapshot;
+    rec.op = static_cast<Op>(op);
+    trace.push_back(rec);
+  }
+  const std::uint64_t computed = sum.value();
+  Fnv1a ignored;
+  std::uint64_t stored = 0;
+  if (!read_le(is, ignored, &stored) || stored != computed) return Status::corrupt_snapshot;
+  *out = std::move(trace);
+  return Status::ok;
+}
+
+void save_binary(const std::string& path, const Trace& trace) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  SWL_REQUIRE(os.good(), "cannot open trace file for writing");
+  write_binary(os, trace);
+  SWL_REQUIRE(os.good(), "trace write failed");
+}
+
+Status load_binary(const std::string& path, Trace* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return Status::corrupt_snapshot;
+  return read_binary(is, out);
+}
+
+void write_csv(std::ostream& os, const Trace& trace) {
+  os << "time_us,lba,op\n";
+  for (const auto& rec : trace) {
+    os << rec.time_us << ',' << rec.lba << ',' << (rec.op == Op::write ? 'W' : 'R') << '\n';
+  }
+}
+
+Status read_csv(std::istream& is, Trace* out) {
+  SWL_REQUIRE(out != nullptr, "null output");
+  Trace trace;
+  std::string line;
+  if (!std::getline(is, line)) return Status::corrupt_snapshot;  // header
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    TraceRecord rec;
+    char comma1 = 0;
+    char comma2 = 0;
+    char op = 0;
+    if (!(ls >> rec.time_us >> comma1 >> rec.lba >> comma2 >> op) || comma1 != ',' ||
+        comma2 != ',' || (op != 'R' && op != 'W')) {
+      return Status::corrupt_snapshot;
+    }
+    rec.op = op == 'W' ? Op::write : Op::read;
+    trace.push_back(rec);
+  }
+  *out = std::move(trace);
+  return Status::ok;
+}
+
+}  // namespace swl::trace

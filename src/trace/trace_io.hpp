@@ -1,0 +1,30 @@
+// Trace (de)serialization: a compact binary format plus CSV export, so
+// externally collected traces can be replayed through the simulator and
+// generated traces can be archived and inspected.
+#ifndef SWL_TRACE_TRACE_IO_HPP
+#define SWL_TRACE_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "core/status.hpp"
+#include "trace/trace.hpp"
+
+namespace swl::trace {
+
+/// Binary format: 16-byte header (magic "SWLT", version, record count) then
+/// 16 bytes per record (time_us : u64, lba : u32, op : u8, 3 pad bytes),
+/// all little-endian, followed by an FNV-1a checksum of everything before it.
+void write_binary(std::ostream& os, const Trace& trace);
+[[nodiscard]] Status read_binary(std::istream& is, Trace* out);
+
+void save_binary(const std::string& path, const Trace& trace);
+[[nodiscard]] Status load_binary(const std::string& path, Trace* out);
+
+/// CSV with a header row: time_us,lba,op  (op is "R" or "W").
+void write_csv(std::ostream& os, const Trace& trace);
+[[nodiscard]] Status read_csv(std::istream& is, Trace* out);
+
+}  // namespace swl::trace
+
+#endif  // SWL_TRACE_TRACE_IO_HPP

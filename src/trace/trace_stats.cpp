@@ -1,0 +1,63 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/clock.hpp"
+#include "core/contracts.hpp"
+
+namespace swl::trace {
+
+TraceStats analyze(const Trace& trace, Lba lba_count) {
+  SWL_REQUIRE(lba_count > 0, "lba_count must be positive");
+  TraceStats stats;
+  if (trace.empty()) return stats;
+
+  std::vector<std::uint32_t> write_counts(lba_count, 0);
+  Lba prev_write_lba = kInvalidLba;
+  for (const auto& rec : trace) {
+    SWL_REQUIRE(rec.lba < lba_count, "trace record LBA out of range");
+    if (rec.op == Op::write) {
+      ++stats.writes;
+      ++write_counts[rec.lba];
+      if (prev_write_lba != kInvalidLba && rec.lba == prev_write_lba + 1) {
+        // counted below via sequential_writes
+        stats.sequential_write_fraction += 1.0;
+      }
+      prev_write_lba = rec.lba;
+    } else {
+      ++stats.reads;
+    }
+  }
+  stats.duration_s =
+      static_cast<double>(trace.back().time_us) / static_cast<double>(kUsPerSecond);
+  if (stats.duration_s > 0.0) {
+    stats.writes_per_second = static_cast<double>(stats.writes) / stats.duration_s;
+    stats.reads_per_second = static_cast<double>(stats.reads) / stats.duration_s;
+  }
+
+  std::uint64_t written_lbas = 0;
+  std::vector<std::uint32_t> nonzero;
+  nonzero.reserve(lba_count / 4);
+  for (const auto c : write_counts) {
+    if (c > 0) {
+      ++written_lbas;
+      nonzero.push_back(c);
+    }
+  }
+  stats.write_coverage = static_cast<double>(written_lbas) / static_cast<double>(lba_count);
+
+  if (stats.writes > 0) {
+    stats.sequential_write_fraction /= static_cast<double>(stats.writes);
+    // Share of writes landing on the top 10% most-written LBAs (of the
+    // written set), a scale-free measure of hot/cold skew.
+    std::sort(nonzero.begin(), nonzero.end(), std::greater<>());
+    const std::size_t decile = std::max<std::size_t>(1, nonzero.size() / 10);
+    std::uint64_t top = 0;
+    for (std::size_t i = 0; i < decile; ++i) top += nonzero[i];
+    stats.top_decile_write_share = static_cast<double>(top) / static_cast<double>(stats.writes);
+  }
+  return stats;
+}
+
+}  // namespace swl::trace

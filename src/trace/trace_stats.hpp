@@ -1,0 +1,35 @@
+// Aggregate statistics of a trace — used to validate that the synthetic
+// workload reproduces the properties the paper reports for its trace
+// (Section 5.1) and that the substitution documented in DESIGN.md holds.
+#ifndef SWL_TRACE_TRACE_STATS_HPP
+#define SWL_TRACE_TRACE_STATS_HPP
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "trace/trace.hpp"
+
+namespace swl::trace {
+
+struct TraceStats {
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  double duration_s = 0.0;
+  double writes_per_second = 0.0;
+  double reads_per_second = 0.0;
+  /// Fraction of the LBA space written at least once (paper: 0.3662).
+  double write_coverage = 0.0;
+  /// Fraction of all writes that hit the top 10% most-written LBAs
+  /// (hot/cold skew; ~1 would mean all writes are hot).
+  double top_decile_write_share = 0.0;
+  /// Fraction of writes whose LBA is exactly the previous write's LBA + 1
+  /// (sequentiality / burstiness).
+  double sequential_write_fraction = 0.0;
+};
+
+/// Computes statistics over a trace addressing `lba_count` logical pages.
+[[nodiscard]] TraceStats analyze(const Trace& trace, Lba lba_count);
+
+}  // namespace swl::trace
+
+#endif  // SWL_TRACE_TRACE_STATS_HPP

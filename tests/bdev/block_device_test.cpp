@@ -1,0 +1,226 @@
+#include "bdev/block_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/contracts.hpp"
+#include "core/rng.hpp"
+#include "ftl/ftl.hpp"
+#include "nftl/nftl.hpp"
+#include "swl/leveler.hpp"
+
+namespace swl::bdev {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::uint32_t page_size = 2048, std::uint32_t sector_size = 512) {
+    nand::NandConfig nc;
+    nc.geometry =
+        FlashGeometry{.block_count = 16, .pages_per_block = 8, .page_size_bytes = page_size};
+    nc.timing = default_timing(CellType::mlc_x2);
+    chip = std::make_unique<nand::NandChip>(nc);
+    ftl = std::make_unique<ftl::Ftl>(*chip, ftl::FtlConfig{});
+    dev = std::make_unique<BlockDevice>(*ftl, sector_size);
+  }
+  std::unique_ptr<nand::NandChip> chip;
+  std::unique_ptr<ftl::Ftl> ftl;
+  std::unique_ptr<BlockDevice> dev;
+};
+
+TEST(BlockDevice, GeometryMatchesPaperConvention) {
+  Fixture f;  // 2 KB pages / 512 B sectors -> 4 sectors per page
+  EXPECT_EQ(f.dev->sectors_per_page(), 4u);
+  EXPECT_EQ(f.dev->sector_count(), f.ftl->lba_count() * 4u);
+  EXPECT_EQ(f.dev->lane_mask(), 0xFFFFu);
+}
+
+TEST(BlockDevice, SectorRoundTrip) {
+  Fixture f;
+  ASSERT_EQ(f.dev->write_sector(10, 0xABCD), Status::ok);
+  std::uint64_t v = 0;
+  ASSERT_EQ(f.dev->read_sector(10, &v), Status::ok);
+  EXPECT_EQ(v, 0xABCDu);
+}
+
+TEST(BlockDevice, SiblingSectorsArePreservedOnSubPageWrite) {
+  Fixture f;
+  // Sectors 0-3 share page 0.
+  ASSERT_EQ(f.dev->write_sector(0, 0x1111), Status::ok);
+  ASSERT_EQ(f.dev->write_sector(1, 0x2222), Status::ok);
+  ASSERT_EQ(f.dev->write_sector(2, 0x3333), Status::ok);
+  ASSERT_EQ(f.dev->write_sector(1, 0x9999), Status::ok);  // overwrite the middle one
+  std::uint64_t v = 0;
+  ASSERT_EQ(f.dev->read_sector(0, &v), Status::ok);
+  EXPECT_EQ(v, 0x1111u);
+  ASSERT_EQ(f.dev->read_sector(1, &v), Status::ok);
+  EXPECT_EQ(v, 0x9999u);
+  ASSERT_EQ(f.dev->read_sector(2, &v), Status::ok);
+  EXPECT_EQ(v, 0x3333u);
+  ASSERT_EQ(f.dev->read_sector(3, &v), Status::ok);
+  EXPECT_EQ(v, 0u);  // never written: formatted-zero
+}
+
+TEST(BlockDevice, ReadOfUnmappedPageFails) {
+  Fixture f;
+  std::uint64_t v = 0;
+  EXPECT_EQ(f.dev->read_sector(100, &v), Status::lba_not_mapped);
+}
+
+TEST(BlockDevice, ValuesAreLaneTruncated) {
+  Fixture f;  // 16-bit lanes
+  ASSERT_EQ(f.dev->write_sector(5, 0x123456789A), Status::ok);
+  std::uint64_t v = 0;
+  ASSERT_EQ(f.dev->read_sector(5, &v), Status::ok);
+  EXPECT_EQ(v, 0x789Au);
+}
+
+TEST(BlockDevice, SubPageWritesCostReadModifyWrite) {
+  Fixture f;
+  ASSERT_EQ(f.dev->write_sector(0, 1), Status::ok);   // page unmapped: no read
+  ASSERT_EQ(f.dev->write_sector(1, 2), Status::ok);   // page mapped: RMW read
+  ASSERT_EQ(f.dev->write_sector(2, 3), Status::ok);
+  EXPECT_EQ(f.dev->counters().rmw_page_reads, 2u);
+  EXPECT_EQ(f.dev->counters().page_writes, 3u);
+  EXPECT_EQ(f.dev->counters().sector_writes, 3u);
+}
+
+TEST(BlockDevice, AlignedRunSkipsReadModifyWrite) {
+  Fixture f;
+  // 8 sectors starting at sector 8 = pages 2 and 3, both whole.
+  ASSERT_EQ(f.dev->write_sectors(8, 8, 100), Status::ok);
+  EXPECT_EQ(f.dev->counters().rmw_page_reads, 0u);
+  EXPECT_EQ(f.dev->counters().page_writes, 2u);
+  for (SectorIndex s = 8; s < 16; ++s) {
+    std::uint64_t v = 0;
+    ASSERT_EQ(f.dev->read_sector(s, &v), Status::ok);
+    EXPECT_EQ(v, 100 + (s - 8));
+  }
+}
+
+TEST(BlockDevice, UnalignedRunStillRoundTrips) {
+  Fixture f;
+  ASSERT_EQ(f.dev->write_sectors(3, 10, 500), Status::ok);  // spans pages 0..3 unaligned
+  for (SectorIndex s = 3; s < 13; ++s) {
+    std::uint64_t v = 0;
+    ASSERT_EQ(f.dev->read_sector(s, &v), Status::ok);
+    EXPECT_EQ(v, ((500 + (s - 3)) & f.dev->lane_mask()));
+  }
+}
+
+TEST(BlockDevice, OneSectorPerPageNeedsNoRmw) {
+  Fixture f(/*page_size=*/512, /*sector_size=*/512);
+  EXPECT_EQ(f.dev->sectors_per_page(), 1u);
+  ASSERT_EQ(f.dev->write_sector(4, 0xDEADBEEFCAFEULL), Status::ok);
+  ASSERT_EQ(f.dev->write_sector(4, 0xFEEDULL), Status::ok);
+  EXPECT_EQ(f.dev->counters().rmw_page_reads, 0u);
+  std::uint64_t v = 0;
+  ASSERT_EQ(f.dev->read_sector(4, &v), Status::ok);
+  EXPECT_EQ(v, 0xFEEDu);
+}
+
+TEST(BlockDevice, RejectsBadGeometry) {
+  Fixture f;
+  nand::NandConfig nc;
+  nc.geometry = FlashGeometry{.block_count = 16, .pages_per_block = 8, .page_size_bytes = 2048};
+  nc.timing = default_timing(CellType::mlc_x2);
+  nand::NandChip chip(nc);
+  ftl::Ftl ftl_layer(chip, ftl::FtlConfig{});
+  EXPECT_THROW(BlockDevice(ftl_layer, 600), PreconditionError);   // does not divide
+  EXPECT_THROW(BlockDevice(ftl_layer, 128), PreconditionError);   // 16 sectors/page
+  EXPECT_THROW(BlockDevice(ftl_layer, 0), PreconditionError);
+}
+
+TEST(BlockDevice, RejectsOutOfRangeSectors) {
+  Fixture f;
+  std::uint64_t v = 0;
+  EXPECT_THROW((void)f.dev->write_sector(f.dev->sector_count(), 1), PreconditionError);
+  EXPECT_THROW((void)f.dev->read_sector(f.dev->sector_count(), &v), PreconditionError);
+  EXPECT_THROW((void)f.dev->write_sectors(f.dev->sector_count() - 1, 2, 0), PreconditionError);
+  EXPECT_THROW((void)f.dev->write_sectors(0, 0, 0), PreconditionError);
+}
+
+TEST(BlockDeviceBytes, SectorByteRoundTripWithRmw) {
+  nand::NandConfig nc;
+  nc.geometry = FlashGeometry{.block_count = 16, .pages_per_block = 8, .page_size_bytes = 2048};
+  nc.timing = default_timing(CellType::mlc_x2);
+  nc.store_payload_bytes = true;
+  nand::NandChip chip(nc);
+  ftl::Ftl ftl_layer(chip, ftl::FtlConfig{});
+  BlockDevice dev(ftl_layer);
+
+  std::vector<std::uint8_t> s0(512, 0x11);
+  std::vector<std::uint8_t> s1(512, 0x22);
+  ASSERT_EQ(dev.write_sector_bytes(0, s0), Status::ok);
+  ASSERT_EQ(dev.write_sector_bytes(1, s1), Status::ok);
+  // Overwrite sector 0: sector 1 must be preserved via page RMW.
+  std::vector<std::uint8_t> s0b(512, 0x33);
+  ASSERT_EQ(dev.write_sector_bytes(0, s0b), Status::ok);
+  std::vector<std::uint8_t> out(512, 0);
+  ASSERT_EQ(dev.read_sector_bytes(0, out), Status::ok);
+  EXPECT_EQ(out, s0b);
+  ASSERT_EQ(dev.read_sector_bytes(1, out), Status::ok);
+  EXPECT_EQ(out, s1);
+  // Sector 2 shares the page: never written, reads as zeros.
+  ASSERT_EQ(dev.read_sector_bytes(2, out), Status::ok);
+  EXPECT_EQ(out, std::vector<std::uint8_t>(512, 0));
+}
+
+TEST(BlockDeviceBytes, ByteDataSurvivesGarbageCollection) {
+  nand::NandConfig nc;
+  nc.geometry = FlashGeometry{.block_count = 16, .pages_per_block = 8, .page_size_bytes = 2048};
+  nc.timing = default_timing(CellType::mlc_x2);
+  nc.store_payload_bytes = true;
+  nand::NandChip chip(nc);
+  ftl::Ftl ftl_layer(chip, ftl::FtlConfig{});
+  BlockDevice dev(ftl_layer);
+  // Cold byte sectors, then churn to force GC to relocate them.
+  std::vector<std::uint8_t> cold(512);
+  for (std::size_t i = 0; i < cold.size(); ++i) cold[i] = static_cast<std::uint8_t>(i * 7);
+  for (SectorIndex s = 0; s < 16; ++s) ASSERT_EQ(dev.write_sector_bytes(s, cold), Status::ok);
+  Rng rng(3);
+  std::vector<std::uint8_t> noise(512, 0x5A);
+  for (int i = 0; i < 3'000; ++i) {
+    ASSERT_EQ(dev.write_sector_bytes(100 + rng.below(8), noise), Status::ok);
+  }
+  ASSERT_GT(ftl_layer.counters().gc_live_copies, 0u);
+  std::vector<std::uint8_t> out(512);
+  for (SectorIndex s = 0; s < 16; ++s) {
+    ASSERT_EQ(dev.read_sector_bytes(s, out), Status::ok);
+    ASSERT_EQ(out, cold) << "sector " << s;
+  }
+  ftl_layer.check_invariants();
+}
+
+// Property: random sector workload over an NFTL with static wear leveling
+// preserves every sector through GC, folds and SWL collections.
+TEST(BlockDevice, PropertySectorIntegrityThroughFullStackWithSwl) {
+  nand::NandConfig nc;
+  nc.geometry = FlashGeometry{.block_count = 24, .pages_per_block = 8, .page_size_bytes = 2048};
+  nc.timing = default_timing(CellType::mlc_x2);
+  nand::NandChip chip(nc);
+  nftl::Nftl layer(chip, nftl::NftlConfig{});
+  wear::LevelerConfig lc;
+  lc.threshold = 8;
+  layer.attach_leveler(std::make_unique<wear::SwLeveler>(24, lc));
+  BlockDevice dev(layer);
+
+  Rng rng(77);
+  std::map<SectorIndex, std::uint64_t> shadow;
+  for (int i = 0; i < 12'000; ++i) {
+    const auto sector = rng.below(dev.sector_count());
+    const std::uint64_t value = rng.next() & dev.lane_mask();
+    ASSERT_EQ(dev.write_sector(sector, value), Status::ok);
+    shadow[sector] = value;
+  }
+  EXPECT_GT(layer.counters().swl_erases, 0u);
+  for (const auto& [sector, want] : shadow) {
+    std::uint64_t got = 0;
+    ASSERT_EQ(dev.read_sector(sector, &got), Status::ok);
+    ASSERT_EQ(got, want) << "sector " << sector;
+  }
+}
+
+}  // namespace
+}  // namespace swl::bdev

@@ -1,0 +1,154 @@
+#include "core/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.hpp"
+#include "core/rng.hpp"
+
+namespace swl {
+namespace {
+
+TEST(BitVec, StartsAllClear) {
+  BitVec v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_TRUE(v.none_set());
+  EXPECT_FALSE(v.all_set());
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVec, SetReturnsTransition) {
+  BitVec v(10);
+  EXPECT_TRUE(v.set(3));
+  EXPECT_FALSE(v.set(3));  // already set
+  EXPECT_TRUE(v.test(3));
+  EXPECT_EQ(v.count(), 1u);
+}
+
+TEST(BitVec, ClearReturnsTransition) {
+  BitVec v(10);
+  v.set(7);
+  EXPECT_TRUE(v.clear(7));
+  EXPECT_FALSE(v.clear(7));
+  EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVec, CountTracksSetBits) {
+  BitVec v(200);
+  for (std::size_t i = 0; i < 200; i += 3) v.set(i);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < 200; i += 3) ++expected;
+  EXPECT_EQ(v.count(), expected);
+}
+
+TEST(BitVec, AllSetAcrossWordBoundary) {
+  BitVec v(65);  // straddles two words
+  for (std::size_t i = 0; i < 65; ++i) v.set(i);
+  EXPECT_TRUE(v.all_set());
+}
+
+TEST(BitVec, ResetClearsEverything) {
+  BitVec v(130);
+  for (std::size_t i = 0; i < 130; i += 2) v.set(i);
+  v.reset();
+  EXPECT_EQ(v.count(), 0u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVec, NextZeroCyclicFindsFirstClear) {
+  BitVec v(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (i != 7) v.set(i);
+  }
+  EXPECT_EQ(v.next_zero_cyclic(0), 7u);
+  EXPECT_EQ(v.next_zero_cyclic(7), 7u);
+  EXPECT_EQ(v.next_zero_cyclic(8), 7u);  // wraps
+}
+
+TEST(BitVec, NextZeroCyclicSkipsFullWords) {
+  BitVec v(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    if (i != 200) v.set(i);
+  }
+  EXPECT_EQ(v.next_zero_cyclic(0), 200u);
+  EXPECT_EQ(v.next_zero_cyclic(201), 200u);
+}
+
+TEST(BitVec, NextZeroCyclicOnEmptyVectorReturnsStart) {
+  BitVec v(64);
+  EXPECT_EQ(v.next_zero_cyclic(13), 13u);
+}
+
+TEST(BitVec, NextZeroRequiresAZeroBit) {
+  BitVec v(8);
+  for (std::size_t i = 0; i < 8; ++i) v.set(i);
+  EXPECT_THROW((void)v.next_zero_cyclic(0), PreconditionError);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(8);
+  EXPECT_THROW((void)v.test(8), PreconditionError);
+  EXPECT_THROW(v.set(100), PreconditionError);
+  EXPECT_THROW(v.clear(8), PreconditionError);
+}
+
+TEST(BitVec, AssignRecomputesCountAndMasksTail) {
+  BitVec v(10);
+  // words with bits beyond position 10 set — assign must mask them off.
+  v.assign({~0ULL}, 10);
+  EXPECT_EQ(v.count(), 10u);
+  EXPECT_TRUE(v.all_set());
+}
+
+TEST(BitVec, AssignRoundTripsWords) {
+  BitVec v(130);
+  Rng rng(7);
+  for (std::size_t i = 0; i < 130; ++i) {
+    if (rng.chance(0.4)) v.set(i);
+  }
+  BitVec w(130);
+  w.assign(v.words(), 130);
+  EXPECT_EQ(w.count(), v.count());
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_EQ(w.test(i), v.test(i));
+}
+
+TEST(BitVec, ResizeGrowsWithZeros) {
+  BitVec v(10);
+  v.set(9);
+  v.resize(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.count(), 1u);
+  EXPECT_TRUE(v.test(9));
+  EXPECT_FALSE(v.test(99));
+}
+
+TEST(BitVec, ResizeShrinkDropsTailBits) {
+  BitVec v(100);
+  v.set(99);
+  v.set(1);
+  v.resize(50);
+  EXPECT_EQ(v.count(), 1u);
+  EXPECT_TRUE(v.test(1));
+}
+
+// Property: next_zero_cyclic always returns a clear bit, for random patterns.
+TEST(BitVec, PropertyNextZeroAlwaysClear) {
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = 1 + rng.below(300);
+    BitVec v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(0.8)) v.set(i);
+    }
+    if (v.all_set()) continue;
+    for (int probe = 0; probe < 10; ++probe) {
+      const std::size_t start = rng.below(n);
+      const std::size_t z = v.next_zero_cyclic(start);
+      ASSERT_LT(z, n);
+      ASSERT_FALSE(v.test(z));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swl

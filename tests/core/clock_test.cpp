@@ -1,0 +1,69 @@
+#include "core/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swl {
+namespace {
+
+TEST(SimClock, StartsAtZero) {
+  SimClock c;
+  EXPECT_EQ(c.now(), 0u);
+  EXPECT_DOUBLE_EQ(c.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(c.years(), 0.0);
+}
+
+TEST(SimClock, AdvanceUsAccumulates) {
+  SimClock c;
+  c.advance_us(1500);
+  c.advance_us(500);
+  EXPECT_EQ(c.now(), 2000u);
+  EXPECT_DOUBLE_EQ(c.seconds(), 0.002);
+}
+
+TEST(SimClock, AdvanceToMovesForwardOnly) {
+  SimClock c;
+  c.advance_to(1000);
+  EXPECT_EQ(c.now(), 1000u);
+  c.advance_to(500);  // in the past: no-op
+  EXPECT_EQ(c.now(), 1000u);
+  c.advance_to(1000);
+  EXPECT_EQ(c.now(), 1000u);
+}
+
+TEST(SimClock, AdvanceSecondsKeepsSubMicrosecondRemainder) {
+  SimClock c;
+  // 0.4 us steps: the remainder accumulator must keep long-run drift within
+  // rounding dust (naive per-step truncation would lose 0.4 us every step
+  // and end at 0).
+  for (int i = 0; i < 1000; ++i) c.advance_seconds(0.4e-6);
+  EXPECT_GE(c.now(), 399u);
+  EXPECT_LE(c.now(), 400u);
+}
+
+TEST(SimClock, AdvanceSecondsIgnoresNonPositive) {
+  SimClock c;
+  c.advance_seconds(0.0);
+  c.advance_seconds(-1.0);
+  EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(SimClock, YearsConversion) {
+  SimClock c;
+  c.advance_seconds(kSecondsPerYear);
+  EXPECT_NEAR(c.years(), 1.0, 1e-9);
+}
+
+TEST(SimClock, ResetClearsState) {
+  SimClock c;
+  c.advance_seconds(123.456);
+  c.reset();
+  EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(SimClock, SecondsToUsRoundsDown) {
+  EXPECT_EQ(seconds_to_us(1.0), 1'000'000u);
+  EXPECT_EQ(seconds_to_us(0.0000015), 1u);
+}
+
+}  // namespace
+}  // namespace swl

@@ -1,0 +1,79 @@
+#include "core/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.hpp"
+
+namespace swl {
+namespace {
+
+TEST(Geometry, PaperGeometryMatchesSection5) {
+  const FlashGeometry g = paper_geometry();
+  EXPECT_EQ(g.block_count, 4096u);
+  EXPECT_EQ(g.pages_per_block, 128u);
+  EXPECT_EQ(g.page_size_bytes, 2048u);
+  EXPECT_EQ(g.capacity_bytes(), 1ULL << 30);
+  EXPECT_EQ(g.page_count(), 524'288u);
+}
+
+TEST(Geometry, SmallBlockSlcShape) {
+  const FlashGeometry g = make_geometry(CellType::slc_small_block, 128ULL << 20);
+  EXPECT_EQ(g.pages_per_block, 32u);
+  EXPECT_EQ(g.page_size_bytes, 512u);
+  EXPECT_EQ(g.capacity_bytes(), 128ULL << 20);
+}
+
+TEST(Geometry, LargeBlockSlcShape) {
+  const FlashGeometry g = make_geometry(CellType::slc_large_block, 256ULL << 20);
+  EXPECT_EQ(g.pages_per_block, 64u);
+  EXPECT_EQ(g.page_size_bytes, 2048u);
+}
+
+TEST(Geometry, EnduranceMatchesPaper) {
+  EXPECT_EQ(default_timing(CellType::mlc_x2).endurance, 10'000u);
+  EXPECT_EQ(default_timing(CellType::slc_large_block).endurance, 100'000u);
+  EXPECT_EQ(default_timing(CellType::slc_small_block).endurance, 100'000u);
+}
+
+TEST(Geometry, MlcEraseLatencyMatchesDatasheet) {
+  // The paper cites ~1.5 ms block erase for the 1 GB MLC×2 part [8].
+  EXPECT_EQ(default_timing(CellType::mlc_x2).erase_block_us, 1500u);
+}
+
+TEST(Geometry, RejectsNonBlockMultipleCapacity) {
+  EXPECT_THROW((void)make_geometry(CellType::mlc_x2, (1ULL << 30) + 1), PreconditionError);
+  EXPECT_THROW((void)make_geometry(CellType::mlc_x2, 0), PreconditionError);
+}
+
+TEST(Geometry, ScaledGeometryKeepsBlockShape) {
+  const FlashGeometry g = scaled_geometry(paper_geometry(), 256);
+  EXPECT_EQ(g.block_count, 256u);
+  EXPECT_EQ(g.pages_per_block, 128u);
+  EXPECT_EQ(g.page_size_bytes, 2048u);
+}
+
+TEST(Geometry, ScaledGeometryRejectsZeroBlocks) {
+  EXPECT_THROW((void)scaled_geometry(paper_geometry(), 0), PreconditionError);
+}
+
+TEST(Geometry, ValidityChecks) {
+  FlashGeometry g;
+  EXPECT_FALSE(g.valid());
+  g = paper_geometry();
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(Geometry, DescribeMentionsDimensions) {
+  const std::string d = describe(paper_geometry());
+  EXPECT_NE(d.find("4096"), std::string::npos);
+  EXPECT_NE(d.find("128"), std::string::npos);
+  EXPECT_NE(d.find("1024 MiB"), std::string::npos);
+}
+
+TEST(Geometry, CellTypeNames) {
+  EXPECT_EQ(to_string(CellType::mlc_x2), "MLCx2");
+  EXPECT_EQ(to_string(CellType::slc_small_block), "SLC(small-block)");
+}
+
+}  // namespace
+}  // namespace swl

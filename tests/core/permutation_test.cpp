@@ -1,0 +1,67 @@
+#include "core/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/contracts.hpp"
+
+namespace swl {
+namespace {
+
+TEST(Permutation, IsABijectionOnAwkwardSizes) {
+  for (const std::uint64_t n : {1ULL, 2ULL, 3ULL, 7ULL, 64ULL, 100ULL, 257ULL, 4096ULL, 5000ULL}) {
+    RandomPermutation perm(n, 99);
+    std::vector<bool> seen(n, false);
+    for (std::uint64_t x = 0; x < n; ++x) {
+      const std::uint64_t y = perm(x);
+      ASSERT_LT(y, n) << "n=" << n << " x=" << x;
+      ASSERT_FALSE(seen[y]) << "collision at n=" << n << " x=" << x;
+      seen[y] = true;
+    }
+  }
+}
+
+TEST(Permutation, DeterministicForSameSeed) {
+  RandomPermutation a(1000, 7);
+  RandomPermutation b(1000, 7);
+  for (std::uint64_t x = 0; x < 1000; ++x) EXPECT_EQ(a(x), b(x));
+}
+
+TEST(Permutation, DifferentSeedsDiffer) {
+  RandomPermutation a(1000, 7);
+  RandomPermutation b(1000, 8);
+  int same = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    if (a(x) == b(x)) ++same;
+  }
+  EXPECT_LT(same, 30);
+}
+
+TEST(Permutation, ActuallyScatters) {
+  // Contiguous inputs should not stay contiguous: mean absolute displacement
+  // of a random permutation of [0,n) is about n/3.
+  const std::uint64_t n = 10'000;
+  RandomPermutation perm(n, 3);
+  double displacement = 0.0;
+  for (std::uint64_t x = 0; x < n; ++x) {
+    const auto y = perm(x);
+    displacement += y > x ? static_cast<double>(y - x) : static_cast<double>(x - y);
+  }
+  EXPECT_GT(displacement / static_cast<double>(n), static_cast<double>(n) / 6.0);
+}
+
+TEST(Permutation, RejectsOutOfDomain) {
+  RandomPermutation perm(10, 1);
+  EXPECT_THROW((void)perm(10), PreconditionError);
+  EXPECT_THROW(RandomPermutation(0, 1), PreconditionError);
+}
+
+TEST(Permutation, SizeOneIsIdentity) {
+  RandomPermutation perm(1, 5);
+  EXPECT_EQ(perm(0), 0u);
+}
+
+}  // namespace
+}  // namespace swl

@@ -1,0 +1,55 @@
+#include "core/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/contracts.hpp"
+
+namespace swl {
+namespace {
+
+TEST(Status, NamesAreStable) {
+  EXPECT_EQ(to_string(Status::ok), "ok");
+  EXPECT_EQ(to_string(Status::page_already_programmed), "page_already_programmed");
+  EXPECT_EQ(to_string(Status::block_worn_out), "block_worn_out");
+  EXPECT_EQ(to_string(Status::bad_block), "bad_block");
+  EXPECT_EQ(to_string(Status::page_not_programmed), "page_not_programmed");
+  EXPECT_EQ(to_string(Status::lba_not_mapped), "lba_not_mapped");
+  EXPECT_EQ(to_string(Status::out_of_space), "out_of_space");
+  EXPECT_EQ(to_string(Status::corrupt_snapshot), "corrupt_snapshot");
+}
+
+TEST(Status, OkPredicate) {
+  EXPECT_TRUE(ok(Status::ok));
+  EXPECT_FALSE(ok(Status::bad_block));
+}
+
+TEST(Status, StreamsReadably) {
+  std::ostringstream os;
+  os << Status::out_of_space;
+  EXPECT_EQ(os.str(), "out_of_space");
+}
+
+TEST(Contracts, RequireThrowsWithContext) {
+  try {
+    SWL_REQUIRE(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("status_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, AssertThrowsInvariantError) {
+  EXPECT_THROW(SWL_ASSERT(1 == 2, "broken"), InvariantError);
+}
+
+TEST(Contracts, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(SWL_REQUIRE(true, "unused"));
+  EXPECT_NO_THROW(SWL_ASSERT(true, "unused"));
+}
+
+}  // namespace
+}  // namespace swl

@@ -1,0 +1,384 @@
+#include "ftl/ftl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/contracts.hpp"
+#include "core/rng.hpp"
+#include "swl/leveler.hpp"
+
+namespace swl::ftl {
+namespace {
+
+nand::NandConfig chip_config(BlockIndex blocks = 16, PageIndex pages = 8) {
+  nand::NandConfig c;
+  c.geometry = FlashGeometry{.block_count = blocks, .pages_per_block = pages,
+                             .page_size_bytes = 2048};
+  c.timing = default_timing(CellType::mlc_x2);
+  return c;
+}
+
+struct Fixture {
+  explicit Fixture(BlockIndex blocks = 16, PageIndex pages = 8, Lba lbas = 0) {
+    chip = std::make_unique<nand::NandChip>(chip_config(blocks, pages));
+    FtlConfig cfg;
+    cfg.lba_count = lbas;
+    ftl = std::make_unique<Ftl>(*chip, cfg);
+  }
+  std::unique_ptr<nand::NandChip> chip;
+  std::unique_ptr<Ftl> ftl;
+};
+
+TEST(Ftl, AutoLbaCountLeavesOverProvisioning) {
+  Fixture f;
+  EXPECT_LT(f.ftl->lba_count(), f.chip->geometry().page_count());
+  EXPECT_GT(f.ftl->lba_count(), 0u);
+}
+
+TEST(Ftl, WriteReadRoundTrip) {
+  Fixture f;
+  ASSERT_EQ(f.ftl->write(5, 111), Status::ok);
+  std::uint64_t token = 0;
+  ASSERT_EQ(f.ftl->read(5, &token), Status::ok);
+  EXPECT_EQ(token, 111u);
+}
+
+TEST(Ftl, ReadOfUnmappedLbaFails) {
+  Fixture f;
+  std::uint64_t token = 0;
+  EXPECT_EQ(f.ftl->read(9, &token), Status::lba_not_mapped);
+}
+
+TEST(Ftl, OverwriteReturnsLatestData) {
+  Fixture f;
+  ASSERT_EQ(f.ftl->write(3, 1), Status::ok);
+  ASSERT_EQ(f.ftl->write(3, 2), Status::ok);
+  ASSERT_EQ(f.ftl->write(3, 3), Status::ok);
+  std::uint64_t token = 0;
+  ASSERT_EQ(f.ftl->read(3, &token), Status::ok);
+  EXPECT_EQ(token, 3u);
+}
+
+TEST(Ftl, OverwriteIsOutOfPlace) {
+  Fixture f;
+  ASSERT_EQ(f.ftl->write(3, 1), Status::ok);
+  const Ppa first = f.ftl->translate(3);
+  ASSERT_EQ(f.ftl->write(3, 2), Status::ok);
+  const Ppa second = f.ftl->translate(3);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(f.chip->page_state(first), nand::PageState::invalid);
+  EXPECT_EQ(f.chip->page_state(second), nand::PageState::valid);
+}
+
+TEST(Ftl, SpareAreaRecordsLba) {
+  Fixture f;
+  ASSERT_EQ(f.ftl->write(42, 7), Status::ok);
+  EXPECT_EQ(f.chip->spare(f.ftl->translate(42)).lba, 42u);
+}
+
+TEST(Ftl, SequentialWritesFillBlockSequentially) {
+  Fixture f;
+  ASSERT_EQ(f.ftl->write(0, 1), Status::ok);
+  const Ppa p0 = f.ftl->translate(0);
+  ASSERT_EQ(f.ftl->write(1, 2), Status::ok);
+  const Ppa p1 = f.ftl->translate(1);
+  EXPECT_EQ(p0.block, p1.block);
+  EXPECT_EQ(p1.page, p0.page + 1);
+}
+
+TEST(Ftl, GarbageCollectionPreservesAllData) {
+  Fixture f(16, 8, /*lbas=*/96);
+  std::map<Lba, std::uint64_t> expected;
+  Rng rng(11);
+  std::uint64_t token = 1;
+  // Write far more data than the device holds: GC must run many times.
+  for (int i = 0; i < 4000; ++i) {
+    const Lba lba = static_cast<Lba>(rng.below(96));
+    ASSERT_EQ(f.ftl->write(lba, token), Status::ok);
+    expected[lba] = token++;
+  }
+  EXPECT_GT(f.ftl->counters().gc_erases, 0u);
+  for (const auto& [lba, want] : expected) {
+    std::uint64_t got = 0;
+    ASSERT_EQ(f.ftl->read(lba, &got), Status::ok);
+    ASSERT_EQ(got, want) << "lba " << lba;
+  }
+  f.ftl->check_invariants();
+}
+
+TEST(Ftl, GcCopiesLivePages) {
+  Fixture f(16, 8, /*lbas=*/96);
+  Rng rng(13);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_EQ(f.ftl->write(static_cast<Lba>(rng.below(96)), static_cast<std::uint64_t>(i)),
+              Status::ok);
+  }
+  EXPECT_GT(f.ftl->counters().gc_live_copies, 0u);
+  EXPECT_EQ(f.ftl->counters().swl_live_copies, 0u);  // no leveler attached
+}
+
+TEST(Ftl, HostWriteCounterTracksWrites) {
+  Fixture f;
+  for (int i = 0; i < 10; ++i) ASSERT_EQ(f.ftl->write(0, 1), Status::ok);
+  EXPECT_EQ(f.ftl->counters().host_writes, 10u);
+  std::uint64_t token;
+  ASSERT_EQ(f.ftl->read(0, &token), Status::ok);
+  EXPECT_EQ(f.ftl->counters().host_reads, 1u);
+}
+
+TEST(Ftl, CollectBlocksMovesLiveDataAndErases) {
+  Fixture f;
+  ASSERT_EQ(f.ftl->write(1, 101), Status::ok);
+  ASSERT_EQ(f.ftl->write(2, 102), Status::ok);
+  const BlockIndex victim = f.ftl->translate(1).block;
+  const std::uint32_t before = f.chip->erase_count(victim);
+  f.ftl->collect_blocks(victim, 1);
+  EXPECT_EQ(f.chip->erase_count(victim), before + 1);
+  std::uint64_t token = 0;
+  ASSERT_EQ(f.ftl->read(1, &token), Status::ok);
+  EXPECT_EQ(token, 101u);
+  ASSERT_EQ(f.ftl->read(2, &token), Status::ok);
+  EXPECT_EQ(token, 102u);
+  EXPECT_NE(f.ftl->translate(1).block, victim);
+  f.ftl->check_invariants();
+}
+
+TEST(Ftl, CollectBlocksOnFreeBlockJustErasesIt) {
+  Fixture f;
+  // Pick a block that is certainly still in the pool: one nothing was written
+  // to. With no writes at all, every block but none... write once to pin one.
+  ASSERT_EQ(f.ftl->write(0, 1), Status::ok);
+  const BlockIndex used = f.ftl->translate(0).block;
+  const BlockIndex free_block = used == 0 ? 1 : 0;
+  const std::size_t pool_before = f.ftl->free_block_count();
+  f.ftl->collect_blocks(free_block, 1);
+  EXPECT_EQ(f.chip->erase_count(free_block), 1u);
+  EXPECT_EQ(f.ftl->free_block_count(), pool_before);  // back in the pool
+  f.ftl->check_invariants();
+}
+
+TEST(Ftl, CollectBlocksAttributedToSwl) {
+  Fixture f;
+  ASSERT_EQ(f.ftl->write(1, 101), Status::ok);
+  const BlockIndex victim = f.ftl->translate(1).block;
+  f.ftl->collect_blocks(victim, 1);
+  EXPECT_EQ(f.ftl->counters().swl_erases, 1u);
+  EXPECT_EQ(f.ftl->counters().swl_live_copies, 1u);
+  EXPECT_EQ(f.ftl->counters().gc_erases, 0u);
+}
+
+TEST(Ftl, AttachLevelerWiresBetUpdates) {
+  Fixture f;
+  wear::LevelerConfig lc;
+  lc.threshold = 1e9;  // never triggers SWL-Procedure in this test
+  auto leveler = std::make_unique<wear::SwLeveler>(16, lc);
+  const auto* swl = leveler.get();
+  f.ftl->attach_leveler(std::move(leveler));
+  ASSERT_EQ(f.ftl->write(1, 1), Status::ok);
+  const BlockIndex b = f.ftl->translate(1).block;
+  f.ftl->collect_blocks(b, 1);
+  EXPECT_EQ(swl->ecnt(), 1u);
+  EXPECT_TRUE(swl->bet().test_block(b));
+}
+
+TEST(Ftl, DoubleAttachThrows) {
+  Fixture f;
+  f.ftl->attach_leveler(std::make_unique<wear::SwLeveler>(16, wear::LevelerConfig{}));
+  EXPECT_THROW(
+      f.ftl->attach_leveler(std::make_unique<wear::SwLeveler>(16, wear::LevelerConfig{})),
+      PreconditionError);
+}
+
+TEST(Ftl, AttachRejectsMismatchedBlockCount) {
+  Fixture f;
+  EXPECT_THROW(
+      f.ftl->attach_leveler(std::make_unique<wear::SwLeveler>(8, wear::LevelerConfig{})),
+      PreconditionError);
+}
+
+TEST(Ftl, SwlLevelsWearUnderSkewedWorkload) {
+  // Two identical devices, one with SWL: hammer a few LBAs after laying down
+  // cold data; SWL must spread erases far more evenly.
+  const auto run = [](bool with_swl) {
+    Fixture f(32, 8, /*lbas=*/224);
+    if (with_swl) {
+      wear::LevelerConfig lc;
+      lc.threshold = 10;
+      f.ftl->attach_leveler(std::make_unique<wear::SwLeveler>(32, lc));
+    }
+    // Cold data: fill half the space once.
+    for (Lba lba = 0; lba < 112; ++lba) {
+      EXPECT_EQ(f.ftl->write(lba, lba), Status::ok);
+    }
+    // Hot data: hammer 8 LBAs.
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i) {
+      EXPECT_EQ(f.ftl->write(200 + static_cast<Lba>(rng.below(8)), static_cast<std::uint64_t>(i)),
+                Status::ok);
+    }
+    std::uint32_t min = UINT32_MAX;
+    std::uint32_t max = 0;
+    for (BlockIndex b = 0; b < 32; ++b) {
+      min = std::min(min, f.ftl->chip().erase_count(b));
+      max = std::max(max, f.ftl->chip().erase_count(b));
+    }
+    f.ftl->check_invariants();
+    return std::pair{min, max};
+  };
+  const auto [min_without, max_without] = run(false);
+  const auto [min_with, max_with] = run(true);
+  // Without SWL cold blocks stay untouched.
+  EXPECT_EQ(min_without, 0u);
+  // With SWL every block participates.
+  EXPECT_GT(min_with, 0u);
+  EXPECT_LT(max_with - min_with, max_without - min_without);
+}
+
+TEST(Ftl, RejectsOutOfRangeLba) {
+  Fixture f(16, 8, 64);
+  EXPECT_THROW((void)f.ftl->write(64, 1), PreconditionError);
+  std::uint64_t token;
+  EXPECT_THROW((void)f.ftl->read(64, &token), PreconditionError);
+  EXPECT_THROW((void)f.ftl->translate(64), PreconditionError);
+}
+
+TEST(Ftl, RejectsLbaCountWithoutOverProvisioning) {
+  nand::NandChip chip(chip_config());
+  FtlConfig cfg;
+  cfg.lba_count = static_cast<Lba>(chip.geometry().page_count());  // no spare pages at all
+  EXPECT_THROW(Ftl(chip, cfg), PreconditionError);
+}
+
+TEST(Ftl, NameIsFtl) {
+  Fixture f;
+  EXPECT_EQ(f.ftl->name(), "FTL");
+}
+
+TEST(FtlHotCold, SeparationPreservesData) {
+  nand::NandChip chip(chip_config(16, 8));
+  FtlConfig cfg;
+  cfg.lba_count = 96;
+  cfg.hot_cold_separation = true;
+  cfg.hotness.decay_interval = 256;
+  Ftl ftl(chip, cfg);
+  ASSERT_NE(ftl.hot_data(), nullptr);
+  std::map<Lba, std::uint64_t> expected;
+  Rng rng(23);
+  std::uint64_t token = 1;
+  for (int i = 0; i < 4000; ++i) {
+    const Lba lba = rng.chance(0.5) ? static_cast<Lba>(rng.below(4))
+                                    : static_cast<Lba>(rng.below(96));
+    ASSERT_EQ(ftl.write(lba, token), Status::ok);
+    expected[lba] = token++;
+  }
+  for (const auto& [lba, want] : expected) {
+    std::uint64_t got = 0;
+    ASSERT_EQ(ftl.read(lba, &got), Status::ok);
+    ASSERT_EQ(got, want);
+  }
+  ftl.check_invariants();
+  EXPECT_GT(ftl.hot_data()->writes_recorded(), 0u);
+}
+
+TEST(FtlHotCold, HotWritesLandOnSeparateFrontier) {
+  nand::NandChip chip(chip_config(16, 8));
+  FtlConfig cfg;
+  cfg.lba_count = 96;
+  cfg.hot_cold_separation = true;
+  Ftl ftl(chip, cfg);
+  // Make LBA 0 hot, then interleave a hot and a cold write: they must land
+  // in different blocks.
+  for (int i = 0; i < 10; ++i) ASSERT_EQ(ftl.write(0, static_cast<std::uint64_t>(i)), Status::ok);
+  ASSERT_TRUE(ftl.hot_data()->is_hot(0));
+  ASSERT_EQ(ftl.write(50, 1), Status::ok);  // cold
+  ASSERT_EQ(ftl.write(0, 99), Status::ok);  // hot
+  EXPECT_NE(ftl.translate(50).block, ftl.translate(0).block);
+}
+
+TEST(FtlHotCold, SeparationReducesGcCopiesUnderMixedWorkload) {
+  // Hot updates interleaved with a slow one-shot cold stream: without
+  // separation every block carries a sprinkle of long-lived pages that GC
+  // drags around forever; with separation the hot blocks die clean.
+  const auto run = [](bool separate) {
+    nand::NandChip chip(chip_config(32, 16));
+    FtlConfig cfg;
+    cfg.lba_count = 416;
+    cfg.hot_cold_separation = separate;
+    Ftl ftl(chip, cfg);
+    Rng rng(31);
+    Lba cold_cursor = 0;
+    for (int i = 0; i < 30'000; ++i) {
+      Lba lba;
+      if (rng.chance(0.9)) {
+        lba = 400 + static_cast<Lba>(rng.below(8));  // hot
+      } else {
+        lba = cold_cursor;  // slow sequential cold stream over [0, 400)
+        cold_cursor = (cold_cursor + 1) % 400;
+      }
+      EXPECT_EQ(ftl.write(lba, static_cast<std::uint64_t>(i)), Status::ok);
+    }
+    ftl.check_invariants();
+    return ftl.counters().gc_live_copies;
+  };
+  const auto with_separation = run(true);
+  const auto without_separation = run(false);
+  EXPECT_LT(with_separation, without_separation);
+}
+
+TEST(FtlVictimPolicy, CostBenefitPreservesDataUnderChurn) {
+  nand::NandChip chip(chip_config(16, 8));
+  FtlConfig cfg;
+  cfg.lba_count = 96;
+  cfg.victim_policy = tl::VictimPolicy::cost_benefit_age;
+  Ftl ftl(chip, cfg);
+  std::map<Lba, std::uint64_t> expected;
+  Rng rng(47);
+  std::uint64_t token = 1;
+  for (int i = 0; i < 4000; ++i) {
+    const Lba lba = rng.chance(0.5) ? static_cast<Lba>(rng.below(4))
+                                    : static_cast<Lba>(rng.below(96));
+    ASSERT_EQ(ftl.write(lba, token), Status::ok);
+    expected[lba] = token++;
+  }
+  EXPECT_GT(ftl.counters().gc_erases, 0u);
+  for (const auto& [lba, want] : expected) {
+    std::uint64_t got = 0;
+    ASSERT_EQ(ftl.read(lba, &got), Status::ok);
+    ASSERT_EQ(got, want);
+  }
+  ftl.check_invariants();
+}
+
+TEST(FtlVictimPolicy, CostBenefitCopiesNoMoreThanGreedyOnSkewedChurn) {
+  // With hot data concentrated, cost-benefit should pick cheap victims at
+  // least as well as first-fit greedy (usually better).
+  const auto run = [](tl::VictimPolicy policy) {
+    nand::NandChip chip(chip_config(16, 8));
+    FtlConfig cfg;
+    cfg.lba_count = 96;
+    cfg.victim_policy = policy;
+    Ftl ftl(chip, cfg);
+    Rng rng(53);
+    for (Lba lba = 0; lba < 48; ++lba) EXPECT_EQ(ftl.write(lba, lba), Status::ok);
+    for (int i = 0; i < 20'000; ++i) {
+      EXPECT_EQ(ftl.write(90 + static_cast<Lba>(rng.below(4)), static_cast<std::uint64_t>(i)),
+                Status::ok);
+    }
+    return ftl.counters().gc_live_copies;
+  };
+  EXPECT_LE(run(tl::VictimPolicy::cost_benefit_age),
+            run(tl::VictimPolicy::greedy_cyclic) * 11 / 10);
+}
+
+TEST(FtlHotCold, RequiresExtraReserve) {
+  nand::NandChip chip(chip_config(16, 8));
+  FtlConfig cfg;
+  cfg.lba_count = 128 - 16;  // only two blocks of reserve
+  cfg.hot_cold_separation = true;
+  EXPECT_THROW(Ftl(chip, cfg), PreconditionError);
+}
+
+}  // namespace
+}  // namespace swl::ftl

@@ -1,0 +1,114 @@
+#include "hotness/hot_data.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.hpp"
+#include "core/rng.hpp"
+
+namespace swl::hotness {
+namespace {
+
+HotDataConfig small_config() {
+  HotDataConfig c;
+  c.table_entries = 1024;
+  c.hash_count = 2;
+  c.counter_bits = 4;
+  c.hot_threshold = 4;
+  c.decay_interval = 512;
+  return c;
+}
+
+TEST(HotData, FreshIdentifierSeesEverythingCold) {
+  HotDataIdentifier id(small_config());
+  for (Lba lba = 0; lba < 100; ++lba) EXPECT_FALSE(id.is_hot(lba));
+}
+
+TEST(HotData, RepeatedWritesBecomeHot) {
+  HotDataIdentifier id(small_config());
+  for (int i = 0; i < 10; ++i) id.record_write(42);
+  EXPECT_TRUE(id.is_hot(42));
+}
+
+TEST(HotData, SingleWriteStaysCold) {
+  HotDataIdentifier id(small_config());
+  id.record_write(42);
+  EXPECT_FALSE(id.is_hot(42));
+  EXPECT_EQ(id.min_counter(42), 1u);
+}
+
+TEST(HotData, NoFalseNegatives) {
+  // An LBA written at least `hot_threshold` times since the last decay must
+  // be classified hot — aliasing can only inflate counters.
+  HotDataConfig c = small_config();
+  c.decay_interval = 1'000'000;  // no decay during the test
+  HotDataIdentifier id(c);
+  Rng rng(3);
+  for (int i = 0; i < 2'000; ++i) id.record_write(static_cast<Lba>(rng.below(5'000)));
+  for (int i = 0; i < static_cast<int>(c.hot_threshold); ++i) id.record_write(7777);
+  EXPECT_TRUE(id.is_hot(7777));
+}
+
+TEST(HotData, CountersSaturate) {
+  HotDataIdentifier id(small_config());
+  for (int i = 0; i < 1'000; ++i) id.record_write(1);
+  EXPECT_EQ(id.min_counter(1), 15u);  // 4-bit counters saturate at 15
+}
+
+TEST(HotData, DecayCoolsDownOldData) {
+  HotDataConfig c = small_config();
+  c.decay_interval = 64;
+  HotDataIdentifier id(c);
+  for (int i = 0; i < 16; ++i) id.record_write(42);
+  ASSERT_TRUE(id.is_hot(42));
+  // Write other LBAs long enough for several decay passes.
+  for (int i = 0; i < 1'000; ++i) id.record_write(100 + static_cast<Lba>(i % 7));
+  EXPECT_GE(id.decays_performed(), 4u);
+  EXPECT_FALSE(id.is_hot(42)) << "stale hot data must cool down";
+}
+
+TEST(HotData, DistinguishesHotFromColdUnderMixedWorkload) {
+  HotDataIdentifier id(small_config());
+  Rng rng(9);
+  // 8 hot LBAs take half the writes; 4000 cold LBAs share the rest.
+  for (int i = 0; i < 20'000; ++i) {
+    const Lba lba = rng.chance(0.5) ? static_cast<Lba>(rng.below(8))
+                                    : static_cast<Lba>(8 + rng.below(4'000));
+    id.record_write(lba);
+  }
+  int hot_detected = 0;
+  for (Lba lba = 0; lba < 8; ++lba) hot_detected += id.is_hot(lba) ? 1 : 0;
+  EXPECT_GE(hot_detected, 7);
+  int cold_mistaken = 0;
+  for (Lba lba = 8; lba < 2'008; ++lba) cold_mistaken += id.is_hot(lba) ? 1 : 0;
+  // Some false positives are expected (hash aliasing) but they must be rare.
+  EXPECT_LT(cold_mistaken, 200);
+}
+
+TEST(HotData, SizeBytesReportsPackedTable) {
+  HotDataConfig c = small_config();  // 1024 entries x 4 bits
+  EXPECT_EQ(HotDataIdentifier(c).size_bytes(), 512u);
+}
+
+TEST(HotData, RejectsBadConfig) {
+  HotDataConfig c = small_config();
+  c.table_entries = 1000;  // not a power of two
+  EXPECT_THROW(HotDataIdentifier{c}, PreconditionError);
+  c = small_config();
+  c.hash_count = 0;
+  EXPECT_THROW(HotDataIdentifier{c}, PreconditionError);
+  c = small_config();
+  c.hot_threshold = 200;  // beyond 4-bit saturation
+  EXPECT_THROW(HotDataIdentifier{c}, PreconditionError);
+  c = small_config();
+  c.decay_interval = 0;
+  EXPECT_THROW(HotDataIdentifier{c}, PreconditionError);
+}
+
+TEST(HotData, WritesRecordedCounts) {
+  HotDataIdentifier id(small_config());
+  for (int i = 0; i < 100; ++i) id.record_write(static_cast<Lba>(i));
+  EXPECT_EQ(id.writes_recorded(), 100u);
+}
+
+}  // namespace
+}  // namespace swl::hotness

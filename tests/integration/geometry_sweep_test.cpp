@@ -1,0 +1,119 @@
+// Geometry sweep: the full stack must behave across the paper's three NAND
+// organizations (small-block SLC: 32×512 B pages; large-block SLC: 64×2 KB;
+// MLC×2: 128×2 KB) for both translation layers, with SWL attached.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "core/rng.hpp"
+#include "ftl/ftl.hpp"
+#include "nftl/nftl.hpp"
+#include "swl/leveler.hpp"
+
+namespace swl {
+namespace {
+
+enum class Layer { ftl, nftl };
+
+using Param = std::tuple<Layer, CellType>;
+
+class GeometrySweepTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void build() {
+    const auto [kind, cell] = GetParam();
+    nand::NandConfig nc;
+    nc.geometry = scaled_geometry(make_geometry(cell, 64ULL << 20), 24);
+    nc.timing = default_timing(cell);
+    chip = std::make_unique<nand::NandChip>(nc);
+    if (kind == Layer::ftl) {
+      layer = std::make_unique<ftl::Ftl>(*chip, ftl::FtlConfig{});
+    } else {
+      layer = std::make_unique<nftl::Nftl>(*chip, nftl::NftlConfig{});
+    }
+    wear::LevelerConfig lc;
+    lc.threshold = 8;
+    layer->attach_leveler(std::make_unique<wear::SwLeveler>(24, lc));
+  }
+
+  void check_invariants() {
+    if (auto* f = dynamic_cast<ftl::Ftl*>(layer.get())) f->check_invariants();
+    if (auto* n = dynamic_cast<nftl::Nftl*>(layer.get())) n->check_invariants();
+  }
+
+  std::unique_ptr<nand::NandChip> chip;
+  std::unique_ptr<tl::TranslationLayer> layer;
+};
+
+TEST_P(GeometrySweepTest, RandomWorkloadPreservesData) {
+  build();
+  Rng rng(55);
+  std::map<Lba, std::uint64_t> shadow;
+  const int ops = 6'000;
+  for (int i = 0; i < ops; ++i) {
+    const Lba lba = rng.chance(0.5) ? static_cast<Lba>(rng.below(4))
+                                    : static_cast<Lba>(rng.below(layer->lba_count()));
+    ASSERT_EQ(layer->write(lba, static_cast<std::uint64_t>(i + 1)), Status::ok);
+    shadow[lba] = static_cast<std::uint64_t>(i + 1);
+  }
+  for (const auto& [lba, want] : shadow) {
+    std::uint64_t got = 0;
+    ASSERT_EQ(layer->read(lba, &got), Status::ok);
+    ASSERT_EQ(got, want);
+  }
+  check_invariants();
+}
+
+TEST_P(GeometrySweepTest, CrashRemountRecovers) {
+  build();
+  const auto [kind, cell] = GetParam();
+  Rng rng(66);
+  std::map<Lba, std::uint64_t> shadow;
+  for (int i = 0; i < 3'000; ++i) {
+    const Lba lba = static_cast<Lba>(rng.below(layer->lba_count()));
+    ASSERT_EQ(layer->write(lba, static_cast<std::uint64_t>(i + 1)), Status::ok);
+    shadow[lba] = static_cast<std::uint64_t>(i + 1);
+  }
+  layer.reset();
+  chip->forget_logical_state();
+  std::unique_ptr<tl::TranslationLayer> remounted;
+  if (kind == Layer::ftl) {
+    remounted = ftl::Ftl::mount(*chip, ftl::FtlConfig{});
+  } else {
+    remounted = nftl::Nftl::mount(*chip, nftl::NftlConfig{});
+  }
+  for (const auto& [lba, want] : shadow) {
+    std::uint64_t got = 0;
+    ASSERT_EQ(remounted->read(lba, &got), Status::ok);
+    ASSERT_EQ(got, want);
+  }
+}
+
+std::string geometry_param_name(const ::testing::TestParamInfo<Param>& info) {
+  const Layer kind = std::get<0>(info.param);
+  const CellType cell = std::get<1>(info.param);
+  std::string name = kind == Layer::ftl ? "Ftl" : "Nftl";
+  switch (cell) {
+    case CellType::slc_small_block:
+      name += "SmallSlc";
+      break;
+    case CellType::slc_large_block:
+      name += "LargeSlc";
+      break;
+    case CellType::mlc_x2:
+      name += "Mlc";
+      break;
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGeometries, GeometrySweepTest,
+                         ::testing::Combine(::testing::Values(Layer::ftl, Layer::nftl),
+                                            ::testing::Values(CellType::slc_small_block,
+                                                              CellType::slc_large_block,
+                                                              CellType::mlc_x2)),
+                         geometry_param_name);
+
+}  // namespace
+}  // namespace swl

@@ -1,0 +1,272 @@
+// Crash-remount recovery: NandChip::forget_logical_state() simulates power
+// loss (the chip keeps payloads, spare areas and erase counts but loses the
+// firmware's valid/invalid knowledge); Ftl::mount / Nftl::mount rebuild the
+// mapping state from a spare-area scan.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/rng.hpp"
+#include "ftl/ftl.hpp"
+#include "nftl/nftl.hpp"
+#include "swl/leveler.hpp"
+
+namespace swl {
+namespace {
+
+nand::NandConfig chip_config(BlockIndex blocks = 24, PageIndex pages = 8) {
+  nand::NandConfig c;
+  c.geometry = FlashGeometry{.block_count = blocks, .pages_per_block = pages,
+                             .page_size_bytes = 2048};
+  c.timing = default_timing(CellType::mlc_x2);
+  return c;
+}
+
+TEST(NandChip, ForgetLogicalStateRestoresValidMarks) {
+  nand::NandChip chip(chip_config());
+  ASSERT_EQ(chip.program_page({0, 0}, 1, nand::SpareArea{0, 1, 0}), Status::ok);
+  ASSERT_EQ(chip.program_page({0, 1}, 2, nand::SpareArea{0, 2, 0}), Status::ok);
+  ASSERT_EQ(chip.invalidate_page({0, 0}), Status::ok);
+  chip.forget_logical_state();
+  EXPECT_EQ(chip.page_state({0, 0}), nand::PageState::valid);
+  EXPECT_EQ(chip.page_state({0, 1}), nand::PageState::valid);
+  EXPECT_EQ(chip.valid_page_count(0), 2u);
+  EXPECT_EQ(chip.invalid_page_count(0), 0u);
+  // Payload, spare and erase counts survive.
+  EXPECT_EQ(chip.read_page({0, 0}).payload_token, 1u);
+  EXPECT_EQ(chip.spare({0, 1}).sequence, 2u);
+}
+
+TEST(FtlMount, RecoversDataAfterCrash) {
+  nand::NandChip chip(chip_config());
+  std::map<Lba, std::uint64_t> shadow;
+  {
+    ftl::Ftl ftl(chip, ftl::FtlConfig{});
+    Rng rng(3);
+    for (int i = 0; i < 5'000; ++i) {
+      const Lba lba = rng.chance(0.5) ? static_cast<Lba>(rng.below(4))
+                                      : static_cast<Lba>(rng.below(ftl.lba_count()));
+      ASSERT_EQ(ftl.write(lba, static_cast<std::uint64_t>(i + 1)), Status::ok);
+      shadow[lba] = static_cast<std::uint64_t>(i + 1);
+    }
+  }  // power loss: the FTL object (and its RAM tables) is gone
+  chip.forget_logical_state();
+  auto ftl = ftl::Ftl::mount(chip, ftl::FtlConfig{});
+  for (const auto& [lba, want] : shadow) {
+    std::uint64_t got = 0;
+    ASSERT_EQ(ftl->read(lba, &got), Status::ok);
+    ASSERT_EQ(got, want) << "lba " << lba;
+  }
+  ftl->check_invariants();
+}
+
+TEST(FtlMount, DeviceRemainsFullyWritableAfterMount) {
+  nand::NandChip chip(chip_config());
+  {
+    ftl::Ftl ftl(chip, ftl::FtlConfig{});
+    for (Lba lba = 0; lba < 100; ++lba) ASSERT_EQ(ftl.write(lba, lba), Status::ok);
+  }
+  chip.forget_logical_state();
+  auto ftl = ftl::Ftl::mount(chip, ftl::FtlConfig{});
+  // Keep writing far past a full device turnover: GC + frontiers must work.
+  Rng rng(5);
+  for (int i = 0; i < 5'000; ++i) {
+    ASSERT_EQ(ftl->write(static_cast<Lba>(rng.below(ftl->lba_count())),
+                         static_cast<std::uint64_t>(1000 + i)),
+              Status::ok);
+  }
+  ftl->check_invariants();
+}
+
+TEST(FtlMount, PicksNewestVersionBySequence) {
+  nand::NandChip chip(chip_config());
+  // Handcraft competing versions of LBA 7 (as a crash between a GC copy and
+  // the victim's erase leaves behind).
+  ASSERT_EQ(chip.program_page({2, 0}, 111, nand::SpareArea{7, 10, 0}), Status::ok);
+  ASSERT_EQ(chip.program_page({5, 3}, 222, nand::SpareArea{7, 11, 0}), Status::ok);
+  auto ftl = ftl::Ftl::mount(chip, ftl::FtlConfig{});
+  std::uint64_t got = 0;
+  ASSERT_EQ(ftl->read(7, &got), Status::ok);
+  EXPECT_EQ(got, 222u);
+  EXPECT_EQ(chip.page_state({2, 0}), nand::PageState::invalid);  // stale loser
+  ftl->check_invariants();
+}
+
+TEST(FtlMount, SkipsGarbagePages) {
+  nand::NandChip chip(chip_config());
+  // A page whose spare reads as garbage (ECC failure marker).
+  ASSERT_EQ(chip.program_page({0, 0}, 0xBAD, nand::SpareArea{}), Status::ok);
+  ASSERT_EQ(chip.program_page({0, 1}, 42, nand::SpareArea{3, 1, 0}), Status::ok);
+  auto ftl = ftl::Ftl::mount(chip, ftl::FtlConfig{});
+  std::uint64_t got = 0;
+  ASSERT_EQ(ftl->read(3, &got), Status::ok);
+  EXPECT_EQ(got, 42u);
+  EXPECT_EQ(chip.page_state({0, 0}), nand::PageState::invalid);
+  ftl->check_invariants();
+}
+
+TEST(FtlMount, ResumesSequenceNumbering) {
+  nand::NandChip chip(chip_config());
+  ASSERT_EQ(chip.program_page({0, 0}, 1, nand::SpareArea{0, 999, 0}), Status::ok);
+  auto ftl = ftl::Ftl::mount(chip, ftl::FtlConfig{});
+  // A new write must supersede the restored one.
+  ASSERT_EQ(ftl->write(0, 2), Status::ok);
+  EXPECT_GT(chip.spare(ftl->translate(0)).sequence, 999u);
+}
+
+TEST(NftlMount, RecoversDataAfterCrash) {
+  nand::NandChip chip(chip_config());
+  std::map<Lba, std::uint64_t> shadow;
+  {
+    nftl::Nftl nftl(chip, nftl::NftlConfig{});
+    Rng rng(7);
+    for (int i = 0; i < 5'000; ++i) {
+      const Lba lba = rng.chance(0.5) ? static_cast<Lba>(rng.below(4))
+                                      : static_cast<Lba>(rng.below(nftl.lba_count()));
+      ASSERT_EQ(nftl.write(lba, static_cast<std::uint64_t>(i + 1)), Status::ok);
+      shadow[lba] = static_cast<std::uint64_t>(i + 1);
+    }
+  }
+  chip.forget_logical_state();
+  auto nftl = nftl::Nftl::mount(chip, nftl::NftlConfig{});
+  for (const auto& [lba, want] : shadow) {
+    std::uint64_t got = 0;
+    ASSERT_EQ(nftl->read(lba, &got), Status::ok);
+    ASSERT_EQ(got, want) << "lba " << lba;
+  }
+  nftl->check_invariants();
+}
+
+TEST(NftlMount, DeviceRemainsFullyWritableAfterMount) {
+  nand::NandChip chip(chip_config());
+  {
+    nftl::Nftl nftl(chip, nftl::NftlConfig{});
+    Rng rng(11);
+    for (int i = 0; i < 3'000; ++i) {
+      ASSERT_EQ(nftl.write(static_cast<Lba>(rng.below(nftl.lba_count())),
+                           static_cast<std::uint64_t>(i + 1)),
+                Status::ok);
+    }
+  }
+  chip.forget_logical_state();
+  auto nftl = nftl::Nftl::mount(chip, nftl::NftlConfig{});
+  Rng rng(13);
+  for (int i = 0; i < 5'000; ++i) {
+    ASSERT_EQ(nftl->write(static_cast<Lba>(rng.below(nftl->lba_count())),
+                          static_cast<std::uint64_t>(10'000 + i)),
+              Status::ok);
+  }
+  nftl->check_invariants();
+}
+
+TEST(NftlMount, ResolvesCrashMidFoldDuplicatePrimaries) {
+  nand::NandChip chip(chip_config());
+  // Handcraft the state a crash between a fold's commit and the erase of
+  // the old pair leaves: old primary (low sequences), old replacement, and
+  // the freshly folded primary (high sequences) — all for VBA 1.
+  using nand::PageRole;
+  // old primary: lbas 8, 9 at offsets 0, 1
+  ASSERT_EQ(chip.program_page({2, 0}, 100, nand::SpareArea{8, 1, 0, PageRole::primary}),
+            Status::ok);
+  ASSERT_EQ(chip.program_page({2, 1}, 101, nand::SpareArea{9, 2, 0, PageRole::primary}),
+            Status::ok);
+  // old replacement: newer version of lba 8
+  ASSERT_EQ(chip.program_page({3, 0}, 200, nand::SpareArea{8, 3, 0, PageRole::replacement}),
+            Status::ok);
+  // folded fresh primary: the newest copies of both lbas
+  ASSERT_EQ(chip.program_page({4, 0}, 200, nand::SpareArea{8, 4, 0, PageRole::primary}),
+            Status::ok);
+  ASSERT_EQ(chip.program_page({4, 1}, 101, nand::SpareArea{9, 5, 0, PageRole::primary}),
+            Status::ok);
+
+  auto nftl = nftl::Nftl::mount(chip, nftl::NftlConfig{});
+  EXPECT_EQ(nftl->primary_block(1), 4u);  // the fold won
+  std::uint64_t got = 0;
+  ASSERT_EQ(nftl->read(8, &got), Status::ok);
+  EXPECT_EQ(got, 200u);
+  ASSERT_EQ(nftl->read(9, &got), Status::ok);
+  EXPECT_EQ(got, 101u);
+  // The stale old primary was recycled into the pool (erased once).
+  EXPECT_EQ(chip.erase_count(2), 1u);
+  nftl->check_invariants();
+}
+
+TEST(NftlMount, RestoresReplacementWritePointer) {
+  nand::NandChip chip(chip_config());
+  {
+    nftl::Nftl nftl(chip, nftl::NftlConfig{});
+    ASSERT_EQ(nftl.write(8, 1), Status::ok);   // primary
+    ASSERT_EQ(nftl.write(8, 2), Status::ok);   // replacement page 0
+    ASSERT_EQ(nftl.write(10, 3), Status::ok);  // primary offset 2
+    ASSERT_EQ(nftl.write(10, 4), Status::ok);  // replacement page 1
+  }
+  chip.forget_logical_state();
+  auto nftl = nftl::Nftl::mount(chip, nftl::NftlConfig{});
+  const BlockIndex repl = nftl->replacement_block(1);
+  ASSERT_NE(repl, kInvalidBlock);
+  // The next overwrite must append at page 2, not clobber pages 0-1.
+  ASSERT_EQ(nftl->write(8, 5), Status::ok);
+  EXPECT_EQ(nftl->translate(8), (Ppa{repl, 2}));
+  std::uint64_t got = 0;
+  ASSERT_EQ(nftl->read(10, &got), Status::ok);
+  EXPECT_EQ(got, 4u);
+  nftl->check_invariants();
+}
+
+// Property: crash at an arbitrary point of a randomized workload (including
+// with SWL running and media errors injected) never loses acknowledged data.
+TEST(MountProperty, CrashAnywhereNeverLosesAcknowledgedData) {
+  for (const bool use_nftl : {false, true}) {
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      nand::NandConfig cc = chip_config();
+      cc.failures.program_fail_p = 0.01;
+      nand::NandChip chip(cc);
+      std::map<Lba, std::uint64_t> shadow;
+      Rng rng(seed);
+      const int crash_after = 500 + static_cast<int>(rng.below(4'000));
+      {
+        std::unique_ptr<tl::TranslationLayer> layer;
+        nftl::NftlConfig ncfg;
+        ncfg.vba_count = 18;
+        ftl::FtlConfig fcfg;
+        fcfg.lba_count = 152;
+        if (use_nftl) {
+          layer = std::make_unique<nftl::Nftl>(chip, ncfg);
+        } else {
+          layer = std::make_unique<ftl::Ftl>(chip, fcfg);
+        }
+        wear::LevelerConfig lc;
+        lc.threshold = 8;
+        layer->attach_leveler(std::make_unique<wear::SwLeveler>(24, lc));
+        for (int i = 0; i < crash_after; ++i) {
+          const Lba lba = rng.chance(0.5) ? static_cast<Lba>(rng.below(4))
+                                          : static_cast<Lba>(rng.below(layer->lba_count()));
+          const Status st = layer->write(lba, static_cast<std::uint64_t>(i + 1));
+          if (st != Status::ok) continue;  // unacknowledged: no promise
+          shadow[lba] = static_cast<std::uint64_t>(i + 1);
+        }
+      }
+      chip.forget_logical_state();
+      std::unique_ptr<tl::TranslationLayer> layer;
+      if (use_nftl) {
+        nftl::NftlConfig ncfg;
+        ncfg.vba_count = 18;
+        layer = nftl::Nftl::mount(chip, ncfg);
+      } else {
+        ftl::FtlConfig fcfg;
+        fcfg.lba_count = 152;
+        layer = ftl::Ftl::mount(chip, fcfg);
+      }
+      for (const auto& [lba, want] : shadow) {
+        std::uint64_t got = 0;
+        ASSERT_EQ(layer->read(lba, &got), Status::ok)
+            << (use_nftl ? "nftl" : "ftl") << " seed " << seed << " lba " << lba;
+        ASSERT_EQ(got, want);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swl

@@ -1,0 +1,246 @@
+#include "nand/nand_chip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.hpp"
+
+namespace swl::nand {
+namespace {
+
+NandConfig small_config(std::uint32_t endurance = 100, bool retire = false) {
+  NandConfig c;
+  c.geometry = FlashGeometry{.block_count = 8, .pages_per_block = 4, .page_size_bytes = 2048};
+  c.timing = default_timing(CellType::mlc_x2);
+  c.timing.endurance = endurance;
+  c.retire_worn_blocks = retire;
+  return c;
+}
+
+TEST(NandChip, FreshChipIsErased) {
+  NandChip chip(small_config());
+  for (BlockIndex b = 0; b < 8; ++b) {
+    EXPECT_EQ(chip.erase_count(b), 0u);
+    EXPECT_EQ(chip.free_page_count(b), 4u);
+    for (PageIndex p = 0; p < 4; ++p) {
+      EXPECT_EQ(chip.page_state({b, p}), PageState::free);
+    }
+  }
+}
+
+TEST(NandChip, ProgramThenReadRoundTrips) {
+  NandChip chip(small_config());
+  const SpareArea spare{42, 7, 0};
+  ASSERT_EQ(chip.program_page({1, 2}, 0xDEADBEEF, spare), Status::ok);
+  const PageReadResult r = chip.read_page({1, 2});
+  EXPECT_EQ(r.status, Status::ok);
+  EXPECT_EQ(r.payload_token, 0xDEADBEEFu);
+  EXPECT_EQ(r.spare.lba, 42u);
+  EXPECT_EQ(r.spare.sequence, 7u);
+  EXPECT_EQ(r.state, PageState::valid);
+}
+
+TEST(NandChip, EccIsComputedOnProgram) {
+  NandChip chip(small_config());
+  ASSERT_EQ(chip.program_page({0, 0}, 0x12345678ABCDEFULL, SpareArea{1, 1, 0}), Status::ok);
+  EXPECT_EQ(chip.read_page({0, 0}).spare.ecc, compute_ecc(0x12345678ABCDEFULL));
+}
+
+TEST(NandChip, PageIsProgramOnce) {
+  NandChip chip(small_config());
+  ASSERT_EQ(chip.program_page({0, 0}, 1, SpareArea{}), Status::ok);
+  EXPECT_EQ(chip.program_page({0, 0}, 2, SpareArea{}), Status::page_already_programmed);
+  // original data is intact
+  EXPECT_EQ(chip.read_page({0, 0}).payload_token, 1u);
+}
+
+TEST(NandChip, ReadOfFreePageFails) {
+  NandChip chip(small_config());
+  EXPECT_EQ(chip.read_page({3, 3}).status, Status::page_not_programmed);
+}
+
+TEST(NandChip, EraseFreesAllPagesAndCounts) {
+  NandChip chip(small_config());
+  for (PageIndex p = 0; p < 4; ++p) {
+    ASSERT_EQ(chip.program_page({2, p}, p, SpareArea{p, p, 0}), Status::ok);
+  }
+  EXPECT_EQ(chip.free_page_count(2), 0u);
+  ASSERT_EQ(chip.erase_block(2), Status::ok);
+  EXPECT_EQ(chip.erase_count(2), 1u);
+  EXPECT_EQ(chip.free_page_count(2), 4u);
+  for (PageIndex p = 0; p < 4; ++p) {
+    EXPECT_EQ(chip.page_state({2, p}), PageState::free);
+  }
+}
+
+TEST(NandChip, ErasedPageIsProgrammableAgain) {
+  NandChip chip(small_config());
+  ASSERT_EQ(chip.program_page({0, 1}, 5, SpareArea{}), Status::ok);
+  ASSERT_EQ(chip.erase_block(0), Status::ok);
+  EXPECT_EQ(chip.program_page({0, 1}, 6, SpareArea{}), Status::ok);
+  EXPECT_EQ(chip.read_page({0, 1}).payload_token, 6u);
+}
+
+TEST(NandChip, InvalidatePageTracksCounts) {
+  NandChip chip(small_config());
+  ASSERT_EQ(chip.program_page({1, 0}, 1, SpareArea{}), Status::ok);
+  ASSERT_EQ(chip.program_page({1, 1}, 2, SpareArea{}), Status::ok);
+  EXPECT_EQ(chip.valid_page_count(1), 2u);
+  ASSERT_EQ(chip.invalidate_page({1, 0}), Status::ok);
+  EXPECT_EQ(chip.valid_page_count(1), 1u);
+  EXPECT_EQ(chip.invalid_page_count(1), 1u);
+  // idempotent on an already-invalid page
+  ASSERT_EQ(chip.invalidate_page({1, 0}), Status::ok);
+  EXPECT_EQ(chip.invalid_page_count(1), 1u);
+  // invalid page remains readable, like on a real chip
+  EXPECT_EQ(chip.read_page({1, 0}).status, Status::ok);
+}
+
+TEST(NandChip, InvalidateFreePageFails) {
+  NandChip chip(small_config());
+  EXPECT_EQ(chip.invalidate_page({0, 0}), Status::page_not_programmed);
+}
+
+TEST(NandChip, SequentialProgramEnforcement) {
+  NandConfig cfg = small_config();
+  cfg.enforce_sequential_program = true;
+  NandChip chip(cfg);
+  EXPECT_EQ(chip.program_page({0, 2}, 1, SpareArea{}), Status::page_already_programmed);
+  EXPECT_EQ(chip.program_page({0, 0}, 1, SpareArea{}), Status::ok);
+  EXPECT_EQ(chip.program_page({0, 1}, 2, SpareArea{}), Status::ok);
+}
+
+TEST(NandChip, NonSequentialProgramAllowedByDefault) {
+  NandChip chip(small_config());
+  EXPECT_EQ(chip.program_page({0, 3}, 1, SpareArea{}), Status::ok);
+  EXPECT_EQ(chip.program_page({0, 0}, 2, SpareArea{}), Status::ok);
+}
+
+TEST(NandChip, FirstFailureRecordedAtEnduranceLimit) {
+  NandChip chip(small_config(/*endurance=*/3));
+  EXPECT_FALSE(chip.first_failure().has_value());
+  ASSERT_EQ(chip.erase_block(5), Status::ok);
+  ASSERT_EQ(chip.erase_block(5), Status::ok);
+  EXPECT_FALSE(chip.first_failure().has_value());
+  ASSERT_EQ(chip.erase_block(5), Status::ok);
+  ASSERT_TRUE(chip.first_failure().has_value());
+  EXPECT_EQ(chip.first_failure()->block, 5u);
+  EXPECT_EQ(chip.first_failure()->total_erases, 3u);
+  EXPECT_TRUE(chip.is_worn_out(5));
+}
+
+TEST(NandChip, FirstFailureIsSticky) {
+  NandChip chip(small_config(/*endurance=*/1));
+  ASSERT_EQ(chip.erase_block(2), Status::ok);
+  ASSERT_EQ(chip.erase_block(3), Status::ok);
+  EXPECT_EQ(chip.first_failure()->block, 2u);
+}
+
+TEST(NandChip, WithoutRetirementWornBlocksKeepWorking) {
+  NandChip chip(small_config(/*endurance=*/2, /*retire=*/false));
+  ASSERT_EQ(chip.erase_block(0), Status::ok);
+  ASSERT_EQ(chip.erase_block(0), Status::ok);
+  // Past the limit but retirement is off (the paper's Table 4 runs continue).
+  EXPECT_EQ(chip.erase_block(0), Status::ok);
+  EXPECT_EQ(chip.erase_count(0), 3u);
+  EXPECT_FALSE(chip.is_retired(0));
+}
+
+TEST(NandChip, RetirementStopsWornBlocks) {
+  NandChip chip(small_config(/*endurance=*/2, /*retire=*/true));
+  ASSERT_EQ(chip.erase_block(0), Status::ok);
+  ASSERT_EQ(chip.erase_block(0), Status::ok);
+  EXPECT_EQ(chip.erase_block(0), Status::block_worn_out);
+  EXPECT_TRUE(chip.is_retired(0));
+  EXPECT_EQ(chip.erase_block(0), Status::bad_block);
+  EXPECT_EQ(chip.program_page({0, 0}, 1, SpareArea{}), Status::bad_block);
+}
+
+TEST(NandChip, EraseObserverFiresWithNewCount) {
+  NandChip chip(small_config());
+  std::vector<std::pair<BlockIndex, std::uint32_t>> events;
+  chip.add_erase_observer([&](BlockIndex b, std::uint32_t c) { events.emplace_back(b, c); });
+  ASSERT_EQ(chip.erase_block(1), Status::ok);
+  ASSERT_EQ(chip.erase_block(1), Status::ok);
+  ASSERT_EQ(chip.erase_block(4), Status::ok);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], (std::pair<BlockIndex, std::uint32_t>{1, 1}));
+  EXPECT_EQ(events[1], (std::pair<BlockIndex, std::uint32_t>{1, 2}));
+  EXPECT_EQ(events[2], (std::pair<BlockIndex, std::uint32_t>{4, 1}));
+}
+
+TEST(NandChip, OperationsAdvanceTheClock) {
+  SimClock clock;
+  NandChip chip(small_config(), &clock);
+  const auto& t = chip.timing();
+  ASSERT_EQ(chip.program_page({0, 0}, 1, SpareArea{}), Status::ok);
+  EXPECT_EQ(clock.now(), t.program_page_us);
+  (void)chip.read_page({0, 0});
+  EXPECT_EQ(clock.now(), t.program_page_us + t.read_page_us);
+  ASSERT_EQ(chip.erase_block(0), Status::ok);
+  EXPECT_EQ(clock.now(), t.program_page_us + t.read_page_us + t.erase_block_us);
+}
+
+TEST(NandChip, CountersTrackOperations) {
+  NandChip chip(small_config());
+  ASSERT_EQ(chip.program_page({0, 0}, 1, SpareArea{}), Status::ok);
+  (void)chip.read_page({0, 0});
+  (void)chip.read_page({0, 1});  // failed read still counts as an op
+  ASSERT_EQ(chip.erase_block(0), Status::ok);
+  EXPECT_EQ(chip.counters().programs, 1u);
+  EXPECT_EQ(chip.counters().reads, 2u);
+  EXPECT_EQ(chip.counters().erases, 1u);
+}
+
+TEST(NandChip, ByteModeStoresAndReturnsPayloadBytes) {
+  NandConfig cfg = small_config();
+  cfg.store_payload_bytes = true;
+  cfg.geometry.page_size_bytes = 64;
+  NandChip chip(cfg);
+  std::vector<std::uint8_t> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+  ASSERT_EQ(chip.program_page({0, 0}, 1, SpareArea{}, data), Status::ok);
+  const PageReadResult r = chip.read_page({0, 0});
+  ASSERT_EQ(r.data.size(), 64u);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), r.data.begin()));
+  // Erase wipes the bytes.
+  ASSERT_EQ(chip.erase_block(0), Status::ok);
+  ASSERT_EQ(chip.program_page({0, 0}, 1, SpareArea{}), Status::ok);
+  EXPECT_TRUE(chip.read_page({0, 0}).data.empty());
+}
+
+TEST(NandChip, ByteModeOffIgnoresBytes) {
+  NandConfig cfg = small_config();
+  cfg.geometry.page_size_bytes = 64;
+  NandChip chip(cfg);
+  const std::vector<std::uint8_t> data(64, 0xAB);
+  ASSERT_EQ(chip.program_page({0, 0}, 1, SpareArea{}, data), Status::ok);
+  EXPECT_TRUE(chip.read_page({0, 0}).data.empty());
+}
+
+TEST(NandChip, ByteModeRejectsWrongSize) {
+  NandConfig cfg = small_config();
+  cfg.store_payload_bytes = true;
+  NandChip chip(cfg);
+  const std::vector<std::uint8_t> wrong(100, 0);
+  EXPECT_THROW((void)chip.program_page({0, 0}, 1, SpareArea{}, wrong), PreconditionError);
+}
+
+TEST(NandChip, OutOfRangeAddressesThrow) {
+  NandChip chip(small_config());
+  EXPECT_THROW((void)chip.read_page({8, 0}), PreconditionError);
+  EXPECT_THROW((void)chip.read_page({0, 4}), PreconditionError);
+  EXPECT_THROW((void)chip.erase_block(8), PreconditionError);
+  EXPECT_THROW((void)chip.program_page({9, 9}, 0, SpareArea{}), PreconditionError);
+}
+
+TEST(NandChip, RejectsInvalidConfig) {
+  NandConfig c = small_config();
+  c.geometry.block_count = 0;
+  EXPECT_THROW(NandChip{c}, PreconditionError);
+  c = small_config();
+  c.timing.endurance = 0;
+  EXPECT_THROW(NandChip{c}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace swl::nand

@@ -1,0 +1,271 @@
+#include "nftl/nftl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/contracts.hpp"
+#include "core/rng.hpp"
+#include "swl/leveler.hpp"
+
+namespace swl::nftl {
+namespace {
+
+nand::NandConfig chip_config(BlockIndex blocks = 16, PageIndex pages = 8) {
+  nand::NandConfig c;
+  c.geometry = FlashGeometry{.block_count = blocks, .pages_per_block = pages,
+                             .page_size_bytes = 2048};
+  c.timing = default_timing(CellType::mlc_x2);
+  return c;
+}
+
+struct Fixture {
+  explicit Fixture(BlockIndex blocks = 16, PageIndex pages = 8, Vba vbas = 0) {
+    chip = std::make_unique<nand::NandChip>(chip_config(blocks, pages));
+    NftlConfig cfg;
+    cfg.vba_count = vbas;
+    nftl = std::make_unique<Nftl>(*chip, cfg);
+  }
+  std::unique_ptr<nand::NandChip> chip;
+  std::unique_ptr<Nftl> nftl;
+};
+
+TEST(Nftl, AutoVbaCountLeavesSpareBlocks) {
+  Fixture f;
+  EXPECT_LT(f.nftl->vba_count(), f.chip->geometry().block_count);
+  EXPECT_EQ(f.nftl->lba_count(), f.nftl->vba_count() * f.chip->geometry().pages_per_block);
+}
+
+TEST(Nftl, WriteReadRoundTrip) {
+  Fixture f;
+  ASSERT_EQ(f.nftl->write(5, 55), Status::ok);
+  std::uint64_t token = 0;
+  ASSERT_EQ(f.nftl->read(5, &token), Status::ok);
+  EXPECT_EQ(token, 55u);
+}
+
+TEST(Nftl, ReadOfUnmappedLbaFails) {
+  Fixture f;
+  std::uint64_t token = 0;
+  EXPECT_EQ(f.nftl->read(0, &token), Status::lba_not_mapped);
+}
+
+TEST(Nftl, FirstWriteLandsAtBlockOffsetInPrimary) {
+  Fixture f;
+  // LBA 13 with 8 pages/block: VBA 1, offset 5.
+  ASSERT_EQ(f.nftl->write(13, 7), Status::ok);
+  const Ppa p = f.nftl->translate(13);
+  EXPECT_EQ(p.block, f.nftl->primary_block(1));
+  EXPECT_EQ(p.page, 5u);
+  EXPECT_EQ(f.nftl->replacement_block(1), kInvalidBlock);
+}
+
+TEST(Nftl, OverwriteGoesToReplacementBlockSequentially) {
+  Fixture f;
+  ASSERT_EQ(f.nftl->write(13, 1), Status::ok);
+  ASSERT_EQ(f.nftl->write(13, 2), Status::ok);  // overwrite -> replacement page 0
+  const Ppa p = f.nftl->translate(13);
+  const BlockIndex repl = f.nftl->replacement_block(1);
+  ASSERT_NE(repl, kInvalidBlock);
+  EXPECT_EQ(p.block, repl);
+  EXPECT_EQ(p.page, 0u);
+  ASSERT_EQ(f.nftl->write(13, 3), Status::ok);  // next replacement page
+  EXPECT_EQ(f.nftl->translate(13).page, 1u);
+  std::uint64_t token = 0;
+  ASSERT_EQ(f.nftl->read(13, &token), Status::ok);
+  EXPECT_EQ(token, 3u);
+}
+
+TEST(Nftl, ReplacementSharedByVbaLbas) {
+  Fixture f;
+  // Two LBAs of the same VBA interleave in one replacement block, like the
+  // paper's Figure 2(b).
+  ASSERT_EQ(f.nftl->write(8, 1), Status::ok);   // vba 1 offset 0
+  ASSERT_EQ(f.nftl->write(10, 2), Status::ok);  // vba 1 offset 2
+  ASSERT_EQ(f.nftl->write(8, 3), Status::ok);   // -> replacement page 0
+  ASSERT_EQ(f.nftl->write(10, 4), Status::ok);  // -> replacement page 1
+  ASSERT_EQ(f.nftl->write(8, 5), Status::ok);   // -> replacement page 2
+  const BlockIndex repl = f.nftl->replacement_block(1);
+  EXPECT_EQ(f.nftl->translate(8), (Ppa{repl, 2}));
+  EXPECT_EQ(f.nftl->translate(10), (Ppa{repl, 1}));
+  std::uint64_t token = 0;
+  ASSERT_EQ(f.nftl->read(8, &token), Status::ok);
+  EXPECT_EQ(token, 5u);
+  ASSERT_EQ(f.nftl->read(10, &token), Status::ok);
+  EXPECT_EQ(token, 4u);
+}
+
+TEST(Nftl, FullReplacementTriggersFold) {
+  Fixture f;
+  ASSERT_EQ(f.nftl->write(8, 100), Status::ok);  // vba 1, offset 0
+  const BlockIndex first_primary = f.nftl->primary_block(1);
+  // 8 overwrites fill the replacement block; the 9th forces a fold.
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_EQ(f.nftl->write(8, static_cast<std::uint64_t>(200 + i)), Status::ok);
+  }
+  EXPECT_NE(f.nftl->primary_block(1), first_primary);
+  EXPECT_GT(f.nftl->counters().gc_erases, 0u);       // fold erased the old pair
+  EXPECT_GT(f.nftl->counters().gc_live_copies, 0u);  // and moved the live page
+  std::uint64_t token = 0;
+  ASSERT_EQ(f.nftl->read(8, &token), Status::ok);
+  EXPECT_EQ(token, 208u);
+  f.nftl->check_invariants();
+}
+
+TEST(Nftl, FoldPlacesSurvivorsAtTheirOffsets) {
+  Fixture f;
+  ASSERT_EQ(f.nftl->write(9, 1), Status::ok);   // vba 1 offset 1
+  ASSERT_EQ(f.nftl->write(12, 2), Status::ok);  // vba 1 offset 4
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_EQ(f.nftl->write(9, static_cast<std::uint64_t>(10 + i)), Status::ok);
+  }
+  // After the fold both survivors live in the new primary at their offsets.
+  const BlockIndex prim = f.nftl->primary_block(1);
+  EXPECT_EQ(f.nftl->translate(12), (Ppa{prim, 4}));
+  std::uint64_t token = 0;
+  ASSERT_EQ(f.nftl->read(12, &token), Status::ok);
+  EXPECT_EQ(token, 2u);
+}
+
+TEST(Nftl, GarbageCollectionPreservesAllData) {
+  Fixture f(16, 8, /*vbas=*/12);
+  std::map<Lba, std::uint64_t> expected;
+  Rng rng(17);
+  std::uint64_t token = 1;
+  for (int i = 0; i < 4000; ++i) {
+    const Lba lba = static_cast<Lba>(rng.below(f.nftl->lba_count()));
+    ASSERT_EQ(f.nftl->write(lba, token), Status::ok);
+    expected[lba] = token++;
+  }
+  for (const auto& [lba, want] : expected) {
+    std::uint64_t got = 0;
+    ASSERT_EQ(f.nftl->read(lba, &got), Status::ok);
+    ASSERT_EQ(got, want) << "lba " << lba;
+  }
+  f.nftl->check_invariants();
+}
+
+TEST(Nftl, CollectBlocksFoldsOwningVba) {
+  Fixture f;
+  ASSERT_EQ(f.nftl->write(8, 42), Status::ok);
+  const BlockIndex prim = f.nftl->primary_block(1);
+  f.nftl->collect_blocks(prim, 1);
+  EXPECT_NE(f.nftl->primary_block(1), prim);       // data moved
+  EXPECT_EQ(f.chip->erase_count(prim), 1u);        // old primary erased
+  EXPECT_EQ(f.nftl->counters().swl_erases, 1u);
+  EXPECT_EQ(f.nftl->counters().swl_live_copies, 1u);
+  std::uint64_t token = 0;
+  ASSERT_EQ(f.nftl->read(8, &token), Status::ok);
+  EXPECT_EQ(token, 42u);
+  f.nftl->check_invariants();
+}
+
+TEST(Nftl, CollectBlocksOnFreeBlockJustErasesIt) {
+  Fixture f;
+  ASSERT_EQ(f.nftl->write(0, 1), Status::ok);
+  const BlockIndex used = f.nftl->primary_block(0);
+  const BlockIndex free_block = used == 0 ? 1 : 0;
+  f.nftl->collect_blocks(free_block, 1);
+  EXPECT_EQ(f.chip->erase_count(free_block), 1u);
+  f.nftl->check_invariants();
+}
+
+TEST(Nftl, CollectBlockSetDoesNotDoubleEraseFoldedPair) {
+  Fixture f(16, 8, /*vbas=*/12);
+  // Arrange a primary + replacement pair, then collect a set spanning both.
+  ASSERT_EQ(f.nftl->write(8, 1), Status::ok);
+  ASSERT_EQ(f.nftl->write(8, 2), Status::ok);
+  const BlockIndex prim = f.nftl->primary_block(1);
+  const BlockIndex repl = f.nftl->replacement_block(1);
+  ASSERT_NE(repl, kInvalidBlock);
+  const BlockIndex first = std::min(prim, repl);
+  const BlockIndex count = std::max(prim, repl) - first + 1;
+  const std::uint64_t erases_before = f.chip->counters().erases;
+  f.nftl->collect_blocks(first, count);
+  // The fold erases the pair once; blocks already recycled inside this
+  // request are not erased a second time. Every other (free) block of the
+  // set is erased exactly once.
+  const std::uint64_t expected = 2 /*pair*/ + (count - 2) /*free blocks*/;
+  EXPECT_EQ(f.chip->counters().erases - erases_before, expected);
+  f.nftl->check_invariants();
+}
+
+TEST(Nftl, SwlLevelsWearUnderSkewedWorkload) {
+  const auto run = [](bool with_swl) {
+    Fixture f(32, 8, /*vbas=*/24);
+    if (with_swl) {
+      wear::LevelerConfig lc;
+      lc.threshold = 10;
+      f.nftl->attach_leveler(std::make_unique<wear::SwLeveler>(32, lc));
+    }
+    // Cold data: one page in each of 16 VBAs.
+    for (Vba v = 0; v < 16; ++v) {
+      EXPECT_EQ(f.nftl->write(v * 8, v), Status::ok);
+    }
+    // Hot data: hammer two LBAs of the last VBA.
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i) {
+      EXPECT_EQ(f.nftl->write(23 * 8 + static_cast<Lba>(rng.below(2)),
+                              static_cast<std::uint64_t>(i)),
+                Status::ok);
+    }
+    std::uint32_t min = UINT32_MAX;
+    std::uint32_t max = 0;
+    for (BlockIndex b = 0; b < 32; ++b) {
+      min = std::min(min, f.nftl->chip().erase_count(b));
+      max = std::max(max, f.nftl->chip().erase_count(b));
+    }
+    f.nftl->check_invariants();
+    return std::pair{min, max};
+  };
+  const auto [min_without, max_without] = run(false);
+  const auto [min_with, max_with] = run(true);
+  EXPECT_EQ(min_without, 0u);
+  EXPECT_GT(min_with, 0u);
+  EXPECT_LT(max_with - min_with, max_without - min_without);
+}
+
+TEST(NftlVictimPolicy, CostBenefitPreservesDataUnderChurn) {
+  nand::NandChip chip(chip_config(16, 8));
+  NftlConfig cfg;
+  cfg.vba_count = 12;
+  cfg.victim_policy = tl::VictimPolicy::cost_benefit_age;
+  Nftl nftl(chip, cfg);
+  std::map<Lba, std::uint64_t> expected;
+  Rng rng(59);
+  std::uint64_t token = 1;
+  for (int i = 0; i < 4000; ++i) {
+    const Lba lba = static_cast<Lba>(rng.below(nftl.lba_count()));
+    ASSERT_EQ(nftl.write(lba, token), Status::ok);
+    expected[lba] = token++;
+  }
+  for (const auto& [lba, want] : expected) {
+    std::uint64_t got = 0;
+    ASSERT_EQ(nftl.read(lba, &got), Status::ok);
+    ASSERT_EQ(got, want);
+  }
+  nftl.check_invariants();
+}
+
+TEST(Nftl, RejectsOutOfRangeLba) {
+  Fixture f(16, 8, 12);
+  EXPECT_THROW((void)f.nftl->write(12 * 8, 1), PreconditionError);
+  std::uint64_t token;
+  EXPECT_THROW((void)f.nftl->read(12 * 8, &token), PreconditionError);
+}
+
+TEST(Nftl, RejectsVbaCountWithoutSpareBlocks) {
+  nand::NandChip chip(chip_config());
+  NftlConfig cfg;
+  cfg.vba_count = chip.geometry().block_count;  // no room for replacements
+  EXPECT_THROW(Nftl(chip, cfg), PreconditionError);
+}
+
+TEST(Nftl, NameIsNftl) {
+  Fixture f;
+  EXPECT_EQ(f.nftl->name(), "NFTL");
+}
+
+}  // namespace
+}  // namespace swl::nftl

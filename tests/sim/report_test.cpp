@@ -1,0 +1,47 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.hpp"
+
+namespace swl::sim {
+namespace {
+
+TEST(TableWriter, RendersHeaderRuleAndRows) {
+  TableWriter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  // Columns are aligned: every line has the same length.
+  std::size_t first_len = s.find('\n');
+  for (std::size_t pos = 0; pos < s.size();) {
+    const std::size_t next = s.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, first_len) << "misaligned line in:\n" << s;
+    pos = next + 1;
+  }
+}
+
+TEST(TableWriter, WidensColumnsToContent) {
+  TableWriter t({"x"});
+  t.add_row({"a-very-long-cell"});
+  EXPECT_NE(t.str().find("a-very-long-cell"), std::string::npos);
+}
+
+TEST(TableWriter, RejectsMismatchedRow) {
+  TableWriter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+  EXPECT_THROW(TableWriter{std::vector<std::string>{}}, PreconditionError);
+}
+
+TEST(Fmt, FormatsWithPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace swl::sim

@@ -1,0 +1,158 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/experiments.hpp"
+#include "trace/segment_replay.hpp"
+#include "trace/synthetic.hpp"
+
+namespace swl::sim {
+namespace {
+
+ExperimentScale tiny_scale() {
+  ExperimentScale s;
+  s.block_count = 32;
+  s.endurance = 60;
+  s.base_trace_days = 0.25;
+  s.max_years = 500.0;
+  s.seed = 77;
+  return s;
+}
+
+TEST(Simulator, ProcessesAFiniteTrace) {
+  auto sim = make_simulator(make_sim_config(tiny_scale(), LayerKind::ftl, std::nullopt));
+  trace::SyntheticConfig tc = make_trace_config(tiny_scale(), sim->lba_count());
+  tc.duration_s = 3600;
+  const trace::Trace t = trace::generate_synthetic_trace(tc);
+  trace::VectorTraceSource source(t);
+  const std::uint64_t n = sim->run(source, 10.0, false);
+  EXPECT_EQ(n, t.size());
+  const SimResult r = sim->result();
+  EXPECT_EQ(r.records_processed, t.size());
+  EXPECT_GT(r.counters.host_writes, 0u);
+  EXPECT_GT(r.counters.host_reads, 0u);
+}
+
+TEST(Simulator, ClockFollowsTraceTimestamps) {
+  auto sim = make_simulator(make_sim_config(tiny_scale(), LayerKind::ftl, std::nullopt));
+  trace::Trace t = {{seconds_to_us(10.0), 0, trace::Op::write},
+                    {seconds_to_us(20.0), 1, trace::Op::write}};
+  trace::VectorTraceSource source(t);
+  sim->run(source, 1.0e6, false);
+  EXPECT_GE(sim->clock().seconds(), 20.0);
+  EXPECT_LT(sim->clock().seconds(), 21.0);
+}
+
+TEST(Simulator, HorizonStopsTheRun) {
+  auto sim = make_simulator(make_sim_config(tiny_scale(), LayerKind::ftl, std::nullopt));
+  const double horizon_years = 1.0 / 365.25;  // one day
+  trace::SyntheticConfig tc = make_trace_config(tiny_scale(), sim->lba_count());
+  const trace::Trace base = trace::generate_synthetic_trace(tc);
+  trace::SegmentReplaySource source(base, 600.0, 3);
+  sim->run(source, horizon_years, false);
+  EXPECT_LE(sim->clock().years(), horizon_years * 1.01);
+  EXPECT_GE(sim->clock().years(), horizon_years * 0.9);
+}
+
+TEST(Simulator, MaxRecordsLimitsBatch) {
+  auto sim = make_simulator(make_sim_config(tiny_scale(), LayerKind::ftl, std::nullopt));
+  trace::SyntheticConfig tc = make_trace_config(tiny_scale(), sim->lba_count());
+  const trace::Trace base = trace::generate_synthetic_trace(tc);
+  trace::SegmentReplaySource source(base, 600.0, 3);
+  EXPECT_EQ(sim->run(source, 1e9, false, 100), 100u);
+  EXPECT_EQ(sim->run(source, 1e9, false, 50), 50u);
+  EXPECT_EQ(sim->result().records_processed, 150u);
+}
+
+TEST(Simulator, StopsOnFirstFailureWhenAsked) {
+  auto sim = make_simulator(make_sim_config(tiny_scale(), LayerKind::nftl, std::nullopt));
+  trace::SyntheticConfig tc = make_trace_config(tiny_scale(), sim->lba_count());
+  const trace::Trace base = trace::generate_synthetic_trace(tc);
+  trace::SegmentReplaySource source(base, 600.0, 3);
+  while (!sim->chip().first_failure().has_value()) {
+    ASSERT_GT(sim->run(source, 1e6, true, 1 << 16), 0u);
+  }
+  const SimResult r = sim->result();
+  ASSERT_TRUE(r.first_failure_years.has_value());
+  EXPECT_GT(*r.first_failure_years, 0.0);
+  EXPECT_LE(*r.first_failure_years, r.elapsed_years + 1e-9);
+  // The failed block really did reach the endurance limit.
+  EXPECT_GE(r.erase_summary.max, tiny_scale().endurance);
+}
+
+TEST(Simulator, BuildsNftlLayer) {
+  auto sim = make_simulator(make_sim_config(tiny_scale(), LayerKind::nftl, std::nullopt));
+  EXPECT_EQ(sim->layer().name(), "NFTL");
+}
+
+TEST(Simulator, AttachesLevelerWhenConfigured) {
+  wear::LevelerConfig lc;
+  lc.threshold = 100;
+  auto sim = make_simulator(make_sim_config(tiny_scale(), LayerKind::ftl, lc));
+  EXPECT_NE(sim->layer().leveler(), nullptr);
+  auto bare = make_simulator(make_sim_config(tiny_scale(), LayerKind::ftl, std::nullopt));
+  EXPECT_EQ(bare->layer().leveler(), nullptr);
+}
+
+TEST(Simulator, LayerKindNames) {
+  EXPECT_EQ(to_string(LayerKind::ftl), "FTL");
+  EXPECT_EQ(to_string(LayerKind::nftl), "NFTL");
+}
+
+TEST(Experiments, ScaledThresholdPreservesLevelingCadence) {
+  ExperimentScale s;
+  s.endurance = 1000;
+  EXPECT_DOUBLE_EQ(scaled_threshold(100, s), 10.0);
+  EXPECT_DOUBLE_EQ(scaled_threshold(1000, s), 100.0);
+  // Identity at paper scale.
+  EXPECT_DOUBLE_EQ(scaled_threshold(100, ExperimentScale::paper()), 100.0);
+  // Never below the minimum legal threshold.
+  s.endurance = 10;
+  EXPECT_DOUBLE_EQ(scaled_threshold(100, s), 1.0);
+}
+
+TEST(Experiments, PaperScaleMatchesSection5) {
+  const ExperimentScale p = ExperimentScale::paper();
+  EXPECT_EQ(p.block_count, 4096u);
+  EXPECT_EQ(p.endurance, 10'000u);
+  const SimConfig c = make_sim_config(p, LayerKind::ftl, std::nullopt);
+  EXPECT_EQ(c.geometry.pages_per_block, 128u);
+  EXPECT_EQ(c.geometry.page_size_bytes, 2048u);
+  EXPECT_EQ(c.timing.endurance, 10'000u);
+}
+
+TEST(Experiments, EnduranceRunReportsFailure) {
+  const EnduranceOutcome out = run_endurance(tiny_scale(), LayerKind::nftl, std::nullopt);
+  EXPECT_TRUE(out.failed);
+  EXPECT_GT(out.first_failure_years, 0.0);
+}
+
+TEST(Experiments, SwlExtendsNftlFirstFailure) {
+  const ExperimentScale scale = tiny_scale();
+  const EnduranceOutcome base = run_endurance(scale, LayerKind::nftl, std::nullopt);
+  wear::LevelerConfig lc;
+  lc.threshold = scaled_threshold(500, scale);  // = 3 at endurance 60
+  lc.k = 0;
+  const EnduranceOutcome with = run_endurance(scale, LayerKind::nftl, lc);
+  ASSERT_TRUE(base.failed);
+  EXPECT_GT(with.first_failure_years, base.first_failure_years);
+}
+
+TEST(Experiments, RunForYearsCoversRequestedSpan) {
+  const SimResult r = run_for_years(tiny_scale(), LayerKind::ftl, std::nullopt, 0.02);
+  EXPECT_NEAR(r.elapsed_years, 0.02, 0.002);
+  EXPECT_GT(r.counters.host_writes, 0u);
+}
+
+TEST(Experiments, OverheadComparesSameWorkload) {
+  wear::LevelerConfig lc;
+  lc.threshold = 50;
+  const OverheadOutcome out = run_overhead(tiny_scale(), LayerKind::nftl, lc, 0.05);
+  // SWL adds some erases but the overhead stays bounded.
+  EXPECT_GE(out.erase_ratio_percent, 99.0);
+  EXPECT_LT(out.erase_ratio_percent, 150.0);
+  EXPECT_EQ(out.with_swl.counters.host_writes, out.without_swl.counters.host_writes);
+}
+
+}  // namespace
+}  // namespace swl::sim

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "stats/histogram.hpp"
+#include "stats/overhead_model.hpp"
+#include "stats/summary.hpp"
+
+namespace swl::stats {
+namespace {
+
+TEST(Summary, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  const std::array<std::uint32_t, 1> v{7};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 7u);
+  EXPECT_EQ(s.max, 7u);
+}
+
+TEST(Summary, KnownDistribution) {
+  const std::array<std::uint32_t, 4> v{2, 4, 4, 6};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(2.0));  // population stddev
+  EXPECT_EQ(s.min, 2u);
+  EXPECT_EQ(s.max, 6u);
+}
+
+TEST(Histogram, BucketsValues) {
+  Histogram h(10, 5);
+  h.add(0);
+  h.add(9);
+  h.add(10);
+  h.add(49);
+  h.add(50);  // overflow
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, AddAllFromSpan) {
+  Histogram h(1, 3);
+  const std::array<std::uint32_t, 4> v{0, 1, 1, 2};
+  h.add_all(v);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, RenderShowsNonEmptyBuckets) {
+  Histogram h(10, 3);
+  h.add(5);
+  h.add(25);
+  const std::string r = h.render();
+  EXPECT_NE(r.find("[0,10)"), std::string::npos);
+  EXPECT_NE(r.find("[20,30)"), std::string::npos);
+  EXPECT_EQ(r.find("[10,20)"), std::string::npos);  // empty bucket omitted
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0, 5), PreconditionError);
+  EXPECT_THROW(Histogram(5, 0), PreconditionError);
+  Histogram h(10, 2);
+  EXPECT_THROW((void)h.bucket(2), PreconditionError);
+}
+
+// Table 2 of the paper: increased ratio of block erases for a 1 GB MLC×2
+// device. The paper's table uses the approximation C / (T(H+C)).
+TEST(OverheadModel, Table2Rows) {
+  struct Row {
+    std::uint64_t h, c;
+    double t;
+    double expected_percent;
+  };
+  const Row rows[] = {
+      {256, 3840, 100, 0.946},
+      {2048, 2048, 100, 0.503},
+      {256, 3840, 1000, 0.094},
+      {2048, 2048, 1000, 0.050},
+  };
+  for (const auto& row : rows) {
+    WorstCaseParams p;
+    p.hot_blocks = row.h;
+    p.cold_blocks = row.c;
+    p.threshold = row.t;
+    EXPECT_NEAR(extra_erase_ratio(p) * 100.0, row.expected_percent, 0.006)
+        << "H=" << row.h << " C=" << row.c << " T=" << row.t;
+  }
+}
+
+// Table 3 of the paper: increased ratio of live-page copyings (N = 128).
+TEST(OverheadModel, Table3Rows) {
+  struct Row {
+    std::uint64_t h, c;
+    double t;
+    double l;
+    double expected_percent;
+  };
+  const Row rows[] = {
+      {256, 3840, 100, 16, 7.572},  {2048, 2048, 100, 16, 4.002},
+      {256, 3840, 100, 32, 3.786},  {2048, 2048, 100, 32, 2.001},
+      {256, 3840, 1000, 16, 0.757}, {2048, 2048, 1000, 16, 0.400},
+      {256, 3840, 1000, 32, 0.379}, {2048, 2048, 1000, 32, 0.200},
+  };
+  for (const auto& row : rows) {
+    WorstCaseParams p;
+    p.hot_blocks = row.h;
+    p.cold_blocks = row.c;
+    p.threshold = row.t;
+    p.pages_per_block = 128;
+    p.live_copies_per_gc = row.l;
+    EXPECT_NEAR(extra_copy_ratio(p) * 100.0, row.expected_percent, 0.02)
+        << "H=" << row.h << " C=" << row.c << " T=" << row.t << " L=" << row.l;
+  }
+}
+
+TEST(OverheadModel, ApproximationConvergesForLargeT) {
+  WorstCaseParams p;
+  p.hot_blocks = 256;
+  p.cold_blocks = 3840;
+  p.threshold = 1000;
+  EXPECT_NEAR(extra_erase_ratio(p), extra_erase_ratio_approx(p),
+              extra_erase_ratio(p) * 0.01);
+  p.pages_per_block = 128;
+  p.live_copies_per_gc = 16;
+  EXPECT_NEAR(extra_copy_ratio(p), extra_copy_ratio_approx(p), extra_copy_ratio(p) * 0.01);
+}
+
+TEST(OverheadModel, RatioDecreasesWithT) {
+  WorstCaseParams p;
+  p.hot_blocks = 256;
+  p.cold_blocks = 3840;
+  p.threshold = 100;
+  const double at_100 = extra_erase_ratio(p);
+  p.threshold = 1000;
+  EXPECT_LT(extra_erase_ratio(p), at_100);
+}
+
+TEST(OverheadModel, RejectsDegenerateInputs) {
+  WorstCaseParams p;
+  EXPECT_THROW((void)extra_erase_ratio(p), PreconditionError);  // H = C = 0
+  p.hot_blocks = 1;
+  p.cold_blocks = 1;
+  p.threshold = 0.4;
+  EXPECT_THROW((void)extra_erase_ratio(p), PreconditionError);  // T < 1
+  p.threshold = 100;
+  p.live_copies_per_gc = 0.0;
+  EXPECT_THROW((void)extra_copy_ratio(p), PreconditionError);
+}
+
+}  // namespace
+}  // namespace swl::stats

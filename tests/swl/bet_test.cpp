@@ -1,0 +1,137 @@
+#include "swl/bet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.hpp"
+
+namespace swl::wear {
+namespace {
+
+TEST(Bet, OneToOneModeHasOneFlagPerBlock) {
+  Bet bet(128, 0);
+  EXPECT_EQ(bet.flag_count(), 128u);
+  EXPECT_EQ(bet.set_size_of(0), 1u);
+  EXPECT_EQ(bet.flag_of(77), 77u);
+  EXPECT_EQ(bet.first_block_of(77), 77u);
+}
+
+TEST(Bet, OneToManyModeGroupsBlocks) {
+  Bet bet(128, 3);  // 2^3 = 8 blocks per flag
+  EXPECT_EQ(bet.flag_count(), 16u);
+  EXPECT_EQ(bet.flag_of(0), 0u);
+  EXPECT_EQ(bet.flag_of(7), 0u);
+  EXPECT_EQ(bet.flag_of(8), 1u);
+  EXPECT_EQ(bet.first_block_of(1), 8u);
+  EXPECT_EQ(bet.set_size_of(1), 8u);
+}
+
+TEST(Bet, TailSetMayBeShort) {
+  Bet bet(10, 2);  // sets of 4: {0-3}, {4-7}, {8-9}
+  EXPECT_EQ(bet.flag_count(), 3u);
+  EXPECT_EQ(bet.set_size_of(0), 4u);
+  EXPECT_EQ(bet.set_size_of(2), 2u);
+  EXPECT_EQ(bet.flag_of(9), 2u);
+}
+
+TEST(Bet, MarkErasedSetsFlagOnce) {
+  Bet bet(16, 1);
+  EXPECT_TRUE(bet.mark_erased(4));   // flag 2: 0 -> 1
+  EXPECT_FALSE(bet.mark_erased(5));  // same flag already set
+  EXPECT_TRUE(bet.test_flag(2));
+  EXPECT_TRUE(bet.test_block(4));
+  EXPECT_TRUE(bet.test_block(5));
+  EXPECT_FALSE(bet.test_block(6));
+  EXPECT_EQ(bet.set_count(), 1u);
+}
+
+TEST(Bet, ResetClearsAllFlags) {
+  Bet bet(16, 0);
+  for (BlockIndex b = 0; b < 16; ++b) bet.mark_erased(b);
+  EXPECT_TRUE(bet.all_set());
+  bet.reset();
+  EXPECT_EQ(bet.set_count(), 0u);
+  EXPECT_FALSE(bet.all_set());
+}
+
+TEST(Bet, NextClearFlagScansCyclically) {
+  Bet bet(8, 0);
+  for (BlockIndex b = 0; b < 8; ++b) {
+    if (b != 2) bet.mark_erased(b);
+  }
+  EXPECT_EQ(bet.next_clear_flag(0), 2u);
+  EXPECT_EQ(bet.next_clear_flag(3), 2u);  // wraps around
+}
+
+// Table 1 of the paper: BET sizes for SLC flash memory. One flag per 2^k
+// blocks; SLC large-block => 128 KB per block.
+TEST(Bet, Table1BetSizes) {
+  struct Row {
+    std::uint64_t capacity;
+    std::uint64_t expected_k0;
+  };
+  // 128MB..4GB SLC with 64 x 2KB = 128 KB blocks.
+  const Row rows[] = {
+      {128ULL << 20, 128}, {256ULL << 20, 256},  {512ULL << 20, 512},
+      {1ULL << 30, 1024},  {2ULL << 30, 2048},   {4ULL << 30, 4096},
+  };
+  for (const auto& row : rows) {
+    const auto blocks =
+        static_cast<BlockIndex>(row.capacity / (128ULL << 10));
+    EXPECT_EQ(Bet::size_bytes(blocks, 0), row.expected_k0);
+    EXPECT_EQ(Bet::size_bytes(blocks, 1), row.expected_k0 / 2);
+    EXPECT_EQ(Bet::size_bytes(blocks, 2), row.expected_k0 / 4);
+    EXPECT_EQ(Bet::size_bytes(blocks, 3), row.expected_k0 / 8);
+  }
+}
+
+TEST(Bet, SizeBytesRoundsUpToWholeBytes) {
+  EXPECT_EQ(Bet::size_bytes(9, 0), 2u);   // 9 flags -> 2 bytes
+  EXPECT_EQ(Bet::size_bytes(9, 3), 1u);   // 2 flags -> 1 byte
+  EXPECT_EQ(Bet::size_bytes(1, 0), 1u);
+}
+
+TEST(Bet, RestoreBitsRoundTrips) {
+  Bet bet(100, 1);
+  bet.mark_erased(0);
+  bet.mark_erased(50);
+  bet.mark_erased(99);
+  Bet copy(100, 1);
+  copy.restore_bits(bet.bits().words());
+  EXPECT_EQ(copy.set_count(), bet.set_count());
+  for (BlockIndex b = 0; b < 100; ++b) {
+    EXPECT_EQ(copy.test_block(b), bet.test_block(b)) << "block " << b;
+  }
+}
+
+TEST(Bet, RejectsBadArguments) {
+  EXPECT_THROW(Bet(0, 0), PreconditionError);
+  EXPECT_THROW(Bet(16, 32), PreconditionError);
+  Bet bet(16, 0);
+  EXPECT_THROW((void)bet.flag_of(16), PreconditionError);
+  EXPECT_THROW((void)bet.first_block_of(16), PreconditionError);
+}
+
+// Property: for any k, every block maps to exactly one flag and the
+// first_block_of/set_size_of decomposition tiles the block range.
+TEST(Bet, PropertyFlagPartitionTilesBlocks) {
+  for (std::uint32_t k = 0; k <= 5; ++k) {
+    for (BlockIndex count : {1u, 7u, 64u, 100u, 257u}) {
+      Bet bet(count, k);
+      BlockIndex covered = 0;
+      for (std::size_t f = 0; f < bet.flag_count(); ++f) {
+        const BlockIndex first = bet.first_block_of(f);
+        const BlockIndex size = bet.set_size_of(f);
+        ASSERT_EQ(first, covered) << "k=" << k << " count=" << count;
+        ASSERT_GE(size, 1u);
+        for (BlockIndex b = first; b < first + size; ++b) {
+          ASSERT_EQ(bet.flag_of(b), f);
+        }
+        covered += size;
+      }
+      ASSERT_EQ(covered, count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swl::wear

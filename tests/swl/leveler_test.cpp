@@ -1,0 +1,239 @@
+#include "swl/leveler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "core/rng.hpp"
+
+namespace swl::wear {
+namespace {
+
+/// Cleaner that faithfully erases every block of the requested set (and
+/// reports the erase back, as the paper's Cleaner invokes SWL-BETUpdate).
+class RecordingCleaner : public Cleaner {
+ public:
+  explicit RecordingCleaner(SwLeveler& leveler) : leveler_(leveler) {}
+
+  void collect_blocks(BlockIndex first, BlockIndex count) override {
+    for (BlockIndex b = first; b < first + count; ++b) {
+      collected.push_back(b);
+      leveler_.on_block_erased(b);
+    }
+  }
+
+  std::vector<BlockIndex> collected;
+
+ private:
+  SwLeveler& leveler_;
+};
+
+/// Cleaner that does nothing (e.g. every selected block is unerasable).
+class NoopCleaner : public Cleaner {
+ public:
+  void collect_blocks(BlockIndex, BlockIndex) override { ++calls; }
+  int calls = 0;
+};
+
+LevelerConfig config(double t, std::uint32_t k = 0) {
+  LevelerConfig c;
+  c.threshold = t;
+  c.k = k;
+  return c;
+}
+
+TEST(SwLeveler, BetUpdateCountsErasesAndFlags) {
+  SwLeveler lev(16, config(100));
+  lev.on_block_erased(3);
+  lev.on_block_erased(3);
+  lev.on_block_erased(7);
+  EXPECT_EQ(lev.ecnt(), 3u);   // every erase counts
+  EXPECT_EQ(lev.fcnt(), 2u);   // distinct flags only
+  EXPECT_TRUE(lev.bet().test_block(3));
+  EXPECT_TRUE(lev.bet().test_block(7));
+}
+
+TEST(SwLeveler, UnevennessIsEcntOverFcnt) {
+  SwLeveler lev(16, config(100));
+  EXPECT_DOUBLE_EQ(lev.unevenness(), 0.0);  // fcnt == 0
+  for (int i = 0; i < 10; ++i) lev.on_block_erased(0);
+  EXPECT_DOUBLE_EQ(lev.unevenness(), 10.0);
+  lev.on_block_erased(1);
+  EXPECT_DOUBLE_EQ(lev.unevenness(), 11.0 / 2.0);
+}
+
+TEST(SwLeveler, RunIsNoopWhenBetJustReset) {
+  SwLeveler lev(16, config(2));
+  RecordingCleaner cleaner(lev);
+  lev.run(cleaner);  // Algorithm 1 step 1: fcnt == 0 -> return
+  EXPECT_TRUE(cleaner.collected.empty());
+}
+
+TEST(SwLeveler, RunIsNoopBelowThreshold) {
+  SwLeveler lev(16, config(100));
+  lev.on_block_erased(0);  // unevenness = 1 < 100
+  EXPECT_FALSE(lev.needs_leveling());
+  RecordingCleaner cleaner(lev);
+  lev.run(cleaner);
+  EXPECT_TRUE(cleaner.collected.empty());
+}
+
+TEST(SwLeveler, RunCollectsUnerasedBlocksUntilRatioDrops) {
+  SwLeveler lev(4, config(4));
+  RecordingCleaner cleaner(lev);
+  // 8 erases of block 0: ecnt=8, fcnt=1, ratio=8 >= 4.
+  for (int i = 0; i < 8; ++i) lev.on_block_erased(0);
+  EXPECT_TRUE(lev.needs_leveling());
+  lev.run(cleaner);
+  // Collecting blocks raises fcnt until ecnt/fcnt < 4:
+  // after 2 collections ecnt=10, fcnt=3, 10/3 < 4 -> stop.
+  EXPECT_EQ(cleaner.collected.size(), 2u);
+  EXPECT_FALSE(lev.needs_leveling());
+  // Only blocks whose flag was clear were selected.
+  for (const auto b : cleaner.collected) EXPECT_NE(b, 0u);
+}
+
+TEST(SwLeveler, CyclicSelectionVisitsDistinctBlocks) {
+  SwLeveler lev(8, config(2));
+  RecordingCleaner cleaner(lev);
+  for (int i = 0; i < 14; ++i) lev.on_block_erased(1);
+  lev.run(cleaner);
+  // No block set should be collected twice within the run.
+  std::vector<BlockIndex> seen = cleaner.collected;
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+}
+
+TEST(SwLeveler, BetResetWhenAllFlagsSet) {
+  SwLeveler lev(4, config(1000));
+  RecordingCleaner cleaner(lev);
+  // Erase blocks 0..2 many times each -> fcnt=3 of 4 flags, ratio 1000.
+  for (int i = 0; i < 3000; ++i) lev.on_block_erased(static_cast<BlockIndex>(i % 3));
+  EXPECT_TRUE(lev.needs_leveling());
+  lev.run(cleaner);
+  if (lev.stats().bet_resets == 0) {
+    // Collecting block 3 lowered the ratio before a reset was needed; push
+    // the (now full) BET over the threshold again to observe the reset.
+    for (int i = 0; i < 8000; ++i) lev.on_block_erased(static_cast<BlockIndex>(i % 4));
+    lev.run(cleaner);
+  }
+  EXPECT_GE(lev.stats().bet_resets, 1u);
+  EXPECT_FALSE(lev.bet().all_set());  // steps 3-8: reset starts a new interval
+  EXPECT_EQ(lev.ecnt(), 0u);
+  EXPECT_EQ(lev.fcnt(), 0u);
+}
+
+TEST(SwLeveler, ResetRerandomizesFindexWithinRange) {
+  SwLeveler lev(64, config(1));
+  RecordingCleaner cleaner(lev);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 640; ++i) lev.on_block_erased(static_cast<BlockIndex>(i % 64));
+    lev.run(cleaner);
+    EXPECT_LT(lev.findex(), lev.bet().flag_count());
+  }
+}
+
+TEST(SwLeveler, KModeCollectsWholeBlockSets) {
+  SwLeveler lev(16, config(4, /*k=*/2));
+  RecordingCleaner cleaner(lev);
+  for (int i = 0; i < 16; ++i) lev.on_block_erased(0);  // flag 0 set
+  lev.run(cleaner);
+  ASSERT_FALSE(cleaner.collected.empty());
+  // Sets are 4 contiguous blocks, never from flag 0's set {0..3}.
+  ASSERT_EQ(cleaner.collected.size() % 4, 0u);
+  for (const auto b : cleaner.collected) EXPECT_GE(b, 4u);
+}
+
+TEST(SwLeveler, StallGuardStopsFruitlessScans) {
+  SwLeveler lev(8, config(2));
+  NoopCleaner cleaner;
+  for (int i = 0; i < 100; ++i) lev.on_block_erased(0);
+  lev.run(cleaner);  // cleaner never erases: must terminate via stall guard
+  EXPECT_GE(lev.stats().stalls, 1u);
+  EXPECT_GE(cleaner.calls, 1);
+}
+
+TEST(SwLeveler, ReentrantRunIsIgnored) {
+  // A cleaner that calls back into run() — the guard must ignore it.
+  class ReentrantCleaner : public Cleaner {
+   public:
+    explicit ReentrantCleaner(SwLeveler& lev) : lev_(lev) {}
+    void collect_blocks(BlockIndex first, BlockIndex count) override {
+      for (BlockIndex b = first; b < first + count; ++b) lev_.on_block_erased(b);
+      lev_.run(*this);  // must be a no-op, not infinite recursion
+      ++depth_calls;
+    }
+    int depth_calls = 0;
+
+   private:
+    SwLeveler& lev_;
+  };
+  SwLeveler lev(8, config(2));
+  ReentrantCleaner cleaner(lev);
+  for (int i = 0; i < 100; ++i) lev.on_block_erased(0);
+  lev.run(cleaner);
+  EXPECT_GT(cleaner.depth_calls, 0);
+}
+
+TEST(SwLeveler, RandomSelectionStillPicksClearFlags) {
+  LevelerConfig c = config(4);
+  c.selection = LevelerConfig::Selection::random;
+  SwLeveler lev(32, c);
+  RecordingCleaner cleaner(lev);
+  for (int i = 0; i < 64; ++i) lev.on_block_erased(5);
+  lev.run(cleaner);
+  ASSERT_FALSE(cleaner.collected.empty());
+  for (const auto b : cleaner.collected) EXPECT_NE(b, 5u);
+}
+
+TEST(SwLeveler, RestoreStateAcceptsStaleValues) {
+  SwLeveler lev(16, config(100));
+  lev.on_block_erased(1);
+  lev.on_block_erased(2);
+  const auto words = lev.bet().bits().words();
+  SwLeveler fresh(16, config(100));
+  fresh.restore_state(55, 3, words);
+  EXPECT_EQ(fresh.ecnt(), 55u);
+  EXPECT_EQ(fresh.findex(), 3u);
+  EXPECT_EQ(fresh.fcnt(), 2u);
+  // Out-of-range findex is clamped rather than rejected (the paper: values
+  // "could tolerate some errors").
+  fresh.restore_state(55, 9999, words);
+  EXPECT_EQ(fresh.findex(), 0u);
+}
+
+TEST(SwLeveler, ActivationsAndCollectionsAreCounted) {
+  SwLeveler lev(8, config(4));
+  RecordingCleaner cleaner(lev);
+  for (int i = 0; i < 16; ++i) lev.on_block_erased(0);
+  lev.run(cleaner);
+  EXPECT_EQ(lev.stats().activations, 1u);
+  EXPECT_EQ(lev.stats().collections_requested, cleaner.collected.size());
+}
+
+TEST(SwLeveler, RejectsThresholdBelowOne) {
+  EXPECT_THROW(SwLeveler(8, config(0.5)), PreconditionError);
+}
+
+// Property: after any run() with a faithful cleaner, either the unevenness
+// level is below T or the BET was just reset.
+TEST(SwLeveler, PropertyRunRestoresInvariant) {
+  for (const double t : {2.0, 5.0, 50.0}) {
+    for (const std::uint32_t k : {0u, 1u, 3u}) {
+      SwLeveler lev(64, config(t, k));
+      RecordingCleaner cleaner(lev);
+      Rng rng(static_cast<std::uint64_t>(t) * 31 + k);
+      for (int round = 0; round < 200; ++round) {
+        lev.on_block_erased(static_cast<BlockIndex>(rng.below(8)));  // skewed wear
+        if (lev.needs_leveling()) lev.run(cleaner);
+        ASSERT_TRUE(!lev.needs_leveling() || lev.fcnt() == 0)
+            << "t=" << t << " k=" << k << " round=" << round;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swl::wear

@@ -1,0 +1,196 @@
+#include "swl/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace swl::wear {
+namespace {
+
+Snapshot sample_snapshot() {
+  Snapshot s;
+  s.k = 2;
+  s.block_count = 100;
+  s.ecnt = 12345;
+  s.findex = 7;
+  s.bet_words = {0xDEADBEEFULL, 0x1234ULL};
+  return s;
+}
+
+TEST(SnapshotCodec, RoundTrips) {
+  const Snapshot in = sample_snapshot();
+  const auto bytes = encode_snapshot(in, 42);
+  Snapshot out;
+  std::uint64_t seq = 0;
+  ASSERT_EQ(decode_snapshot(bytes, &out, &seq), Status::ok);
+  EXPECT_EQ(seq, 42u);
+  EXPECT_EQ(out.k, in.k);
+  EXPECT_EQ(out.block_count, in.block_count);
+  EXPECT_EQ(out.ecnt, in.ecnt);
+  EXPECT_EQ(out.findex, in.findex);
+  EXPECT_EQ(out.bet_words, in.bet_words);
+}
+
+TEST(SnapshotCodec, DetectsBitFlips) {
+  auto bytes = encode_snapshot(sample_snapshot(), 1);
+  Snapshot out;
+  std::uint64_t seq = 0;
+  for (const std::size_t pos : {std::size_t{0}, bytes.size() / 2, bytes.size() - 1}) {
+    auto corrupted = bytes;
+    corrupted[pos] ^= 0x01;
+    EXPECT_EQ(decode_snapshot(corrupted, &out, &seq), Status::corrupt_snapshot)
+        << "flip at " << pos;
+  }
+}
+
+TEST(SnapshotCodec, DetectsTruncation) {
+  auto bytes = encode_snapshot(sample_snapshot(), 1);
+  Snapshot out;
+  std::uint64_t seq = 0;
+  bytes.resize(bytes.size() - 3);
+  EXPECT_EQ(decode_snapshot(bytes, &out, &seq), Status::corrupt_snapshot);
+  EXPECT_EQ(decode_snapshot({}, &out, &seq), Status::corrupt_snapshot);
+}
+
+TEST(SnapshotCodec, RejectsWrongMagic) {
+  auto bytes = encode_snapshot(sample_snapshot(), 1);
+  bytes[0] = 'X';
+  Snapshot out;
+  std::uint64_t seq = 0;
+  EXPECT_EQ(decode_snapshot(bytes, &out, &seq), Status::corrupt_snapshot);
+}
+
+TEST(Persistence, SaveLoadRoundTripsLevelerState) {
+  MemorySnapshotStore store;
+  LevelerPersistence persistence(store);
+  LevelerConfig cfg;
+  cfg.k = 1;
+  cfg.threshold = 100;
+  SwLeveler lev(64, cfg);
+  for (int i = 0; i < 10; ++i) lev.on_block_erased(static_cast<BlockIndex>(i));
+  persistence.save(lev);
+
+  SwLeveler restored(64, cfg);
+  ASSERT_EQ(persistence.load(restored), Status::ok);
+  EXPECT_EQ(restored.ecnt(), lev.ecnt());
+  EXPECT_EQ(restored.fcnt(), lev.fcnt());
+  EXPECT_EQ(restored.findex(), lev.findex());
+}
+
+TEST(Persistence, LoadWithoutSaveFails) {
+  MemorySnapshotStore store;
+  LevelerPersistence persistence(store);
+  LevelerConfig cfg;
+  SwLeveler lev(8, cfg);
+  EXPECT_EQ(persistence.load(lev), Status::corrupt_snapshot);
+}
+
+TEST(Persistence, DualBufferSurvivesCorruptionOfNewestSlot) {
+  MemorySnapshotStore store;
+  LevelerPersistence persistence(store);
+  LevelerConfig cfg;
+  SwLeveler lev(16, cfg);
+
+  lev.on_block_erased(1);
+  persistence.save(lev);  // slot 0, seq 1 (ecnt 1)
+  lev.on_block_erased(2);
+  persistence.save(lev);  // slot 1, seq 2 (ecnt 2)
+
+  // Simulate a torn write of the newest snapshot.
+  store.corrupt_slot(1, 4);
+  SwLeveler restored(16, cfg);
+  ASSERT_EQ(persistence.load(restored), Status::ok);
+  // Falls back to the older snapshot: stale but consistent (ecnt 1).
+  EXPECT_EQ(restored.ecnt(), 1u);
+}
+
+TEST(Persistence, NewestValidSlotWins) {
+  MemorySnapshotStore store;
+  LevelerPersistence persistence(store);
+  LevelerConfig cfg;
+  SwLeveler lev(16, cfg);
+  lev.on_block_erased(1);
+  persistence.save(lev);
+  lev.on_block_erased(2);
+  persistence.save(lev);
+  lev.on_block_erased(3);
+  persistence.save(lev);  // wraps back to slot 0, seq 3 (ecnt 3)
+
+  SwLeveler restored(16, cfg);
+  ASSERT_EQ(persistence.load(restored), Status::ok);
+  EXPECT_EQ(restored.ecnt(), 3u);
+}
+
+TEST(Persistence, RejectsMismatchedShape) {
+  MemorySnapshotStore store;
+  LevelerPersistence persistence(store);
+  LevelerConfig cfg;
+  cfg.k = 0;
+  SwLeveler lev(16, cfg);
+  persistence.save(lev);
+
+  LevelerConfig other = cfg;
+  other.k = 2;
+  SwLeveler wrong_k(16, other);
+  EXPECT_EQ(persistence.load(wrong_k), Status::corrupt_snapshot);
+
+  SwLeveler wrong_blocks(32, cfg);
+  EXPECT_EQ(persistence.load(wrong_blocks), Status::corrupt_snapshot);
+}
+
+TEST(Persistence, SequenceResumesAcrossReattach) {
+  MemorySnapshotStore store;
+  LevelerConfig cfg;
+  SwLeveler lev(16, cfg);
+  {
+    LevelerPersistence persistence(store);
+    lev.on_block_erased(1);
+    persistence.save(lev);
+    lev.on_block_erased(2);
+    persistence.save(lev);
+  }
+  // A new persistence instance (device re-attach) must not overwrite the
+  // newest slot with a lower sequence number.
+  LevelerPersistence reattached(store);
+  lev.on_block_erased(3);
+  reattached.save(lev);
+  SwLeveler restored(16, cfg);
+  ASSERT_EQ(reattached.load(restored), Status::ok);
+  EXPECT_EQ(restored.ecnt(), 3u);
+}
+
+TEST(FileStore, RoundTripsThroughDisk) {
+  const auto dir = std::filesystem::temp_directory_path() / "swl_snapshot_test";
+  std::filesystem::create_directories(dir);
+  const std::string prefix = (dir / "bet").string();
+  {
+    FileSnapshotStore store(prefix);
+    LevelerPersistence persistence(store);
+    LevelerConfig cfg;
+    SwLeveler lev(32, cfg);
+    for (int i = 0; i < 5; ++i) lev.on_block_erased(static_cast<BlockIndex>(i * 3 % 32));
+    persistence.save(lev);
+  }
+  {
+    FileSnapshotStore store(prefix);
+    LevelerPersistence persistence(store);
+    LevelerConfig cfg;
+    SwLeveler restored(32, cfg);
+    ASSERT_EQ(persistence.load(restored), Status::ok);
+    EXPECT_EQ(restored.ecnt(), 5u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileStore, MissingFilesReadAsEmpty) {
+  const auto dir = std::filesystem::temp_directory_path() / "swl_snapshot_test_missing";
+  std::filesystem::create_directories(dir);
+  FileSnapshotStore store((dir / "nothing").string());
+  EXPECT_TRUE(store.read_slot(0).empty());
+  EXPECT_TRUE(store.read_slot(1).empty());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace swl::wear

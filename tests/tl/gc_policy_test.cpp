@@ -1,0 +1,98 @@
+#include "tl/gc_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/contracts.hpp"
+
+namespace swl::tl {
+namespace {
+
+TEST(GcScore, BenefitMinusWeightedCost) {
+  EXPECT_DOUBLE_EQ(gc_score(0, 10, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(gc_score(10, 0, 1.0), -10.0);
+  EXPECT_DOUBLE_EQ(gc_score(4, 6, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(gc_score(4, 6, 2.0), -2.0);
+}
+
+TEST(GcScore, ZeroZeroIsNotACandidate) {
+  EXPECT_LE(gc_score(0, 0, 1.0), 0.0);
+}
+
+TEST(CostBenefit, FullyValidBlockScoresZero) {
+  EXPECT_DOUBLE_EQ(cost_benefit_score(8, 8, 100.0), 0.0);
+}
+
+TEST(CostBenefit, FullyInvalidBlockScoresHighest) {
+  EXPECT_GT(cost_benefit_score(0, 8, 1.0), cost_benefit_score(1, 8, 1e9));
+}
+
+TEST(CostBenefit, OlderBlocksScoreHigher) {
+  EXPECT_GT(cost_benefit_score(4, 8, 200.0), cost_benefit_score(4, 8, 100.0));
+}
+
+TEST(CostBenefit, EmptierBlocksScoreHigher) {
+  EXPECT_GT(cost_benefit_score(2, 8, 100.0), cost_benefit_score(6, 8, 100.0));
+}
+
+TEST(CostBenefit, DegenerateInputsAreSafe) {
+  EXPECT_DOUBLE_EQ(cost_benefit_score(4, 0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cost_benefit_score(9, 8, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cost_benefit_score(4, 8, -1.0), 0.0);
+}
+
+TEST(VictimPolicy, NamesAreStable) {
+  EXPECT_EQ(to_string(VictimPolicy::greedy_cyclic), "greedy_cyclic");
+  EXPECT_EQ(to_string(VictimPolicy::cost_benefit_age), "cost_benefit_age");
+}
+
+TEST(CyclicScanner, FindsFirstCandidateFromCursor) {
+  CyclicVictimScanner scanner(8);
+  const auto victim = scanner.next([](BlockIndex b) { return b == 5; });
+  EXPECT_EQ(victim, 5u);
+}
+
+TEST(CyclicScanner, ResumesAfterPreviousVictim) {
+  CyclicVictimScanner scanner(8);
+  std::vector<BlockIndex> order;
+  for (int i = 0; i < 3; ++i) {
+    order.push_back(scanner.next([](BlockIndex b) { return b % 2 == 1; }));
+  }
+  EXPECT_EQ(order, (std::vector<BlockIndex>{1, 3, 5}));
+}
+
+TEST(CyclicScanner, WrapsAround) {
+  CyclicVictimScanner scanner(4);
+  EXPECT_EQ(scanner.next([](BlockIndex b) { return b == 3; }), 3u);
+  // cursor is now 0 again; next candidate cyclically is 3 once more
+  EXPECT_EQ(scanner.next([](BlockIndex b) { return b == 3; }), 3u);
+}
+
+TEST(CyclicScanner, ReturnsInvalidAfterFullFruitlessCycle) {
+  CyclicVictimScanner scanner(8);
+  int probes = 0;
+  const auto victim = scanner.next([&](BlockIndex) {
+    ++probes;
+    return false;
+  });
+  EXPECT_EQ(victim, kInvalidBlock);
+  EXPECT_EQ(probes, 8);
+}
+
+TEST(CyclicScanner, VisitsEveryBlockExactlyOncePerCycle) {
+  CyclicVictimScanner scanner(16);
+  std::vector<int> visits(16, 0);
+  (void)scanner.next([&](BlockIndex b) {
+    ++visits[b];
+    return false;
+  });
+  for (const int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(CyclicScanner, RejectsZeroBlocks) {
+  EXPECT_THROW(CyclicVictimScanner{0}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace swl::tl

@@ -1,0 +1,292 @@
+// swl_sim — command-line front end to the whole simulation stack.
+//
+// Runs a workload (synthetic or from a trace file) against FTL or NFTL on a
+// simulated NAND device, optionally with the SW Leveler (or the oracle
+// comparison policy) attached, and reports endurance and overhead metrics.
+//
+//   swl_sim --layer nftl --swl --T 100 --k 0 --until-failure
+//   swl_sim --layer ftl --years 0.05 --alloc lifo --histogram
+//   swl_sim --layer nftl --trace mytrace.bin --swl --csv
+//   swl_sim --help
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "sim/experiments.hpp"
+#include "sim/report.hpp"
+#include "stats/histogram.hpp"
+#include "trace/segment_replay.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace swl;
+
+struct CliOptions {
+  sim::ExperimentScale scale;
+  sim::LayerKind layer = sim::LayerKind::nftl;
+  bool use_swl = false;
+  bool use_oracle = false;
+  std::uint32_t k = 0;
+  double threshold = 100.0;
+  bool scale_threshold = true;
+  tl::AllocPolicy alloc = tl::AllocPolicy::fifo;
+  tl::VictimPolicy victim = tl::VictimPolicy::greedy_cyclic;
+  bool separation = false;
+  bool until_failure = false;
+  double years = 0.02;
+  std::string trace_path;
+  trace::WorkloadPreset preset = trace::WorkloadPreset::desktop;
+  bool histogram = false;
+  bool csv = false;
+  double program_fail_p = 0.0;
+  double erase_fail_p = 0.0;
+};
+
+void print_help() {
+  std::cout <<
+      R"(swl_sim — static wear leveling simulator (DAC 2007 reproduction)
+
+device
+  --layer ftl|nftl        translation layer (default nftl)
+  --blocks N              physical blocks (default 256; paper: 4096)
+  --endurance N           erase endurance (default 1000; paper: 10000)
+  --alloc fifo|lifo|coldest  free-block allocation policy (default fifo)
+  --victim greedy|cost-benefit  GC victim selection (default greedy)
+  --separation            FTL hot/cold data separation
+  --program-fail-p P      injected program-failure probability
+  --erase-fail-p P        injected erase-failure probability
+
+wear leveling
+  --swl                   attach the SW Leveler
+  --T X                   unevenness threshold (paper values; default 100)
+  --k K                   BET mapping mode, one flag per 2^k blocks (default 0)
+  --raw-threshold         do not scale T with endurance
+  --oracle                attach the full-counter oracle policy instead
+
+workload
+  --trace FILE            replay a binary trace file (see trace_io.hpp)
+  --workload NAME         synthetic preset: desktop (paper-calibrated,
+                          default), server, sequential_fill, uniform_random
+  --trace-days D          synthetic base-trace length in days (default 4)
+  --seed S                workload seed
+  --years Y               simulate Y years (default 0.02)
+  --until-failure         run until the first block wears out
+
+output
+  --histogram             print the erase-count histogram
+  --csv                   machine-readable one-line summary
+)";
+}
+
+std::optional<CliOptions> parse(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      std::exit(0);
+    } else if (arg == "--layer") {
+      const std::string v = value();
+      if (v == "ftl") {
+        opt.layer = sim::LayerKind::ftl;
+      } else if (v == "nftl") {
+        opt.layer = sim::LayerKind::nftl;
+      } else {
+        std::cerr << "unknown layer: " << v << "\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--blocks") {
+      opt.scale.block_count = static_cast<BlockIndex>(std::stoul(value()));
+    } else if (arg == "--endurance") {
+      opt.scale.endurance = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--alloc") {
+      const std::string v = value();
+      if (v == "fifo") {
+        opt.alloc = tl::AllocPolicy::fifo;
+      } else if (v == "lifo") {
+        opt.alloc = tl::AllocPolicy::lifo;
+      } else if (v == "coldest") {
+        opt.alloc = tl::AllocPolicy::coldest_first;
+      } else {
+        std::cerr << "unknown allocation policy: " << v << "\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--victim") {
+      const std::string v = value();
+      if (v == "greedy") {
+        opt.victim = tl::VictimPolicy::greedy_cyclic;
+      } else if (v == "cost-benefit") {
+        opt.victim = tl::VictimPolicy::cost_benefit_age;
+      } else {
+        std::cerr << "unknown victim policy: " << v << "\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--separation") {
+      opt.separation = true;
+    } else if (arg == "--program-fail-p") {
+      opt.program_fail_p = std::stod(value());
+    } else if (arg == "--erase-fail-p") {
+      opt.erase_fail_p = std::stod(value());
+    } else if (arg == "--swl") {
+      opt.use_swl = true;
+    } else if (arg == "--oracle") {
+      opt.use_oracle = true;
+    } else if (arg == "--T") {
+      opt.threshold = std::stod(value());
+    } else if (arg == "--k") {
+      opt.k = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--raw-threshold") {
+      opt.scale_threshold = false;
+    } else if (arg == "--trace") {
+      opt.trace_path = value();
+    } else if (arg == "--workload") {
+      const std::string v = value();
+      if (v == "desktop") {
+        opt.preset = trace::WorkloadPreset::desktop;
+      } else if (v == "server") {
+        opt.preset = trace::WorkloadPreset::server;
+      } else if (v == "sequential_fill") {
+        opt.preset = trace::WorkloadPreset::sequential_fill;
+      } else if (v == "uniform_random") {
+        opt.preset = trace::WorkloadPreset::uniform_random;
+      } else {
+        std::cerr << "unknown workload preset: " << v << "\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--trace-days") {
+      opt.scale.base_trace_days = std::stod(value());
+    } else if (arg == "--seed") {
+      opt.scale.seed = std::stoull(value());
+    } else if (arg == "--years") {
+      opt.years = std::stod(value());
+    } else if (arg == "--until-failure") {
+      opt.until_failure = true;
+    } else if (arg == "--histogram") {
+      opt.histogram = true;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else {
+      std::cerr << "unknown flag: " << arg << " (try --help)\n";
+      return std::nullopt;
+    }
+  }
+  if (opt.use_swl && opt.use_oracle) {
+    std::cerr << "--swl and --oracle are mutually exclusive\n";
+    return std::nullopt;
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed.has_value()) return 2;
+  const CliOptions& opt = *parsed;
+
+  sim::SimConfig config = sim::make_sim_config(opt.scale, opt.layer, std::nullopt);
+  config.ftl.alloc_policy = opt.alloc;
+  config.nftl.alloc_policy = opt.alloc;
+  config.ftl.victim_policy = opt.victim;
+  config.nftl.victim_policy = opt.victim;
+  config.ftl.hot_cold_separation = opt.separation;
+  config.failures.program_fail_p = opt.program_fail_p;
+  config.failures.erase_fail_p = opt.erase_fail_p;
+
+  double effective_t = opt.threshold;
+  if (opt.use_swl) {
+    wear::LevelerConfig lc;
+    lc.k = opt.k;
+    effective_t =
+        opt.scale_threshold ? sim::scaled_threshold(opt.threshold, opt.scale) : opt.threshold;
+    lc.threshold = effective_t;
+    config.leveler = lc;
+  } else if (opt.use_oracle) {
+    config.oracle_leveler.emplace();
+    config.oracle_leveler->gap_threshold = std::max<std::uint32_t>(2, opt.scale.endurance / 50);
+  }
+
+  auto simulator = sim::make_simulator(config);
+
+  trace::Trace base;
+  if (!opt.trace_path.empty()) {
+    if (trace::load_binary(opt.trace_path, &base) != Status::ok) {
+      std::cerr << "cannot load trace: " << opt.trace_path << "\n";
+      return 1;
+    }
+  } else {
+    trace::SyntheticConfig tc = trace::preset_config(opt.preset, simulator->lba_count());
+    tc.duration_s = opt.scale.base_trace_days * 24 * 3600;
+    tc.seed = opt.scale.seed;
+    base = trace::generate_synthetic_trace(tc);
+  }
+  trace::SegmentReplaySource source(base, opt.scale.segment_minutes * 60.0, opt.scale.seed ^ 1);
+
+  const double horizon = opt.until_failure ? opt.scale.max_years : opt.years;
+  while (true) {
+    const std::uint64_t n = simulator->run(source, horizon, opt.until_failure, 1 << 16);
+    if (opt.until_failure && simulator->chip().first_failure().has_value()) break;
+    if (simulator->clock().years() >= horizon) break;
+    if (n == 0) break;
+  }
+  const sim::SimResult r = simulator->result();
+
+  if (opt.csv) {
+    std::cout << "layer,swl,oracle,k,T_eff,alloc,years,first_failure_years,erases,swl_erases,"
+                 "live_copies,swl_copies,erase_mean,erase_dev,erase_max,host_writes\n"
+              << sim::to_string(opt.layer) << ',' << opt.use_swl << ',' << opt.use_oracle << ','
+              << opt.k << ',' << effective_t << ',' << to_string(opt.alloc) << ','
+              << sim::fmt(r.elapsed_years, 6) << ','
+              << (r.first_failure_years ? sim::fmt(*r.first_failure_years, 6) : "") << ','
+              << r.counters.total_erases() << ',' << r.counters.swl_erases << ','
+              << r.counters.total_live_copies() << ',' << r.counters.swl_live_copies << ','
+              << sim::fmt(r.erase_summary.mean, 2) << ',' << sim::fmt(r.erase_summary.stddev, 2)
+              << ',' << r.erase_summary.max << ',' << r.counters.host_writes << "\n";
+    return 0;
+  }
+
+  std::cout << "device: " << describe(simulator->chip().geometry()) << ", endurance "
+            << opt.scale.endurance << ", layer " << sim::to_string(opt.layer) << ", allocation "
+            << to_string(opt.alloc) << "\n";
+  if (opt.use_swl) {
+    std::cout << "SW Leveler: k=" << opt.k << ", T=" << opt.threshold
+              << " (effective " << sim::fmt(effective_t, 1) << ")\n";
+  } else if (opt.use_oracle) {
+    std::cout << "oracle leveler attached\n";
+  }
+  std::cout << "simulated " << sim::fmt(r.elapsed_years, 4) << " years, "
+            << r.counters.host_writes << " host writes, " << r.counters.host_reads
+            << " host reads\n";
+  if (r.first_failure_years.has_value()) {
+    std::cout << "first block wore out after " << sim::fmt(*r.first_failure_years, 4)
+              << " years\n";
+  } else {
+    std::cout << "no block reached the endurance limit\n";
+  }
+  std::cout << "erases: " << r.counters.total_erases() << " (" << r.counters.swl_erases
+            << " by the leveler); live copies: " << r.counters.total_live_copies() << " ("
+            << r.counters.swl_live_copies << " by the leveler)\n";
+  std::cout << "erase counts: mean " << sim::fmt(r.erase_summary.mean, 1) << ", stddev "
+            << sim::fmt(r.erase_summary.stddev, 1) << ", max " << r.erase_summary.max << "\n";
+  if (opt.use_swl) {
+    std::cout << "leveler: " << r.leveler_stats.activations << " activations, "
+              << r.leveler_stats.collections_requested << " collections, "
+              << r.leveler_stats.bet_resets << " resetting intervals\n";
+  }
+  if (opt.histogram) {
+    const std::uint32_t width = std::max<std::uint32_t>(1, r.erase_summary.max / 20);
+    stats::Histogram h(width, 21);
+    h.add_all(r.erase_counts);
+    std::cout << "\nerase-count histogram:\n" << h.render();
+  }
+  return 0;
+}
