@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bet_tuning.dir/bet_tuning.cpp.o"
+  "CMakeFiles/bet_tuning.dir/bet_tuning.cpp.o.d"
+  "bet_tuning"
+  "bet_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bet_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endurance_comparison.dir/endurance_comparison.cpp.o"
+  "CMakeFiles/endurance_comparison.dir/endurance_comparison.cpp.o.d"
+  "endurance_comparison"
+  "endurance_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endurance_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

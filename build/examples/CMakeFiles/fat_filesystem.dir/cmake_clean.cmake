@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fat_filesystem.dir/fat_filesystem.cpp.o"
+  "CMakeFiles/fat_filesystem.dir/fat_filesystem.cpp.o.d"
+  "fat_filesystem"
+  "fat_filesystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fat_filesystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

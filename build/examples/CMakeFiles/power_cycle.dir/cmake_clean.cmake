@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_cycle.dir/power_cycle.cpp.o"
+  "CMakeFiles/power_cycle.dir/power_cycle.cpp.o.d"
+  "power_cycle"
+  "power_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

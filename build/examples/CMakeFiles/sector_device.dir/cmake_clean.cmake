@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sector_device.dir/sector_device.cpp.o"
+  "CMakeFiles/sector_device.dir/sector_device.cpp.o.d"
+  "sector_device"
+  "sector_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sector_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swl_bdev.dir/block_device.cpp.o"
+  "CMakeFiles/swl_bdev.dir/block_device.cpp.o.d"
+  "libswl_bdev.a"
+  "libswl_bdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swl_bdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bitvec.cpp" "src/core/CMakeFiles/swl_core.dir/bitvec.cpp.o" "gcc" "src/core/CMakeFiles/swl_core.dir/bitvec.cpp.o.d"
+  "/root/repo/src/core/clock.cpp" "src/core/CMakeFiles/swl_core.dir/clock.cpp.o" "gcc" "src/core/CMakeFiles/swl_core.dir/clock.cpp.o.d"
+  "/root/repo/src/core/geometry.cpp" "src/core/CMakeFiles/swl_core.dir/geometry.cpp.o" "gcc" "src/core/CMakeFiles/swl_core.dir/geometry.cpp.o.d"
+  "/root/repo/src/core/permutation.cpp" "src/core/CMakeFiles/swl_core.dir/permutation.cpp.o" "gcc" "src/core/CMakeFiles/swl_core.dir/permutation.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/core/CMakeFiles/swl_core.dir/rng.cpp.o" "gcc" "src/core/CMakeFiles/swl_core.dir/rng.cpp.o.d"
+  "/root/repo/src/core/status.cpp" "src/core/CMakeFiles/swl_core.dir/status.cpp.o" "gcc" "src/core/CMakeFiles/swl_core.dir/status.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swl_core.dir/bitvec.cpp.o"
+  "CMakeFiles/swl_core.dir/bitvec.cpp.o.d"
+  "CMakeFiles/swl_core.dir/clock.cpp.o"
+  "CMakeFiles/swl_core.dir/clock.cpp.o.d"
+  "CMakeFiles/swl_core.dir/geometry.cpp.o"
+  "CMakeFiles/swl_core.dir/geometry.cpp.o.d"
+  "CMakeFiles/swl_core.dir/permutation.cpp.o"
+  "CMakeFiles/swl_core.dir/permutation.cpp.o.d"
+  "CMakeFiles/swl_core.dir/rng.cpp.o"
+  "CMakeFiles/swl_core.dir/rng.cpp.o.d"
+  "CMakeFiles/swl_core.dir/status.cpp.o"
+  "CMakeFiles/swl_core.dir/status.cpp.o.d"
+  "libswl_core.a"
+  "libswl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

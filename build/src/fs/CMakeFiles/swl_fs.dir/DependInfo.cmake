@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/fat_fs.cpp" "src/fs/CMakeFiles/swl_fs.dir/fat_fs.cpp.o" "gcc" "src/fs/CMakeFiles/swl_fs.dir/fat_fs.cpp.o.d"
+  "/root/repo/src/fs/fs_snapshot_store.cpp" "src/fs/CMakeFiles/swl_fs.dir/fs_snapshot_store.cpp.o" "gcc" "src/fs/CMakeFiles/swl_fs.dir/fs_snapshot_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdev/CMakeFiles/swl_bdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/swl/CMakeFiles/swl_wear.dir/DependInfo.cmake"
+  "/root/repo/build/src/tl/CMakeFiles/swl_tl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/swl_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

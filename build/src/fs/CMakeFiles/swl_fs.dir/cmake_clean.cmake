@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swl_fs.dir/fat_fs.cpp.o"
+  "CMakeFiles/swl_fs.dir/fat_fs.cpp.o.d"
+  "CMakeFiles/swl_fs.dir/fs_snapshot_store.cpp.o"
+  "CMakeFiles/swl_fs.dir/fs_snapshot_store.cpp.o.d"
+  "libswl_fs.a"
+  "libswl_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swl_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swl_ftl.dir/ftl.cpp.o"
+  "CMakeFiles/swl_ftl.dir/ftl.cpp.o.d"
+  "libswl_ftl.a"
+  "libswl_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swl_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swl_hotness.dir/hot_data.cpp.o"
+  "CMakeFiles/swl_hotness.dir/hot_data.cpp.o.d"
+  "libswl_hotness.a"
+  "libswl_hotness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swl_hotness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swl_nand.dir/nand_chip.cpp.o"
+  "CMakeFiles/swl_nand.dir/nand_chip.cpp.o.d"
+  "libswl_nand.a"
+  "libswl_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swl_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

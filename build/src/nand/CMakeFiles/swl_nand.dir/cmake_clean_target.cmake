@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswl_nand.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swl_nftl.dir/nftl.cpp.o"
+  "CMakeFiles/swl_nftl.dir/nftl.cpp.o.d"
+  "libswl_nftl.a"
+  "libswl_nftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swl_nftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

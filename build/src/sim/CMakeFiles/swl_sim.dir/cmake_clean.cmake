@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swl_sim.dir/experiments.cpp.o"
+  "CMakeFiles/swl_sim.dir/experiments.cpp.o.d"
+  "CMakeFiles/swl_sim.dir/report.cpp.o"
+  "CMakeFiles/swl_sim.dir/report.cpp.o.d"
+  "CMakeFiles/swl_sim.dir/simulator.cpp.o"
+  "CMakeFiles/swl_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/swl_sim.dir/worst_case.cpp.o"
+  "CMakeFiles/swl_sim.dir/worst_case.cpp.o.d"
+  "libswl_sim.a"
+  "libswl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

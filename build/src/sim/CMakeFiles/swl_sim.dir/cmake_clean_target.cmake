@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswl_sim.a"
+)

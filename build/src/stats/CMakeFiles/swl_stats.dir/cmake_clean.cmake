@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swl_stats.dir/histogram.cpp.o"
+  "CMakeFiles/swl_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/swl_stats.dir/overhead_model.cpp.o"
+  "CMakeFiles/swl_stats.dir/overhead_model.cpp.o.d"
+  "CMakeFiles/swl_stats.dir/summary.cpp.o"
+  "CMakeFiles/swl_stats.dir/summary.cpp.o.d"
+  "libswl_stats.a"
+  "libswl_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swl_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

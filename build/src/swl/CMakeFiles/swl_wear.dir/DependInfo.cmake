@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swl/bet.cpp" "src/swl/CMakeFiles/swl_wear.dir/bet.cpp.o" "gcc" "src/swl/CMakeFiles/swl_wear.dir/bet.cpp.o.d"
+  "/root/repo/src/swl/leveler.cpp" "src/swl/CMakeFiles/swl_wear.dir/leveler.cpp.o" "gcc" "src/swl/CMakeFiles/swl_wear.dir/leveler.cpp.o.d"
+  "/root/repo/src/swl/oracle_leveler.cpp" "src/swl/CMakeFiles/swl_wear.dir/oracle_leveler.cpp.o" "gcc" "src/swl/CMakeFiles/swl_wear.dir/oracle_leveler.cpp.o.d"
+  "/root/repo/src/swl/snapshot.cpp" "src/swl/CMakeFiles/swl_wear.dir/snapshot.cpp.o" "gcc" "src/swl/CMakeFiles/swl_wear.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

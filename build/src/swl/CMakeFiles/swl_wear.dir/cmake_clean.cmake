@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swl_wear.dir/bet.cpp.o"
+  "CMakeFiles/swl_wear.dir/bet.cpp.o.d"
+  "CMakeFiles/swl_wear.dir/leveler.cpp.o"
+  "CMakeFiles/swl_wear.dir/leveler.cpp.o.d"
+  "CMakeFiles/swl_wear.dir/oracle_leveler.cpp.o"
+  "CMakeFiles/swl_wear.dir/oracle_leveler.cpp.o.d"
+  "CMakeFiles/swl_wear.dir/snapshot.cpp.o"
+  "CMakeFiles/swl_wear.dir/snapshot.cpp.o.d"
+  "libswl_wear.a"
+  "libswl_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swl_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

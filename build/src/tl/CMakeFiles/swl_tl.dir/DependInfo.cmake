@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tl/free_block_pool.cpp" "src/tl/CMakeFiles/swl_tl.dir/free_block_pool.cpp.o" "gcc" "src/tl/CMakeFiles/swl_tl.dir/free_block_pool.cpp.o.d"
+  "/root/repo/src/tl/gc_policy.cpp" "src/tl/CMakeFiles/swl_tl.dir/gc_policy.cpp.o" "gcc" "src/tl/CMakeFiles/swl_tl.dir/gc_policy.cpp.o.d"
+  "/root/repo/src/tl/translation_layer.cpp" "src/tl/CMakeFiles/swl_tl.dir/translation_layer.cpp.o" "gcc" "src/tl/CMakeFiles/swl_tl.dir/translation_layer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/swl_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/swl/CMakeFiles/swl_wear.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

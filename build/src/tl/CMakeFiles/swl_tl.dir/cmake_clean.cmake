@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swl_tl.dir/free_block_pool.cpp.o"
+  "CMakeFiles/swl_tl.dir/free_block_pool.cpp.o.d"
+  "CMakeFiles/swl_tl.dir/gc_policy.cpp.o"
+  "CMakeFiles/swl_tl.dir/gc_policy.cpp.o.d"
+  "CMakeFiles/swl_tl.dir/translation_layer.cpp.o"
+  "CMakeFiles/swl_tl.dir/translation_layer.cpp.o.d"
+  "libswl_tl.a"
+  "libswl_tl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swl_tl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

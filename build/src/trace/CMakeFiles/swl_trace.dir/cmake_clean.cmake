@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swl_trace.dir/segment_replay.cpp.o"
+  "CMakeFiles/swl_trace.dir/segment_replay.cpp.o.d"
+  "CMakeFiles/swl_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/swl_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/swl_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/swl_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/swl_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/swl_trace.dir/trace_stats.cpp.o.d"
+  "libswl_trace.a"
+  "libswl_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swl_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

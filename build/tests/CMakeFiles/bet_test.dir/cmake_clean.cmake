@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bet_test.dir/swl/bet_test.cpp.o"
+  "CMakeFiles/bet_test.dir/swl/bet_test.cpp.o.d"
+  "bet_test"
+  "bet_test.pdb"
+  "bet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fat_fs_test.dir/fs/fat_fs_test.cpp.o"
+  "CMakeFiles/fat_fs_test.dir/fs/fat_fs_test.cpp.o.d"
+  "fat_fs_test"
+  "fat_fs_test.pdb"
+  "fat_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fat_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

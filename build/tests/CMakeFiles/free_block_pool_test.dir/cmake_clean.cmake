@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/free_block_pool_test.dir/tl/free_block_pool_test.cpp.o"
+  "CMakeFiles/free_block_pool_test.dir/tl/free_block_pool_test.cpp.o.d"
+  "free_block_pool_test"
+  "free_block_pool_test.pdb"
+  "free_block_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/free_block_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_policy_test.dir/tl/gc_policy_test.cpp.o"
+  "CMakeFiles/gc_policy_test.dir/tl/gc_policy_test.cpp.o.d"
+  "gc_policy_test"
+  "gc_policy_test.pdb"
+  "gc_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

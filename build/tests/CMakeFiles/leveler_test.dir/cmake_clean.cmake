@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leveler_test.dir/swl/leveler_test.cpp.o"
+  "CMakeFiles/leveler_test.dir/swl/leveler_test.cpp.o.d"
+  "leveler_test"
+  "leveler_test.pdb"
+  "leveler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leveler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

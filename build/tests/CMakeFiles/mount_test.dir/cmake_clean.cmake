@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mount_test.dir/integration/mount_test.cpp.o"
+  "CMakeFiles/mount_test.dir/integration/mount_test.cpp.o.d"
+  "mount_test"
+  "mount_test.pdb"
+  "mount_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mount_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nftl_test.dir/nftl/nftl_test.cpp.o"
+  "CMakeFiles/nftl_test.dir/nftl/nftl_test.cpp.o.d"
+  "nftl_test"
+  "nftl_test.pdb"
+  "nftl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nftl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/swl/oracle_leveler_test.cpp" "tests/CMakeFiles/oracle_leveler_test.dir/swl/oracle_leveler_test.cpp.o" "gcc" "tests/CMakeFiles/oracle_leveler_test.dir/swl/oracle_leveler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/swl_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/swl/CMakeFiles/swl_wear.dir/DependInfo.cmake"
+  "/root/repo/build/src/tl/CMakeFiles/swl_tl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotness/CMakeFiles/swl_hotness.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdev/CMakeFiles/swl_bdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/swl_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/swl_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nftl/CMakeFiles/swl_nftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/swl_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_leveler_test.dir/swl/oracle_leveler_test.cpp.o"
+  "CMakeFiles/oracle_leveler_test.dir/swl/oracle_leveler_test.cpp.o.d"
+  "oracle_leveler_test"
+  "oracle_leveler_test.pdb"
+  "oracle_leveler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_leveler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bitvec_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/clock_test[1]_include.cmake")
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/permutation_test[1]_include.cmake")
+include("/root/repo/build/tests/nand_chip_test[1]_include.cmake")
+include("/root/repo/build/tests/bet_test[1]_include.cmake")
+include("/root/repo/build/tests/leveler_test[1]_include.cmake")
+include("/root/repo/build/tests/oracle_leveler_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/free_block_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/hot_data_test[1]_include.cmake")
+include("/root/repo/build/tests/block_device_test[1]_include.cmake")
+include("/root/repo/build/tests/fat_fs_test[1]_include.cmake")
+include("/root/repo/build/tests/ftl_test[1]_include.cmake")
+include("/root/repo/build/tests/nftl_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/worst_case_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/mount_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swl_sim_cli.dir/swl_sim.cpp.o"
+  "CMakeFiles/swl_sim_cli.dir/swl_sim.cpp.o.d"
+  "swl_sim"
+  "swl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swl_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
