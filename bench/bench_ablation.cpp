@@ -13,7 +13,13 @@
 //   D. FTL hot/cold data separation (a stronger Cleaner) with and without
 //      SWL — the claim that static wear leveling is orthogonal to dynamic
 //      improvements.
+//
+// All 24 configurations are independent simulations over one shared base
+// trace per layer kind (generated once, replayed read-only by every worker)
+// and run concurrently on the sweep runner.
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "sim/report.hpp"
@@ -25,17 +31,24 @@ int main(int argc, char** argv) {
   using sim::fmt;
 
   bench::Options opt = bench::parse_options(argc, argv);
+  bench::BenchReport report("ablation", opt);
   std::cout << "Ablations (first failure time in simulated years; erase-count stddev)\n";
   bench::print_scale(opt);
   const double t100 = bench::eff_t(opt, 100);
 
-  const auto run_custom = [&](sim::LayerKind layer, auto&& mutate) {
-    sim::SimConfig config = sim::make_sim_config(opt.scale, layer, std::nullopt);
-    mutate(config);
-    auto probe = sim::make_simulator(config);
-    const trace::Trace base = trace::generate_synthetic_trace(
-        sim::make_trace_config(opt.scale, probe->lba_count()));
-    return sim::run_config_on(config, opt.scale, base, opt.scale.max_years, true);
+  // One immutable base trace per layer kind, shared read-only by all points.
+  const trace::Trace ftl_base = sim::make_base_trace(opt.scale, sim::LayerKind::ftl);
+  const trace::Trace nftl_base = sim::make_base_trace(opt.scale, sim::LayerKind::nftl);
+
+  struct Point {
+    std::string label;  // for the JSON artifact
+    sim::LayerKind layer;
+    std::function<void(sim::SimConfig&)> mutate;
+  };
+  std::vector<Point> points;
+  const auto add_point = [&](std::string label, sim::LayerKind layer,
+                             std::function<void(sim::SimConfig&)> mutate) {
+    points.push_back({std::move(label), layer, std::move(mutate)});
   };
   const auto swl_cfg = [&]() {
     wear::LevelerConfig lc;
@@ -43,18 +56,75 @@ int main(int argc, char** argv) {
     return lc;
   };
 
+  // A. allocation policy x SWL.
+  const tl::AllocPolicy policies[] = {tl::AllocPolicy::lifo, tl::AllocPolicy::fifo,
+                                      tl::AllocPolicy::coldest_first};
+  for (const sim::LayerKind layer : {sim::LayerKind::ftl, sim::LayerKind::nftl}) {
+    for (const tl::AllocPolicy policy : policies) {
+      for (const bool with_swl : {false, true}) {
+        add_point("A/" + std::string(sim::to_string(layer)) + "/" +
+                      std::string(to_string(policy)) + (with_swl ? "/swl" : "/noswl"),
+                  layer, [=](sim::SimConfig& c) {
+                    c.ftl.alloc_policy = policy;
+                    c.nftl.alloc_policy = policy;
+                    if (with_swl) c.leveler = swl_cfg();
+                  });
+      }
+    }
+  }
+  // B. leveling policy vs RAM cost (NFTL).
+  add_point("B/none", sim::LayerKind::nftl, [](sim::SimConfig&) {});
+  for (const std::uint32_t k : {0u, 3u}) {
+    add_point("B/bet-k" + std::to_string(k), sim::LayerKind::nftl, [=](sim::SimConfig& c) {
+      c.leveler = swl_cfg();
+      c.leveler->k = k;
+    });
+  }
+  const std::uint32_t oracle_gap = std::max<std::uint32_t>(2, opt.scale.endurance / 50);
+  add_point("B/oracle", sim::LayerKind::nftl, [=](sim::SimConfig& c) {
+    c.oracle_leveler.emplace();
+    c.oracle_leveler->gap_threshold = oracle_gap;
+  });
+  // C. victim-set selection policy.
+  for (const sim::LayerKind layer : {sim::LayerKind::ftl, sim::LayerKind::nftl}) {
+    for (const auto sel : {wear::LevelerConfig::Selection::cyclic_scan,
+                           wear::LevelerConfig::Selection::random}) {
+      add_point("C/" + std::string(sim::to_string(layer)) +
+                    (sel == wear::LevelerConfig::Selection::cyclic_scan ? "/cyclic" : "/random"),
+                layer, [=](sim::SimConfig& c) {
+                  c.leveler = swl_cfg();
+                  c.leveler->selection = sel;
+                });
+    }
+  }
+  // D. FTL hot/cold separation x SWL.
+  for (const bool separate : {false, true}) {
+    for (const bool with_swl : {false, true}) {
+      add_point(std::string("D/") + (separate ? "sep" : "nosep") + (with_swl ? "/swl" : "/noswl"),
+                sim::LayerKind::ftl, [=](sim::SimConfig& c) {
+                  c.ftl.hot_cold_separation = separate;
+                  if (with_swl) c.leveler = swl_cfg();
+                });
+    }
+  }
+
+  runner::SweepRunner pool(opt.jobs);
+  const std::vector<sim::SimResult> results = pool.map(points.size(), [&](std::size_t i) {
+    sim::SimConfig config = sim::make_sim_config(opt.scale, points[i].layer, std::nullopt);
+    points[i].mutate(config);
+    const trace::Trace& base = points[i].layer == sim::LayerKind::ftl ? ftl_base : nftl_base;
+    return sim::run_config_on(config, opt.scale, base, opt.scale.max_years,
+                              /*stop_on_failure=*/true);
+  });
+
+  std::size_t idx = 0;
   {
     std::cout << "A. allocation policy x SWL (paper premise: dynamic WL alone is not enough)\n";
     sim::TableWriter table({"layer", "allocation", "SWL", "first failure (y)", "dev"});
     for (const sim::LayerKind layer : {sim::LayerKind::ftl, sim::LayerKind::nftl}) {
-      for (const tl::AllocPolicy policy :
-           {tl::AllocPolicy::lifo, tl::AllocPolicy::fifo, tl::AllocPolicy::coldest_first}) {
+      for (const tl::AllocPolicy policy : policies) {
         for (const bool with_swl : {false, true}) {
-          const sim::SimResult r = run_custom(layer, [&](sim::SimConfig& c) {
-            c.ftl.alloc_policy = policy;
-            c.nftl.alloc_policy = policy;
-            if (with_swl) c.leveler = swl_cfg();
-          });
+          const sim::SimResult& r = results[idx++];
           table.add_row({std::string(sim::to_string(layer)), std::string(to_string(policy)),
                          with_swl ? "yes" : "no",
                          fmt(r.first_failure_years.value_or(opt.scale.max_years), 4),
@@ -68,8 +138,8 @@ int main(int argc, char** argv) {
   {
     std::cout << "B. leveling policy vs RAM cost (NFTL)\n";
     sim::TableWriter table({"policy", "RAM", "first failure (y)", "dev", "extra erases"});
-    const auto add = [&](const char* name, std::uint64_t ram, const sim::SimResult& r,
-                         const sim::SimResult& base) {
+    const sim::SimResult& base = results[idx++];  // the "B/none" point
+    const auto add = [&](const char* name, std::uint64_t ram, const sim::SimResult& r) {
       const double extra =
           100.0 * (static_cast<double>(r.counters.total_erases()) /
                        static_cast<double>(base.counters.total_erases()) * base.elapsed_years /
@@ -79,23 +149,11 @@ int main(int argc, char** argv) {
                      fmt(r.first_failure_years.value_or(opt.scale.max_years), 4),
                      fmt(r.erase_summary.stddev, 1), fmt(extra, 1) + "%"});
     };
-    const sim::SimResult base = run_custom(sim::LayerKind::nftl, [](sim::SimConfig&) {});
-    add("none", 0, base, base);
-    for (const std::uint32_t k : {0u, 3u}) {
-      const sim::SimResult r = run_custom(sim::LayerKind::nftl, [&](sim::SimConfig& c) {
-        c.leveler = swl_cfg();
-        c.leveler->k = k;
-      });
-      add(k == 0 ? "SWL (BET, k=0)" : "SWL (BET, k=3)",
-          wear::Bet::size_bytes(opt.scale.block_count, k), r, base);
-    }
-    const sim::SimResult oracle = run_custom(sim::LayerKind::nftl, [&](sim::SimConfig& c) {
-      c.oracle_leveler.emplace();
-      c.oracle_leveler->gap_threshold =
-          std::max<std::uint32_t>(2, opt.scale.endurance / 50);
-    });
+    add("none", 0, base);
+    add("SWL (BET, k=0)", wear::Bet::size_bytes(opt.scale.block_count, 0), results[idx++]);
+    add("SWL (BET, k=3)", wear::Bet::size_bytes(opt.scale.block_count, 3), results[idx++]);
     add("oracle (32-bit counters)", wear::OracleLeveler::size_bytes(opt.scale.block_count),
-        oracle, base);
+        results[idx++]);
     std::cout << table.str() << "\n";
   }
 
@@ -105,10 +163,7 @@ int main(int argc, char** argv) {
     for (const sim::LayerKind layer : {sim::LayerKind::ftl, sim::LayerKind::nftl}) {
       for (const auto sel : {wear::LevelerConfig::Selection::cyclic_scan,
                              wear::LevelerConfig::Selection::random}) {
-        const sim::SimResult r = run_custom(layer, [&](sim::SimConfig& c) {
-          c.leveler = swl_cfg();
-          c.leveler->selection = sel;
-        });
+        const sim::SimResult& r = results[idx++];
         table.add_row(
             {sel == wear::LevelerConfig::Selection::cyclic_scan ? "cyclic scan" : "random",
              std::string(sim::to_string(layer)),
@@ -124,10 +179,7 @@ int main(int argc, char** argv) {
     sim::TableWriter table({"separation", "SWL", "first failure (y)", "dev", "live copies"});
     for (const bool separate : {false, true}) {
       for (const bool with_swl : {false, true}) {
-        const sim::SimResult r = run_custom(sim::LayerKind::ftl, [&](sim::SimConfig& c) {
-          c.ftl.hot_cold_separation = separate;
-          if (with_swl) c.leveler = swl_cfg();
-        });
+        const sim::SimResult& r = results[idx++];
         table.add_row({separate ? "yes" : "no", with_swl ? "yes" : "no",
                        fmt(r.first_failure_years.value_or(opt.scale.max_years), 4),
                        fmt(r.erase_summary.stddev, 1),
@@ -136,5 +188,12 @@ int main(int argc, char** argv) {
     }
     std::cout << table.str();
   }
-  return 0;
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    runner::Json pj = bench::sim_result_json(results[i]);
+    pj.set("label", points[i].label);
+    pj.set("layer", sim::to_string(points[i].layer));
+    report.add_point(std::move(pj));
+  }
+  return report.finish();
 }

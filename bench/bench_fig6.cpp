@@ -1,7 +1,13 @@
 // Figure 6 of the paper: "The Increased Ratio of Block Erases" due to SWL,
 // for FTL (a) and NFTL (b). y-axis: 100 * erases_with_SWL / erases_without,
 // same workload, fixed simulated duration; x-axis k, one curve per T.
+//
+// The per-layer baseline and all 16 (T, k) points are independent runs over
+// one shared base trace, executed concurrently on the sweep runner; ratios
+// are computed after the sweep so --jobs never changes the numbers.
 #include <iostream>
+#include <optional>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "sim/report.hpp"
@@ -11,28 +17,54 @@ int main(int argc, char** argv) {
   using sim::fmt;
 
   const bench::Options opt = bench::parse_options(argc, argv);
+  bench::BenchReport report("fig6", opt);
   std::cout << "Figure 6: increased ratio of block erases (%) over " << opt.years
             << " simulated years (baseline = 100)\n";
   bench::print_scale(opt);
 
   const double thresholds[] = {100, 400, 700, 1000};
+  const std::uint32_t ks[] = {3, 2, 1, 0};
+  const sim::LayerKind layers[] = {sim::LayerKind::ftl, sim::LayerKind::nftl};
 
-  for (const sim::LayerKind layer : {sim::LayerKind::ftl, sim::LayerKind::nftl}) {
-    const trace::Trace base = sim::make_base_trace(opt.scale, layer);
-    const sim::SimResult without = sim::run_infinite_on(opt.scale, layer, std::nullopt, base,
-                                                        opt.years, /*stop_on_failure=*/false);
+  struct Point {
+    sim::LayerKind layer;
+    std::optional<wear::LevelerConfig> leveler;
+    double paper_t = 0;
+  };
+  std::vector<Point> points;
+  std::vector<trace::Trace> bases;
+  for (const sim::LayerKind layer : layers) {
+    bases.push_back(sim::make_base_trace(opt.scale, layer));
+    points.push_back({layer, std::nullopt, 0});
+    for (const double t : thresholds) {
+      for (const std::uint32_t k : ks) {
+        wear::LevelerConfig lc;
+        lc.k = k;
+        lc.threshold = bench::eff_t(opt, t);
+        points.push_back({layer, lc, t});
+      }
+    }
+  }
+
+  runner::SweepRunner pool(opt.jobs);
+  const std::vector<sim::SimResult> results = pool.map(points.size(), [&](std::size_t i) {
+    const Point& p = points[i];
+    const trace::Trace& base = bases[p.layer == sim::LayerKind::ftl ? 0 : 1];
+    return sim::run_infinite_on(opt.scale, p.layer, p.leveler, base, opt.years,
+                                /*stop_on_failure=*/false);
+  });
+
+  std::size_t idx = 0;
+  for (const sim::LayerKind layer : layers) {
+    const sim::SimResult& without = results[idx++];
     const double base_erases = static_cast<double>(without.counters.total_erases());
     std::cout << (layer == sim::LayerKind::ftl ? "(a) FTL" : "(b) NFTL") << "  [baseline erases: "
               << without.counters.total_erases() << "]\n";
     sim::TableWriter table({"T \\ k", "k=3", "k=2", "k=1", "k=0"});
     for (const double t : thresholds) {
       std::vector<std::string> row{"T=" + fmt(t, 0)};
-      for (const std::uint32_t k : {3u, 2u, 1u, 0u}) {
-        wear::LevelerConfig lc;
-        lc.k = k;
-        lc.threshold = bench::eff_t(opt, t);
-        const sim::SimResult with = sim::run_infinite_on(opt.scale, layer, lc, base, opt.years,
-                                                         /*stop_on_failure=*/false);
+      for ([[maybe_unused]] const std::uint32_t k : ks) {
+        const sim::SimResult& with = results[idx++];
         row.push_back(
             fmt(100.0 * static_cast<double>(with.counters.total_erases()) / base_erases, 2));
       }
@@ -40,6 +72,16 @@ int main(int argc, char** argv) {
     }
     std::cout << table.str() << "\n";
   }
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    runner::Json pj = bench::sim_result_json(results[i]);
+    pj.set("layer", sim::to_string(points[i].layer));
+    pj.set("T", points[i].paper_t);
+    if (points[i].leveler.has_value()) pj.set("k", points[i].leveler->k);
+    pj.set("baseline", !points[i].leveler.has_value());
+    report.add_point(std::move(pj));
+  }
+
   std::cout << "paper reference: increase < 3.5% on FTL and < 1% on NFTL in all cases\n";
-  return 0;
+  return report.finish();
 }

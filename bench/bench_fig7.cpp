@@ -2,7 +2,12 @@
 // SWL, for FTL (a) and NFTL (b). y-axis: 100 * copies_with / copies_without;
 // the FTL ratio is much larger because bursty hot writes keep the baseline
 // per-GC live-copy count tiny (Section 5.3).
+//
+// Same sweep shape as Figure 6: all points run concurrently over one shared
+// base trace per layer; ratios are computed after the sweep.
 #include <iostream>
+#include <optional>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "sim/report.hpp"
@@ -12,16 +17,46 @@ int main(int argc, char** argv) {
   using sim::fmt;
 
   const bench::Options opt = bench::parse_options(argc, argv);
+  bench::BenchReport report("fig7", opt);
   std::cout << "Figure 7: increased ratio of live-page copyings (%) over " << opt.years
             << " simulated years (baseline = 100)\n";
   bench::print_scale(opt);
 
   const double thresholds[] = {100, 400, 700, 1000};
+  const std::uint32_t ks[] = {3, 2, 1, 0};
+  const sim::LayerKind layers[] = {sim::LayerKind::ftl, sim::LayerKind::nftl};
 
-  for (const sim::LayerKind layer : {sim::LayerKind::ftl, sim::LayerKind::nftl}) {
-    const trace::Trace base = sim::make_base_trace(opt.scale, layer);
-    const sim::SimResult without = sim::run_infinite_on(opt.scale, layer, std::nullopt, base,
-                                                        opt.years, /*stop_on_failure=*/false);
+  struct Point {
+    sim::LayerKind layer;
+    std::optional<wear::LevelerConfig> leveler;
+    double paper_t = 0;
+  };
+  std::vector<Point> points;
+  std::vector<trace::Trace> bases;
+  for (const sim::LayerKind layer : layers) {
+    bases.push_back(sim::make_base_trace(opt.scale, layer));
+    points.push_back({layer, std::nullopt, 0});
+    for (const double t : thresholds) {
+      for (const std::uint32_t k : ks) {
+        wear::LevelerConfig lc;
+        lc.k = k;
+        lc.threshold = bench::eff_t(opt, t);
+        points.push_back({layer, lc, t});
+      }
+    }
+  }
+
+  runner::SweepRunner pool(opt.jobs);
+  const std::vector<sim::SimResult> results = pool.map(points.size(), [&](std::size_t i) {
+    const Point& p = points[i];
+    const trace::Trace& base = bases[p.layer == sim::LayerKind::ftl ? 0 : 1];
+    return sim::run_infinite_on(opt.scale, p.layer, p.leveler, base, opt.years,
+                                /*stop_on_failure=*/false);
+  });
+
+  std::size_t idx = 0;
+  for (const sim::LayerKind layer : layers) {
+    const sim::SimResult& without = results[idx++];
     const double base_copies = static_cast<double>(without.counters.total_live_copies());
     std::cout << (layer == sim::LayerKind::ftl ? "(a) FTL" : "(b) NFTL")
               << "  [baseline live copies: " << without.counters.total_live_copies()
@@ -31,12 +66,8 @@ int main(int argc, char** argv) {
     sim::TableWriter table({"T \\ k", "k=3", "k=2", "k=1", "k=0"});
     for (const double t : thresholds) {
       std::vector<std::string> row{"T=" + fmt(t, 0)};
-      for (const std::uint32_t k : {3u, 2u, 1u, 0u}) {
-        wear::LevelerConfig lc;
-        lc.k = k;
-        lc.threshold = bench::eff_t(opt, t);
-        const sim::SimResult with = sim::run_infinite_on(opt.scale, layer, lc, base, opt.years,
-                                                         /*stop_on_failure=*/false);
+      for ([[maybe_unused]] const std::uint32_t k : ks) {
+        const sim::SimResult& with = results[idx++];
         const double copies = static_cast<double>(with.counters.total_live_copies());
         row.push_back(base_copies > 0 ? fmt(100.0 * copies / base_copies, 2) : "n/a");
       }
@@ -44,7 +75,17 @@ int main(int argc, char** argv) {
     }
     std::cout << table.str() << "\n";
   }
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    runner::Json pj = bench::sim_result_json(results[i]);
+    pj.set("layer", sim::to_string(points[i].layer));
+    pj.set("T", points[i].paper_t);
+    if (points[i].leveler.has_value()) pj.set("k", points[i].leveler->k);
+    pj.set("baseline", !points[i].leveler.has_value());
+    report.add_point(std::move(pj));
+  }
+
   std::cout << "paper reference: NFTL increase < 1.5%; FTL up to ~350% at T=100 because the "
                "baseline copy count is tiny under bursty hot writes\n";
-  return 0;
+  return report.finish();
 }

@@ -2,12 +2,14 @@
 //
 // RAM footprint of the Block Erasing Table for 128 MB .. 4 GB large-block
 // SLC devices and mapping modes k = 0..3, computed by the real Bet sizing
-// rule (this table is analytic — no simulation involved). An MLC×2 variant
-// is appended to substantiate the paper's remark that MLC devices need an
-// even smaller BET per gigabyte.
+// rule (this table is analytic — no simulation involved, so --jobs has
+// nothing to parallelize; the flag is still accepted for a uniform CLI). An
+// MLC×2 variant is appended to substantiate the paper's remark that MLC
+// devices need an even smaller BET per gigabyte.
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/geometry.hpp"
 #include "sim/report.hpp"
 #include "swl/bet.hpp"
@@ -16,7 +18,8 @@ namespace {
 
 std::string bytes_str(std::uint64_t b) { return std::to_string(b) + "B"; }
 
-void print_bet_table(swl::CellType cell, const std::vector<std::uint64_t>& capacities) {
+void print_bet_table(swl::CellType cell, const std::vector<std::uint64_t>& capacities,
+                     const char* cell_name, swl::bench::BenchReport& report) {
   using swl::sim::TableWriter;
   std::vector<std::string> headers{"k"};
   for (const auto cap : capacities) {
@@ -28,7 +31,14 @@ void print_bet_table(swl::CellType cell, const std::vector<std::uint64_t>& capac
     std::vector<std::string> row{"k = " + std::to_string(k)};
     for (const auto cap : capacities) {
       const swl::FlashGeometry g = swl::make_geometry(cell, cap);
-      row.push_back(bytes_str(swl::wear::Bet::size_bytes(g.block_count, k)));
+      const std::uint64_t bytes = swl::wear::Bet::size_bytes(g.block_count, k);
+      row.push_back(bytes_str(bytes));
+      swl::runner::Json pj = swl::runner::Json::object();
+      pj.set("cell", cell_name);
+      pj.set("capacity_bytes", cap);
+      pj.set("k", k);
+      pj.set("bet_bytes", bytes);
+      report.add_point(std::move(pj));
     }
     table.add_row(std::move(row));
   }
@@ -37,13 +47,15 @@ void print_bet_table(swl::CellType cell, const std::vector<std::uint64_t>& capac
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const swl::bench::Options opt = swl::bench::parse_options(argc, argv);
+  swl::bench::BenchReport report("table1", opt);
   const std::vector<std::uint64_t> capacities{128ULL << 20, 256ULL << 20, 512ULL << 20,
                                               1ULL << 30,   2ULL << 30,   4ULL << 30};
   std::cout << "Table 1: BET size for SLC flash memory (large-block SLC, 64 x 2KB pages)\n";
-  print_bet_table(swl::CellType::slc_large_block, capacities);
+  print_bet_table(swl::CellType::slc_large_block, capacities, "slc_large_block", report);
   std::cout << "\nSupplement: BET size for MLCx2 flash memory (128 x 2KB pages)\n";
-  print_bet_table(swl::CellType::mlc_x2, capacities);
+  print_bet_table(swl::CellType::mlc_x2, capacities, "mlc_x2", report);
   std::cout << "\npaper reference (SLC, k=0): 128B 256B 512B 1024B 2048B 4096B\n";
-  return 0;
+  return report.finish();
 }

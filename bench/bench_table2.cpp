@@ -3,15 +3,21 @@
 //
 // Each row prints the paper's reported value, the closed-form model (exact
 // and the T(H+C) >> C approximation) and a measured ratio from running the
-// real SwLeveler against the abstract worst-case process of Figure 4.
+// real SwLeveler against the abstract worst-case process of Figure 4. The
+// four measured rows are independent and run concurrently on the runner.
 #include <iostream>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "sim/report.hpp"
 #include "sim/worst_case.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using swl::sim::fmt;
   using swl::sim::TableWriter;
+
+  const swl::bench::Options opt = swl::bench::parse_options(argc, argv);
+  swl::bench::BenchReport report("table2", opt);
 
   struct Row {
     std::uint64_t h, c;
@@ -25,21 +31,40 @@ int main() {
       {2048, 2048, 1000, 0.050},
   };
 
+  swl::runner::SweepRunner pool(opt.jobs);
+  const auto sims = pool.map(std::size(rows), [&](std::size_t i) {
+    swl::stats::WorstCaseParams p;
+    p.hot_blocks = rows[i].h;
+    p.cold_blocks = rows[i].c;
+    p.threshold = rows[i].t;
+    return swl::sim::simulate_worst_case(p, /*k=*/0, /*intervals=*/3);
+  });
+
   std::cout << "Table 2: increased ratio of block erases (worst case, 1GB MLCx2)\n";
   TableWriter table({"H", "C", "H:C", "T", "paper(%)", "model(%)", "approx(%)", "measured(%)"});
-  for (const auto& row : rows) {
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const Row& row = rows[i];
+    const auto& sim = sims[i];
     swl::stats::WorstCaseParams p;
     p.hot_blocks = row.h;
     p.cold_blocks = row.c;
     p.threshold = row.t;
-    const auto sim = swl::sim::simulate_worst_case(p, /*k=*/0, /*intervals=*/3);
     const std::string ratio = row.h <= row.c ? "1:" + std::to_string(row.c / row.h)
                                              : std::to_string(row.h / row.c) + ":1";
+    const double approx = swl::stats::extra_erase_ratio_approx(p) * 100;
     table.add_row({std::to_string(row.h), std::to_string(row.c), ratio, fmt(row.t, 0),
                    fmt(row.paper_percent, 3), fmt(sim.model_extra_erase_ratio * 100, 3),
-                   fmt(swl::stats::extra_erase_ratio_approx(p) * 100, 3),
-                   fmt(sim.measured_extra_erase_ratio * 100, 3)});
+                   fmt(approx, 3), fmt(sim.measured_extra_erase_ratio * 100, 3)});
+    swl::runner::Json pj = swl::runner::Json::object();
+    pj.set("H", row.h);
+    pj.set("C", row.c);
+    pj.set("T", row.t);
+    pj.set("paper_percent", row.paper_percent);
+    pj.set("model_percent", sim.model_extra_erase_ratio * 100);
+    pj.set("approx_percent", approx);
+    pj.set("measured_percent", sim.measured_extra_erase_ratio * 100);
+    report.add_point(std::move(pj));
   }
   std::cout << table.str();
-  return 0;
+  return report.finish();
 }

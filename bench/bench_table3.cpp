@@ -1,13 +1,21 @@
 // Table 3 of the paper: "The Increased Ratio in Live-page Copyings of a 1GB
 // MLC×2 Flash-Memory Storage System" — the worst case of Section 4.3, N=128.
+//
+// The eight measured rows are independent worst-case simulations and run
+// concurrently on the sweep runner.
 #include <iostream>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "sim/report.hpp"
 #include "sim/worst_case.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using swl::sim::fmt;
   using swl::sim::TableWriter;
+
+  const swl::bench::Options opt = swl::bench::parse_options(argc, argv);
+  swl::bench::BenchReport report("table3", opt);
 
   struct Row {
     std::uint64_t h, c;
@@ -22,23 +30,43 @@ int main() {
       {256, 3840, 1000, 32, 0.379}, {2048, 2048, 1000, 32, 0.200},
   };
 
-  std::cout << "Table 3: increased ratio of live-page copyings (worst case, N = 128)\n";
-  TableWriter table(
-      {"H", "C", "T", "L", "N/(TL)", "paper(%)", "model(%)", "approx(%)", "measured(%)"});
-  for (const auto& row : rows) {
+  const auto params_of = [](const Row& row) {
     swl::stats::WorstCaseParams p;
     p.hot_blocks = row.h;
     p.cold_blocks = row.c;
     p.threshold = row.t;
     p.pages_per_block = 128;
     p.live_copies_per_gc = row.l;
-    const auto sim = swl::sim::simulate_worst_case(p, /*k=*/0, /*intervals=*/3);
+    return p;
+  };
+
+  swl::runner::SweepRunner pool(opt.jobs);
+  const auto sims = pool.map(std::size(rows), [&](std::size_t i) {
+    return swl::sim::simulate_worst_case(params_of(rows[i]), /*k=*/0, /*intervals=*/3);
+  });
+
+  std::cout << "Table 3: increased ratio of live-page copyings (worst case, N = 128)\n";
+  TableWriter table(
+      {"H", "C", "T", "L", "N/(TL)", "paper(%)", "model(%)", "approx(%)", "measured(%)"});
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const Row& row = rows[i];
+    const auto& sim = sims[i];
+    const double approx = swl::stats::extra_copy_ratio_approx(params_of(row)) * 100;
     table.add_row({std::to_string(row.h), std::to_string(row.c), fmt(row.t, 0), fmt(row.l, 0),
                    fmt(128.0 / (row.t * row.l), 4), fmt(row.paper_percent, 3),
-                   fmt(sim.model_extra_copy_ratio * 100, 3),
-                   fmt(swl::stats::extra_copy_ratio_approx(p) * 100, 3),
+                   fmt(sim.model_extra_copy_ratio * 100, 3), fmt(approx, 3),
                    fmt(sim.measured_extra_copy_ratio * 100, 3)});
+    swl::runner::Json pj = swl::runner::Json::object();
+    pj.set("H", row.h);
+    pj.set("C", row.c);
+    pj.set("T", row.t);
+    pj.set("L", row.l);
+    pj.set("paper_percent", row.paper_percent);
+    pj.set("model_percent", sim.model_extra_copy_ratio * 100);
+    pj.set("approx_percent", approx);
+    pj.set("measured_percent", sim.measured_extra_copy_ratio * 100);
+    report.add_point(std::move(pj));
   }
   std::cout << table.str();
-  return 0;
+  return report.finish();
 }

@@ -1,7 +1,12 @@
 // Table 4 of the paper: "The Average, Standard Deviation, and Maximal Erase
 // Counts of Blocks" after a long fixed-duration run (the paper simulates 10
 // years; the scaled default runs --years of the same trace).
+//
+// The 10 rows (2 layers x 5 configurations) are independent simulations over
+// a shared base trace per layer and run concurrently on the sweep runner.
 #include <iostream>
+#include <optional>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "sim/report.hpp"
@@ -11,6 +16,7 @@ int main(int argc, char** argv) {
   using sim::fmt;
 
   const bench::Options opt = bench::parse_options(argc, argv);
+  bench::BenchReport report("table4", opt);
   std::cout << "Table 4: erase-count distribution after " << opt.years
             << " simulated years\n";
   bench::print_scale(opt);
@@ -28,26 +34,46 @@ int main(int argc, char** argv) {
       {"+ SWL + k=3 + T=100", true, 3, 100},
       {"+ SWL + k=3 + T=1000", true, 3, 1000},
   };
+  const sim::LayerKind layers[] = {sim::LayerKind::ftl, sim::LayerKind::nftl};
+
+  struct Point {
+    sim::LayerKind layer;
+    const Config* cfg;
+  };
+  std::vector<Point> points;
+  std::vector<trace::Trace> bases;
+  for (const sim::LayerKind layer : layers) {
+    bases.push_back(sim::make_base_trace(opt.scale, layer));
+    for (const auto& cfg : configs) points.push_back({layer, &cfg});
+  }
+
+  runner::SweepRunner pool(opt.jobs);
+  const std::vector<sim::SimResult> results = pool.map(points.size(), [&](std::size_t i) {
+    const Point& p = points[i];
+    std::optional<wear::LevelerConfig> lc;
+    if (p.cfg->swl) {
+      lc.emplace();
+      lc->k = p.cfg->k;
+      lc->threshold = bench::eff_t(opt, p.cfg->t);  // labels show the paper's T
+    }
+    const trace::Trace& base = bases[p.layer == sim::LayerKind::ftl ? 0 : 1];
+    return sim::run_infinite_on(opt.scale, p.layer, lc, base, opt.years,
+                                /*stop_on_failure=*/false);
+  });
 
   sim::TableWriter table({"configuration", "Avg.", "Dev.", "Max."});
-  for (const sim::LayerKind layer : {sim::LayerKind::ftl, sim::LayerKind::nftl}) {
-    const trace::Trace base = sim::make_base_trace(opt.scale, layer);
-    for (const auto& cfg : configs) {
-      std::optional<wear::LevelerConfig> lc;
-      if (cfg.swl) {
-        lc.emplace();
-        lc->k = cfg.k;
-        lc->threshold = bench::eff_t(opt, cfg.t);  // labels show the paper's T
-      }
-      const sim::SimResult r =
-          sim::run_infinite_on(opt.scale, layer, lc, base, opt.years, /*stop_on_failure=*/false);
-      table.add_row({std::string(sim::to_string(layer)) + " " + cfg.label,
-                     fmt(r.erase_summary.mean, 1), fmt(r.erase_summary.stddev, 1),
-                     std::to_string(r.erase_summary.max)});
-    }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const sim::SimResult& r = results[i];
+    table.add_row({std::string(sim::to_string(points[i].layer)) + " " + points[i].cfg->label,
+                   fmt(r.erase_summary.mean, 1), fmt(r.erase_summary.stddev, 1),
+                   std::to_string(r.erase_summary.max)});
+    runner::Json pj = bench::sim_result_json(r);
+    pj.set("layer", sim::to_string(points[i].layer));
+    pj.set("config", points[i].cfg->label);
+    report.add_point(std::move(pj));
   }
   std::cout << table.str();
   std::cout << "\npaper reference (10y, 1GB): FTL 900/1118/2511; FTL+SWL k=0 T=100 "
                "930/245/2132; NFTL 9192/8112/20903; NFTL+SWL k=0 T=100 9234/609/11507\n";
-  return 0;
+  return report.finish();
 }

@@ -51,22 +51,28 @@ void BitVec::reset() noexcept {
 std::size_t BitVec::next_zero_cyclic(std::size_t start) const {
   SWL_REQUIRE(size_ > 0 && start < size_, "scan start out of range");
   SWL_REQUIRE(!all_set(), "no zero bit to find");
-  std::size_t i = start;
-  // First, finish the word `start` lands in bit-by-bit; then skip whole words.
-  while (true) {
-    const std::size_t wi = i / kWordBits;
-    const std::size_t bi = i % kWordBits;
-    const std::uint64_t w = words_[wi];
-    if (bi == 0 && w == ~0ULL) {
-      // whole word set: jump to next word
-      i = (wi + 1) * kWordBits;
-      if (i >= size_) i = 0;
-      continue;
+  // Word-at-a-time: a word with a zero bit yields its position in one
+  // countr_one; fully-set words are skipped with a single compare. Bits at or
+  // beyond size_ in the tail word are storage-guaranteed zero but are not
+  // valid positions, so the scan treats them as set.
+  const std::size_t nwords = words_.size();
+  const std::size_t tail_bits = size_ % kWordBits;
+  const std::uint64_t tail_mask = tail_bits == 0 ? 0 : ~((1ULL << tail_bits) - 1);
+  std::size_t wi = start / kWordBits;
+  const std::size_t start_bit = start % kWordBits;
+  // Bits before `start` count as set on the first visit; the extra iteration
+  // (<= nwords) revisits the start word unmasked after wrapping.
+  std::uint64_t w = words_[wi] | (start_bit == 0 ? 0 : (1ULL << start_bit) - 1);
+  for (std::size_t step = 0; step <= nwords; ++step) {
+    if (wi == nwords - 1) w |= tail_mask;
+    if (w != ~0ULL) {
+      return wi * kWordBits + static_cast<std::size_t>(std::countr_one(w));
     }
-    if (!((w >> bi) & 1ULL)) return i;
-    ++i;
-    if (i >= size_) i = 0;
+    wi = wi + 1 == nwords ? 0 : wi + 1;
+    w = words_[wi];
   }
+  SWL_ASSERT(false, "unreachable: !all_set() guarantees a zero bit");
+  return start;
 }
 
 void BitVec::resize(std::size_t size) {

@@ -1,5 +1,7 @@
 #include "nand/nand_chip.hpp"
 
+#include <algorithm>
+
 #include "core/contracts.hpp"
 
 namespace swl::nand {
@@ -28,6 +30,12 @@ void NandChip::tick(std::uint64_t us) const {
   if (clock_ != nullptr) clock_->advance_us(us);
 }
 
+std::span<std::uint8_t> NandChip::arena_slice(const Block& block, PageIndex page) const {
+  SWL_ASSERT(block.data != nullptr, "payload arena not allocated");
+  const std::size_t page_size = config_.geometry.page_size_bytes;
+  return {block.data.get() + static_cast<std::size_t>(page) * page_size, page_size};
+}
+
 bool NandChip::inject_program_failure(BlockIndex block) {
   const auto& f = config_.failures;
   if (!f.enabled()) return false;
@@ -54,7 +62,10 @@ PageReadResult NandChip::read_page(Ppa addr) const {
   }
   result.payload_token = page.payload;
   result.spare = page.spare;
-  result.data = page.data;
+  if (page.has_data) {
+    // Zero-copy: view into the block's arena, nothing allocated or copied.
+    result.data = arena_slice(blocks_[addr.block], addr.page);
+  }
   result.status = Status::ok;
   return result;
 }
@@ -81,7 +92,7 @@ Status NandChip::program_page(Ppa addr, std::uint64_t payload_token, const Spare
     ++counters_.program_failures;
     page.payload = 0xBAD0BAD0BAD0BAD0ULL;
     page.spare = SpareArea{};
-    page.data.clear();
+    page.has_data = false;
     page.state = PageState::invalid;
     ++block.invalid;
     if (addr.page >= block.next_program) block.next_program = addr.page + 1;
@@ -91,7 +102,15 @@ Status NandChip::program_page(Ppa addr, std::uint64_t payload_token, const Spare
   page.spare = spare;
   page.spare.ecc = compute_ecc(payload_token);
   if (config_.store_payload_bytes && !data.empty()) {
-    page.data.assign(data.begin(), data.end());
+    if (block.data == nullptr) {
+      block.data = std::make_unique<std::uint8_t[]>(
+          static_cast<std::size_t>(config_.geometry.pages_per_block) *
+          config_.geometry.page_size_bytes);
+      ++counters_.payload_arena_allocations;
+    }
+    const std::span<std::uint8_t> dst = arena_slice(block, addr.page);
+    std::copy(data.begin(), data.end(), dst.begin());
+    page.has_data = true;
   }
   page.state = PageState::valid;
   ++block.valid;
@@ -114,6 +133,9 @@ Status NandChip::erase_block(BlockIndex index) {
     return Status::erase_failed;
   }
   ++counters_.erases;
+  // The payload arena (block.data) is deliberately kept: erased pages read
+  // back as free, so its stale bytes are unreachable, and the next program
+  // reuses it without another allocation.
   for (auto& page : block.pages) {
     page = Page{};
   }

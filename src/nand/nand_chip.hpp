@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -71,14 +72,16 @@ struct FailureEvent {
   std::uint64_t total_erases = 0;
 };
 
-/// Result of a page read.
+/// Result of a page read. Zero-copy: no payload bytes are copied or
+/// allocated by read_page — `data` is a view into the chip's own storage.
 struct PageReadResult {
   Status status = Status::ok;
   std::uint64_t payload_token = 0;
   SpareArea spare;
   PageState state = PageState::free;
   /// Page payload bytes; empty unless the chip stores payload bytes and the
-  /// page was programmed with them. Valid until the block is erased.
+  /// page was programmed with them. Points into the block's payload arena:
+  /// valid (and unchanging) until the block is erased.
   std::span<const std::uint8_t> data;
 };
 
@@ -89,6 +92,10 @@ struct NandCounters {
   std::uint64_t erases = 0;
   std::uint64_t program_failures = 0;
   std::uint64_t erase_failures = 0;
+  /// Payload-byte arenas allocated (one possible per block, lazily, on the
+  /// first byte-carrying program). Token-only workloads keep this at zero —
+  /// the regression guard for the allocation-free simulator hot path.
+  std::uint64_t payload_arena_allocations = 0;
 };
 
 class NandChip {
@@ -176,11 +183,16 @@ class NandChip {
     std::uint64_t payload = 0;
     SpareArea spare;
     PageState state = PageState::free;
-    std::vector<std::uint8_t> data;  // only used with store_payload_bytes
+    bool has_data = false;  // payload bytes live in the block's arena
   };
 
   struct Block {
     std::vector<Page> pages;
+    /// Payload-byte arena (pages_per_block × page_size bytes), shared by all
+    /// pages of the block. Allocated lazily on the first byte-carrying
+    /// program and reused across erases, so the token-only hot path never
+    /// allocates and the byte path allocates at most once per block.
+    std::unique_ptr<std::uint8_t[]> data;
     PageIndex valid = 0;
     PageIndex invalid = 0;
     PageIndex next_program = 0;  // for sequential-program enforcement
@@ -190,6 +202,8 @@ class NandChip {
   void check_ppa(Ppa addr) const;
   void check_block(BlockIndex block) const;
   void tick(std::uint64_t us) const;
+  /// The arena slice backing `page` of `block` (arena must exist).
+  [[nodiscard]] std::span<std::uint8_t> arena_slice(const Block& block, PageIndex page) const;
   [[nodiscard]] bool inject_program_failure(BlockIndex block);
   [[nodiscard]] bool inject_erase_failure();
 

@@ -1,0 +1,131 @@
+#include "runner/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "core/contracts.hpp"
+
+namespace swl::runner {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x", c);
+          out += buf.data();
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  std::array<char, 32> buf{};
+  const auto [end, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), d);
+  SWL_ASSERT(ec == std::errc{}, "double formatting failed");
+  out.append(buf.data(), end);
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+}  // namespace
+
+Json& Json::set(std::string key, Json value) {
+  SWL_REQUIRE(is_object(), "set() needs a JSON object");
+  std::get<Object>(value_).emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  SWL_REQUIRE(is_array(), "push() needs a JSON array");
+  std::get<Array>(value_).push_back(std::move(value));
+  return *this;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::nullptr_t>) {
+          out += "null";
+        } else if constexpr (std::is_same_v<T, bool>) {
+          out += v ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, double>) {
+          append_double(out, v);
+        } else if constexpr (std::is_same_v<T, std::int64_t> ||
+                             std::is_same_v<T, std::uint64_t>) {
+          out += std::to_string(v);
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          append_escaped(out, v);
+        } else if constexpr (std::is_same_v<T, Array>) {
+          if (v.empty()) {
+            out += "[]";
+            return;
+          }
+          out += '[';
+          for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i != 0) out += ',';
+            append_newline_indent(out, indent, depth + 1);
+            v[i].dump_to(out, indent, depth + 1);
+          }
+          append_newline_indent(out, indent, depth);
+          out += ']';
+        } else if constexpr (std::is_same_v<T, Object>) {
+          if (v.empty()) {
+            out += "{}";
+            return;
+          }
+          out += '{';
+          for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i != 0) out += ',';
+            append_newline_indent(out, indent, depth + 1);
+            append_escaped(out, v[i].first);
+            out += indent > 0 ? ": " : ":";
+            v[i].second.dump_to(out, indent, depth + 1);
+          }
+          append_newline_indent(out, indent, depth);
+          out += '}';
+        }
+      },
+      value_);
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace swl::runner

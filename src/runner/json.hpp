@@ -1,0 +1,72 @@
+// Minimal JSON document builder for machine-readable bench output.
+//
+// The benches emit their sweep results and wall-clock timing as JSON
+// (`--json FILE`) so the perf trajectory can be tracked across PRs without
+// scraping the human-readable tables. This is a writer only — no parsing —
+// and keeps insertion order in objects so emitted files diff cleanly.
+#ifndef SWL_RUNNER_JSON_HPP
+#define SWL_RUNNER_JSON_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace swl::runner {
+
+class Json {
+ public:
+  /// null
+  Json() = default;
+  Json(bool b) : value_(b) {}                       // NOLINT(google-explicit-constructor)
+  Json(double d) : value_(d) {}                     // NOLINT(google-explicit-constructor)
+  Json(std::int64_t i) : value_(i) {}               // NOLINT(google-explicit-constructor)
+  Json(std::uint64_t u) : value_(u) {}              // NOLINT(google-explicit-constructor)
+  Json(int i) : value_(std::int64_t{i}) {}          // NOLINT(google-explicit-constructor)
+  Json(unsigned u) : value_(std::uint64_t{u}) {}    // NOLINT(google-explicit-constructor)
+  Json(std::string s) : value_(std::move(s)) {}     // NOLINT(google-explicit-constructor)
+  Json(std::string_view s) : value_(std::string(s)) {}  // NOLINT(google-explicit-constructor)
+  Json(const char* s) : value_(std::string(s)) {}   // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.value_ = Object{};
+    return j;
+  }
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.value_ = Array{};
+    return j;
+  }
+
+  /// Object member insertion (keeps insertion order; duplicate keys are the
+  /// caller's bug and are emitted verbatim). Requires an object.
+  Json& set(std::string key, Json value);
+
+  /// Array append. Requires an array.
+  Json& push(Json value);
+
+  [[nodiscard]] bool is_object() const noexcept { return std::holds_alternative<Object>(value_); }
+  [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<Array>(value_); }
+
+  /// Serializes the document. indent <= 0 renders compact one-line JSON;
+  /// positive indents pretty-print with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+ private:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+  using Value =
+      std::variant<std::nullptr_t, bool, double, std::int64_t, std::uint64_t, std::string,
+                   Array, Object>;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Value value_ = nullptr;
+};
+
+}  // namespace swl::runner
+
+#endif  // SWL_RUNNER_JSON_HPP

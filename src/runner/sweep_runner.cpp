@@ -1,0 +1,15 @@
+#include "runner/sweep_runner.hpp"
+
+namespace swl::runner {
+
+unsigned resolve_jobs(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned jobs) : jobs_(resolve_jobs(jobs)) {
+  if (jobs_ > 1) pool_ = std::make_unique<ThreadPool>(jobs_);
+}
+
+}  // namespace swl::runner

@@ -1,0 +1,82 @@
+// Parallel sweep execution for the paper-reproduction benches.
+//
+// Every sweep point of the evaluation — a (threshold T, mapping mode k,
+// layer kind, leveler on/off) simulation — is fully independent: each owns
+// its SimClock, RNG and NandChip, and only *reads* the shared immutable base
+// trace. SweepRunner exploits that: it executes submitted points on a fixed
+// thread pool (`--jobs N`, default hardware_concurrency) and hands results
+// back in deterministic submission order, so a parallel sweep is bit-
+// identical to a serial one — threads change wall-clock time, never results.
+//
+// jobs == 1 is the serial reference path: points run inline on the calling
+// thread with no pool at all.
+#ifndef SWL_RUNNER_SWEEP_RUNNER_HPP
+#define SWL_RUNNER_SWEEP_RUNNER_HPP
+
+#include <future>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runner/thread_pool.hpp"
+
+namespace swl::runner {
+
+/// Worker count for a requested `--jobs` value: 0 means "one per hardware
+/// thread" (at least 1 when hardware_concurrency is unknown).
+[[nodiscard]] unsigned resolve_jobs(unsigned requested) noexcept;
+
+class SweepRunner {
+ public:
+  /// `jobs` as on the command line: 0 = hardware_concurrency, 1 = serial
+  /// (inline, no threads), N = fixed pool of N workers.
+  explicit SweepRunner(unsigned jobs = 0);
+
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+
+  /// Submits one sweep point. Returns a future for its result; exceptions
+  /// thrown by `fn` surface at future.get(). With jobs == 1 the point runs
+  /// inline before submit returns.
+  template <typename Fn>
+  [[nodiscard]] auto submit(Fn fn) -> std::future<std::invoke_result_t<Fn&>> {
+    using R = std::invoke_result_t<Fn&>;
+    std::packaged_task<R()> task(std::move(fn));
+    std::future<R> result = task.get_future();
+    if (pool_ == nullptr) {
+      task();
+    } else {
+      // std::function requires copyable callables; packaged_task is move-only.
+      auto shared = std::make_shared<std::packaged_task<R()>>(std::move(task));
+      pool_->submit([shared] { (*shared)(); });
+    }
+    return result;
+  }
+
+  /// Runs fn(0..n-1) across the pool and returns the results ordered by
+  /// index — the deterministic-order primitive the benches build sweeps on.
+  template <typename Fn>
+  [[nodiscard]] auto map(std::size_t n, Fn fn)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    static_assert(!std::is_void_v<R>, "map needs value-returning points; use submit for void");
+    std::vector<std::future<R>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(submit([&fn, i] { return fn(i); }));
+    }
+    std::vector<R> results;
+    results.reserve(n);
+    for (auto& f : futures) results.push_back(f.get());
+    return results;
+  }
+
+ private:
+  unsigned jobs_;
+  std::unique_ptr<ThreadPool> pool_;  // null when jobs_ == 1
+};
+
+}  // namespace swl::runner
+
+#endif  // SWL_RUNNER_SWEEP_RUNNER_HPP

@@ -1,0 +1,49 @@
+#include "runner/thread_pool.hpp"
+
+#include "core/contracts.hpp"
+
+namespace swl::runner {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  SWL_REQUIRE(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  SWL_REQUIRE(static_cast<bool>(task), "null task");
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    SWL_REQUIRE(!stopping_, "submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions are the submitter's concern (SweepRunner uses
+             // packaged_task, which captures them into the future)
+  }
+}
+
+}  // namespace swl::runner

@@ -1,0 +1,49 @@
+// Fixed-size worker pool used by the sweep runner.
+//
+// Deliberately minimal: a bounded set of workers draining one FIFO queue of
+// type-erased tasks. Ordering guarantees, futures and result collection live
+// one layer up in SweepRunner; this class only provides the threads.
+#ifndef SWL_RUNNER_THREAD_POOL_HPP
+#define SWL_RUNNER_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swl::runner {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers. Requires threads >= 1.
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains the queue (tasks already submitted still run), then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; it runs on some worker, in FIFO dispatch order.
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace swl::runner
+
+#endif  // SWL_RUNNER_THREAD_POOL_HPP

@@ -131,6 +131,63 @@ TEST(BitVec, ResizeShrinkDropsTailBits) {
   EXPECT_TRUE(v.test(1));
 }
 
+TEST(BitVec, NextZeroCyclicAtWordBoundary) {
+  // The only zeros sit exactly on the 63/64 word boundary.
+  BitVec v(128);
+  for (std::size_t i = 0; i < 128; ++i) {
+    if (i != 63 && i != 64) v.set(i);
+  }
+  EXPECT_EQ(v.next_zero_cyclic(0), 63u);
+  EXPECT_EQ(v.next_zero_cyclic(63), 63u);
+  EXPECT_EQ(v.next_zero_cyclic(64), 64u);
+  EXPECT_EQ(v.next_zero_cyclic(65), 63u);  // wraps across both words
+}
+
+TEST(BitVec, NextZeroCyclicAllSetExceptLastBit) {
+  // Tail word is partial: bits 64..69 live in the second word of a 70-bit
+  // vector, and only the very last bit is clear.
+  BitVec v(70);
+  for (std::size_t i = 0; i + 1 < 70; ++i) v.set(i);
+  EXPECT_EQ(v.next_zero_cyclic(0), 69u);
+  EXPECT_EQ(v.next_zero_cyclic(69), 69u);
+  // The zero bits beyond size() in the tail word must never be reported.
+  for (std::size_t start = 0; start < 70; ++start) {
+    EXPECT_EQ(v.next_zero_cyclic(start), 69u) << "start=" << start;
+  }
+}
+
+TEST(BitVec, NextZeroCyclicStartPastTheLastZeroWraps) {
+  BitVec v(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    if (i != 5) v.set(i);
+  }
+  // Starting after the only zero forces a wrap through two full words and
+  // the partial tail word back into the start word's prefix.
+  EXPECT_EQ(v.next_zero_cyclic(6), 5u);
+  EXPECT_EQ(v.next_zero_cyclic(199), 5u);
+}
+
+TEST(BitVec, NextZeroCyclicExactWordSizes) {
+  for (const std::size_t n : {64u, 128u}) {
+    BitVec v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != n - 1) v.set(i);
+    }
+    EXPECT_EQ(v.next_zero_cyclic(0), n - 1);
+    EXPECT_EQ(v.next_zero_cyclic(n - 1), n - 1);
+  }
+}
+
+TEST(BitVec, NextZeroCyclicZeroOnlyBeforeStartInStartWord) {
+  // The zero sits in the same word as `start` but before it: the scan must
+  // go all the way around and re-enter the start word from the left.
+  BitVec v(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (i != 2) v.set(i);
+  }
+  EXPECT_EQ(v.next_zero_cyclic(10), 2u);
+}
+
 // Property: next_zero_cyclic always returns a clear bit, for random patterns.
 TEST(BitVec, PropertyNextZeroAlwaysClear) {
   Rng rng(99);
@@ -146,6 +203,26 @@ TEST(BitVec, PropertyNextZeroAlwaysClear) {
       const std::size_t z = v.next_zero_cyclic(start);
       ASSERT_LT(z, n);
       ASSERT_FALSE(v.test(z));
+    }
+  }
+}
+
+// Property: the word-at-a-time scan agrees with a naive bit-by-bit reference
+// on the full cyclic semantics (first clear bit at or after start, wrapping).
+TEST(BitVec, PropertyNextZeroMatchesNaiveReference) {
+  Rng rng(1234);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 1 + rng.below(400);
+    BitVec v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(0.9)) v.set(i);
+    }
+    if (v.all_set()) continue;
+    for (int probe = 0; probe < 16; ++probe) {
+      const std::size_t start = rng.below(n);
+      std::size_t expected = start;
+      while (v.test(expected)) expected = (expected + 1) % n;
+      ASSERT_EQ(v.next_zero_cyclic(start), expected) << "n=" << n << " start=" << start;
     }
   }
 }

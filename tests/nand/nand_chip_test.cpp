@@ -217,6 +217,55 @@ TEST(NandChip, ByteModeOffIgnoresBytes) {
   EXPECT_TRUE(chip.read_page({0, 0}).data.empty());
 }
 
+TEST(NandChip, TokenOnlyPathNeverAllocatesPayloadStorage) {
+  // The regression guard for the simulator hot path: a chip that does not
+  // store payload bytes (every bench/sim workload) must never allocate a
+  // payload arena or hand out payload spans, no matter how much it churns.
+  NandChip chip(small_config());
+  std::uint64_t token = 1;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (BlockIndex b = 0; b < 8; ++b) {
+      for (PageIndex p = 0; p < 4; ++p) {
+        ASSERT_EQ(chip.program_page({b, p}, token++, SpareArea{}), Status::ok);
+        ASSERT_TRUE(chip.read_page({b, p}).data.empty());
+      }
+      ASSERT_EQ(chip.erase_block(b), Status::ok);
+    }
+  }
+  EXPECT_EQ(chip.counters().payload_arena_allocations, 0u);
+}
+
+TEST(NandChip, ByteModeReadsAreZeroCopyViews) {
+  NandConfig cfg = small_config();
+  cfg.store_payload_bytes = true;
+  cfg.geometry.page_size_bytes = 64;
+  NandChip chip(cfg);
+  const std::vector<std::uint8_t> data(64, 0x5A);
+  ASSERT_EQ(chip.program_page({0, 0}, 1, SpareArea{}, data), Status::ok);
+  ASSERT_EQ(chip.program_page({0, 1}, 2, SpareArea{}, data), Status::ok);
+  // Repeated reads return the same pointer into chip storage — a view, not a
+  // copy — and pages of one block share its arena at page_size stride.
+  const PageReadResult first = chip.read_page({0, 0});
+  const PageReadResult again = chip.read_page({0, 0});
+  EXPECT_EQ(first.data.data(), again.data.data());
+  EXPECT_EQ(chip.read_page({0, 1}).data.data(), first.data.data() + 64);
+  EXPECT_EQ(chip.counters().payload_arena_allocations, 1u);
+}
+
+TEST(NandChip, PayloadArenaIsReusedAcrossErases) {
+  NandConfig cfg = small_config();
+  cfg.store_payload_bytes = true;
+  cfg.geometry.page_size_bytes = 64;
+  NandChip chip(cfg);
+  const std::vector<std::uint8_t> data(64, 0x11);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    ASSERT_EQ(chip.program_page({3, 0}, 7, SpareArea{}, data), Status::ok);
+    ASSERT_EQ(chip.erase_block(3), Status::ok);
+  }
+  // One allocation for block 3, ever — erases recycle the arena.
+  EXPECT_EQ(chip.counters().payload_arena_allocations, 1u);
+}
+
 TEST(NandChip, ByteModeRejectsWrongSize) {
   NandConfig cfg = small_config();
   cfg.store_payload_bytes = true;

@@ -1,0 +1,95 @@
+// Determinism regression: a sweep executed through the parallel runner must
+// be bit-identical to the same sweep executed serially. Each sim point owns
+// its clock, RNG and chip and only reads the shared base trace, so thread
+// scheduling can never leak into results — this test pins that guarantee.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "runner/sweep_runner.hpp"
+#include "sim/experiments.hpp"
+
+namespace swl::sim {
+namespace {
+
+ExperimentScale tiny_scale() {
+  ExperimentScale scale;
+  scale.block_count = 48;
+  scale.endurance = 40;
+  scale.base_trace_days = 0.05;
+  scale.seed = 7;
+  return scale;
+}
+
+struct Point {
+  LayerKind layer;
+  std::optional<wear::LevelerConfig> leveler;
+};
+
+std::vector<Point> sweep_points() {
+  std::vector<Point> points;
+  for (const LayerKind layer : {LayerKind::ftl, LayerKind::nftl}) {
+    points.push_back({layer, std::nullopt});
+    for (const std::uint32_t k : {0u, 2u}) {
+      wear::LevelerConfig lc;
+      lc.k = k;
+      lc.threshold = 4;
+      points.push_back({layer, lc});
+    }
+  }
+  return points;
+}
+
+std::vector<SimResult> run_sweep(unsigned jobs) {
+  const ExperimentScale scale = tiny_scale();
+  const trace::Trace ftl_base = make_base_trace(scale, LayerKind::ftl);
+  const trace::Trace nftl_base = make_base_trace(scale, LayerKind::nftl);
+  const std::vector<Point> points = sweep_points();
+  runner::SweepRunner pool(jobs);
+  return pool.map(points.size(), [&](std::size_t i) {
+    const trace::Trace& base = points[i].layer == LayerKind::ftl ? ftl_base : nftl_base;
+    return run_infinite_on(scale, points[i].layer, points[i].leveler, base, scale.max_years,
+                           /*stop_on_failure=*/true);
+  });
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.first_failure_years, b.first_failure_years);
+  EXPECT_EQ(a.elapsed_years, b.elapsed_years);  // exact: same op sequence, same clock math
+  EXPECT_EQ(a.records_processed, b.records_processed);
+  EXPECT_EQ(a.erase_counts, b.erase_counts);
+  EXPECT_EQ(a.counters.host_writes, b.counters.host_writes);
+  EXPECT_EQ(a.counters.host_reads, b.counters.host_reads);
+  EXPECT_EQ(a.counters.gc_erases, b.counters.gc_erases);
+  EXPECT_EQ(a.counters.swl_erases, b.counters.swl_erases);
+  EXPECT_EQ(a.counters.gc_live_copies, b.counters.gc_live_copies);
+  EXPECT_EQ(a.counters.swl_live_copies, b.counters.swl_live_copies);
+  EXPECT_EQ(a.chip_counters.reads, b.chip_counters.reads);
+  EXPECT_EQ(a.chip_counters.programs, b.chip_counters.programs);
+  EXPECT_EQ(a.chip_counters.erases, b.chip_counters.erases);
+  EXPECT_EQ(a.chip_counters.payload_arena_allocations, b.chip_counters.payload_arena_allocations);
+}
+
+TEST(SweepDeterminism, ParallelSweepMatchesSerialBitForBit) {
+  const std::vector<SimResult> serial = run_sweep(1);
+  const std::vector<SimResult> parallel = run_sweep(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("sweep point " + std::to_string(i));
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(SweepDeterminism, RepeatedParallelRunsAgree) {
+  const std::vector<SimResult> first = run_sweep(3);
+  const std::vector<SimResult> second = run_sweep(3);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    SCOPED_TRACE("sweep point " + std::to_string(i));
+    expect_identical(first[i], second[i]);
+  }
+}
+
+}  // namespace
+}  // namespace swl::sim

@@ -1,0 +1,69 @@
+#include "runner/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "core/contracts.hpp"
+
+namespace swl::runner {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(std::int64_t{-3}).dump(), "-3");
+  EXPECT_EQ(Json(std::uint64_t{18446744073709551615ULL}).dump(), "18446744073709551615");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("a\\b").dump(), "\"a\\\\b\"");
+  EXPECT_EQ(Json("a\nb\tc").dump(), "\"a\\nb\\tc\"");
+  EXPECT_EQ(Json(std::string("a\x01") + "b").dump(), "\"a\\u0001b\"");
+}
+
+TEST(Json, CompactObjectKeepsInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("z", 1);
+  obj.set("a", 2);
+  EXPECT_EQ(obj.dump(0), "{\"z\":1,\"a\":2}");
+}
+
+TEST(Json, NestedPrettyPrint) {
+  Json doc = Json::object();
+  doc.set("bench", "fig5");
+  Json points = Json::array();
+  Json p = Json::object();
+  p.set("k", 3);
+  points.push(std::move(p));
+  doc.set("points", std::move(points));
+  EXPECT_EQ(doc.dump(2),
+            "{\n  \"bench\": \"fig5\",\n  \"points\": [\n    {\n      \"k\": 3\n    }\n  ]\n}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::object().dump(), "{}");
+  EXPECT_EQ(Json::array().dump(), "[]");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  Json arr = Json::array();
+  EXPECT_THROW(arr.set("k", 1), PreconditionError);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push(1), PreconditionError);
+  EXPECT_THROW(Json(1).push(2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace swl::runner

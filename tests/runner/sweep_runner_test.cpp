@@ -1,0 +1,83 @@
+#include "runner/sweep_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "core/contracts.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace swl::runner {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, RejectsZeroWorkersAndNullTasks) {
+  EXPECT_THROW(ThreadPool{0}, PreconditionError);
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit({}), PreconditionError);
+}
+
+TEST(ResolveJobs, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(resolve_jobs(0), 1u);
+  EXPECT_EQ(resolve_jobs(1), 1u);
+  EXPECT_EQ(resolve_jobs(7), 7u);
+}
+
+TEST(SweepRunner, SerialModeRunsInline) {
+  SweepRunner runner(1);
+  EXPECT_EQ(runner.jobs(), 1u);
+  const std::thread::id main_thread = std::this_thread::get_id();
+  auto fut = runner.submit([main_thread] { return std::this_thread::get_id() == main_thread; });
+  EXPECT_TRUE(fut.get());
+}
+
+TEST(SweepRunner, MapReturnsResultsInSubmissionOrder) {
+  SweepRunner runner(4);
+  // Later points finish first (decreasing sleep), yet results stay ordered.
+  const auto results = runner.map(16, [](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::microseconds((16 - i) * 50));
+    return i * i;
+  });
+  ASSERT_EQ(results.size(), 16u);
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(SweepRunner, MapHandlesMorePointsThanWorkers) {
+  SweepRunner runner(2);
+  const auto results = runner.map(200, [](std::size_t i) { return i + 1; });
+  const std::size_t sum = std::accumulate(results.begin(), results.end(), std::size_t{0});
+  EXPECT_EQ(sum, 200u * 201u / 2);
+}
+
+TEST(SweepRunner, ExceptionsSurfaceAtGet) {
+  for (const unsigned jobs : {1u, 4u}) {
+    SweepRunner runner(jobs);
+    auto fut = runner.submit([]() -> int { throw std::runtime_error("point failed"); });
+    EXPECT_THROW((void)fut.get(), std::runtime_error);
+  }
+}
+
+TEST(SweepRunner, SubmitInterleavesWithMap) {
+  SweepRunner runner(3);
+  auto early = runner.submit([] { return 42; });
+  const auto mapped = runner.map(10, [](std::size_t i) { return i; });
+  EXPECT_EQ(early.get(), 42);
+  EXPECT_EQ(mapped.back(), 9u);
+}
+
+}  // namespace
+}  // namespace swl::runner

@@ -111,6 +111,34 @@ TEST(Bet, RejectsBadArguments) {
   EXPECT_THROW((void)bet.first_block_of(16), PreconditionError);
 }
 
+TEST(Bet, TailSetOnNonPowerOfTwoBlockCount) {
+  // 100 blocks with one flag per 8: 13 flags, the last covering only 4
+  // blocks (96..99).
+  Bet bet(100, 3);
+  EXPECT_EQ(bet.flag_count(), 13u);
+  EXPECT_EQ(bet.first_block_of(12), 96u);
+  EXPECT_EQ(bet.set_size_of(12), 4u);
+  for (std::size_t f = 0; f + 1 < bet.flag_count(); ++f) {
+    EXPECT_EQ(bet.set_size_of(f), 8u) << "flag " << f;
+  }
+  // Every tail block maps onto the tail flag, and marking any of them sets
+  // exactly that flag.
+  for (BlockIndex b = 96; b < 100; ++b) EXPECT_EQ(bet.flag_of(b), 12u);
+  EXPECT_TRUE(bet.mark_erased(99));
+  EXPECT_TRUE(bet.test_flag(12));
+  EXPECT_EQ(bet.set_count(), 1u);
+  EXPECT_THROW((void)bet.flag_of(100), PreconditionError);
+}
+
+TEST(Bet, SingleBlockTailSet) {
+  // 33 blocks, one flag per 32: the tail set degenerates to a single block.
+  Bet bet(33, 5);
+  EXPECT_EQ(bet.flag_count(), 2u);
+  EXPECT_EQ(bet.set_size_of(0), 32u);
+  EXPECT_EQ(bet.first_block_of(1), 32u);
+  EXPECT_EQ(bet.set_size_of(1), 1u);
+}
+
 // Property: for any k, every block maps to exactly one flag and the
 // first_block_of/set_size_of decomposition tiles the block range.
 TEST(Bet, PropertyFlagPartitionTilesBlocks) {
