@@ -26,6 +26,8 @@ std::string_view to_string(Status s) noexcept {
       return "out_of_space";
     case Status::corrupt_snapshot:
       return "corrupt_snapshot";
+    case Status::io_error:
+      return "io_error";
     case Status::file_not_found:
       return "file_not_found";
     case Status::file_exists:

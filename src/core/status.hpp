@@ -30,6 +30,8 @@ enum class Status {
   out_of_space,
   /// Persistent state (e.g. a BET snapshot) failed checksum validation.
   corrupt_snapshot,
+  /// A host-side I/O operation (snapshot file write, flush, rename) failed.
+  io_error,
   /// File-system: no such file.
   file_not_found,
   /// File-system: a file with that name already exists.

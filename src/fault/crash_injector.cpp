@@ -1,0 +1,42 @@
+#include "fault/crash_injector.hpp"
+
+namespace swl::fault {
+
+nand::CrashDecision CrashInjector::on_operation(nand::CrashOp op) {
+  const std::uint64_t index = operations_++;
+  if (!armed_ || fired_) return nand::CrashDecision::proceed;
+  if (crash_point_ == 2 * index) {
+    fired_ = true;
+    fired_op_ = op;
+    return nand::CrashDecision::cut_before;
+  }
+  if (crash_point_ == 2 * index + 1) {
+    fired_ = true;
+    fired_op_ = op;
+    return nand::CrashDecision::cut_during;
+  }
+  return nand::CrashDecision::proceed;
+}
+
+Status CrashSnapshotStore::write_slot(unsigned slot, const std::vector<std::uint8_t>& bytes) {
+  switch (injector_.on_operation(nand::CrashOp::snapshot_write)) {
+    case nand::CrashDecision::proceed:
+      return inner_.write_slot(slot, bytes);
+    case nand::CrashDecision::cut_before:
+      throw nand::PowerLossError{};
+    case nand::CrashDecision::cut_during: {
+      // Half the encoding reached the medium; the checksum over the full
+      // body can never validate such a prefix.
+      const auto half = static_cast<std::ptrdiff_t>(bytes.size() / 2);
+      (void)inner_.write_slot(slot, {bytes.begin(), bytes.begin() + half});
+      throw nand::PowerLossError{};
+    }
+  }
+  return Status::io_error;  // unreachable
+}
+
+std::vector<std::uint8_t> CrashSnapshotStore::read_slot(unsigned slot) const {
+  return inner_.read_slot(slot);
+}
+
+}  // namespace swl::fault

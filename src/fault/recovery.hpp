@@ -1,0 +1,91 @@
+// Crash-recovery drill: run a deterministic scripted workload against a
+// fresh device, cut power at one chosen crash point (crash_injector.hpp),
+// then rebuild everything a real controller would rebuild — the translation
+// layer's mapping from spare areas (Ftl::mount / Nftl::mount) and the SW
+// Leveler from its dual-buffer snapshots (LevelerPersistence) — and verify:
+//   - no lost sectors: every acknowledged write reads back exactly (the one
+//     unacknowledged in-flight write may surface as either version — that is
+//     the out-of-place-update guarantee, not a violation);
+//   - the layer's internal invariants hold (TranslationLayer::check_invariants);
+//   - the leveler reloads whenever at least one save completed (the dual
+//     buffer tolerates one torn slot), with a matching BET shape, an
+//     in-range findex and an ecnt bounded by the erases that happened;
+//   - sequence monotonicity: post-recovery snapshot saves and host writes
+//     carry sequences newer than anything the crash left on the medium.
+// run_crash_sweep enumerates *every* crash point of the workload through a
+// SweepRunner; results are combined in submission order, so a parallel sweep
+// is bit-identical to a serial one at any job count.
+#ifndef SWL_FAULT_RECOVERY_HPP
+#define SWL_FAULT_RECOVERY_HPP
+
+#include <cstdint>
+
+#include "core/geometry.hpp"
+#include "ftl/ftl.hpp"
+#include "nftl/nftl.hpp"
+#include "runner/sweep_runner.hpp"
+#include "sim/simulator.hpp"
+#include "swl/leveler.hpp"
+
+namespace swl::fault {
+
+/// The scripted workload every crash point replays: `host_writes` writes
+/// with a hot/cold skew (half the writes land on the first eighth of the
+/// LBA space), a leveler snapshot every `snapshot_every` writes. Fully
+/// deterministic: the same config always yields the same operation stream.
+struct CrashWorkloadConfig {
+  FlashGeometry geometry{16, 8, 512};
+  NandTiming timing = default_timing(CellType::slc_small_block);
+  sim::LayerKind layer = sim::LayerKind::ftl;
+  /// A low threshold so the SW Leveler actually runs inside the workload
+  /// (crashes mid-leveling are the interesting ones).
+  wear::LevelerConfig leveler{.k = 0, .threshold = 4.0};
+  ftl::FtlConfig ftl;
+  /// 12 of the 16 default blocks exported: NFTL folds need pool slack.
+  nftl::NftlConfig nftl{.vba_count = 12};
+  std::uint64_t host_writes = 120;
+  /// LevelerPersistence::save cadence in host writes (0 disables snapshots).
+  std::uint64_t snapshot_every = 16;
+  std::uint64_t workload_seed = 0x5EEDF00DULL;
+};
+
+/// What one crash point produced.
+struct CrashPointOutcome {
+  std::uint64_t crash_point = 0;
+  /// False when the workload ran to completion before the budget hit (the
+  /// point was at or past the end); the recovery drill still runs.
+  bool crashed = false;
+  /// Operation kind power was cut at (meaningful when crashed).
+  nand::CrashOp crash_op = nand::CrashOp::program;
+  /// FNV-1a digest of the fully recovered state (sector contents, leveler
+  /// state, erase counts) — the serial-vs-parallel identity witness.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Persistent operations the workload performs crash-free (probe run).
+[[nodiscard]] std::uint64_t count_operations(const CrashWorkloadConfig& config);
+
+/// 2 * count_operations: every operation has a before- and a during-cut.
+[[nodiscard]] std::uint64_t count_crash_points(const CrashWorkloadConfig& config);
+
+/// Runs the workload with power cut at `crash_point`, then the recovery
+/// drill. Throws InvariantError when recovery violates a guarantee.
+[[nodiscard]] CrashPointOutcome run_crash_point(const CrashWorkloadConfig& config,
+                                                std::uint64_t crash_point);
+
+struct CrashSweepResult {
+  std::uint64_t crash_points = 0;
+  /// Points at which power was actually cut (must equal crash_points).
+  std::uint64_t crashes = 0;
+  /// Submission-order combination of every outcome's fingerprint.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Enumerates every crash point of the workload on `runner`; bit-identical
+/// at any --jobs value. Throws on the first invariant violation.
+[[nodiscard]] CrashSweepResult run_crash_sweep(const CrashWorkloadConfig& config,
+                                               runner::SweepRunner& runner);
+
+}  // namespace swl::fault
+
+#endif  // SWL_FAULT_RECOVERY_HPP

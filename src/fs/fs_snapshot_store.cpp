@@ -14,10 +14,11 @@ std::string FileSystemSnapshotStore::slot_name(unsigned slot) const {
   return prefix_ + "." + std::to_string(slot);
 }
 
-void FileSystemSnapshotStore::write_slot(unsigned slot, const std::vector<std::uint8_t>& bytes) {
+Status FileSystemSnapshotStore::write_slot(unsigned slot,
+                                           const std::vector<std::uint8_t>& bytes) {
   SWL_REQUIRE(slot < kSlots, "slot out of range");
   const Status st = fs_.write_file(slot_name(slot), bytes);
-  SWL_REQUIRE(st == Status::ok, "snapshot file write failed");
+  return st == Status::ok ? Status::ok : Status::io_error;
 }
 
 std::vector<std::uint8_t> FileSystemSnapshotStore::read_slot(unsigned slot) const {

@@ -20,7 +20,8 @@ class FileSystemSnapshotStore final : public wear::SnapshotStore {
   /// directory. The FatFs must outlive this store.
   explicit FileSystemSnapshotStore(FatFs& fs, std::string prefix = "bet");
 
-  void write_slot(unsigned slot, const std::vector<std::uint8_t>& bytes) override;
+  [[nodiscard]] Status write_slot(unsigned slot,
+                                  const std::vector<std::uint8_t>& bytes) override;
   [[nodiscard]] std::vector<std::uint8_t> read_slot(unsigned slot) const override;
 
  private:

@@ -86,7 +86,7 @@ class Ftl final : public tl::TranslationLayer {
   /// Validates internal consistency (mapped LBAs == valid pages, map points
   /// at valid pages, pool blocks are empty); throws InvariantError on
   /// violation. Test helper — O(pages).
-  void check_invariants() const;
+  void check_invariants() const override;
 
  protected:
   void do_collect_blocks(BlockIndex first, BlockIndex count) override;

@@ -36,6 +36,22 @@ std::span<std::uint8_t> NandChip::arena_slice(const Block& block, PageIndex page
   return {block.data.get() + static_cast<std::size_t>(page) * page_size, page_size};
 }
 
+CrashDecision NandChip::consult_power_loss(CrashOp op) {
+  return power_loss_hook_ != nullptr ? power_loss_hook_->on_operation(op)
+                                     : CrashDecision::proceed;
+}
+
+void NandChip::consume_page(Block& block, PageIndex page_index) {
+  Page& page = block.pages[page_index];
+  if (page.state == PageState::valid) --block.valid;
+  if (page.state != PageState::invalid) ++block.invalid;
+  page.payload = 0xBAD0BAD0BAD0BAD0ULL;
+  page.spare = SpareArea{};
+  page.has_data = false;
+  page.state = PageState::invalid;
+  if (page_index >= block.next_program) block.next_program = page_index + 1;
+}
+
 bool NandChip::inject_program_failure(BlockIndex block) {
   const auto& f = config_.failures;
   if (!f.enabled()) return false;
@@ -82,6 +98,16 @@ Status NandChip::program_page(Ppa addr, std::uint64_t payload_token, const Spare
   if (config_.enforce_sequential_program && addr.page != block.next_program) {
     return Status::page_already_programmed;  // out-of-order program is rejected
   }
+  switch (consult_power_loss(CrashOp::program)) {
+    case CrashDecision::proceed:
+      break;
+    case CrashDecision::cut_before:
+      throw PowerLossError{};
+    case CrashDecision::cut_during:
+      // Torn page: the cells were partially written before power died.
+      consume_page(block, addr.page);
+      throw PowerLossError{};
+  }
   tick(config_.timing.program_page_us);
   ++counters_.programs;
   if (inject_program_failure(addr.block)) {
@@ -90,12 +116,7 @@ Status NandChip::program_page(Ppa addr, std::uint64_t payload_token, const Spare
     // holds fails ECC, which the spare-area scan recognizes by the
     // kInvalidLba marker.
     ++counters_.program_failures;
-    page.payload = 0xBAD0BAD0BAD0BAD0ULL;
-    page.spare = SpareArea{};
-    page.has_data = false;
-    page.state = PageState::invalid;
-    ++block.invalid;
-    if (addr.page >= block.next_program) block.next_program = addr.page + 1;
+    consume_page(block, addr.page);
     return Status::program_failed;
   }
   page.payload = payload_token;
@@ -126,6 +147,21 @@ Status NandChip::erase_block(BlockIndex index) {
     block.retired = true;
     return Status::block_worn_out;
   }
+  switch (consult_power_loss(CrashOp::erase)) {
+    case CrashDecision::proceed:
+      break;
+    case CrashDecision::cut_before:
+      throw PowerLossError{};
+    case CrashDecision::cut_during:
+      // Partially erased block: every cell is in an indeterminate state, so
+      // all pages read back as ECC-failing garbage. The erase did not
+      // complete — the count stays, and no observer fires. Recovery reclaims
+      // the block through a fresh (full) erase.
+      for (PageIndex p = 0; p < config_.geometry.pages_per_block; ++p) {
+        consume_page(block, p);
+      }
+      throw PowerLossError{};
+  }
   tick(config_.timing.erase_block_us);
   if (inject_erase_failure()) {
     ++counters_.erase_failures;
@@ -150,7 +186,9 @@ Status NandChip::erase_block(BlockIndex index) {
         .total_erases = counters_.erases,
     };
   }
-  for (const auto& observer : erase_observers_) observer(index, count);
+  for (const auto& observer : erase_observers_) {
+    if (observer) observer(index, count);
+  }
   return Status::ok;
 }
 
@@ -219,9 +257,16 @@ bool NandChip::is_retired(BlockIndex block) const {
   return blocks_[block].retired;
 }
 
-void NandChip::add_erase_observer(EraseObserver observer) {
+std::size_t NandChip::add_erase_observer(EraseObserver observer) {
   SWL_REQUIRE(static_cast<bool>(observer), "null erase observer");
   erase_observers_.push_back(std::move(observer));
+  return erase_observers_.size() - 1;
+}
+
+void NandChip::remove_erase_observer(std::size_t token) {
+  SWL_REQUIRE(token < erase_observers_.size(), "unknown erase-observer token");
+  SWL_REQUIRE(static_cast<bool>(erase_observers_[token]), "erase observer already removed");
+  erase_observers_[token] = nullptr;
 }
 
 }  // namespace swl::nand

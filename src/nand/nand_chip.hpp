@@ -26,6 +26,7 @@
 #include "core/rng.hpp"
 #include "core/status.hpp"
 #include "core/types.hpp"
+#include "nand/power_loss.hpp"
 #include "nand/spare_area.hpp"
 
 namespace swl::nand {
@@ -168,7 +169,19 @@ class NandChip {
     return erase_counts_;
   }
 
-  void add_erase_observer(EraseObserver observer);
+  /// Registers `observer`; returns a token accepted by remove_erase_observer.
+  std::size_t add_erase_observer(EraseObserver observer);
+
+  /// Deregisters a previously registered observer (other tokens stay valid).
+  /// An observer owner that dies before the chip MUST deregister — the chip
+  /// would otherwise call into a dangling object on the next erase.
+  void remove_erase_observer(std::size_t token);
+
+  /// Attaches (or detaches, with nullptr) a power-loss hook. The hook is
+  /// consulted before every page program and block erase; when it cuts
+  /// power, the chip applies the torn result (see power_loss.hpp) and
+  /// throws PowerLossError. Non-owning.
+  void set_power_loss_hook(PowerLossHook* hook) noexcept { power_loss_hook_ = hook; }
 
   // -- misc -----------------------------------------------------------------
 
@@ -202,6 +215,12 @@ class NandChip {
   void check_ppa(Ppa addr) const;
   void check_block(BlockIndex block) const;
   void tick(std::uint64_t us) const;
+  /// Consults the power-loss hook (proceed when none is attached).
+  [[nodiscard]] CrashDecision consult_power_loss(CrashOp op);
+  /// Turns a page into unreadable garbage (a failed or torn program): the
+  /// cells were partially written, fail ECC, and cannot be re-programmed
+  /// before the next erase of the block.
+  void consume_page(Block& block, PageIndex page);
   /// The arena slice backing `page` of `block` (arena must exist).
   [[nodiscard]] std::span<std::uint8_t> arena_slice(const Block& block, PageIndex page) const;
   [[nodiscard]] bool inject_program_failure(BlockIndex block);
@@ -209,6 +228,7 @@ class NandChip {
 
   NandConfig config_;
   SimClock* clock_;
+  PowerLossHook* power_loss_hook_ = nullptr;
   std::vector<Block> blocks_;
   std::vector<std::uint32_t> erase_counts_;
   std::vector<EraseObserver> erase_observers_;

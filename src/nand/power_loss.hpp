@@ -1,0 +1,54 @@
+// Power-loss modelling for the NAND simulator.
+//
+// A PowerLossHook is consulted immediately before every state-changing
+// operation that would persist across a power cycle (page programs, block
+// erases, and — through fault::CrashSnapshotStore — BET snapshot slot
+// writes). The hook decides whether power survives the operation:
+//
+//   proceed     — the operation completes normally;
+//   cut_before  — power is lost on the boundary *before* the operation: no
+//                 state changes, PowerLossError unwinds the firmware;
+//   cut_during  — power is lost *mid-operation*: the chip applies the torn
+//                 result (a garbage page that fails ECC, or a partially
+//                 erased block whose pages all read as garbage) and then
+//                 PowerLossError unwinds.
+//
+// Firmware RAM state (translation tables, the BET) does not survive the
+// unwind — the recovery driver rebuilds it from spare areas and the snapshot
+// slots, exactly as a real controller does after a brown-out.
+#ifndef SWL_NAND_POWER_LOSS_HPP
+#define SWL_NAND_POWER_LOSS_HPP
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace swl::nand {
+
+/// Thrown when the attached PowerLossHook cuts power. Deliberately not a
+/// Status: a power loss is not an outcome firmware observes — it unwinds the
+/// whole software stack, and only the recovery path runs afterwards.
+class PowerLossError : public std::runtime_error {
+ public:
+  PowerLossError() : std::runtime_error("simulated power loss") {}
+};
+
+/// Kind of persistent operation a crash boundary belongs to.
+enum class CrashOp : std::uint8_t { program, erase, snapshot_write };
+
+/// What the hook tells the device to do at a boundary.
+enum class CrashDecision : std::uint8_t { proceed, cut_before, cut_during };
+
+class PowerLossHook {
+ public:
+  virtual ~PowerLossHook() = default;
+
+  /// Consulted once per persistent operation, in execution order, after the
+  /// operation's preconditions passed (so every consultation corresponds to
+  /// an operation that would otherwise mutate durable state — the invariant
+  /// that makes crash-point enumeration deterministic).
+  virtual CrashDecision on_operation(CrashOp op) = 0;
+};
+
+}  // namespace swl::nand
+
+#endif  // SWL_NAND_POWER_LOSS_HPP

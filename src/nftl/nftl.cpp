@@ -98,9 +98,11 @@ void Nftl::rebuild_from_flash() {
   }
 
   // Pass 2: elect one primary and at most one replacement per VBA; stale
-  // duplicates (a crash between a fold's commit and the erase of the old
-  // pair) lose by max sequence and are erased back into the pool.
+  // duplicates (left behind by a crash around a fold) are erased back into
+  // the pool.
   std::vector<BlockIndex> to_recycle;
+  std::vector<std::vector<BlockIndex>> primaries(config_.vba_count);
+  std::vector<std::vector<BlockIndex>> replacements(config_.vba_count);
   for (BlockIndex b = 0; b < geo.block_count; ++b) {
     const BlockInfo& bi = info[b];
     if (chip().is_retired(b)) continue;
@@ -112,16 +114,67 @@ void Nftl::rebuild_from_flash() {
       to_recycle.push_back(b);  // only garbage pages: reclaim
       continue;
     }
-    BlockIndex& slot =
-        bi.role == nand::PageRole::replacement ? replacement_[bi.vba] : primary_[bi.vba];
-    if (slot == kInvalidBlock) {
-      slot = b;
-    } else if (info[slot].max_sequence < bi.max_sequence) {
-      to_recycle.push_back(slot);
-      slot = b;
-    } else {
-      to_recycle.push_back(b);
+    (bi.role == nand::PageRole::replacement ? replacements : primaries)[bi.vba].push_back(b);
+  }
+
+  // The LBA offsets carried by a block's readable pages (for a replacement
+  // block the page index and the offset differ, so go through the spare).
+  const auto readable_offsets = [&](BlockIndex b, std::vector<bool>& out) {
+    if (b == kInvalidBlock) return;
+    for (PageIndex p = 0; p < pages; ++p) {
+      const Ppa addr{b, p};
+      if (chip().page_state(addr) != PageState::valid) continue;
+      out[chip().spare(addr).lba % pages] = true;
     }
+  };
+  for (Vba v = 0; v < config_.vba_count; ++v) {
+    // Replacement: newest by sequence wins (a fold can leave at most one
+    // behind; duplicates would be pre-fold leftovers with older sequences).
+    for (const BlockIndex b : replacements[v]) {
+      BlockIndex& slot = replacement_[v];
+      if (slot == kInvalidBlock) {
+        slot = b;
+      } else if (info[slot].max_sequence < info[b].max_sequence) {
+        to_recycle.push_back(slot);
+        slot = b;
+      } else {
+        to_recycle.push_back(b);
+      }
+    }
+    // Primary: "newest wins" alone is wrong here. A crash in the middle of a
+    // fold leaves a *partial* new primary whose copied pages carry the
+    // highest sequences; electing it by sequence would discard the old
+    // primary together with every not-yet-copied version. So a newer primary
+    // only wins when it is a complete fold output: every offset readable in
+    // the incumbent pair has a copy at the same page index in it. An
+    // incomplete fold loses and is recycled losslessly — its pages are
+    // duplicates of versions still present in the old pair.
+    auto& cands = primaries[v];
+    std::sort(cands.begin(), cands.end(), [&](BlockIndex a, BlockIndex b) {
+      return info[a].max_sequence != info[b].max_sequence
+                 ? info[a].max_sequence < info[b].max_sequence
+                 : a < b;
+    });
+    BlockIndex winner = kInvalidBlock;
+    for (const BlockIndex b : cands) {
+      if (winner == kInvalidBlock) {
+        winner = b;
+        continue;
+      }
+      std::vector<bool> needed(pages, false);
+      readable_offsets(winner, needed);
+      readable_offsets(replacement_[v], needed);
+      bool complete = true;
+      for (PageIndex o = 0; o < pages && complete; ++o) {
+        if (!needed[o]) continue;
+        const Ppa addr{b, o};
+        complete = chip().page_state(addr) == PageState::valid &&
+                   chip().spare(addr).lba == static_cast<Lba>(v) * pages + o;
+      }
+      to_recycle.push_back(complete ? winner : b);
+      if (complete) winner = b;
+    }
+    primary_[v] = winner;
   }
 
   for (const BlockIndex b : to_recycle) {

@@ -78,7 +78,7 @@ class Nftl final : public tl::TranslationLayer {
 
   /// Validates internal consistency; throws InvariantError on violation.
   /// Test helper — O(pages).
-  void check_invariants() const;
+  void check_invariants() const override;
 
  protected:
   void do_collect_blocks(BlockIndex first, BlockIndex count) override;

@@ -20,14 +20,7 @@ Simulator::Simulator(const SimConfig& config) {
       nand::NandConfig{.geometry = config.geometry, .timing = config.timing,
                        .failures = config.failures},
       &clock_);
-  switch (config.layer) {
-    case LayerKind::ftl:
-      layer_ = std::make_unique<ftl::Ftl>(*chip_, config.ftl);
-      break;
-    case LayerKind::nftl:
-      layer_ = std::make_unique<nftl::Nftl>(*chip_, config.nftl);
-      break;
-  }
+  layer_ = make_layer(config.layer, *chip_, config.ftl, config.nftl, /*mounted=*/false);
   SWL_REQUIRE(!(config.leveler.has_value() && config.oracle_leveler.has_value()),
               "choose either the SW Leveler or the oracle policy, not both");
   if (config.leveler.has_value()) {
@@ -92,6 +85,22 @@ SimResult Simulator::result() const {
 
 std::unique_ptr<Simulator> make_simulator(const SimConfig& config) {
   return std::make_unique<Simulator>(config);
+}
+
+std::unique_ptr<tl::TranslationLayer> make_layer(LayerKind kind, nand::NandChip& chip,
+                                                 const ftl::FtlConfig& ftl_config,
+                                                 const nftl::NftlConfig& nftl_config,
+                                                 bool mounted) {
+  switch (kind) {
+    case LayerKind::ftl:
+      return mounted ? ftl::Ftl::mount(chip, ftl_config)
+                     : std::make_unique<ftl::Ftl>(chip, ftl_config);
+    case LayerKind::nftl:
+      return mounted ? nftl::Nftl::mount(chip, nftl_config)
+                     : std::make_unique<nftl::Nftl>(chip, nftl_config);
+  }
+  SWL_ASSERT(false, "unknown layer kind");
+  return nullptr;
 }
 
 }  // namespace swl::sim

@@ -91,6 +91,16 @@ class Simulator {
 /// Builds the standard simulator stack for a config.
 [[nodiscard]] std::unique_ptr<Simulator> make_simulator(const SimConfig& config);
 
+/// Builds a translation layer of `kind` over `chip`: fresh when `mounted`
+/// is false (expects an erased chip), otherwise by mount-scanning the
+/// existing flash image (crash recovery). Shared by the Simulator and the
+/// fault-injection harness so both construct layers the same way.
+[[nodiscard]] std::unique_ptr<tl::TranslationLayer> make_layer(LayerKind kind,
+                                                              nand::NandChip& chip,
+                                                              const ftl::FtlConfig& ftl_config,
+                                                              const nftl::NftlConfig& nftl_config,
+                                                              bool mounted);
+
 }  // namespace swl::sim
 
 #endif  // SWL_SIM_SIMULATOR_HPP

@@ -96,7 +96,10 @@ void SwLeveler::restore_state(std::uint64_t ecnt, std::size_t findex,
                               const std::vector<std::uint64_t>& bet_words) {
   bet_.restore_bits(bet_words);
   ecnt_ = ecnt;
-  findex_ = findex < bet_.flag_count() ? findex : 0;
+  // An out-of-range findex from a stale snapshot gets the paper's step-6
+  // treatment: re-randomize. Clamping to a fixed flag (the old behaviour)
+  // would bias every post-crash cyclic scan toward set 0.
+  findex_ = findex < bet_.flag_count() ? findex : rng_.below(bet_.flag_count());
 }
 
 }  // namespace swl::wear

@@ -3,6 +3,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <system_error>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
 
 #include "core/contracts.hpp"
 
@@ -89,7 +96,10 @@ Status decode_snapshot(const std::vector<std::uint8_t>& bytes, Snapshot* out,
   if (!get_u64(bytes, pos, &snap.ecnt)) return Status::corrupt_snapshot;
   if (!get_u64(bytes, pos, &snap.findex)) return Status::corrupt_snapshot;
   if (!get_u64(bytes, pos, &words)) return Status::corrupt_snapshot;
-  if (pos + words * 8 != body) return Status::corrupt_snapshot;
+  // Overflow-safe framing check: `pos + words * 8` can wrap for a corrupt
+  // `words` field (e.g. 2^61) and slip past an equality test, turning the
+  // resize below into a multi-exabyte allocation bomb. Divide instead.
+  if (words != (body - pos) / 8 || (body - pos) % 8 != 0) return Status::corrupt_snapshot;
   snap.bet_words.resize(words);
   for (auto& w : snap.bet_words) {
     if (!get_u64(bytes, pos, &w)) return Status::corrupt_snapshot;
@@ -98,9 +108,10 @@ Status decode_snapshot(const std::vector<std::uint8_t>& bytes, Snapshot* out,
   return Status::ok;
 }
 
-void MemorySnapshotStore::write_slot(unsigned slot, const std::vector<std::uint8_t>& bytes) {
+Status MemorySnapshotStore::write_slot(unsigned slot, const std::vector<std::uint8_t>& bytes) {
   SWL_REQUIRE(slot < kSlots, "slot out of range");
   slots_[slot] = bytes;
+  return Status::ok;
 }
 
 std::vector<std::uint8_t> MemorySnapshotStore::read_slot(unsigned slot) const {
@@ -122,20 +133,37 @@ std::string FileSnapshotStore::slot_path(unsigned slot) const {
   return prefix_ + "." + std::to_string(slot);
 }
 
-void FileSnapshotStore::write_slot(unsigned slot, const std::vector<std::uint8_t>& bytes) {
+Status FileSnapshotStore::write_slot(unsigned slot, const std::vector<std::uint8_t>& bytes) {
   SWL_REQUIRE(slot < kSlots, "slot out of range");
-  // Write to a temp file then rename, so a crash never leaves a torn slot —
-  // the host-file analogue of programming a fresh flash page before marking
-  // the old snapshot obsolete.
+  // Write to a temp file, flush it all the way to stable storage, then
+  // rename over the slot — the host-file analogue of programming a fresh
+  // flash page before marking the old snapshot obsolete. Without the sync a
+  // host crash can promote a torn temp file into the slot: the rename (a
+  // metadata operation) may reach the journal before the data blocks do.
   const std::string tmp = slot_path(slot) + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    SWL_REQUIRE(os.good(), "cannot open snapshot file for writing");
-    os.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-    SWL_REQUIRE(os.good(), "snapshot write failed");
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::io_error;
+  bool ok = bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = std::fflush(f) == 0 && ok;
+#if defined(_WIN32)
+  ok = _commit(_fileno(f)) == 0 && ok;
+#else
+  ok = ::fsync(fileno(f)) == 0 && ok;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::error_code discard;
+    std::filesystem::remove(tmp, discard);
+    return Status::io_error;
   }
-  std::filesystem::rename(tmp, slot_path(slot));
+  std::error_code ec;
+  std::filesystem::rename(tmp, slot_path(slot), ec);
+  if (ec) {
+    std::error_code discard;
+    std::filesystem::remove(tmp, discard);
+    return Status::io_error;
+  }
+  return Status::ok;
 }
 
 std::vector<std::uint8_t> FileSnapshotStore::read_slot(unsigned slot) const {
@@ -162,16 +190,18 @@ LevelerPersistence::LevelerPersistence(SnapshotStore& store) : store_(store) {
   }
 }
 
-void LevelerPersistence::save(const SwLeveler& leveler) {
+Status LevelerPersistence::save(const SwLeveler& leveler) {
   Snapshot snap;
   snap.k = leveler.config().k;
   snap.block_count = leveler.bet().block_count();
   snap.ecnt = leveler.ecnt();
   snap.findex = leveler.findex();
   snap.bet_words = leveler.bet().bits().words();
-  store_.write_slot(next_slot_, encode_snapshot(snap, next_sequence_));
+  const Status st = store_.write_slot(next_slot_, encode_snapshot(snap, next_sequence_));
+  if (st != Status::ok) return st;  // slot content is undefined; do not advance
   ++next_sequence_;
   next_slot_ = (next_slot_ + 1) % SnapshotStore::kSlots;
+  return Status::ok;
 }
 
 Status LevelerPersistence::load(SwLeveler& leveler) const {

@@ -48,8 +48,11 @@ class SnapshotStore {
 
   virtual ~SnapshotStore() = default;
 
-  /// Overwrites a slot. Requires slot < kSlots.
-  virtual void write_slot(unsigned slot, const std::vector<std::uint8_t>& bytes) = 0;
+  /// Overwrites a slot. Requires slot < kSlots. Returns Status::io_error
+  /// when the backing medium failed; the slot's previous content must then
+  /// still be intact (stores write out of place and commit atomically).
+  [[nodiscard]] virtual Status write_slot(unsigned slot,
+                                          const std::vector<std::uint8_t>& bytes) = 0;
 
   /// Reads a slot; empty vector when the slot has never been written.
   [[nodiscard]] virtual std::vector<std::uint8_t> read_slot(unsigned slot) const = 0;
@@ -58,7 +61,8 @@ class SnapshotStore {
 /// RAM-backed store (tests, and devices that stage snapshots elsewhere).
 class MemorySnapshotStore final : public SnapshotStore {
  public:
-  void write_slot(unsigned slot, const std::vector<std::uint8_t>& bytes) override;
+  [[nodiscard]] Status write_slot(unsigned slot,
+                                  const std::vector<std::uint8_t>& bytes) override;
   [[nodiscard]] std::vector<std::uint8_t> read_slot(unsigned slot) const override;
 
   /// Test hook: flip `bytes` bytes of a slot to simulate a torn/corrupt write.
@@ -73,7 +77,10 @@ class FileSnapshotStore final : public SnapshotStore {
  public:
   explicit FileSnapshotStore(std::string path_prefix);
 
-  void write_slot(unsigned slot, const std::vector<std::uint8_t>& bytes) override;
+  /// Durable: the temp file is flushed and fsync'ed before the rename, and
+  /// any host I/O failure surfaces as Status::io_error (never an exception).
+  [[nodiscard]] Status write_slot(unsigned slot,
+                                  const std::vector<std::uint8_t>& bytes) override;
   [[nodiscard]] std::vector<std::uint8_t> read_slot(unsigned slot) const override;
 
  private:
@@ -86,8 +93,10 @@ class LevelerPersistence {
  public:
   explicit LevelerPersistence(SnapshotStore& store);
 
-  /// Saves the leveler's state into the next slot (alternating).
-  void save(const SwLeveler& leveler);
+  /// Saves the leveler's state into the next slot (alternating). On
+  /// Status::io_error the sequence/slot cursor does not advance, so the next
+  /// save retries the same slot and the other (good) slot is never clobbered.
+  [[nodiscard]] Status save(const SwLeveler& leveler);
 
   /// Restores the newest valid snapshot into `leveler`. Returns
   /// Status::corrupt_snapshot when no slot validates or when the snapshot's

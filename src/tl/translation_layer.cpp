@@ -7,13 +7,17 @@ namespace swl::tl {
 TranslationLayer::TranslationLayer(nand::NandChip& chip) : chip_(chip) {
   // Erase accounting observer: attribute every erase to either regular GC
   // or to static wear leveling, depending on what this layer is serving.
-  chip_.add_erase_observer([this](BlockIndex, std::uint32_t) {
+  observer_tokens_.push_back(chip_.add_erase_observer([this](BlockIndex, std::uint32_t) {
     if (serving_swl_) {
       ++counters_.swl_erases;
     } else {
       ++counters_.gc_erases;
     }
-  });
+  }));
+}
+
+TranslationLayer::~TranslationLayer() {
+  for (const std::size_t token : observer_tokens_) chip_.remove_erase_observer(token);
 }
 
 void TranslationLayer::attach_leveler(std::unique_ptr<wear::Leveler> leveler) {
@@ -25,9 +29,10 @@ void TranslationLayer::attach_leveler(std::unique_ptr<wear::Leveler> leveler) {
   // The policy's update hook (SWL-BETUpdate for the SW Leveler) is invoked
   // by the Cleaner on every erase (Section 3.3); wiring it to the chip's
   // erase observer covers every erase path.
-  chip_.add_erase_observer([lev = leveler_.get()](BlockIndex block, std::uint32_t count) {
-    lev->on_block_erased(block, count);
-  });
+  observer_tokens_.push_back(
+      chip_.add_erase_observer([lev = leveler_.get()](BlockIndex block, std::uint32_t count) {
+        lev->on_block_erased(block, count);
+      }));
 }
 
 void TranslationLayer::collect_blocks(BlockIndex first, BlockIndex count) {

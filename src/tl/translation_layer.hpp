@@ -14,6 +14,7 @@
 #include <memory>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "core/status.hpp"
 #include "core/types.hpp"
@@ -43,7 +44,9 @@ struct TlCounters {
 class TranslationLayer : public wear::Cleaner {
  public:
   explicit TranslationLayer(nand::NandChip& chip);
-  ~TranslationLayer() override = default;
+  /// Deregisters this layer's (and its leveler's) erase observers — the chip
+  /// outlives its layers, and a left-behind observer would dangle.
+  ~TranslationLayer() override;
 
   TranslationLayer(const TranslationLayer&) = delete;
   TranslationLayer& operator=(const TranslationLayer&) = delete;
@@ -68,6 +71,12 @@ class TranslationLayer : public wear::Cleaner {
   [[nodiscard]] virtual Lba lba_count() const noexcept = 0;
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Validates the layer's internal consistency against the chip (version
+  /// index vs. valid pages, pool emptiness, ownership tables); throws
+  /// InvariantError on violation. O(pages) — meant for tests and the
+  /// crash-recovery harness, not the hot path.
+  virtual void check_invariants() const = 0;
 
   /// Attaches a wear-leveling policy (the paper's SwLeveler or any other
   /// wear::Leveler): every subsequent chip erase feeds its update hook
@@ -107,6 +116,7 @@ class TranslationLayer : public wear::Cleaner {
  private:
   nand::NandChip& chip_;
   std::unique_ptr<wear::Leveler> leveler_;
+  std::vector<std::size_t> observer_tokens_;
   TlCounters counters_;
   bool serving_swl_ = false;
 };

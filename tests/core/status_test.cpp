@@ -18,6 +18,7 @@ TEST(Status, NamesAreStable) {
   EXPECT_EQ(to_string(Status::lba_not_mapped), "lba_not_mapped");
   EXPECT_EQ(to_string(Status::out_of_space), "out_of_space");
   EXPECT_EQ(to_string(Status::corrupt_snapshot), "corrupt_snapshot");
+  EXPECT_EQ(to_string(Status::io_error), "io_error");
 }
 
 TEST(Status, OkPredicate) {

@@ -245,7 +245,7 @@ TEST(FsSnapshotStore, BetSnapshotsLiveInTheFileSystem) {
 
   FileSystemSnapshotStore store(*f.fs);
   wear::LevelerPersistence persistence(store);
-  persistence.save(leveler);
+  ASSERT_EQ(persistence.save(leveler), Status::ok);
   EXPECT_TRUE(f.fs->exists("bet.0"));
 
   // Unmount + remount the FS, then restore the leveler from the file.
@@ -267,9 +267,9 @@ TEST(FsSnapshotStore, DualSlotsAlternate) {
   FileSystemSnapshotStore store(*f.fs);
   wear::LevelerPersistence persistence(store);
   leveler.on_block_erased(0);
-  persistence.save(leveler);
+  ASSERT_EQ(persistence.save(leveler), Status::ok);
   leveler.on_block_erased(1);
-  persistence.save(leveler);
+  ASSERT_EQ(persistence.save(leveler), Status::ok);
   EXPECT_TRUE(f.fs->exists("bet.0"));
   EXPECT_TRUE(f.fs->exists("bet.1"));
   wear::SwLeveler restored(32, wear::LevelerConfig{});

@@ -380,5 +380,33 @@ TEST(FtlHotCold, RequiresExtraReserve) {
   EXPECT_THROW(Ftl(chip, cfg), PreconditionError);
 }
 
+TEST(FtlLifetime, DestroyedLayerLeavesNoDanglingEraseObserver) {
+  // Regression: the layer (and its attached leveler) register erase
+  // observers on the chip; destroying the layer while the chip lives —
+  // every remount does this — used to leave those observers dangling, so
+  // the next erase called into freed memory.
+  nand::NandChip chip(chip_config(16, 8));
+  {
+    Ftl ftl(chip, FtlConfig{});
+    wear::LevelerConfig lc;
+    lc.threshold = 4;
+    ftl.attach_leveler(
+        std::make_unique<wear::SwLeveler>(chip.geometry().block_count, lc));
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_EQ(ftl.write(static_cast<Lba>(i % 8), static_cast<std::uint64_t>(i)), Status::ok);
+    }
+  }
+  // The dead layer's observers are gone; a fresh mount's observer still
+  // counts its own erases.
+  chip.forget_logical_state();
+  auto remounted = Ftl::mount(chip, FtlConfig{});
+  const std::uint64_t before = remounted->counters().total_erases();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(remounted->write(static_cast<Lba>(i % 8), static_cast<std::uint64_t>(i)),
+              Status::ok);
+  }
+  EXPECT_GT(remounted->counters().total_erases(), before);
+}
+
 }  // namespace
 }  // namespace swl::ftl

@@ -106,7 +106,7 @@ TEST(Integration, FullReattachRestoresMappingAndBet) {
       shadow[lba] = static_cast<std::uint64_t>(i + 1);
     }
     wear::LevelerPersistence persistence(store);
-    persistence.save(*swl);
+    ASSERT_EQ(persistence.save(*swl), Status::ok);
     ecnt_before = swl->ecnt();
     findex_before = swl->findex();
   }

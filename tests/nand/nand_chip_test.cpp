@@ -168,6 +168,21 @@ TEST(NandChip, EraseObserverFiresWithNewCount) {
   EXPECT_EQ(events[2], (std::pair<BlockIndex, std::uint32_t>{4, 1}));
 }
 
+TEST(NandChip, RemovedEraseObserverStopsFiring) {
+  NandChip chip(small_config());
+  int first = 0;
+  int second = 0;
+  const std::size_t token = chip.add_erase_observer([&](BlockIndex, std::uint32_t) { ++first; });
+  (void)chip.add_erase_observer([&](BlockIndex, std::uint32_t) { ++second; });
+  ASSERT_EQ(chip.erase_block(0), Status::ok);
+  chip.remove_erase_observer(token);
+  ASSERT_EQ(chip.erase_block(0), Status::ok);
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);  // other tokens stay live
+  EXPECT_THROW(chip.remove_erase_observer(token), PreconditionError);  // double remove
+  EXPECT_THROW(chip.remove_erase_observer(99), PreconditionError);    // unknown token
+}
+
 TEST(NandChip, OperationsAdvanceTheClock) {
   SimClock clock;
   NandChip chip(small_config(), &clock);

@@ -198,10 +198,11 @@ TEST(SwLeveler, RestoreStateAcceptsStaleValues) {
   EXPECT_EQ(fresh.ecnt(), 55u);
   EXPECT_EQ(fresh.findex(), 3u);
   EXPECT_EQ(fresh.fcnt(), 2u);
-  // Out-of-range findex is clamped rather than rejected (the paper: values
-  // "could tolerate some errors").
+  // Out-of-range findex is re-randomized rather than rejected (the paper's
+  // step 6: a fresh findex is drawn at random; values "could tolerate some
+  // errors"). snapshot_test covers the distribution; here just the range.
   fresh.restore_state(55, 9999, words);
-  EXPECT_EQ(fresh.findex(), 0u);
+  EXPECT_LT(fresh.findex(), 16u);
 }
 
 TEST(SwLeveler, ActivationsAndCollectionsAreCounted) {

@@ -1,0 +1,102 @@
+// Crash windows of the dual-buffer leveler persistence, driven through the
+// deterministic crash injector: a torn active-slot write, a crash between
+// two slot writes, both slots corrupt, and sequence resumption afterwards.
+#include <gtest/gtest.h>
+
+#include "fault/crash_injector.hpp"
+#include "swl/leveler.hpp"
+#include "swl/snapshot.hpp"
+
+namespace swl::wear {
+namespace {
+
+/// Two completed saves (slot 0 then slot 1), leaving the leveler at ecnt 3
+/// with a third save pending. Save operations are injector ops 0 and 1.
+struct TwoSavesFixture {
+  MemorySnapshotStore inner;
+  fault::CrashInjector injector;
+  fault::CrashSnapshotStore store{inner, injector};
+  LevelerPersistence persistence{store};
+  LevelerConfig cfg;
+  SwLeveler leveler{16, cfg};
+
+  TwoSavesFixture() {
+    leveler.on_block_erased(1);
+    EXPECT_EQ(persistence.save(leveler), Status::ok);  // op 0: slot 0, seq 1
+    leveler.on_block_erased(2);
+    EXPECT_EQ(persistence.save(leveler), Status::ok);  // op 1: slot 1, seq 2
+    leveler.on_block_erased(3);
+  }
+};
+
+TEST(PersistenceCrash, TornActiveSlotWriteFallsBackToTheOtherSlot) {
+  TwoSavesFixture fx;
+  fx.injector.arm(2 * 2 + 1);  // cut *during* the third save (slot 0 again)
+  EXPECT_THROW((void)fx.persistence.save(fx.leveler), nand::PowerLossError);
+
+  // The torn slot holds a truncated prefix that can never validate...
+  Snapshot snap;
+  std::uint64_t seq = 0;
+  EXPECT_EQ(decode_snapshot(fx.inner.read_slot(0), &snap, &seq), Status::corrupt_snapshot);
+
+  // ...and recovery falls back to the state of the second completed save.
+  LevelerPersistence reloaded(fx.inner);
+  SwLeveler restored(16, fx.cfg);
+  ASSERT_EQ(reloaded.load(restored), Status::ok);
+  EXPECT_EQ(restored.ecnt(), 2u);
+}
+
+TEST(PersistenceCrash, CrashBetweenSlotWritesLosesNothing) {
+  TwoSavesFixture fx;
+  fx.injector.arm(2 * 2);  // cut *before* the third save touches the medium
+  EXPECT_THROW((void)fx.persistence.save(fx.leveler), nand::PowerLossError);
+
+  // Both previously written slots are fully intact.
+  Snapshot snap;
+  std::uint64_t seq = 0;
+  ASSERT_EQ(decode_snapshot(fx.inner.read_slot(0), &snap, &seq), Status::ok);
+  EXPECT_EQ(seq, 1u);
+  ASSERT_EQ(decode_snapshot(fx.inner.read_slot(1), &snap, &seq), Status::ok);
+  EXPECT_EQ(seq, 2u);
+
+  LevelerPersistence reloaded(fx.inner);
+  SwLeveler restored(16, fx.cfg);
+  ASSERT_EQ(reloaded.load(restored), Status::ok);
+  EXPECT_EQ(restored.ecnt(), 2u);
+}
+
+TEST(PersistenceCrash, BothSlotsCorruptFallsBackToFreshState) {
+  TwoSavesFixture fx;
+  fx.inner.corrupt_slot(0, 8);
+  fx.inner.corrupt_slot(1, 8);
+
+  LevelerPersistence reloaded(fx.inner);
+  SwLeveler restored(16, fx.cfg);
+  EXPECT_EQ(reloaded.load(restored), Status::corrupt_snapshot);
+  // The leveler keeps its fresh (all-zero) interval state — the tolerance
+  // the paper's Section 3.2 design leans on.
+  EXPECT_EQ(restored.ecnt(), 0u);
+  EXPECT_EQ(restored.fcnt(), 0u);
+}
+
+TEST(PersistenceCrash, SequenceResumesPastATornWrite) {
+  TwoSavesFixture fx;
+  fx.injector.arm(2 * 2 + 1);  // tear the third save
+  EXPECT_THROW((void)fx.persistence.save(fx.leveler), nand::PowerLossError);
+
+  // A re-attach must resume numbering above the newest *valid* slot, so the
+  // next save supersedes everything instead of being mistaken for stale.
+  LevelerPersistence reattached(fx.inner);
+  ASSERT_EQ(reattached.save(fx.leveler), Status::ok);
+  Snapshot snap;
+  std::uint64_t seq = 0;
+  ASSERT_EQ(decode_snapshot(fx.inner.read_slot(0), &snap, &seq), Status::ok);
+  EXPECT_EQ(seq, 3u);
+
+  SwLeveler restored(16, fx.cfg);
+  ASSERT_EQ(reattached.load(restored), Status::ok);
+  EXPECT_EQ(restored.ecnt(), 3u);
+}
+
+}  // namespace
+}  // namespace swl::wear

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <set>
 
 namespace swl::wear {
 namespace {
@@ -53,6 +54,34 @@ TEST(SnapshotCodec, DetectsTruncation) {
   EXPECT_EQ(decode_snapshot({}, &out, &seq), Status::corrupt_snapshot);
 }
 
+TEST(SnapshotCodec, RejectsOverflowingWordCount) {
+  // Regression: a corrupt `words` field of 2^61 made the old framing check
+  // `pos + words * 8 == body` wrap to true and the decoder attempt a
+  // multi-exabyte resize. Craft exactly that: an empty-BET snapshot whose
+  // word count is patched to 2^61 with the checksum recomputed so only the
+  // framing check can reject it.
+  Snapshot empty;
+  empty.k = 0;
+  empty.block_count = 8;
+  auto bytes = encode_snapshot(empty, 1);
+  ASSERT_EQ(bytes.size(), 56u);  // 48-byte body + 8-byte checksum
+  const std::uint64_t huge = 1ULL << 61;
+  for (int i = 0; i < 8; ++i) {
+    bytes[40 + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(huge >> (8 * i));
+  }
+  std::uint64_t sum = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < 48; ++i) {
+    sum ^= bytes[i];
+    sum *= 0x100000001b3ULL;
+  }
+  for (int i = 0; i < 8; ++i) {
+    bytes[48 + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(sum >> (8 * i));
+  }
+  Snapshot out;
+  std::uint64_t seq = 0;
+  EXPECT_EQ(decode_snapshot(bytes, &out, &seq), Status::corrupt_snapshot);
+}
+
 TEST(SnapshotCodec, RejectsWrongMagic) {
   auto bytes = encode_snapshot(sample_snapshot(), 1);
   bytes[0] = 'X';
@@ -69,7 +98,7 @@ TEST(Persistence, SaveLoadRoundTripsLevelerState) {
   cfg.threshold = 100;
   SwLeveler lev(64, cfg);
   for (int i = 0; i < 10; ++i) lev.on_block_erased(static_cast<BlockIndex>(i));
-  persistence.save(lev);
+  ASSERT_EQ(persistence.save(lev), Status::ok);
 
   SwLeveler restored(64, cfg);
   ASSERT_EQ(persistence.load(restored), Status::ok);
@@ -93,9 +122,9 @@ TEST(Persistence, DualBufferSurvivesCorruptionOfNewestSlot) {
   SwLeveler lev(16, cfg);
 
   lev.on_block_erased(1);
-  persistence.save(lev);  // slot 0, seq 1 (ecnt 1)
+  ASSERT_EQ(persistence.save(lev), Status::ok);  // slot 0, seq 1 (ecnt 1)
   lev.on_block_erased(2);
-  persistence.save(lev);  // slot 1, seq 2 (ecnt 2)
+  ASSERT_EQ(persistence.save(lev), Status::ok);  // slot 1, seq 2 (ecnt 2)
 
   // Simulate a torn write of the newest snapshot.
   store.corrupt_slot(1, 4);
@@ -111,11 +140,11 @@ TEST(Persistence, NewestValidSlotWins) {
   LevelerConfig cfg;
   SwLeveler lev(16, cfg);
   lev.on_block_erased(1);
-  persistence.save(lev);
+  ASSERT_EQ(persistence.save(lev), Status::ok);
   lev.on_block_erased(2);
-  persistence.save(lev);
+  ASSERT_EQ(persistence.save(lev), Status::ok);
   lev.on_block_erased(3);
-  persistence.save(lev);  // wraps back to slot 0, seq 3 (ecnt 3)
+  ASSERT_EQ(persistence.save(lev), Status::ok);  // wraps back to slot 0, seq 3 (ecnt 3)
 
   SwLeveler restored(16, cfg);
   ASSERT_EQ(persistence.load(restored), Status::ok);
@@ -128,7 +157,7 @@ TEST(Persistence, RejectsMismatchedShape) {
   LevelerConfig cfg;
   cfg.k = 0;
   SwLeveler lev(16, cfg);
-  persistence.save(lev);
+  ASSERT_EQ(persistence.save(lev), Status::ok);
 
   LevelerConfig other = cfg;
   other.k = 2;
@@ -146,18 +175,114 @@ TEST(Persistence, SequenceResumesAcrossReattach) {
   {
     LevelerPersistence persistence(store);
     lev.on_block_erased(1);
-    persistence.save(lev);
+    ASSERT_EQ(persistence.save(lev), Status::ok);
     lev.on_block_erased(2);
-    persistence.save(lev);
+    ASSERT_EQ(persistence.save(lev), Status::ok);
   }
   // A new persistence instance (device re-attach) must not overwrite the
   // newest slot with a lower sequence number.
   LevelerPersistence reattached(store);
   lev.on_block_erased(3);
-  reattached.save(lev);
+  ASSERT_EQ(reattached.save(lev), Status::ok);
   SwLeveler restored(16, cfg);
   ASSERT_EQ(reattached.load(restored), Status::ok);
   EXPECT_EQ(restored.ecnt(), 3u);
+}
+
+TEST(Persistence, InRangeFindexIsRestoredVerbatim) {
+  LevelerConfig cfg;  // k = 0: one flag per block
+  SwLeveler lev(64, cfg);
+  lev.restore_state(5, 63, {0});
+  EXPECT_EQ(lev.findex(), 63u);
+}
+
+TEST(Persistence, OutOfRangeFindexIsRerandomizedNotClamped) {
+  // Regression: a stale snapshot whose findex no longer fits the BET used to
+  // be clamped to a fixed flag, biasing every post-crash cyclic scan toward
+  // the same set. The paper's step-6 treatment re-randomizes instead.
+  LevelerConfig cfg;
+  SwLeveler lev(64, cfg);
+  std::set<std::size_t> seen;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    lev.restore_state(0, 1000 + i, {0});
+    ASSERT_LT(lev.findex(), 64u);
+    seen.insert(lev.findex());
+  }
+  EXPECT_GT(seen.size(), 1u) << "out-of-range findex restored to a fixed flag";
+}
+
+namespace {
+
+/// Store whose writes can be made to fail, for cursor-retry tests.
+class FlakyStore final : public SnapshotStore {
+ public:
+  [[nodiscard]] Status write_slot(unsigned slot,
+                                  const std::vector<std::uint8_t>& bytes) override {
+    if (fail_writes) return Status::io_error;
+    return inner.write_slot(slot, bytes);
+  }
+  [[nodiscard]] std::vector<std::uint8_t> read_slot(unsigned slot) const override {
+    return inner.read_slot(slot);
+  }
+
+  MemorySnapshotStore inner;
+  bool fail_writes = false;
+};
+
+}  // namespace
+
+TEST(Persistence, IoErrorDoesNotAdvanceTheCursor) {
+  // Regression: a failed save must not advance the sequence/slot cursor —
+  // the retry has to target the same slot so the other (good) slot is never
+  // clobbered by a later save.
+  FlakyStore store;
+  LevelerPersistence persistence(store);
+  LevelerConfig cfg;
+  SwLeveler lev(16, cfg);
+  lev.on_block_erased(1);
+  ASSERT_EQ(persistence.save(lev), Status::ok);  // slot 0, seq 1 (ecnt 1)
+
+  lev.on_block_erased(2);
+  store.fail_writes = true;
+  EXPECT_EQ(persistence.save(lev), Status::io_error);
+  store.fail_writes = false;
+  ASSERT_EQ(persistence.save(lev), Status::ok);  // retries slot 1 with seq 2
+
+  // Slot 0 still holds the first save, untouched by the retry.
+  Snapshot snap;
+  std::uint64_t seq = 0;
+  ASSERT_EQ(decode_snapshot(store.inner.read_slot(0), &snap, &seq), Status::ok);
+  EXPECT_EQ(seq, 1u);
+  ASSERT_EQ(decode_snapshot(store.inner.read_slot(1), &snap, &seq), Status::ok);
+  EXPECT_EQ(seq, 2u);
+
+  SwLeveler restored(16, cfg);
+  ASSERT_EQ(persistence.load(restored), Status::ok);
+  EXPECT_EQ(restored.ecnt(), 2u);
+}
+
+TEST(FileStore, SurfacesHostIoFailureAsStatus) {
+  // Regression: a write to an unwritable location used to escape as an
+  // unhandled exception (or vanish silently); now it reports Status::io_error
+  // and leaves nothing behind.
+  FileSnapshotStore store("/nonexistent_swl_dir/does/not/exist/bet");
+  EXPECT_EQ(store.write_slot(0, {1, 2, 3}), Status::io_error);
+}
+
+TEST(FileStore, CommitsAtomicallyWithoutLeavingTempFiles) {
+  const auto dir = std::filesystem::temp_directory_path() / "swl_snapshot_test_atomic";
+  std::filesystem::create_directories(dir);
+  const std::string prefix = (dir / "bet").string();
+  FileSnapshotStore store(prefix);
+  const std::vector<std::uint8_t> first{1, 2, 3, 4};
+  const std::vector<std::uint8_t> second{9, 8, 7};
+  ASSERT_EQ(store.write_slot(0, first), Status::ok);
+  EXPECT_FALSE(std::filesystem::exists(prefix + ".0.tmp"));
+  EXPECT_EQ(store.read_slot(0), first);
+  ASSERT_EQ(store.write_slot(0, second), Status::ok);
+  EXPECT_FALSE(std::filesystem::exists(prefix + ".0.tmp"));
+  EXPECT_EQ(store.read_slot(0), second);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(FileStore, RoundTripsThroughDisk) {
@@ -170,7 +295,7 @@ TEST(FileStore, RoundTripsThroughDisk) {
     LevelerConfig cfg;
     SwLeveler lev(32, cfg);
     for (int i = 0; i < 5; ++i) lev.on_block_erased(static_cast<BlockIndex>(i * 3 % 32));
-    persistence.save(lev);
+    ASSERT_EQ(persistence.save(lev), Status::ok);
   }
   {
     FileSnapshotStore store(prefix);

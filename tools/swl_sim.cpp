@@ -13,6 +13,8 @@
 #include <optional>
 #include <string>
 
+#include "fault/recovery.hpp"
+#include "runner/sweep_runner.hpp"
 #include "sim/experiments.hpp"
 #include "sim/report.hpp"
 #include "stats/histogram.hpp"
@@ -42,6 +44,9 @@ struct CliOptions {
   bool csv = false;
   double program_fail_p = 0.0;
   double erase_fail_p = 0.0;
+  bool crash_sweep = false;
+  std::uint64_t crash_writes = 120;
+  unsigned jobs = 0;
 };
 
 void print_help() {
@@ -73,6 +78,13 @@ workload
   --seed S                workload seed
   --years Y               simulate Y years (default 0.02)
   --until-failure         run until the first block wears out
+
+fault injection
+  --crash-sweep           cut power at every persistent-operation boundary of
+                          a scripted workload, recover, verify invariants
+  --crash-writes N        host writes in the crash-sweep workload (default 120)
+  --jobs N                sweep worker threads (0 = hardware concurrency,
+                          1 = serial; results are identical at any N)
 
 output
   --histogram             print the erase-count histogram
@@ -170,6 +182,12 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       opt.years = std::stod(value());
     } else if (arg == "--until-failure") {
       opt.until_failure = true;
+    } else if (arg == "--crash-sweep") {
+      opt.crash_sweep = true;
+    } else if (arg == "--crash-writes") {
+      opt.crash_writes = std::stoull(value());
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<unsigned>(std::stoul(value()));
     } else if (arg == "--histogram") {
       opt.histogram = true;
     } else if (arg == "--csv") {
@@ -192,6 +210,28 @@ int main(int argc, char** argv) {
   const auto parsed = parse(argc, argv);
   if (!parsed.has_value()) return 2;
   const CliOptions& opt = *parsed;
+
+  if (opt.crash_sweep) {
+    fault::CrashWorkloadConfig cfg;
+    cfg.layer = opt.layer;
+    cfg.leveler.k = opt.k;
+    cfg.host_writes = opt.crash_writes;
+    cfg.workload_seed = opt.scale.seed;
+    runner::SweepRunner sweep_runner(opt.jobs);
+    const fault::CrashSweepResult r = fault::run_crash_sweep(cfg, sweep_runner);
+    if (opt.csv) {
+      std::cout << "layer,crash_points,crashes,jobs,fingerprint\n"
+                << sim::to_string(opt.layer) << ',' << r.crash_points << ',' << r.crashes << ','
+                << sweep_runner.jobs() << ',' << std::hex << r.fingerprint << std::dec << "\n";
+    } else {
+      std::cout << "crash sweep: layer " << sim::to_string(opt.layer) << ", "
+                << r.crash_points << " crash points (" << r.crashes << " power cuts), "
+                << sweep_runner.jobs() << " jobs\n"
+                << "every point recovered with invariants intact; state fingerprint 0x"
+                << std::hex << r.fingerprint << std::dec << "\n";
+    }
+    return 0;
+  }
 
   sim::SimConfig config = sim::make_sim_config(opt.scale, opt.layer, std::nullopt);
   config.ftl.alloc_policy = opt.alloc;
