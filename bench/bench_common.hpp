@@ -144,6 +144,16 @@ inline runner::Json sim_result_json(const sim::SimResult& r) {
   j.set("erase_mean", r.erase_summary.mean);
   j.set("erase_stddev", r.erase_summary.stddev);
   j.set("erase_max", static_cast<std::uint64_t>(r.erase_summary.max));
+  // Replay-pipeline diagnostics (wall-clock; see sim::PerfCounters). Unlike
+  // everything above these vary run to run — they describe how fast the
+  // simulation went, not what it computed.
+  runner::Json perf = runner::Json::object();
+  perf.set("records_per_second", r.perf.records_per_second());
+  perf.set("batch_fill_ratio", r.perf.batch_fill_ratio());
+  perf.set("source_ns_per_record", r.perf.source_ns_per_record());
+  perf.set("replay_ns_per_record", r.perf.replay_ns_per_record());
+  perf.set("fast_path_writes", r.counters.fast_path_writes);
+  j.set("perf", std::move(perf));
   return j;
 }
 

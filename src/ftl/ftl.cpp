@@ -54,6 +54,9 @@ void Ftl::init_config() {
               "gc_trigger_fraction out of range");
   map_.assign(config_.lba_count, kInvalidPpa);
   last_write_seq_.assign(geo.block_count, 0);
+  gc_trigger_cached_ = gc_trigger_level();
+  bytes_mode_ = chip().config().store_payload_bytes;
+  set_fast_paths(&Ftl::fast_write_thunk, &Ftl::fast_read_thunk);
 }
 
 void Ftl::rebuild_from_flash() {
@@ -186,17 +189,65 @@ Status Ftl::write_internal(Lba lba, std::uint64_t payload_token,
   return Status::ok;
 }
 
-Status Ftl::read(Lba lba, std::uint64_t* payload_token) {
+Status Ftl::read_impl(Lba lba, std::uint64_t* payload_token) {
   SWL_REQUIRE(lba < config_.lba_count, "LBA out of range");
   SWL_REQUIRE(payload_token != nullptr, "null output");
   const Ppa src = map_[lba];
   if (!src.valid()) return Status::lba_not_mapped;
-  const nand::PageReadResult r = chip().read_page(src);
-  SWL_ASSERT(r.status == Status::ok, "mapping pointed at an unreadable page");
-  SWL_ASSERT(r.spare.lba == lba, "spare-area LBA does not match the mapping");
-  *payload_token = r.payload_token;
+  const std::uint64_t token = chip().read_token(src);
+  SWL_ASSERT(chip().spare(src).lba == lba, "spare-area LBA does not match the mapping");
+  *payload_token = token;
   finish_host_read();
   return Status::ok;
+}
+
+Status Ftl::read(Lba lba, std::uint64_t* payload_token) { return read_impl(lba, payload_token); }
+
+Status Ftl::fast_read_thunk(tl::TranslationLayer& base, Lba lba, std::uint64_t* payload_token) {
+  return static_cast<Ftl&>(base).read_impl(lba, payload_token);
+}
+
+bool Ftl::fast_write_thunk(tl::TranslationLayer& base, Lba lba, std::uint64_t payload_token) {
+  Ftl& self = static_cast<Ftl&>(base);
+  nand::NandChip& chip = self.chip();
+  // Bail-out checks first — nothing below them may mutate state, so a bail
+  // replays the record through write_internal from scratch.
+  if (lba >= self.config_.lba_count || !chip.fast_media()) return false;
+  // Pool at or above the GC trigger: write_internal's maybe_gc() would not
+  // collect anything. Its frontier *sealing* is also safely deferred: a full
+  // frontier behaves exactly like a sealed one everywhere outside gc_once()
+  // (take_frontier_page opens a new block either way, clean_block counts no
+  // free pages in it and closes it when collected), and gc_once() only runs
+  // from maybe_gc(), which always seals first.
+  if (self.pool_.size() < self.gc_trigger_cached_) return false;
+  const PageIndex pages = chip.geometry().pages_per_block;
+  if (self.host_frontier_ == kInvalidBlock || self.host_next_page_ >= pages) return false;
+  const bool classify = self.hot_id_.has_value();
+  if (classify &&
+      (self.hot_frontier_ == kInvalidBlock || self.hot_next_page_ >= pages)) {
+    return false;  // the write might classify hot; both frontiers must be open
+  }
+  // Committed: this mirrors write_internal statement for statement.
+  bool hot = false;
+  if (classify) {
+    self.hot_id_->record_write(lba);
+    hot = self.hot_id_->is_hot(lba);
+  }
+  BlockIndex& frontier = hot ? self.hot_frontier_ : self.host_frontier_;
+  PageIndex& next_page = hot ? self.hot_next_page_ : self.host_next_page_;
+  const Ppa dst{frontier, next_page++};
+  const Status st =
+      chip.program_page(dst, payload_token, nand::SpareArea{lba, ++self.write_sequence_, 0});
+  SWL_ASSERT(st == Status::ok, "fast-path frontier page was not programmable");
+  self.last_write_seq_[dst.block] = self.write_sequence_;
+  const Ppa old = self.map_[lba];
+  if (old.valid()) {
+    const Status inv = chip.invalidate_page(old);
+    SWL_ASSERT(inv == Status::ok, "stale mapping pointed at an unprogrammed page");
+  }
+  self.map_[lba] = dst;
+  self.finish_host_write();
+  return true;
 }
 
 Status Ftl::read_bytes(Lba lba, std::span<std::uint8_t> out) {
@@ -231,7 +282,7 @@ void Ftl::maybe_gc() {
   if (hot_frontier_ != kInvalidBlock && hot_next_page_ >= pages) {
     hot_frontier_ = kInvalidBlock;
   }
-  while (pool_.size() < gc_trigger_level()) {
+  while (pool_.size() < gc_trigger_cached_) {
     if (!gc_once()) break;
   }
 }
@@ -311,9 +362,26 @@ bool Ftl::clean_block(BlockIndex victim) {
   for (PageIndex p = 0; p < geo.pages_per_block; ++p) {
     const Ppa src{victim, p};
     if (chip().page_state(src) != PageState::valid) continue;
-    const nand::PageReadResult r = chip().read_page(src);
-    SWL_ASSERT(r.status == Status::ok, "valid page unreadable during GC");
-    const Lba lba = r.spare.lba;
+    // Lean copy on token-only chips: peek the spare (free), read just the
+    // token (same tick/counter effects as read_page), skip the result-struct
+    // assembly. Byte-carrying chips go through read_page for r.data.
+    std::uint64_t payload_token;
+    nand::PageRole role;
+    std::span<const std::uint8_t> data;
+    Lba lba;
+    if (bytes_mode_) {
+      const nand::PageReadResult r = chip().read_page(src);
+      SWL_ASSERT(r.status == Status::ok, "valid page unreadable during GC");
+      payload_token = r.payload_token;
+      role = r.spare.role;
+      data = r.data;
+      lba = r.spare.lba;
+    } else {
+      payload_token = chip().read_token(src);
+      const nand::SpareArea& sp = chip().spare(src);
+      role = sp.role;
+      lba = sp.lba;
+    }
     SWL_ASSERT(lba < config_.lba_count && map_[lba] == src,
                "valid page not referenced by the translation table");
     while (true) {
@@ -330,8 +398,7 @@ bool Ftl::clean_block(BlockIndex victim) {
       // A fresh sequence number: if power is lost between this copy and the
       // victim's erase, the mount scan must prefer the copy.
       const Status st = chip().program_page(
-          dst, r.payload_token, nand::SpareArea{lba, ++write_sequence_, 0, r.spare.role},
-          r.data);
+          dst, payload_token, nand::SpareArea{lba, ++write_sequence_, 0, role}, data);
       if (st == Status::ok) {
         map_[lba] = dst;
         last_write_seq_[dst.block] = write_sequence_;

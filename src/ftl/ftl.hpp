@@ -117,6 +117,15 @@ class Ftl final : public tl::TranslationLayer {
   /// or the victim could not be cleaned (no destination space).
   bool gc_once();
 
+  /// Shared body of read() and the registered fast read.
+  Status read_impl(Lba lba, std::uint64_t* payload_token);
+
+  /// Record-replay fast paths (see TranslationLayer::set_fast_paths). The
+  /// fast write handles the common case — fast media, pool above the GC
+  /// trigger, destination frontier open — and bails to write() otherwise.
+  static bool fast_write_thunk(tl::TranslationLayer& base, Lba lba, std::uint64_t payload_token);
+  static Status fast_read_thunk(tl::TranslationLayer& base, Lba lba, std::uint64_t* payload_token);
+
   /// Copies the victim's live pages to the GC frontier, erases it and
   /// returns it to the pool. False when the victim's live pages exceed the
   /// available destination space (nothing is modified then).
@@ -140,6 +149,10 @@ class Ftl final : public tl::TranslationLayer {
   // Newest sequence number programmed into each block (age for the
   // cost-benefit victim policy).
   std::vector<std::uint64_t> last_write_seq_;
+  // gc_trigger_level(), precomputed (pure in config + geometry).
+  BlockIndex gc_trigger_cached_ = 2;
+  // chip().config().store_payload_bytes: GC copies must carry page bytes.
+  bool bytes_mode_ = false;
 };
 
 }  // namespace swl::ftl

@@ -15,19 +15,7 @@ NandChip::NandChip(NandConfig config, SimClock* clock)
     b.pages.resize(config_.geometry.pages_per_block);
   }
   erase_counts_.assign(config_.geometry.block_count, 0);
-}
-
-void NandChip::check_ppa(Ppa addr) const {
-  SWL_REQUIRE(addr.block < config_.geometry.block_count, "block index out of range");
-  SWL_REQUIRE(addr.page < config_.geometry.pages_per_block, "page index out of range");
-}
-
-void NandChip::check_block(BlockIndex block) const {
-  SWL_REQUIRE(block < config_.geometry.block_count, "block index out of range");
-}
-
-void NandChip::tick(std::uint64_t us) const {
-  if (clock_ != nullptr) clock_->advance_us(us);
+  inject_failures_ = config_.failures.enabled();
 }
 
 std::span<std::uint8_t> NandChip::arena_slice(const Block& block, PageIndex page) const {
@@ -36,13 +24,25 @@ std::span<std::uint8_t> NandChip::arena_slice(const Block& block, PageIndex page
   return {block.data.get() + static_cast<std::size_t>(page) * page_size, page_size};
 }
 
-CrashDecision NandChip::consult_power_loss(CrashOp op) {
-  return power_loss_hook_ != nullptr ? power_loss_hook_->on_operation(op)
-                                     : CrashDecision::proceed;
+void NandChip::store_page_bytes(Block& block, Page& page, PageIndex page_index,
+                                std::span<const std::uint8_t> data) {
+  if (block.data == nullptr) {
+    block.data = std::make_unique<std::uint8_t[]>(
+        static_cast<std::size_t>(config_.geometry.pages_per_block) *
+        config_.geometry.page_size_bytes);
+    ++counters_.payload_arena_allocations;
+  }
+  const std::span<std::uint8_t> dst = arena_slice(block, page_index);
+  std::copy(data.begin(), data.end(), dst.begin());
+  page.has_data = true;
 }
 
 void NandChip::consume_page(Block& block, PageIndex page_index) {
   Page& page = block.pages[page_index];
+  if (!page_current(block, page)) {
+    page = Page{};  // lazily apply the last erase before consuming
+    page.epoch = block.epoch;
+  }
   if (page.state == PageState::valid) --block.valid;
   if (page.state != PageState::invalid) ++block.invalid;
   page.payload = 0xBAD0BAD0BAD0BAD0ULL;
@@ -54,7 +54,6 @@ void NandChip::consume_page(Block& block, PageIndex page_index) {
 
 bool NandChip::inject_program_failure(BlockIndex block) {
   const auto& f = config_.failures;
-  if (!f.enabled()) return false;
   const double wear_ratio =
       static_cast<double>(erase_counts_[block]) / static_cast<double>(config_.timing.endurance);
   return failure_rng_.chance(f.program_fail_p + f.wear_factor * wear_ratio);
@@ -63,80 +62,6 @@ bool NandChip::inject_program_failure(BlockIndex block) {
 bool NandChip::inject_erase_failure() {
   const auto& f = config_.failures;
   return f.enabled() && failure_rng_.chance(f.erase_fail_p);
-}
-
-PageReadResult NandChip::read_page(Ppa addr) const {
-  check_ppa(addr);
-  tick(config_.timing.read_page_us);
-  ++counters_.reads;
-  const Page& page = blocks_[addr.block].pages[addr.page];
-  PageReadResult result;
-  result.state = page.state;
-  if (page.state == PageState::free) {
-    result.status = Status::page_not_programmed;
-    return result;
-  }
-  result.payload_token = page.payload;
-  result.spare = page.spare;
-  if (page.has_data) {
-    // Zero-copy: view into the block's arena, nothing allocated or copied.
-    result.data = arena_slice(blocks_[addr.block], addr.page);
-  }
-  result.status = Status::ok;
-  return result;
-}
-
-Status NandChip::program_page(Ppa addr, std::uint64_t payload_token, const SpareArea& spare,
-                              std::span<const std::uint8_t> data) {
-  SWL_REQUIRE(data.empty() || data.size() == config_.geometry.page_size_bytes,
-              "payload bytes must be exactly one page");
-  check_ppa(addr);
-  Block& block = blocks_[addr.block];
-  if (block.retired) return Status::bad_block;
-  Page& page = block.pages[addr.page];
-  if (page.state != PageState::free) return Status::page_already_programmed;
-  if (config_.enforce_sequential_program && addr.page != block.next_program) {
-    return Status::page_already_programmed;  // out-of-order program is rejected
-  }
-  switch (consult_power_loss(CrashOp::program)) {
-    case CrashDecision::proceed:
-      break;
-    case CrashDecision::cut_before:
-      throw PowerLossError{};
-    case CrashDecision::cut_during:
-      // Torn page: the cells were partially written before power died.
-      consume_page(block, addr.page);
-      throw PowerLossError{};
-  }
-  tick(config_.timing.program_page_us);
-  ++counters_.programs;
-  if (inject_program_failure(addr.block)) {
-    // The page is consumed: its cells were partially programmed and cannot
-    // be trusted or re-programmed before the next erase. The garbage it
-    // holds fails ECC, which the spare-area scan recognizes by the
-    // kInvalidLba marker.
-    ++counters_.program_failures;
-    consume_page(block, addr.page);
-    return Status::program_failed;
-  }
-  page.payload = payload_token;
-  page.spare = spare;
-  page.spare.ecc = compute_ecc(payload_token);
-  if (config_.store_payload_bytes && !data.empty()) {
-    if (block.data == nullptr) {
-      block.data = std::make_unique<std::uint8_t[]>(
-          static_cast<std::size_t>(config_.geometry.pages_per_block) *
-          config_.geometry.page_size_bytes);
-      ++counters_.payload_arena_allocations;
-    }
-    const std::span<std::uint8_t> dst = arena_slice(block, addr.page);
-    std::copy(data.begin(), data.end(), dst.begin());
-    page.has_data = true;
-  }
-  page.state = PageState::valid;
-  ++block.valid;
-  if (addr.page >= block.next_program) block.next_program = addr.page + 1;
-  return Status::ok;
 }
 
 Status NandChip::erase_block(BlockIndex index) {
@@ -163,18 +88,18 @@ Status NandChip::erase_block(BlockIndex index) {
       throw PowerLossError{};
   }
   tick(config_.timing.erase_block_us);
-  if (inject_erase_failure()) {
+  if (inject_failures_ && inject_erase_failure()) {
     ++counters_.erase_failures;
     block.retired = true;  // a failed erase permanently retires the block
     return Status::erase_failed;
   }
   ++counters_.erases;
-  // The payload arena (block.data) is deliberately kept: erased pages read
-  // back as free, so its stale bytes are unreachable, and the next program
-  // reuses it without another allocation.
-  for (auto& page : block.pages) {
-    page = Page{};
-  }
+  // O(1) logical erase: bumping the epoch makes every page's stored content
+  // stale — stale pages read back as free, and the next program of each page
+  // lazily resets it. The payload arena (block.data) is deliberately kept:
+  // erased pages read back as free, so its stale bytes are unreachable, and
+  // the next program reuses it without another allocation.
+  ++block.epoch;
   block.valid = 0;
   block.invalid = 0;
   block.next_program = 0;
@@ -192,69 +117,17 @@ Status NandChip::erase_block(BlockIndex index) {
   return Status::ok;
 }
 
-Status NandChip::invalidate_page(Ppa addr) {
-  check_ppa(addr);
-  Block& block = blocks_[addr.block];
-  Page& page = block.pages[addr.page];
-  if (page.state == PageState::free) return Status::page_not_programmed;
-  if (page.state == PageState::valid) {
-    page.state = PageState::invalid;
-    --block.valid;
-    ++block.invalid;
-  }
-  return Status::ok;
-}
-
 void NandChip::forget_logical_state() {
   for (auto& block : blocks_) {
     PageIndex valid = 0;
     for (auto& page : block.pages) {
+      if (!page_current(block, page)) continue;  // stale content: reads as free
       if (page.state == PageState::invalid) page.state = PageState::valid;
       if (page.state == PageState::valid) ++valid;
     }
     block.valid = valid;
     block.invalid = 0;
   }
-}
-
-PageState NandChip::page_state(Ppa addr) const {
-  check_ppa(addr);
-  return blocks_[addr.block].pages[addr.page].state;
-}
-
-const SpareArea& NandChip::spare(Ppa addr) const {
-  check_ppa(addr);
-  return blocks_[addr.block].pages[addr.page].spare;
-}
-
-PageIndex NandChip::valid_page_count(BlockIndex block) const {
-  check_block(block);
-  return blocks_[block].valid;
-}
-
-PageIndex NandChip::invalid_page_count(BlockIndex block) const {
-  check_block(block);
-  return blocks_[block].invalid;
-}
-
-PageIndex NandChip::free_page_count(BlockIndex block) const {
-  check_block(block);
-  return config_.geometry.pages_per_block - blocks_[block].valid - blocks_[block].invalid;
-}
-
-std::uint32_t NandChip::erase_count(BlockIndex block) const {
-  check_block(block);
-  return erase_counts_[block];
-}
-
-bool NandChip::is_worn_out(BlockIndex block) const {
-  check_block(block);
-  return erase_counts_[block] >= config_.timing.endurance;
-}
-
-bool NandChip::is_retired(BlockIndex block) const {
-  check_block(block);
-  return blocks_[block].retired;
 }
 
 std::size_t NandChip::add_erase_observer(EraseObserver observer) {

@@ -11,6 +11,12 @@
 // Page payloads are modelled as 64-bit content tokens (cheap enough to keep
 // for every page, so data-integrity is checked end-to-end in tests) plus the
 // spare-area metadata of Figure 2(a).
+//
+// The per-page primitives (read/program/invalidate and the state accessors)
+// are defined inline below the class: translation layers call them tens of
+// millions of times per simulated year, and cross-TU calls would dominate
+// the replay hot path. Block erase is O(1) via a per-block epoch — see
+// erase_block in the .cpp.
 #ifndef SWL_NAND_NAND_CHIP_HPP
 #define SWL_NAND_NAND_CHIP_HPP
 
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "core/clock.hpp"
+#include "core/contracts.hpp"
 #include "core/geometry.hpp"
 #include "core/rng.hpp"
 #include "core/status.hpp"
@@ -99,6 +106,9 @@ struct NandCounters {
   std::uint64_t payload_arena_allocations = 0;
 };
 
+/// Spare area an erased (never re-programmed) page reads back as.
+inline constexpr SpareArea kErasedSpare{};
+
 class NandChip {
  public:
   /// Observer invoked after every successful block erase with the block index
@@ -114,6 +124,13 @@ class NandChip {
   /// layer does not know logical validity); Status::page_not_programmed on
   /// free pages.
   [[nodiscard]] PageReadResult read_page(Ppa addr) const;
+
+  /// Lean read for token-only clients (the replay hot path): identical
+  /// timing and counter effects to read_page, but returns just the payload
+  /// token with no result-struct assembly. The page must be programmed
+  /// (asserted) — callers inspect spare()/page_state() first, which cost
+  /// nothing.
+  [[nodiscard]] std::uint64_t read_token(Ppa addr) const;
 
   /// Programs a free page with payload + spare. Fails with
   /// Status::page_already_programmed on a non-free page, with
@@ -183,6 +200,13 @@ class NandChip {
   /// throws PowerLossError. Non-owning.
   void set_power_loss_hook(PowerLossHook* hook) noexcept { power_loss_hook_ = hook; }
 
+  /// True when no failure injection is configured and no power-loss hook is
+  /// attached — programs on free pages of non-retired blocks cannot fail.
+  /// Translation layers key their non-branching write fast paths off this.
+  [[nodiscard]] bool fast_media() const noexcept {
+    return !inject_failures_ && power_loss_hook_ == nullptr;
+  }
+
   // -- misc -----------------------------------------------------------------
 
   [[nodiscard]] const FlashGeometry& geometry() const noexcept { return config_.geometry; }
@@ -197,6 +221,9 @@ class NandChip {
     SpareArea spare;
     PageState state = PageState::free;
     bool has_data = false;  // payload bytes live in the block's arena
+    /// Block-epoch stamp: the page's content is current only while this
+    /// matches the block's epoch; a stale page reads back as erased (free).
+    std::uint32_t epoch = 0;
   };
 
   struct Block {
@@ -210,13 +237,32 @@ class NandChip {
     PageIndex invalid = 0;
     PageIndex next_program = 0;  // for sequential-program enforcement
     bool retired = false;
+    /// Bumped by every erase; pages with an older epoch are logically free.
+    /// Makes erase O(1) instead of O(pages); the next program of a page
+    /// lazily resets it. (A stale page could only alias after 2^32 erases
+    /// of one block — far beyond any simulated endurance.)
+    std::uint32_t epoch = 0;
   };
 
-  void check_ppa(Ppa addr) const;
-  void check_block(BlockIndex block) const;
-  void tick(std::uint64_t us) const;
+  void check_ppa(Ppa addr) const {
+    SWL_REQUIRE(addr.block < config_.geometry.block_count, "block index out of range");
+    SWL_REQUIRE(addr.page < config_.geometry.pages_per_block, "page index out of range");
+  }
+  void check_block(BlockIndex block) const {
+    SWL_REQUIRE(block < config_.geometry.block_count, "block index out of range");
+  }
+  void tick(std::uint64_t us) const {
+    if (clock_ != nullptr) clock_->advance_us(us);
+  }
   /// Consults the power-loss hook (proceed when none is attached).
-  [[nodiscard]] CrashDecision consult_power_loss(CrashOp op);
+  [[nodiscard]] CrashDecision consult_power_loss(CrashOp op) {
+    return power_loss_hook_ != nullptr ? power_loss_hook_->on_operation(op)
+                                       : CrashDecision::proceed;
+  }
+  /// True when the page's stored content survives the block's last erase.
+  [[nodiscard]] static bool page_current(const Block& block, const Page& page) noexcept {
+    return page.epoch == block.epoch;
+  }
   /// Turns a page into unreadable garbage (a failed or torn program): the
   /// cells were partially written, fail ECC, and cannot be re-programmed
   /// before the next erase of the block.
@@ -225,6 +271,9 @@ class NandChip {
   [[nodiscard]] std::span<std::uint8_t> arena_slice(const Block& block, PageIndex page) const;
   [[nodiscard]] bool inject_program_failure(BlockIndex block);
   [[nodiscard]] bool inject_erase_failure();
+  /// Cold tail of program_page: the byte-storing path.
+  void store_page_bytes(Block& block, Page& page, PageIndex page_index,
+                        std::span<const std::uint8_t> data);
 
   NandConfig config_;
   SimClock* clock_;
@@ -236,7 +285,153 @@ class NandChip {
   mutable NandCounters counters_;
   std::optional<FailureEvent> first_failure_;
   Rng failure_rng_;
+  bool inject_failures_ = false;  // config_.failures.enabled(), cached
 };
+
+// -- inline hot path --------------------------------------------------------
+
+inline PageReadResult NandChip::read_page(Ppa addr) const {
+  check_ppa(addr);
+  tick(config_.timing.read_page_us);
+  ++counters_.reads;
+  const Block& block = blocks_[addr.block];
+  const Page& page = block.pages[addr.page];
+  PageReadResult result;
+  if (!page_current(block, page) || page.state == PageState::free) {
+    result.status = Status::page_not_programmed;
+    return result;
+  }
+  result.state = page.state;
+  result.payload_token = page.payload;
+  result.spare = page.spare;
+  if (page.has_data) {
+    // Zero-copy: view into the block's arena, nothing allocated or copied.
+    result.data = arena_slice(block, addr.page);
+  }
+  return result;
+}
+
+inline std::uint64_t NandChip::read_token(Ppa addr) const {
+  check_ppa(addr);
+  tick(config_.timing.read_page_us);
+  ++counters_.reads;
+  const Block& block = blocks_[addr.block];
+  const Page& page = block.pages[addr.page];
+  SWL_ASSERT(page_current(block, page) && page.state != PageState::free,
+             "read_token of an unprogrammed page");
+  return page.payload;
+}
+
+inline Status NandChip::program_page(Ppa addr, std::uint64_t payload_token,
+                                     const SpareArea& spare, std::span<const std::uint8_t> data) {
+  SWL_REQUIRE(data.empty() || data.size() == config_.geometry.page_size_bytes,
+              "payload bytes must be exactly one page");
+  check_ppa(addr);
+  Block& block = blocks_[addr.block];
+  if (block.retired) return Status::bad_block;
+  Page& page = block.pages[addr.page];
+  if (!page_current(block, page)) {
+    // Lazily apply the last erase of the block to this page.
+    page = Page{};
+    page.epoch = block.epoch;
+  }
+  if (page.state != PageState::free) return Status::page_already_programmed;
+  if (config_.enforce_sequential_program && addr.page != block.next_program) {
+    return Status::page_already_programmed;  // out-of-order program is rejected
+  }
+  if (power_loss_hook_ != nullptr) {
+    switch (consult_power_loss(CrashOp::program)) {
+      case CrashDecision::proceed:
+        break;
+      case CrashDecision::cut_before:
+        throw PowerLossError{};
+      case CrashDecision::cut_during:
+        // Torn page: the cells were partially written before power died.
+        consume_page(block, addr.page);
+        throw PowerLossError{};
+    }
+  }
+  tick(config_.timing.program_page_us);
+  ++counters_.programs;
+  if (inject_failures_ && inject_program_failure(addr.block)) {
+    // The page is consumed: its cells were partially programmed and cannot
+    // be trusted or re-programmed before the next erase. The garbage it
+    // holds fails ECC, which the spare-area scan recognizes by the
+    // kInvalidLba marker.
+    ++counters_.program_failures;
+    consume_page(block, addr.page);
+    return Status::program_failed;
+  }
+  page.payload = payload_token;
+  page.spare = spare;
+  page.spare.ecc = compute_ecc(payload_token);
+  if (config_.store_payload_bytes && !data.empty()) {
+    store_page_bytes(block, page, addr.page, data);
+  }
+  page.state = PageState::valid;
+  ++block.valid;
+  if (addr.page >= block.next_program) block.next_program = addr.page + 1;
+  return Status::ok;
+}
+
+inline Status NandChip::invalidate_page(Ppa addr) {
+  check_ppa(addr);
+  Block& block = blocks_[addr.block];
+  Page& page = block.pages[addr.page];
+  if (!page_current(block, page) || page.state == PageState::free) {
+    return Status::page_not_programmed;
+  }
+  if (page.state == PageState::valid) {
+    page.state = PageState::invalid;
+    --block.valid;
+    ++block.invalid;
+  }
+  return Status::ok;
+}
+
+inline PageState NandChip::page_state(Ppa addr) const {
+  check_ppa(addr);
+  const Block& block = blocks_[addr.block];
+  const Page& page = block.pages[addr.page];
+  return page_current(block, page) ? page.state : PageState::free;
+}
+
+inline const SpareArea& NandChip::spare(Ppa addr) const {
+  check_ppa(addr);
+  const Block& block = blocks_[addr.block];
+  const Page& page = block.pages[addr.page];
+  return page_current(block, page) ? page.spare : kErasedSpare;
+}
+
+inline PageIndex NandChip::valid_page_count(BlockIndex block) const {
+  check_block(block);
+  return blocks_[block].valid;
+}
+
+inline PageIndex NandChip::invalid_page_count(BlockIndex block) const {
+  check_block(block);
+  return blocks_[block].invalid;
+}
+
+inline PageIndex NandChip::free_page_count(BlockIndex block) const {
+  check_block(block);
+  return config_.geometry.pages_per_block - blocks_[block].valid - blocks_[block].invalid;
+}
+
+inline std::uint32_t NandChip::erase_count(BlockIndex block) const {
+  check_block(block);
+  return erase_counts_[block];
+}
+
+inline bool NandChip::is_worn_out(BlockIndex block) const {
+  check_block(block);
+  return erase_counts_[block] >= config_.timing.endurance;
+}
+
+inline bool NandChip::is_retired(BlockIndex block) const {
+  check_block(block);
+  return blocks_[block].retired;
+}
 
 }  // namespace swl::nand
 

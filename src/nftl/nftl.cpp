@@ -52,6 +52,13 @@ void Nftl::init_config() {
   owner_.assign(geo.block_count, kInvalidVba);
   latest_.assign(lba_count_, kInvalidPpa);
   last_write_seq_.assign(geo.block_count, 0);
+  gc_trigger_cached_ = gc_trigger_level();
+  bytes_mode_ = chip().config().store_payload_bytes;
+  maybe_invalid_.assign(geo.block_count, 0);
+  // A negative cost weight could score a fully-valid block above zero, so the
+  // clean-block skip is only sound for the usual non-negative weights.
+  scan_skips_clean_ = config_.gc_cost_weight >= 0.0;
+  set_fast_paths(&Nftl::fast_write_thunk, &Nftl::fast_read_thunk);
 }
 
 void Nftl::rebuild_from_flash() {
@@ -217,6 +224,12 @@ void Nftl::rebuild_from_flash() {
       replacement_next_[v] = info[replacement_[v]].last_programmed + 1;
     }
   }
+
+  // The passes above invalidated garbage and stale versions in place;
+  // resynchronize the scan filter with the chip's real counts once.
+  for (BlockIndex b = 0; b < geo.block_count; ++b) {
+    maybe_invalid_[b] = chip().invalid_page_count(b) > 0 ? 1 : 0;
+  }
 }
 
 BlockIndex Nftl::gc_trigger_level() const noexcept {
@@ -236,6 +249,9 @@ BlockIndex Nftl::allocate_block(Vba vba) {
 
 void Nftl::release_block(BlockIndex block) {
   owner_[block] = kInvalidVba;
+  // Either outcome leaves the block out of the victim scan (erased and
+  // pooled, or retired), so its invalid flag can drop.
+  maybe_invalid_[block] = 0;
   if (chip().erase_block(block) == Status::ok) {
     pool_.add(block, chip().erase_count(block));
   }
@@ -279,7 +295,11 @@ Status Nftl::write_internal(Lba lba, std::uint64_t payload_token,
         nand::SpareArea{lba, ++write_sequence_, 0, nand::PageRole::primary}, data);
     SWL_ASSERT(st == Status::ok || st == Status::program_failed,
                "free primary page was not programmable");
-    if (st == Status::ok) last_write_seq_[dst.block] = write_sequence_;
+    if (st == Status::ok) {
+      last_write_seq_[dst.block] = write_sequence_;
+    } else {
+      note_invalid(dst.block);  // the failed program consumed the page
+    }
   }
   if (st != Status::ok) {
     // Overwrite (or a failed primary program): append sequentially to the
@@ -291,6 +311,7 @@ Status Nftl::write_internal(Lba lba, std::uint64_t payload_token,
   if (old.valid()) {
     const Status inv = chip().invalidate_page(old);
     SWL_ASSERT(inv == Status::ok, "stale version pointed at an unprogrammed page");
+    note_invalid(old.block);
   }
   latest_[lba] = dst;
   finish_host_write();
@@ -322,6 +343,7 @@ Ppa Nftl::append_to_replacement(Vba vba, Lba lba, std::uint64_t payload_token,
       return dst;
     }
     SWL_ASSERT(st == Status::program_failed, "replacement page was not programmable");
+    note_invalid(dst.block);  // the failed program consumed the page
   }
   return kInvalidPpa;
 }
@@ -339,37 +361,50 @@ bool Nftl::fold(Vba vba) {
     const BlockIndex fresh = allocate_block(vba);
     // Two-phase: copy everything first, commit the version index only when
     // the whole block succeeded — a failed program abandons `fresh` without
-    // ever publishing pointers into it.
-    std::vector<Ppa> new_location(pages, kInvalidPpa);
+    // ever publishing pointers into it. The per-offset table is a member
+    // scratch so the (hot) fold path does not allocate.
+    fold_scratch_.assign(pages, kInvalidPpa);
     bool copied_all = true;
     for (PageIndex offset = 0; offset < pages; ++offset) {
       const Ppa cur = latest_[base + offset];
       if (!cur.valid()) continue;
-      const nand::PageReadResult r = chip().read_page(cur);
-      SWL_ASSERT(r.status == Status::ok, "current version unreadable during fold");
-      SWL_ASSERT(r.spare.lba == base + offset,
+      // Lean copy on token-only chips: peek the spare (free), read just the
+      // token (same tick/counter effects as read_page). Byte-carrying chips
+      // go through read_page for r.data.
+      std::uint64_t payload_token;
+      std::span<const std::uint8_t> data;
+      if (bytes_mode_) {
+        const nand::PageReadResult r = chip().read_page(cur);
+        SWL_ASSERT(r.status == Status::ok, "current version unreadable during fold");
+        payload_token = r.payload_token;
+        data = r.data;
+      } else {
+        payload_token = chip().read_token(cur);
+      }
+      SWL_ASSERT(chip().spare(cur).lba == base + offset,
                  "spare-area LBA does not match the version index");
       // Fresh sequence: a crash between the fold and the erase of the old
       // pair must resolve in favor of the folded copies at mount time.
       const Status st = chip().program_page(
-          Ppa{fresh, offset}, r.payload_token,
+          Ppa{fresh, offset}, payload_token,
           nand::SpareArea{base + offset, ++write_sequence_, 0, nand::PageRole::primary},
-          r.data);
+          data);
       if (st != Status::ok) {
         SWL_ASSERT(st == Status::program_failed, "fold destination page was not programmable");
+        note_invalid(fresh);  // the failed program consumed the page
         copied_all = false;
         break;
       }
       count_live_copy();  // real work even if this attempt is abandoned
       last_write_seq_[fresh] = write_sequence_;
-      new_location[offset] = Ppa{fresh, offset};
+      fold_scratch_[offset] = Ppa{fresh, offset};
     }
     if (!copied_all) {
       release_block(fresh);  // erase (or retire) the abandoned block, retry
       continue;
     }
     for (PageIndex offset = 0; offset < pages; ++offset) {
-      if (new_location[offset].valid()) latest_[base + offset] = new_location[offset];
+      if (fold_scratch_[offset].valid()) latest_[base + offset] = fold_scratch_[offset];
     }
     primary_[vba] = fresh;
     replacement_[vba] = kInvalidBlock;
@@ -381,17 +416,74 @@ bool Nftl::fold(Vba vba) {
   return false;
 }
 
-Status Nftl::read(Lba lba, std::uint64_t* payload_token) {
+Status Nftl::read_impl(Lba lba, std::uint64_t* payload_token) {
   SWL_REQUIRE(lba < lba_count_, "LBA out of range");
   SWL_REQUIRE(payload_token != nullptr, "null output");
   const Ppa src = latest_[lba];
   if (!src.valid()) return Status::lba_not_mapped;
-  const nand::PageReadResult r = chip().read_page(src);
-  SWL_ASSERT(r.status == Status::ok, "current version unreadable");
-  SWL_ASSERT(r.spare.lba == lba, "spare-area LBA does not match the version index");
-  *payload_token = r.payload_token;
+  // The version index only points at valid pages (check_invariants), so the
+  // token read cannot fail; it ticks and counts exactly like read_page.
+  const std::uint64_t token = chip().read_token(src);
+  SWL_ASSERT(chip().spare(src).lba == lba, "spare-area LBA does not match the version index");
+  *payload_token = token;
   finish_host_read();
   return Status::ok;
+}
+
+Status Nftl::read(Lba lba, std::uint64_t* payload_token) { return read_impl(lba, payload_token); }
+
+Status Nftl::fast_read_thunk(tl::TranslationLayer& base, Lba lba, std::uint64_t* payload_token) {
+  return static_cast<Nftl&>(base).read_impl(lba, payload_token);
+}
+
+bool Nftl::fast_write_thunk(tl::TranslationLayer& base, Lba lba, std::uint64_t payload_token) {
+  Nftl& self = static_cast<Nftl&>(base);
+  nand::NandChip& chip = self.chip();
+
+  // Bail checks, all before any mutation, so the virtual slow path replays
+  // the write identically after a false return.
+  //   - out-of-range LBA: write_internal's SWL_REQUIRE must fire.
+  //   - slow media (failure injection / power-loss hook): programs may fail
+  //     or crash; only write_internal handles those.
+  //   - pool below the GC trigger: maybe_gc would act. Above it the write
+  //     also cannot hit out_of_space (trigger >= min_free_blocks).
+  //   - unmapped primary, or primary page taken with no appendable
+  //     replacement page: an allocation or a fold is needed.
+  if (lba >= self.lba_count_) return false;
+  if (!chip.fast_media()) return false;
+  if (self.pool_.size() < self.gc_trigger_cached_) return false;
+
+  const PageIndex pages = chip.geometry().pages_per_block;
+  const Vba vba = lba / pages;
+  const PageIndex offset = lba % pages;
+  const BlockIndex primary = self.primary_[vba];
+  if (primary == kInvalidBlock) return false;
+
+  Ppa dst{primary, offset};
+  nand::PageRole role = nand::PageRole::primary;
+  if (chip.page_state(dst) != PageState::free) {
+    const BlockIndex replacement = self.replacement_[vba];
+    if (replacement == kInvalidBlock || self.replacement_next_[vba] >= pages) return false;
+    dst = Ppa{replacement, self.replacement_next_[vba]++};
+    role = nand::PageRole::replacement;
+  }
+
+  // Committed: from here this mirrors write_internal exactly. On fast media
+  // a program of a free page in a live (never-retired-while-mapped) block
+  // cannot fail.
+  const Status st = chip.program_page(
+      dst, payload_token, nand::SpareArea{lba, ++self.write_sequence_, 0, role}, {});
+  SWL_ASSERT(st == Status::ok, "fast-path destination page was not programmable");
+  self.last_write_seq_[dst.block] = self.write_sequence_;
+  const Ppa old = self.latest_[lba];
+  if (old.valid()) {
+    const Status inv = chip.invalidate_page(old);
+    SWL_ASSERT(inv == Status::ok, "stale version pointed at an unprogrammed page");
+    self.note_invalid(old.block);
+  }
+  self.latest_[lba] = dst;
+  self.finish_host_write();
+  return true;
 }
 
 Status Nftl::read_bytes(Lba lba, std::span<std::uint8_t> out) {
@@ -423,7 +515,7 @@ BlockIndex Nftl::replacement_block(Vba vba) const {
 }
 
 void Nftl::maybe_gc() {
-  while (pool_.size() < gc_trigger_level()) {
+  while (pool_.size() < gc_trigger_cached_) {
     if (!gc_once()) break;
   }
 }
@@ -440,11 +532,17 @@ bool Nftl::gc_once() {
 
 bool Nftl::gc_select_and_fold() {
   const auto& geo = chip().geometry();
+  // Candidate filter: a block is foldable iff it has an owner. Pooled blocks
+  // never have one (check_invariants asserts it) and neither do retired
+  // blocks (ownership is cleared before every erase, including the one that
+  // retires), so the owner_ test subsumes the pool lookup; is_retired stays
+  // only as a cheap belt-and-braces guard.
   if (config_.victim_policy == tl::VictimPolicy::cost_benefit_age) {
     BlockIndex best = kInvalidBlock;
     double best_score = 0.0;
     for (BlockIndex b = 0; b < geo.block_count; ++b) {
-      if (pool_.contains(b) || chip().is_retired(b) || owner_[b] == kInvalidVba) continue;
+      if (!maybe_invalid_[b]) continue;  // implies invalid_page_count == 0
+      if (owner_[b] == kInvalidVba || chip().is_retired(b)) continue;
       if (chip().invalid_page_count(b) == 0) continue;
       const auto age = static_cast<double>(write_sequence_ - last_write_seq_[b]);
       const double score =
@@ -457,24 +555,58 @@ bool Nftl::gc_select_and_fold() {
     if (best == kInvalidBlock) return false;
     return fold(owner_[best]);
   }
-  BlockIndex victim = scanner_.next([&](BlockIndex b) {
-    if (pool_.contains(b) || chip().is_retired(b) || owner_[b] == kInvalidVba) return false;
-    return tl::gc_score(chip().valid_page_count(b), chip().invalid_page_count(b),
-                        config_.gc_cost_weight) > 0.0;
-  });
-  if (victim == kInvalidBlock) {
-    // Fall back to the most-invalid block so space can still be reclaimed.
+  // Greedy cyclic scan with the most-invalid fallback folded into the same
+  // pass. The cyclic scan frequently fails on a steady-state device (no
+  // block has invalid > valid), and its failure implies it visited every
+  // block — so the fallback's winner can be accumulated along the way
+  // instead of rescanned. The fallback preference is the order-independent
+  // total order (invalid desc, erase count asc, block index asc), so
+  // accumulating it in cyclic rather than index order picks the same block.
+  // With a non-negative cost weight a positive score implies invalid > 0
+  // (scan_skips_clean_), letting both the candidate test and the fallback
+  // skip clean blocks via maybe_invalid_ without touching chip state.
+  BlockIndex victim = kInvalidBlock;
+  if (scan_skips_clean_) {
+    BlockIndex fallback = kInvalidBlock;
     PageIndex best_invalid = 0;
     std::uint32_t best_erases = 0;
-    for (BlockIndex b = 0; b < geo.block_count; ++b) {
-      if (pool_.contains(b) || chip().is_retired(b) || owner_[b] == kInvalidVba) continue;
+    victim = scanner_.next([&](BlockIndex b) {
+      if (!maybe_invalid_[b]) return false;  // implies invalid_page_count == 0
+      if (owner_[b] == kInvalidVba || chip().is_retired(b)) return false;
       const PageIndex invalid = chip().invalid_page_count(b);
-      if (invalid == 0) continue;
-      if (victim == kInvalidBlock || invalid > best_invalid ||
-          (invalid == best_invalid && chip().erase_count(b) < best_erases)) {
-        victim = b;
+      if (invalid == 0) return false;
+      const std::uint32_t erases = chip().erase_count(b);
+      if (fallback == kInvalidBlock || invalid > best_invalid ||
+          (invalid == best_invalid &&
+           (erases < best_erases || (erases == best_erases && b < fallback)))) {
+        fallback = b;
         best_invalid = invalid;
-        best_erases = chip().erase_count(b);
+        best_erases = erases;
+      }
+      return tl::gc_score(chip().valid_page_count(b), invalid, config_.gc_cost_weight) > 0.0;
+    });
+    if (victim == kInvalidBlock) victim = fallback;
+  } else {
+    // Negative cost weight: a clean block can still score above zero, so run
+    // the reference two-pass scan without the clean-block filter.
+    victim = scanner_.next([&](BlockIndex b) {
+      if (owner_[b] == kInvalidVba || chip().is_retired(b)) return false;
+      return tl::gc_score(chip().valid_page_count(b), chip().invalid_page_count(b),
+                          config_.gc_cost_weight) > 0.0;
+    });
+    if (victim == kInvalidBlock) {
+      PageIndex best_invalid = 0;
+      std::uint32_t best_erases = 0;
+      for (BlockIndex b = 0; b < geo.block_count; ++b) {
+        if (owner_[b] == kInvalidVba || chip().is_retired(b)) continue;
+        const PageIndex invalid = chip().invalid_page_count(b);
+        if (invalid == 0) continue;
+        if (victim == kInvalidBlock || invalid > best_invalid ||
+            (invalid == best_invalid && chip().erase_count(b) < best_erases)) {
+          victim = b;
+          best_invalid = invalid;
+          best_erases = chip().erase_count(b);
+        }
       }
     }
   }

@@ -115,6 +115,16 @@ class Nftl final : public tl::TranslationLayer {
   Status write_internal(Lba lba, std::uint64_t payload_token,
                         std::span<const std::uint8_t> data);
 
+  /// Shared body of read() and the registered fast read.
+  Status read_impl(Lba lba, std::uint64_t* payload_token);
+
+  /// Record-replay fast paths (see TranslationLayer::set_fast_paths). The
+  /// fast write handles the common case — fast media, pool above the GC
+  /// trigger, mapped primary, a destination page available without an
+  /// allocation or a fold — and bails to write() otherwise.
+  static bool fast_write_thunk(tl::TranslationLayer& base, Lba lba, std::uint64_t payload_token);
+  static Status fast_read_thunk(tl::TranslationLayer& base, Lba lba, std::uint64_t* payload_token);
+
   /// Programs `lba`'s payload into the next free page of the replacement
   /// block, allocating / folding as necessary and retrying past failed
   /// pages. Returns the page programmed, or kInvalidPpa when retries were
@@ -138,6 +148,25 @@ class Nftl final : public tl::TranslationLayer {
   // Newest sequence number programmed into each block (age for the
   // cost-benefit victim policy).
   std::vector<std::uint64_t> last_write_seq_;
+  /// Marks `block` as possibly holding invalid pages (see maybe_invalid_).
+  void note_invalid(BlockIndex block) noexcept { maybe_invalid_[block] = 1; }
+
+  // gc_trigger_level(), precomputed (pure in config + geometry).
+  BlockIndex gc_trigger_cached_ = 2;
+  // chip().config().store_payload_bytes: fold copies must carry page bytes.
+  bool bytes_mode_ = false;
+  // Per-fold new-location table, reused across folds (fold never re-enters
+  // itself: release_block only fires erase observers, which never fold).
+  std::vector<Ppa> fold_scratch_;
+  // Conservative per-block "may hold invalid pages" flag — a superset of the
+  // blocks with invalid_page_count > 0, maintained at every page
+  // invalidation / failed program (set) and every erase (cleared). Victim
+  // scans skip unflagged blocks without touching chip state: no GC policy
+  // can pick a block with zero invalid pages (for the greedy score this
+  // needs gc_cost_weight >= 0, hence scan_skips_clean_). Stale set flags are
+  // harmless — the predicate still reads the real counts.
+  std::vector<std::uint8_t> maybe_invalid_;
+  bool scan_skips_clean_ = true;
 
   static constexpr Vba kInvalidVba = static_cast<Vba>(-1);
 };

@@ -1,13 +1,15 @@
-// Minimal JSON document builder for machine-readable bench output.
+// Minimal JSON document builder + parser for machine-readable bench output.
 //
 // The benches emit their sweep results and wall-clock timing as JSON
 // (`--json FILE`) so the perf trajectory can be tracked across PRs without
-// scraping the human-readable tables. This is a writer only — no parsing —
-// and keeps insertion order in objects so emitted files diff cleanly.
+// scraping the human-readable tables; the perf-regression comparator reads
+// those files back through parse(). Objects keep insertion order so emitted
+// files diff cleanly.
 #ifndef SWL_RUNNER_JSON_HPP
 #define SWL_RUNNER_JSON_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -54,6 +56,26 @@ class Json {
   /// Serializes the document. indent <= 0 renders compact one-line JSON;
   /// positive indents pretty-print with that many spaces per level.
   [[nodiscard]] std::string dump(int indent = 2) const;
+
+  // -- parsing and read access ------------------------------------------
+
+  /// Parses a complete JSON document (trailing garbage rejected). Integer
+  /// literals come back as int64 (negative) / uint64, everything with a
+  /// fraction or exponent as double — mirroring what dump() emits.
+  /// std::nullopt on malformed input.
+  [[nodiscard]] static std::optional<Json> parse(std::string_view text);
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+  /// Array element count; 0 for non-arrays.
+  [[nodiscard]] std::size_t size() const noexcept;
+  /// Array element access; nullptr out of range or not an array.
+  [[nodiscard]] const Json* at(std::size_t i) const noexcept;
+  /// Any numeric alternative widened to double; nullopt for non-numbers.
+  [[nodiscard]] std::optional<double> number() const noexcept;
+  [[nodiscard]] const std::string* string() const noexcept;
+  [[nodiscard]] std::optional<bool> boolean() const noexcept;
 
  private:
   using Array = std::vector<Json>;

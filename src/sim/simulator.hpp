@@ -2,12 +2,21 @@
 // simulated NAND chip (optionally with a SW Leveler attached) and runs until
 // a stop condition — first block failure, a simulated-time horizon, or trace
 // exhaustion.
+//
+// The record loop is batched: run() pulls records through
+// TraceSource::next_batch() into an owned buffer and replays them through the
+// layer's non-virtual write_record()/read_record() entry points. A carry
+// buffer keeps records pulled but not yet replayed when a call stops early
+// (horizon, failure, max_records), so resumed runs see the exact record
+// stream a per-record loop would — run_serial() is that reference loop, kept
+// for the equivalence tests.
 #ifndef SWL_SIM_SIMULATOR_HPP
 #define SWL_SIM_SIMULATOR_HPP
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/clock.hpp"
 #include "core/geometry.hpp"
@@ -43,6 +52,36 @@ struct SimConfig {
   nftl::NftlConfig nftl;
 };
 
+/// Replay-pipeline instrumentation, accumulated across run() calls. Pure
+/// wall-clock diagnostics: none of these feed back into simulation state, so
+/// results stay bit-identical whatever the host machine's speed.
+struct PerfCounters {
+  std::uint64_t records = 0;        ///< records replayed through run()
+  std::uint64_t batches = 0;        ///< next_batch calls that returned data
+  std::uint64_t batch_capacity = 0; ///< slots requested across those calls
+  std::uint64_t batch_filled = 0;   ///< records those calls returned
+  double source_seconds = 0.0;      ///< wall time inside next_batch
+  double replay_seconds = 0.0;      ///< wall time in the replay loop proper
+
+  /// How full the average batch came back (1.0 = the source always filled
+  /// the buffer; low values mean the source, not the device, paces the run).
+  [[nodiscard]] double batch_fill_ratio() const noexcept {
+    return batch_capacity == 0
+               ? 0.0
+               : static_cast<double>(batch_filled) / static_cast<double>(batch_capacity);
+  }
+  [[nodiscard]] double records_per_second() const noexcept {
+    const double t = source_seconds + replay_seconds;
+    return t > 0.0 ? static_cast<double>(records) / t : 0.0;
+  }
+  [[nodiscard]] double source_ns_per_record() const noexcept {
+    return records == 0 ? 0.0 : source_seconds * 1e9 / static_cast<double>(records);
+  }
+  [[nodiscard]] double replay_ns_per_record() const noexcept {
+    return records == 0 ? 0.0 : replay_seconds * 1e9 / static_cast<double>(records);
+  }
+};
+
 /// Snapshot of a simulation's outcome.
 struct SimResult {
   /// Simulated years until any block first reached the endurance limit
@@ -57,6 +96,9 @@ struct SimResult {
   tl::TlCounters counters;
   nand::NandCounters chip_counters;
   wear::LevelerStats leveler_stats;  // zeros when SWL is disabled
+  /// Replay-throughput diagnostics (wall-clock; not part of the simulated
+  /// state). Fast-path hit rate = counters.fast_path_writes / host_writes.
+  PerfCounters perf;
 };
 
 class Simulator {
@@ -66,10 +108,22 @@ class Simulator {
   /// Feeds records from `source` until (a) the source ends, (b) `max_records`
   /// records were processed, (c) the simulated clock passes `max_years`, or
   /// (d) `stop_on_first_failure` and a block wore out. Returns the records
-  /// processed by *this call*. Resumable: call again to continue.
+  /// processed by *this call*. Resumable: call again to continue — but keep
+  /// feeding the same source, since a call that stops early may carry
+  /// already-pulled records into the next call.
   std::uint64_t run(trace::TraceSource& source, double max_years,
                     bool stop_on_first_failure,
                     std::uint64_t max_records = UINT64_MAX);
+
+  /// Reference implementation of run(): one record at a time through the
+  /// virtual TraceSource::next() and TranslationLayer::write()/read()
+  /// interfaces — no batching, no registered fast paths. Exists to pin the
+  /// batched pipeline: replaying the same trace through run() and
+  /// run_serial() must produce bit-identical results. Do not interleave with
+  /// run() on one source (run() may hold pulled records in its carry buffer).
+  std::uint64_t run_serial(trace::TraceSource& source, double max_years,
+                           bool stop_on_first_failure,
+                           std::uint64_t max_records = UINT64_MAX);
 
   [[nodiscard]] SimResult result() const;
 
@@ -81,11 +135,38 @@ class Simulator {
   [[nodiscard]] Lba lba_count() const noexcept { return layer_->lba_count(); }
 
  private:
+  /// Records pulled per next_batch call: 4096 records = 64 KiB of buffer,
+  /// large enough to amortize the virtual call, small enough to stay in L2.
+  static constexpr std::size_t kBatchCapacity = 4096;
+
+  /// O(1)-per-erase running erase-count summary (fed by an erase observer),
+  /// so result() does not rescan every block. Integer-exact sums; produces
+  /// the same Summary stats::summarize computes from the full table.
+  struct WearTracker {
+    std::uint64_t sum = 0;              // sum of all erase counts
+    unsigned __int128 sum_squares = 0;  // sum of squared erase counts
+    std::uint32_t min = 0;
+    std::uint32_t max = 0;
+    std::vector<std::uint32_t> histogram;  // blocks per erase count
+    std::size_t block_count = 0;
+
+    void init(std::size_t blocks);
+    void on_erase(std::uint32_t new_count);
+    [[nodiscard]] stats::Summary summary() const;
+  };
+
   SimClock clock_;
   std::unique_ptr<nand::NandChip> chip_;
   std::unique_ptr<tl::TranslationLayer> layer_;
   std::uint64_t records_ = 0;
   std::uint64_t next_payload_ = 1;
+  // Carry buffer: batch_[batch_pos_..batch_len_) holds records pulled from
+  // the source but not yet replayed (a run() call can stop mid-batch).
+  std::vector<trace::TraceRecord> batch_;
+  std::size_t batch_pos_ = 0;
+  std::size_t batch_len_ = 0;
+  WearTracker wear_;
+  PerfCounters perf_;
 };
 
 /// Builds the standard simulator stack for a config.

@@ -9,17 +9,25 @@ Summary summarize(std::span<const std::uint32_t> values) {
   Summary s;
   s.count = values.size();
   if (values.empty()) return s;
-  s.min = *std::min_element(values.begin(), values.end());
-  s.max = *std::max_element(values.begin(), values.end());
-  double sum = 0.0;
-  for (const auto v : values) sum += static_cast<double>(v);
-  s.mean = sum / static_cast<double>(values.size());
-  double sq = 0.0;
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  s.min = *lo;
+  s.max = *hi;
+  // Integer-exact accumulation (128-bit for the squares, which can exceed 64
+  // bits for large u32 values): the variance numerator n*sum(v^2) - (sum v)^2
+  // is then exact and non-negative, and the result matches what the
+  // simulator's incremental wear tracker computes from the same sums.
+  std::uint64_t sum = 0;
+  unsigned __int128 sum_squares = 0;
   for (const auto v : values) {
-    const double d = static_cast<double>(v) - s.mean;
-    sq += d * d;
+    sum += v;
+    sum_squares += static_cast<std::uint64_t>(v) * v;
   }
-  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  const auto n = static_cast<double>(values.size());
+  s.mean = static_cast<double>(sum) / n;
+  const unsigned __int128 numerator =
+      static_cast<unsigned __int128>(values.size()) * sum_squares -
+      static_cast<unsigned __int128>(sum) * sum;
+  s.stddev = std::sqrt(static_cast<double>(numerator)) / n;
   return s;
 }
 

@@ -47,19 +47,4 @@ void TranslationLayer::collect_blocks(BlockIndex first, BlockIndex count) {
   serving_swl_ = false;
 }
 
-void TranslationLayer::count_live_copy() noexcept {
-  if (serving_swl_) {
-    ++counters_.swl_live_copies;
-  } else {
-    ++counters_.gc_live_copies;
-  }
-}
-
-void TranslationLayer::finish_host_write() {
-  ++counters_.host_writes;
-  if (leveler_ != nullptr && leveler_->needs_leveling()) {
-    leveler_->run(*this);
-  }
-}
-
 }  // namespace swl::tl

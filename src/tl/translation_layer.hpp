@@ -34,6 +34,11 @@ struct TlCounters {
   std::uint64_t swl_erases = 0;
   std::uint64_t gc_live_copies = 0;
   std::uint64_t swl_live_copies = 0;
+  /// Host writes completed through the registered non-virtual fast path
+  /// (write_record); always <= host_writes. Diagnostic only — fast and slow
+  /// paths are bit-identical — surfaced so the simulator can report the
+  /// fast-path hit rate.
+  std::uint64_t fast_path_writes = 0;
 
   [[nodiscard]] std::uint64_t total_erases() const noexcept { return gc_erases + swl_erases; }
   [[nodiscard]] std::uint64_t total_live_copies() const noexcept {
@@ -62,6 +67,27 @@ class TranslationLayer : public wear::Cleaner {
 
   /// Reads the current content of one logical page.
   virtual Status read(Lba lba, std::uint64_t* payload_token) = 0;
+
+  // -- record-replay entry points (the simulator hot path) ------------------
+  // Non-virtual dispatch through function pointers the derived layer
+  // registers (set_fast_paths). write_record first attempts the layer's fast
+  // path — the common case with no GC trigger, no new-block allocation and
+  // no fold — and falls back to the virtual write() when the write needs the
+  // full machinery. Results are bit-identical either way; only the dispatch
+  // cost differs.
+
+  Status write_record(Lba lba, std::uint64_t payload_token) {
+    if (fast_write_ != nullptr && fast_write_(*this, lba, payload_token)) {
+      ++counters_.fast_path_writes;
+      return Status::ok;
+    }
+    return write(lba, payload_token);
+  }
+
+  Status read_record(Lba lba, std::uint64_t* payload_token) {
+    if (fast_read_ != nullptr) return fast_read_(*this, lba, payload_token);
+    return read(lba, payload_token);
+  }
 
   /// Byte-accurate variant: copies the page's stored bytes into `out`
   /// (exactly one page); pages written without bytes read back as zeros.
@@ -97,15 +123,41 @@ class TranslationLayer : public wear::Cleaner {
   void collect_blocks(BlockIndex first, BlockIndex count) final;
 
  protected:
+  /// A fast write attempt: returns true when it completed the write (having
+  /// done *exactly* what write() would have done), false to fall back to the
+  /// virtual slow path without having mutated anything.
+  using FastWriteFn = bool (*)(TranslationLayer&, Lba, std::uint64_t);
+  /// A fast read: must behave exactly like read() (reads have no slow-path
+  /// fallback — the registered function handles every case itself).
+  using FastReadFn = Status (*)(TranslationLayer&, Lba, std::uint64_t*);
+
+  /// Registers the derived layer's record-replay fast paths (either may be
+  /// null to keep virtual dispatch for that operation).
+  void set_fast_paths(FastWriteFn fast_write, FastReadFn fast_read) noexcept {
+    fast_write_ = fast_write;
+    fast_read_ = fast_read;
+  }
+
   /// Implementation of the Cleaner request (garbage collect specific blocks).
   virtual void do_collect_blocks(BlockIndex first, BlockIndex count) = 0;
 
   /// Implementations call this for every live page they relocate.
-  void count_live_copy() noexcept;
+  void count_live_copy() noexcept {
+    if (serving_swl_) {
+      ++counters_.swl_live_copies;
+    } else {
+      ++counters_.gc_live_copies;
+    }
+  }
 
   /// Implementations call this once per successful host write, *after* the
   /// write completed; it also gives the SW Leveler a chance to run.
-  void finish_host_write();
+  void finish_host_write() {
+    ++counters_.host_writes;
+    if (leveler_ != nullptr && leveler_->needs_leveling()) {
+      leveler_->run(*this);
+    }
+  }
 
   /// Implementations call this once per successful host read.
   void finish_host_read() noexcept { ++counters_.host_reads; }
@@ -119,6 +171,8 @@ class TranslationLayer : public wear::Cleaner {
   std::vector<std::size_t> observer_tokens_;
   TlCounters counters_;
   bool serving_swl_ = false;
+  FastWriteFn fast_write_ = nullptr;
+  FastReadFn fast_read_ = nullptr;
 };
 
 }  // namespace swl::tl

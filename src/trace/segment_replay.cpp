@@ -44,4 +44,26 @@ std::optional<TraceRecord> SegmentReplaySource::next() {
   return rec;
 }
 
+std::size_t SegmentReplaySource::next_batch(TraceRecord* out, std::size_t n) {
+  std::size_t filled = 0;
+  while (filled < n) {
+    while (pos_ >= segment_end_) {
+      timeline_offset_us_ += segment_us_;
+      pick_segment();
+    }
+    const std::size_t take = std::min(n - filled, segment_end_ - pos_);
+    // Same re-base next() applies: offset + (t - start) == t + (offset - start)
+    // in unsigned arithmetic, so the hoisted delta is bit-identical.
+    const SimTime delta = timeline_offset_us_ - segment_start_us_;
+    const TraceRecord* src = base_.data() + pos_;
+    for (std::size_t i = 0; i < take; ++i) {
+      out[filled + i] = src[i];
+      out[filled + i].time_us += delta;
+    }
+    pos_ += take;
+    filled += take;
+  }
+  return filled;
+}
+
 }  // namespace swl::trace

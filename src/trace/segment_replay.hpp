@@ -28,6 +28,10 @@ class SegmentReplaySource final : public TraceSource {
   /// Never returns std::nullopt.
   std::optional<TraceRecord> next() override;
 
+  /// Infinite source: always fills all n records. Copies whole per-segment
+  /// slices of the base trace and re-bases the timestamps in place.
+  std::size_t next_batch(TraceRecord* out, std::size_t n) override;
+
   /// Segments replayed so far (for diagnostics).
   [[nodiscard]] std::uint64_t segments_started() const noexcept { return segments_; }
 

@@ -65,7 +65,8 @@ SyntheticTraceSource::SyntheticTraceSource(const SyntheticConfig& config)
     if (chunks >= 2) chunk_perm_.emplace(chunks, config_.seed ^ 0x5ca77e2ULL);
   }
 
-  const double hot_event_p = hot_event_probability(config_);
+  hot_event_p_ = hot_event_probability(config_);
+  const double hot_event_p = hot_event_p_;
   const double mean_ops_per_event =
       hot_event_p + (1.0 - hot_event_p) * mean_burst_pages(config_);
   write_event_gap_mean_s_ = mean_ops_per_event / config_.writes_per_second;
@@ -110,7 +111,7 @@ void SyntheticTraceSource::start_write_burst() {
   }
 }
 
-std::optional<TraceRecord> SyntheticTraceSource::next() {
+bool SyntheticTraceSource::produce(TraceRecord& out) {
   while (true) {
     // Candidate event times: the in-flight burst page, the next write event
     // (only when no burst is active) and the next read.
@@ -119,32 +120,44 @@ std::optional<TraceRecord> SyntheticTraceSource::next() {
     const bool burst_active = burst_remaining_ > 0;
 
     if (write_t <= read_t) {
-      if (write_t > config_.duration_s) return std::nullopt;
+      if (write_t > config_.duration_s) return false;
       now_s_ = write_t;
       if (burst_active) {
-        const TraceRecord rec{seconds_to_us(now_s_), scatter(burst_next_++), Op::write};
+        out = TraceRecord{seconds_to_us(now_s_), scatter(burst_next_++), Op::write};
         if (--burst_remaining_ == 0) {
           next_write_s_ = now_s_ + rng_.exponential(write_event_gap_mean_s_);
         } else {
           next_write_s_ = now_s_ + config_.burst_page_gap_ms / 1000.0;
         }
-        return rec;
+        return true;
       }
-      if (rng_.chance(hot_event_probability(config_))) {
-        const TraceRecord rec{seconds_to_us(now_s_), scatter(pick_hot_lba()), Op::write};
+      if (rng_.chance(hot_event_p_)) {
+        out = TraceRecord{seconds_to_us(now_s_), scatter(pick_hot_lba()), Op::write};
         next_write_s_ = now_s_ + rng_.exponential(write_event_gap_mean_s_);
-        return rec;
+        return true;
       }
       start_write_burst();
       continue;  // the burst's first page is emitted on the next iteration
     }
 
-    if (read_t > config_.duration_s) return std::nullopt;
+    if (read_t > config_.duration_s) return false;
     now_s_ = read_t;
-    const TraceRecord rec{seconds_to_us(now_s_), scatter(pick_read_lba()), Op::read};
+    out = TraceRecord{seconds_to_us(now_s_), scatter(pick_read_lba()), Op::read};
     next_read_s_ = now_s_ + rng_.exponential(1.0 / config_.reads_per_second);
-    return rec;
+    return true;
   }
+}
+
+std::optional<TraceRecord> SyntheticTraceSource::next() {
+  TraceRecord rec;
+  if (!produce(rec)) return std::nullopt;
+  return rec;
+}
+
+std::size_t SyntheticTraceSource::next_batch(TraceRecord* out, std::size_t n) {
+  std::size_t filled = 0;
+  while (filled < n && produce(out[filled])) ++filled;
+  return filled;
 }
 
 std::string_view to_string(WorkloadPreset p) noexcept {

@@ -99,10 +99,14 @@ class SyntheticTraceSource final : public TraceSource {
   explicit SyntheticTraceSource(const SyntheticConfig& config);
 
   std::optional<TraceRecord> next() override;
+  std::size_t next_batch(TraceRecord* out, std::size_t n) override;
 
   [[nodiscard]] const SyntheticConfig& config() const noexcept { return config_; }
 
  private:
+  /// Emits the next record into `out`; false at end of trace. Shared by
+  /// next() and next_batch() so both yield the identical stream.
+  [[nodiscard]] bool produce(TraceRecord& out);
   void start_write_burst();
   [[nodiscard]] Lba pick_hot_lba();
   [[nodiscard]] Lba pick_read_lba();
@@ -128,6 +132,8 @@ class SyntheticTraceSource final : public TraceSource {
   Lba cold_cursor_ = 0;
   // Mean gap between write events (a hot update or a whole burst).
   double write_event_gap_mean_s_ = 1.0;
+  // hot_event_probability(config_), computed once (it is pure in config_).
+  double hot_event_p_ = 0.0;
   // Chunk permutation implementing the file-system scattering.
   std::optional<RandomPermutation> chunk_perm_;
 };

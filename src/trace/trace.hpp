@@ -8,6 +8,8 @@
 #ifndef SWL_TRACE_TRACE_HPP
 #define SWL_TRACE_TRACE_HPP
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -31,10 +33,29 @@ using Trace = std::vector<TraceRecord>;
 
 /// Pull-based record stream; std::nullopt signals end of trace (infinite
 /// sources never return it).
+///
+/// The batch API is the replay hot path: next_batch() fills a caller-owned
+/// buffer and must yield the exact record sequence next() would, so the two
+/// are interchangeable (sweep results are bit-identical either way — pinned
+/// by trace_test's equivalence suite and sweep_determinism_test).
 class TraceSource {
  public:
   virtual ~TraceSource() = default;
   virtual std::optional<TraceRecord> next() = 0;
+
+  /// Fills out[0..n) with up to n records and returns the count produced;
+  /// 0 signals end of trace (infinite sources always return n). The default
+  /// loops over next(); implementations override it with tight,
+  /// allocation-free batch generation.
+  virtual std::size_t next_batch(TraceRecord* out, std::size_t n) {
+    std::size_t filled = 0;
+    while (filled < n) {
+      const std::optional<TraceRecord> rec = next();
+      if (!rec.has_value()) break;
+      out[filled++] = *rec;
+    }
+    return filled;
+  }
 };
 
 /// Adapts an in-memory trace to the stream interface.
@@ -45,6 +66,13 @@ class VectorTraceSource final : public TraceSource {
   std::optional<TraceRecord> next() override {
     if (pos_ >= records_.size()) return std::nullopt;
     return records_[pos_++];
+  }
+
+  std::size_t next_batch(TraceRecord* out, std::size_t n) override {
+    const std::size_t take = std::min(n, records_.size() - pos_);
+    std::copy_n(records_.data() + pos_, take, out);
+    pos_ += take;
+    return take;
   }
 
  private:

@@ -1,11 +1,13 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "core/contracts.hpp"
 
@@ -15,6 +17,8 @@ namespace {
 
 constexpr std::array<char, 4> kMagic{'S', 'W', 'L', 'T'};
 constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kChunkBytes = 64 * 1024;
+constexpr std::size_t kRecordBytes = 16;
 
 class Fnv1a {
  public:
@@ -31,77 +35,159 @@ class Fnv1a {
   std::uint64_t hash_ = 0xcbf29ce484222325ULL;
 };
 
-template <typename T>
-void write_le(std::ostream& os, Fnv1a& sum, T value) {
-  std::array<char, sizeof(T)> buf{};
-  for (std::size_t i = 0; i < sizeof(T); ++i) {
-    buf[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
-  }
-  os.write(buf.data(), buf.size());
-  sum.update(buf.data(), buf.size());
+void store_le32(unsigned char* p, std::uint32_t v) noexcept {
+  for (std::size_t i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
 }
 
-template <typename T>
-bool read_le(std::istream& is, Fnv1a& sum, T* value) {
-  std::array<char, sizeof(T)> buf{};
-  if (!is.read(buf.data(), buf.size())) return false;
-  sum.update(buf.data(), buf.size());
+void store_le64(unsigned char* p, std::uint64_t v) noexcept {
+  for (std::size_t i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+}
+
+std::uint32_t load_le32(const unsigned char* p) noexcept {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t load_le64(const unsigned char* p) noexcept {
   std::uint64_t v = 0;
-  for (std::size_t i = 0; i < sizeof(T); ++i) {
-    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  for (std::size_t i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void encode_record(unsigned char* p, const TraceRecord& rec) noexcept {
+  store_le64(p, rec.time_us);
+  store_le32(p + 8, rec.lba);
+  p[12] = static_cast<unsigned char>(rec.op);
+  p[13] = 0;
+  p[14] = 0;
+  p[15] = 0;
+}
+
+/// Accumulates bytes in a 64 KiB chunk and writes/checksums whole chunks.
+/// The bytes hit the stream in the same order per-field IO produced, so the
+/// file format (checksum included) is unchanged.
+class ChunkWriter {
+ public:
+  explicit ChunkWriter(std::ostream& os) : os_(os), buf_(kChunkBytes) {}
+
+  /// Returns space for n contiguous bytes (n <= kChunkBytes), flushing first
+  /// if the chunk cannot hold them; call commit(n) after filling it.
+  [[nodiscard]] unsigned char* reserve(std::size_t n) {
+    if (kChunkBytes - fill_ < n) flush();
+    return buf_.data() + fill_;
   }
-  *value = static_cast<T>(v);
+  void commit(std::size_t n) noexcept { fill_ += n; }
+
+  void flush() {
+    if (fill_ == 0) return;
+    sum_.update(buf_.data(), fill_);
+    os_.write(reinterpret_cast<const char*>(buf_.data()), static_cast<std::streamsize>(fill_));
+    fill_ = 0;
+  }
+
+  /// Checksum of everything flushed so far.
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return sum_.value(); }
+
+ private:
+  std::ostream& os_;
+  std::vector<unsigned char> buf_;
+  std::size_t fill_ = 0;
+  Fnv1a sum_;
+};
+
+/// Refills a 64 KiB chunk from the stream and hands out contiguous views.
+/// Checksumming is the caller's job (the trailer must stay out of the sum).
+class ChunkReader {
+ public:
+  explicit ChunkReader(std::istream& is) : is_(is), buf_(kChunkBytes) {}
+
+  /// Ensures at least n contiguous unread bytes (n <= kChunkBytes) are
+  /// buffered; returns a view of them or nullptr at end of stream.
+  [[nodiscard]] const unsigned char* fetch(std::size_t n) {
+    if (fill_ - pos_ < n) refill();
+    if (fill_ - pos_ < n) return nullptr;
+    return buf_.data() + pos_;
+  }
+  void consume(std::size_t n) noexcept { pos_ += n; }
+  [[nodiscard]] std::size_t buffered() const noexcept { return fill_ - pos_; }
+
+ private:
+  void refill() {
+    if (pos_ > 0) {
+      std::memmove(buf_.data(), buf_.data() + pos_, fill_ - pos_);
+      fill_ -= pos_;
+      pos_ = 0;
+    }
+    is_.read(reinterpret_cast<char*>(buf_.data()) + fill_,
+             static_cast<std::streamsize>(kChunkBytes - fill_));
+    fill_ += static_cast<std::size_t>(is_.gcount());
+  }
+
+  std::istream& is_;
+  std::vector<unsigned char> buf_;
+  std::size_t pos_ = 0;
+  std::size_t fill_ = 0;
+};
+
+/// Reads and validates the 16-byte header; returns false on any mismatch.
+bool read_header(ChunkReader& in, Fnv1a& sum, std::uint64_t* count) {
+  const unsigned char* p = in.fetch(16);
+  if (p == nullptr) return false;
+  if (std::memcmp(p, kMagic.data(), kMagic.size()) != 0) return false;
+  if (load_le32(p + 4) != kVersion) return false;
+  *count = load_le64(p + 8);
+  sum.update(p, 16);
+  in.consume(16);
   return true;
 }
 
 }  // namespace
 
 void write_binary(std::ostream& os, const Trace& trace) {
-  Fnv1a sum;
-  os.write(kMagic.data(), kMagic.size());
-  sum.update(kMagic.data(), kMagic.size());
-  write_le(os, sum, kVersion);
-  write_le(os, sum, static_cast<std::uint64_t>(trace.size()));
+  ChunkWriter out(os);
+  unsigned char* p = out.reserve(16);
+  std::memcpy(p, kMagic.data(), kMagic.size());
+  store_le32(p + 4, kVersion);
+  store_le64(p + 8, static_cast<std::uint64_t>(trace.size()));
+  out.commit(16);
   for (const auto& rec : trace) {
-    write_le(os, sum, rec.time_us);
-    write_le(os, sum, rec.lba);
-    write_le(os, sum, static_cast<std::uint8_t>(rec.op));
-    write_le(os, sum, static_cast<std::uint8_t>(0));
-    write_le(os, sum, static_cast<std::uint16_t>(0));
+    p = out.reserve(kRecordBytes);
+    encode_record(p, rec);
+    out.commit(kRecordBytes);
   }
-  Fnv1a ignored;
-  write_le(os, ignored, sum.value());
+  out.flush();
+  // Trailer: the checksum itself is not part of the checksummed stream.
+  std::array<unsigned char, 8> tail{};
+  store_le64(tail.data(), out.checksum());
+  os.write(reinterpret_cast<const char*>(tail.data()), tail.size());
 }
 
 Status read_binary(std::istream& is, Trace* out) {
   SWL_REQUIRE(out != nullptr, "null output");
+  ChunkReader in(is);
   Fnv1a sum;
-  std::array<char, 4> magic{};
-  if (!is.read(magic.data(), magic.size()) || magic != kMagic) return Status::corrupt_snapshot;
-  sum.update(magic.data(), magic.size());
-  std::uint32_t version = 0;
   std::uint64_t count = 0;
-  if (!read_le(is, sum, &version) || version != kVersion) return Status::corrupt_snapshot;
-  if (!read_le(is, sum, &count)) return Status::corrupt_snapshot;
+  if (!read_header(in, sum, &count)) return Status::corrupt_snapshot;
   Trace trace;
   trace.reserve(static_cast<std::size_t>(count));
-  for (std::uint64_t i = 0; i < count; ++i) {
-    TraceRecord rec;
-    std::uint8_t op = 0;
-    std::uint8_t pad8 = 0;
-    std::uint16_t pad16 = 0;
-    if (!read_le(is, sum, &rec.time_us) || !read_le(is, sum, &rec.lba) ||
-        !read_le(is, sum, &op) || !read_le(is, sum, &pad8) || !read_le(is, sum, &pad16)) {
-      return Status::corrupt_snapshot;
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    const unsigned char* p = in.fetch(kRecordBytes);
+    if (p == nullptr) return Status::corrupt_snapshot;
+    // Decode every whole buffered record against this chunk in one pass.
+    const std::uint64_t take =
+        std::min<std::uint64_t>(remaining, in.buffered() / kRecordBytes);
+    sum.update(p, static_cast<std::size_t>(take) * kRecordBytes);
+    for (std::uint64_t i = 0; i < take; ++i, p += kRecordBytes) {
+      if (p[12] > 1) return Status::corrupt_snapshot;
+      trace.push_back(TraceRecord{load_le64(p), load_le32(p + 8), static_cast<Op>(p[12])});
     }
-    if (op > 1) return Status::corrupt_snapshot;
-    rec.op = static_cast<Op>(op);
-    trace.push_back(rec);
+    in.consume(static_cast<std::size_t>(take) * kRecordBytes);
+    remaining -= take;
   }
-  const std::uint64_t computed = sum.value();
-  Fnv1a ignored;
-  std::uint64_t stored = 0;
-  if (!read_le(is, ignored, &stored) || stored != computed) return Status::corrupt_snapshot;
+  const unsigned char* tail = in.fetch(8);
+  if (tail == nullptr || load_le64(tail) != sum.value()) return Status::corrupt_snapshot;
   *out = std::move(trace);
   return Status::ok;
 }
@@ -118,6 +204,79 @@ Status load_binary(const std::string& path, Trace* out) {
   if (!is.good()) return Status::corrupt_snapshot;
   return read_binary(is, out);
 }
+
+struct BinaryTraceSource::Impl {
+  explicit Impl(const std::string& path) : is(path, std::ios::binary), in(is) {
+    if (!is.good() || !read_header(in, sum, &count)) {
+      status = Status::corrupt_snapshot;
+      return;
+    }
+    remaining = count;
+  }
+
+  /// Decodes up to n records; stops early (marking the stream corrupt) on a
+  /// truncated file or bad op byte, and verifies the trailer after the last
+  /// record so a drained source proves the file intact.
+  std::size_t drain(TraceRecord* out, std::size_t n) {
+    if (status != Status::ok) return 0;
+    std::size_t filled = 0;
+    while (filled < n && remaining > 0) {
+      const unsigned char* p = in.fetch(kRecordBytes);
+      if (p == nullptr) {
+        status = Status::corrupt_snapshot;
+        remaining = 0;
+        return filled;
+      }
+      const std::uint64_t take = std::min<std::uint64_t>(
+          {remaining, static_cast<std::uint64_t>(n - filled),
+           static_cast<std::uint64_t>(in.buffered() / kRecordBytes)});
+      sum.update(p, static_cast<std::size_t>(take) * kRecordBytes);
+      for (std::uint64_t i = 0; i < take; ++i, p += kRecordBytes) {
+        if (p[12] > 1) {
+          status = Status::corrupt_snapshot;
+          remaining = 0;
+          return filled;
+        }
+        out[filled++] = TraceRecord{load_le64(p), load_le32(p + 8), static_cast<Op>(p[12])};
+      }
+      in.consume(static_cast<std::size_t>(take) * kRecordBytes);
+      remaining -= take;
+    }
+    if (remaining == 0 && !checked_trailer) {
+      checked_trailer = true;
+      const unsigned char* tail = in.fetch(8);
+      if (tail == nullptr || load_le64(tail) != sum.value()) status = Status::corrupt_snapshot;
+    }
+    return filled;
+  }
+
+  std::ifstream is;
+  ChunkReader in;
+  Fnv1a sum;
+  Status status = Status::ok;
+  std::uint64_t count = 0;
+  std::uint64_t remaining = 0;
+  bool checked_trailer = false;
+};
+
+BinaryTraceSource::BinaryTraceSource(const std::string& path)
+    : impl_(std::make_unique<Impl>(path)) {}
+
+BinaryTraceSource::~BinaryTraceSource() = default;
+
+std::optional<TraceRecord> BinaryTraceSource::next() {
+  TraceRecord rec;
+  if (impl_->drain(&rec, 1) == 0) return std::nullopt;
+  return rec;
+}
+
+std::size_t BinaryTraceSource::next_batch(TraceRecord* out, std::size_t n) {
+  return impl_->drain(out, n);
+}
+
+Status BinaryTraceSource::status() const noexcept { return impl_->status; }
+
+std::uint64_t BinaryTraceSource::record_count() const noexcept { return impl_->count; }
 
 void write_csv(std::ostream& os, const Trace& trace) {
   os << "time_us,lba,op\n";

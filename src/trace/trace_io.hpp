@@ -1,10 +1,16 @@
 // Trace (de)serialization: a compact binary format plus CSV export, so
 // externally collected traces can be replayed through the simulator and
 // generated traces can be archived and inspected.
+//
+// All binary IO is chunk-buffered (64 KiB) — records are encoded/decoded
+// against an in-memory buffer and hit the stream once per chunk instead of
+// once per field, which keeps file replay on the same order as in-memory
+// replay. The byte format is unchanged.
 #ifndef SWL_TRACE_TRACE_IO_HPP
 #define SWL_TRACE_TRACE_IO_HPP
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "core/status.hpp"
@@ -20,6 +26,33 @@ void write_binary(std::ostream& os, const Trace& trace);
 
 void save_binary(const std::string& path, const Trace& trace);
 [[nodiscard]] Status load_binary(const std::string& path, Trace* out);
+
+/// Streams records out of a binary trace file without materializing the
+/// whole trace, using the same 64 KiB chunked decode as read_binary; yields
+/// exactly the record sequence load_binary would produce.
+///
+/// Errors surface through status(): the stream simply ends early and
+/// status() reports Status::corrupt_snapshot (an unreadable file, a bad
+/// header, a malformed record, or a checksum mismatch — the checksum is
+/// verified once the final record has been consumed). A fully drained,
+/// intact file leaves status() == Status::ok.
+class BinaryTraceSource final : public TraceSource {
+ public:
+  explicit BinaryTraceSource(const std::string& path);
+  ~BinaryTraceSource() override;
+
+  std::optional<TraceRecord> next() override;
+  std::size_t next_batch(TraceRecord* out, std::size_t n) override;
+
+  /// Health of the stream so far (ok until an error is detected).
+  [[nodiscard]] Status status() const noexcept;
+  /// Record count from the header (0 if the header was unreadable).
+  [[nodiscard]] std::uint64_t record_count() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// CSV with a header row: time_us,lba,op  (op is "R" or "W").
 void write_csv(std::ostream& os, const Trace& trace);

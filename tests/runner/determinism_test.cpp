@@ -9,6 +9,7 @@
 
 #include "runner/sweep_runner.hpp"
 #include "sim/experiments.hpp"
+#include "trace/segment_replay.hpp"
 
 namespace swl::sim {
 namespace {
@@ -54,11 +55,21 @@ std::vector<SimResult> run_sweep(unsigned jobs) {
   });
 }
 
-void expect_identical(const SimResult& a, const SimResult& b) {
+// `compare_fast_path` is off when one side is Simulator::run_serial, which
+// bypasses the registered fast paths by design (its fast_path_writes is 0).
+void expect_identical(const SimResult& a, const SimResult& b, bool compare_fast_path = true) {
   EXPECT_EQ(a.first_failure_years, b.first_failure_years);
   EXPECT_EQ(a.elapsed_years, b.elapsed_years);  // exact: same op sequence, same clock math
   EXPECT_EQ(a.records_processed, b.records_processed);
   EXPECT_EQ(a.erase_counts, b.erase_counts);
+  EXPECT_EQ(a.erase_summary.count, b.erase_summary.count);
+  EXPECT_EQ(a.erase_summary.mean, b.erase_summary.mean);  // exact: integer-exact accumulation
+  EXPECT_EQ(a.erase_summary.stddev, b.erase_summary.stddev);
+  EXPECT_EQ(a.erase_summary.min, b.erase_summary.min);
+  EXPECT_EQ(a.erase_summary.max, b.erase_summary.max);
+  if (compare_fast_path) {
+    EXPECT_EQ(a.counters.fast_path_writes, b.counters.fast_path_writes);
+  }
   EXPECT_EQ(a.counters.host_writes, b.counters.host_writes);
   EXPECT_EQ(a.counters.host_reads, b.counters.host_reads);
   EXPECT_EQ(a.counters.gc_erases, b.counters.gc_erases);
@@ -69,6 +80,42 @@ void expect_identical(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.chip_counters.programs, b.chip_counters.programs);
   EXPECT_EQ(a.chip_counters.erases, b.chip_counters.erases);
   EXPECT_EQ(a.chip_counters.payload_arena_allocations, b.chip_counters.payload_arena_allocations);
+}
+
+// The batched record pipeline (carry buffer, hoisted stop checks, fast
+// write/read paths) must be bit-identical to the per-record reference loop —
+// including when a run stops mid-batch on a record cap or a wear-out.
+TEST(SweepDeterminism, BatchedRunMatchesSerialReference) {
+  const ExperimentScale scale = tiny_scale();
+  wear::LevelerConfig lc;
+  lc.threshold = 4;
+  for (const LayerKind layer : {LayerKind::ftl, LayerKind::nftl}) {
+    SCOPED_TRACE(layer == LayerKind::ftl ? "ftl" : "nftl");
+    const trace::Trace base = make_base_trace(scale, layer);
+    const SimConfig config = make_sim_config(scale, layer, lc);
+    struct Stop {
+      const char* label;
+      bool on_failure;
+      std::uint64_t max_records;
+    };
+    // 12'345 is deliberately not a multiple of the batch size: the cap lands
+    // mid-batch and exercises the carry buffer.
+    for (const Stop stop : {Stop{"record cap", false, 12'345},
+                            Stop{"first wear-out", true, UINT64_MAX}}) {
+      SCOPED_TRACE(stop.label);
+      auto batched = make_simulator(config);
+      auto serial = make_simulator(config);
+      trace::SegmentReplaySource batched_src(base, 600.0, scale.seed ^ 0x1234);
+      trace::SegmentReplaySource serial_src(base, 600.0, scale.seed ^ 0x1234);
+      batched->run(batched_src, scale.max_years, stop.on_failure, stop.max_records);
+      serial->run_serial(serial_src, scale.max_years, stop.on_failure, stop.max_records);
+      const SimResult a = batched->result();
+      const SimResult b = serial->result();
+      expect_identical(a, b, /*compare_fast_path=*/false);
+      EXPECT_GT(a.counters.fast_path_writes, 0u);   // batched run used the fast path
+      EXPECT_EQ(b.counters.fast_path_writes, 0u);   // reference loop never does
+    }
+  }
 }
 
 TEST(SweepDeterminism, ParallelSweepMatchesSerialBitForBit) {

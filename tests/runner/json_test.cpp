@@ -65,5 +65,94 @@ TEST(Json, TypeMisuseThrows) {
   EXPECT_THROW(Json(1).push(2), PreconditionError);
 }
 
+// ---- parser ---------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").has_value());
+  EXPECT_EQ(Json::parse("true")->boolean(), true);
+  EXPECT_EQ(Json::parse("false")->boolean(), false);
+  EXPECT_EQ(*Json::parse("42")->number(), 42.0);
+  EXPECT_EQ(*Json::parse("-1.5")->number(), -1.5);
+  EXPECT_EQ(*Json::parse("1e3")->number(), 1000.0);
+  EXPECT_EQ(*Json::parse("\"hi\"")->string(), "hi");
+  EXPECT_EQ(*Json::parse("  \"pad\"  ")->string(), "pad");
+}
+
+TEST(JsonParse, IntegersSurviveRoundTrip) {
+  // Integers must not be squeezed through double: 2^64-1 and int64 min are
+  // not representable exactly as doubles.
+  const auto huge = Json::parse("18446744073709551615");
+  ASSERT_TRUE(huge.has_value());
+  EXPECT_EQ(huge->dump(), "18446744073709551615");
+  const auto negative = Json::parse("-9223372036854775808");
+  ASSERT_TRUE(negative.has_value());
+  EXPECT_EQ(negative->dump(), "-9223372036854775808");
+  // Out-of-range integers degrade to double instead of failing.
+  EXPECT_TRUE(Json::parse("99999999999999999999999")->number().has_value());
+}
+
+TEST(JsonParse, ObjectsArraysAndAccessors) {
+  const auto doc = Json::parse(R"({"name":"replay","n":3,"xs":[1,2,3],"sub":{"ok":true}})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_NE(doc->find("name"), nullptr);
+  EXPECT_EQ(*doc->find("name")->string(), "replay");
+  EXPECT_EQ(*doc->find("n")->number(), 3.0);
+  const Json* xs = doc->find("xs");
+  ASSERT_NE(xs, nullptr);
+  ASSERT_EQ(xs->size(), 3u);
+  EXPECT_EQ(*xs->at(1)->number(), 2.0);
+  EXPECT_EQ(xs->at(3), nullptr);
+  EXPECT_EQ(doc->find("sub")->find("ok")->boolean(), true);
+  EXPECT_EQ(doc->find("absent"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(*Json::parse(R"("a\"b\\c\/d")")->string(), "a\"b\\c/d");
+  EXPECT_EQ(*Json::parse(R"("a\nb\tc")")->string(), "a\nb\tc");
+  EXPECT_EQ(*Json::parse(R"("\u0041\u00e9")")->string(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, DumpParseRoundTrip) {
+  Json doc = Json::object();
+  doc.set("bench", "micro");
+  doc.set("count", std::uint64_t{20'054'016});
+  doc.set("ratio", 0.996);
+  Json points = Json::array();
+  Json p = Json::object();
+  p.set("name", "replay_ftl");
+  p.set("items_per_second", 4.2e7);
+  points.push(std::move(p));
+  doc.set("points", std::move(points));
+  for (const int indent : {0, 2}) {
+    const auto back = Json::parse(doc.dump(indent));
+    ASSERT_TRUE(back.has_value()) << "indent " << indent;
+    EXPECT_EQ(back->dump(indent), doc.dump(indent));
+  }
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "\"unterminated", "01", "1.",
+        "+1", "nan", "{\"a\":1} trailing", "[1,2,]", "{\"a\":1,}", "\"bad\\q\"",
+        "\"\\u12\"", "'single'"}) {
+    EXPECT_FALSE(Json::parse(bad).has_value()) << "input: " << bad;
+  }
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  const std::string deep(1000, '[');
+  EXPECT_FALSE(Json::parse(deep + std::string(1000, ']')).has_value());
+}
+
+TEST(JsonParse, AccessorsOnWrongTypesReturnEmpty) {
+  const Json num(1);
+  EXPECT_EQ(num.find("k"), nullptr);
+  EXPECT_EQ(num.at(0), nullptr);
+  EXPECT_EQ(num.size(), 0u);
+  EXPECT_EQ(num.string(), nullptr);
+  EXPECT_FALSE(num.boolean().has_value());
+  EXPECT_FALSE(Json("s").number().has_value());
+}
+
 }  // namespace
 }  // namespace swl::runner

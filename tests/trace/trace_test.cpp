@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "core/contracts.hpp"
 #include "trace/segment_replay.hpp"
@@ -250,6 +254,105 @@ TEST(TraceIo, CsvRejectsGarbage) {
   std::stringstream ss("time_us,lba,op\n12,notanumber,W\n");
   Trace out;
   EXPECT_EQ(read_csv(ss, &out), Status::corrupt_snapshot);
+}
+
+// ---- next() / next_batch() equivalence ------------------------------------
+//
+// The batched API is the replay hot path; every source must yield the exact
+// record stream its per-record next() yields, for any batch size. `serial`
+// and `batched` must be freshly built over identical inputs; `limit` caps
+// infinite sources.
+void expect_batches_match_serial(TraceSource& serial, TraceSource& batched, std::size_t n,
+                                 std::uint64_t limit) {
+  std::vector<TraceRecord> buf(n);
+  std::uint64_t seen = 0;
+  while (seen < limit) {
+    const auto want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, limit - seen));
+    const std::size_t got = batched.next_batch(buf.data(), want);
+    ASSERT_LE(got, want);
+    for (std::size_t i = 0; i < got; ++i) {
+      const auto rec = serial.next();
+      ASSERT_TRUE(rec.has_value()) << "batch size " << n << ", record " << seen + i;
+      ASSERT_EQ(buf[i], *rec) << "batch size " << n << ", record " << seen + i;
+    }
+    seen += got;
+    if (got < want) break;  // source ended mid-batch
+  }
+  // When the batched side ended before the cap, the serial side must end too.
+  if (seen < limit) EXPECT_FALSE(serial.next().has_value()) << "batch size " << n;
+}
+
+constexpr std::size_t kBatchSizes[] = {1, 7, 4096};
+
+TEST(BatchEquivalence, VectorSource) {
+  SyntheticConfig c = small_config();
+  c.duration_s = 3600;
+  const Trace t = generate_synthetic_trace(c);
+  ASSERT_FALSE(t.empty());
+  for (const std::size_t n : kBatchSizes) {
+    VectorTraceSource serial(t);
+    VectorTraceSource batched(t);
+    expect_batches_match_serial(serial, batched, n, UINT64_MAX);
+  }
+}
+
+TEST(BatchEquivalence, SyntheticSource) {
+  for (const std::size_t n : kBatchSizes) {
+    SyntheticTraceSource serial(small_config());
+    SyntheticTraceSource batched(small_config());
+    expect_batches_match_serial(serial, batched, n, 20'000);
+  }
+}
+
+TEST(BatchEquivalence, SegmentReplaySource) {
+  SyntheticConfig c = small_config();
+  c.duration_s = 6 * 3600;
+  const Trace base = generate_synthetic_trace(c);
+  for (const std::size_t n : kBatchSizes) {
+    SegmentReplaySource serial(base, 600.0, 42);
+    SegmentReplaySource batched(base, 600.0, 42);
+    expect_batches_match_serial(serial, batched, n, 20'000);
+  }
+}
+
+TEST(BatchEquivalence, BinaryTraceSource) {
+  SyntheticConfig c = small_config();
+  c.duration_s = 3600;
+  const Trace t = generate_synthetic_trace(c);
+  const std::string path = testing::TempDir() + "batch_equivalence.swlt";
+  save_binary(path, t);
+  for (const std::size_t n : kBatchSizes) {
+    BinaryTraceSource serial(path);
+    BinaryTraceSource batched(path);
+    expect_batches_match_serial(serial, batched, n, UINT64_MAX);
+    EXPECT_EQ(serial.status(), Status::ok);
+    EXPECT_EQ(batched.status(), Status::ok);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, BufferedRoundTripThroughput) {
+  // The chunk-buffered codec must stay orders of magnitude above one stream
+  // operation per record. The floor is ~100x below release-build throughput
+  // so sanitizer builds pass, while a regression to per-field stream IO
+  // (~0.1 Mrec/s on files) would still trip it.
+  SyntheticConfig c = small_config();
+  c.duration_s = 24 * 3600;
+  const Trace t = generate_synthetic_trace(c);
+  ASSERT_GE(t.size(), 100'000u);
+  const std::string path = testing::TempDir() + "throughput.swlt";
+  const auto start = std::chrono::steady_clock::now();
+  save_binary(path, t);
+  Trace out;
+  ASSERT_EQ(load_binary(path, &out), Status::ok);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  std::remove(path.c_str());
+  ASSERT_EQ(out, t);
+  const double records_per_second = static_cast<double>(t.size()) * 2.0 / seconds;
+  EXPECT_GT(records_per_second, 1e6) << "round-tripped " << t.size() << " records in "
+                                     << seconds << " s";
 }
 
 TEST(TraceStats, CountsOpsAndCoverage) {

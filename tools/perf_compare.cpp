@@ -1,0 +1,232 @@
+// Perf-regression comparator for the bench_micro artifact.
+//
+// Compare mode (the CI gate):
+//
+//   perf_compare BASELINE.json CURRENT.json [--max-regression PCT]
+//
+// Both files are bench_micro --json output: {bench, points:[{name, items,
+// seconds, items_per_second, ...}]}. The comparator normalizes for machine
+// speed using the `calibrate` point — a pure-ALU spin whose throughput
+// tracks the host, not the code under test — then fails (exit 1) when any
+// benchmark present in the baseline regressed by more than the threshold
+// (default 15%) after normalization:
+//
+//   speed     = current.calibrate.ips / baseline.calibrate.ips
+//   ratio     = (current.ips / speed) / baseline.ips      (per benchmark)
+//   regressed = ratio < 1 - threshold
+//
+// Benchmarks missing from the current run fail the gate (a silently dropped
+// benchmark is not a pass); new benchmarks only in the current run are
+// reported and ignored. Exit codes: 0 ok, 1 regression, 2 usage/bad input.
+//
+// Merge mode:
+//
+//   perf_compare --merge OUT.json IN1.json IN2.json [IN3.json ...]
+//
+// Writes an artifact holding, per benchmark, the point with the highest
+// items_per_second across the inputs. Process-level effects (address-space
+// layout, transparent huge pages) make individual invocations of a
+// benchmark differ far more than repetitions inside one process, so both
+// the committed baseline and the CI measurement are best-of-several
+// *invocations*, merged with this mode, before being compared.
+//
+// After an intentional perf change, re-baseline by committing a fresh
+// merged artifact as bench/BENCH_micro.json (see README).
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/json.hpp"
+
+namespace {
+
+using swl::runner::Json;
+
+struct Point {
+  double items_per_second = 0.0;
+  Json raw;  // the full point object, for merge output
+};
+
+using PointMap = std::map<std::string, Point>;
+
+std::optional<PointMap> load_points(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "perf_compare: cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::optional<Json> doc = Json::parse(buf.str());
+  if (!doc.has_value()) {
+    std::cerr << "perf_compare: " << path << " is not valid JSON\n";
+    return std::nullopt;
+  }
+  const Json* points = doc->find("points");
+  if (points == nullptr || !points->is_array()) {
+    std::cerr << "perf_compare: " << path << " has no points array\n";
+    return std::nullopt;
+  }
+  PointMap out;
+  for (std::size_t i = 0; i < points->size(); ++i) {
+    const Json& p = *points->at(i);
+    const Json* name = p.find("name");
+    const Json* ips = p.find("items_per_second");
+    if (name == nullptr || name->string() == nullptr || ips == nullptr ||
+        !ips->number().has_value()) {
+      std::cerr << "perf_compare: " << path << " point " << i
+                << " lacks name/items_per_second\n";
+      return std::nullopt;
+    }
+    out[*name->string()] = Point{*ips->number(), p};
+  }
+  return out;
+}
+
+std::string fmt_ips(double ips) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << ips / 1e6 << "M/s";
+  return os.str();
+}
+
+int merge(const std::string& out_path, const std::vector<std::string>& inputs) {
+  PointMap best;
+  for (const std::string& path : inputs) {
+    const auto points = load_points(path);
+    if (!points.has_value()) return 2;
+    for (const auto& [name, pt] : *points) {
+      const auto it = best.find(name);
+      if (it == best.end() || pt.items_per_second > it->second.items_per_second) {
+        best[name] = pt;
+      }
+    }
+  }
+  Json doc = Json::object();
+  doc.set("bench", "micro");
+  doc.set("merged_from", static_cast<std::uint64_t>(inputs.size()));
+  Json arr = Json::array();
+  for (auto& [name, pt] : best) arr.push(std::move(pt.raw));
+  doc.set("points", std::move(arr));
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "perf_compare: cannot write " << out_path << "\n";
+    return 2;
+  }
+  out << doc.dump() << "\n";
+  std::cout << "merged " << inputs.size() << " artifact(s) into " << out_path << "\n";
+  return 0;
+}
+
+int compare(const std::string& baseline_path, const std::string& current_path,
+            double threshold) {
+  const auto baseline = load_points(baseline_path);
+  const auto current = load_points(current_path);
+  if (!baseline.has_value() || !current.has_value()) return 2;
+
+  const auto base_cal = baseline->find("calibrate");
+  const auto cur_cal = current->find("calibrate");
+  if (base_cal == baseline->end() || cur_cal == current->end() ||
+      base_cal->second.items_per_second <= 0.0 || cur_cal->second.items_per_second <= 0.0) {
+    std::cerr << "perf_compare: both files need a positive `calibrate` point\n";
+    return 2;
+  }
+  const double speed = cur_cal->second.items_per_second / base_cal->second.items_per_second;
+  std::cout << "machine speed vs baseline host: " << fmt_ips(cur_cal->second.items_per_second)
+            << " / " << fmt_ips(base_cal->second.items_per_second) << " = ";
+  std::cout.precision(3);
+  std::cout << std::fixed << speed << "x\n\n";
+
+  bool failed = false;
+  std::cout << "  benchmark                 baseline      current   normalized  verdict\n";
+  for (const auto& [name, base] : *baseline) {
+    if (name == "calibrate") continue;
+    const auto it = current->find(name);
+    if (it == current->end()) {
+      std::cout << "  " << name << ": MISSING from current run\n";
+      failed = true;
+      continue;
+    }
+    const double ratio = (it->second.items_per_second / speed) / base.items_per_second;
+    const bool regressed = ratio < 1.0 - threshold;
+    failed = failed || regressed;
+    std::cout << "  ";
+    std::cout.width(22);
+    std::cout << std::left << name << std::right;
+    std::cout.width(13);
+    std::cout << fmt_ips(base.items_per_second);
+    std::cout.width(13);
+    std::cout << fmt_ips(it->second.items_per_second);
+    std::cout.width(12);
+    std::cout.precision(3);
+    std::cout << std::fixed << ratio;
+    std::cout << (regressed ? "  REGRESSED" : "  ok") << "\n";
+  }
+  for (const auto& [name, pt] : *current) {
+    if (baseline->find(name) == baseline->end()) {
+      std::cout << "  " << name << ": new benchmark (" << fmt_ips(pt.items_per_second)
+                << "), not gated\n";
+    }
+  }
+
+  std::cout << "\nperf gate: "
+            << (failed ? "FAIL (normalized throughput regressed beyond " : "ok (threshold ")
+            << threshold * 100.0 << "%)\n";
+  return failed ? 1 : 0;
+}
+
+void usage(std::ostream& os) {
+  os << "usage: perf_compare BASELINE.json CURRENT.json [--max-regression 0.15]\n"
+        "       perf_compare --merge OUT.json IN1.json IN2.json [...]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double threshold = 0.15;
+  bool merge_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-regression") {
+      if (i + 1 >= argc) {
+        std::cerr << "--max-regression needs a value (fraction, e.g. 0.15)\n";
+        return 2;
+      }
+      try {
+        threshold = std::stod(argv[++i]);
+      } catch (const std::logic_error&) {
+        std::cerr << "invalid --max-regression value\n";
+        return 2;
+      }
+      if (threshold <= 0.0 || threshold >= 1.0) {
+        std::cerr << "--max-regression must be in (0, 1)\n";
+        return 2;
+      }
+    } else if (arg == "--merge") {
+      merge_mode = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (merge_mode) {
+    if (paths.size() < 3) {
+      usage(std::cerr);
+      return 2;
+    }
+    return merge(paths[0], std::vector<std::string>(paths.begin() + 1, paths.end()));
+  }
+  if (paths.size() != 2) {
+    usage(std::cerr);
+    return 2;
+  }
+  return compare(paths[0], paths[1], threshold);
+}
