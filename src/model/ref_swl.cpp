@@ -1,0 +1,152 @@
+#include "model/ref_swl.hpp"
+
+#include <sstream>
+
+#include "core/contracts.hpp"
+
+namespace swl::model {
+
+RefSwLeveler::RefSwLeveler(BlockIndex block_count, const wear::LevelerConfig& config)
+    : block_count_(block_count),
+      k_(config.k),
+      flag_count_((static_cast<std::size_t>(block_count) + ((std::size_t{1} << config.k) - 1)) >>
+                  config.k),
+      threshold_(config.threshold),
+      selection_(config.selection),
+      rng_seed_(config.rng_seed),
+      rng_(config.rng_seed),
+      baseline_flags_(flag_count_, false) {
+  SWL_REQUIRE(block_count_ > 0, "empty device");
+  SWL_REQUIRE(flag_count_ > 0, "k leaves no BET flag");
+}
+
+void RefSwLeveler::on_chip_erase(BlockIndex block) {
+  SWL_REQUIRE(block < block_count_, "erased block out of range");
+  erase_log_.push_back(block);
+}
+
+std::vector<bool> RefSwLeveler::flags() const {
+  std::vector<bool> f = baseline_flags_;
+  for (const BlockIndex block : erase_log_) f[flag_of(block)] = true;
+  return f;
+}
+
+std::uint64_t RefSwLeveler::fcnt() const {
+  std::uint64_t count = 0;
+  for (const bool set : flags()) count += set ? 1 : 0;
+  return count;
+}
+
+double RefSwLeveler::unevenness() const {
+  const std::uint64_t f = fcnt();
+  if (f == 0) return 0.0;
+  // Same expression as the production unevenness(); exact doubles on both
+  // sides, so the comparison in check() can be equality, not tolerance.
+  return static_cast<double>(ecnt()) / static_cast<double>(f);
+}
+
+bool RefSwLeveler::needs_leveling() const { return fcnt() > 0 && unevenness() >= threshold_; }
+
+std::size_t RefSwLeveler::next_clear(const std::vector<bool>& f, std::size_t start) const {
+  for (std::size_t step = 0; step < flag_count_; ++step) {
+    const std::size_t flag = (start + step) % flag_count_;
+    if (!f[flag]) return flag;
+  }
+  return flag_count_;
+}
+
+void RefSwLeveler::record_event_error(std::string message) {
+  if (event_error_.empty()) event_error_ = std::move(message);
+}
+
+void RefSwLeveler::on_select(std::size_t flag) {
+  const std::vector<bool> f = flags();
+  std::size_t expected = 0;
+  if (selection_ == wear::LevelerConfig::Selection::random) {
+    expected = next_clear(f, rng_.below(flag_count_));
+  } else {
+    expected = next_clear(f, expected_findex_);
+  }
+  if (expected >= flag_count_) {
+    record_event_error("SWL-Procedure selected a flag while the reference BET is full");
+  } else if (flag != expected) {
+    std::ostringstream os;
+    os << "SWL-Procedure selected flag " << flag << ", the reference cyclic scan expects "
+       << expected;
+    record_event_error(os.str());
+  } else if (f[flag]) {
+    record_event_error("SWL-Procedure selected an already-set flag");
+  }
+  // Algorithm 1 step 12: the cursor resumes one past the selected set.
+  expected_findex_ = (flag + 1) % flag_count_;
+}
+
+void RefSwLeveler::on_reset(std::size_t new_findex) {
+  const std::size_t expected = rng_.below(flag_count_);
+  if (new_findex != expected) {
+    std::ostringstream os;
+    os << "BET reset re-randomized findex to " << new_findex << ", the mirrored RNG expects "
+       << expected;
+    record_event_error(os.str());
+  }
+  // Steps 4–7: a new resetting interval — the raw log restarts empty.
+  erase_log_.clear();
+  baseline_flags_.assign(flag_count_, false);
+  baseline_ecnt_ = 0;
+  expected_findex_ = new_findex;
+}
+
+std::string RefSwLeveler::check(const wear::SwLeveler& leveler) const {
+  if (!event_error_.empty()) return event_error_;
+  std::ostringstream os;
+  if (leveler.ecnt() != ecnt()) {
+    os << "ecnt: production " << leveler.ecnt() << " != reference " << ecnt()
+       << " (recomputed from " << erase_log_.size() << " logged erases)";
+    return os.str();
+  }
+  if (leveler.fcnt() != fcnt()) {
+    os << "fcnt: production " << leveler.fcnt() << " != reference " << fcnt();
+    return os.str();
+  }
+  const std::vector<bool> f = flags();
+  for (std::size_t flag = 0; flag < flag_count_; ++flag) {
+    if (leveler.bet().test_flag(flag) != f[flag]) {
+      os << "BET flag " << flag << ": production " << leveler.bet().test_flag(flag)
+         << " != reference " << f[flag];
+      return os.str();
+    }
+  }
+  if (leveler.findex() != expected_findex_) {
+    os << "findex: production " << leveler.findex() << " != reference " << expected_findex_;
+    return os.str();
+  }
+  if (leveler.unevenness() != unevenness()) {
+    os << "unevenness: production " << leveler.unevenness() << " != reference " << unevenness();
+    return os.str();
+  }
+  if (leveler.needs_leveling() != needs_leveling()) {
+    os << "needs_leveling: production " << leveler.needs_leveling() << " != reference "
+       << needs_leveling();
+    return os.str();
+  }
+  return {};
+}
+
+void RefSwLeveler::resync(const wear::SwLeveler& leveler) {
+  SWL_REQUIRE(leveler.bet().flag_count() == flag_count_ && leveler.bet().k() == k_,
+              "resync against a leveler of a different shape");
+  SWL_REQUIRE(leveler.findex() < flag_count_, "resync with an out-of-range findex");
+  erase_log_.clear();
+  baseline_ecnt_ = leveler.ecnt();
+  baseline_flags_.assign(flag_count_, false);
+  for (std::size_t flag = 0; flag < flag_count_; ++flag) {
+    baseline_flags_[flag] = leveler.bet().test_flag(flag);
+  }
+  expected_findex_ = leveler.findex();
+  // A freshly constructed leveler restarts its private RNG from the config
+  // seed; an in-range restored findex draws nothing from it.
+  rng_ = Rng(rng_seed_);
+  event_error_.clear();
+}
+
+}  // namespace swl::model

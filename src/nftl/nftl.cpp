@@ -57,7 +57,7 @@ void Nftl::init_config() {
   maybe_invalid_.assign(geo.block_count, 0);
   // A negative cost weight could score a fully-valid block above zero, so the
   // clean-block skip is only sound for the usual non-negative weights.
-  scan_skips_clean_ = config_.gc_cost_weight >= 0.0;
+  scan_skips_clean_ = config_.gc_cost_weight >= 0.0 && !config_.reference_victim_scan;
   set_fast_paths(&Nftl::fast_write_thunk, &Nftl::fast_read_thunk);
 }
 
@@ -541,7 +541,9 @@ bool Nftl::gc_select_and_fold() {
     BlockIndex best = kInvalidBlock;
     double best_score = 0.0;
     for (BlockIndex b = 0; b < geo.block_count; ++b) {
-      if (!maybe_invalid_[b]) continue;  // implies invalid_page_count == 0
+      if (!config_.reference_victim_scan && !maybe_invalid_[b]) {
+        continue;  // implies invalid_page_count == 0
+      }
       if (owner_[b] == kInvalidVba || chip().is_retired(b)) continue;
       if (chip().invalid_page_count(b) == 0) continue;
       const auto age = static_cast<double>(write_sequence_ - last_write_seq_[b]);

@@ -39,6 +39,12 @@ struct NftlConfig {
   /// GC victim selection: the paper's greedy cyclic scan, or LFS-style
   /// cost-benefit with age.
   tl::VictimPolicy victim_policy = tl::VictimPolicy::greedy_cyclic;
+  /// Diagnostic: run the reference victim scan — the two-pass cyclic scan +
+  /// fallback without the maybe_invalid clean-block filter. Must select the
+  /// same victims as the default single-pass scan (pinned by the
+  /// victim-scan property test and the differential fuzzer); never needed
+  /// in production.
+  bool reference_victim_scan = false;
 };
 
 class Nftl final : public tl::TranslationLayer {

@@ -63,6 +63,7 @@ void SwLeveler::run(Cleaner& cleaner) {
     findex_ = (config_.selection == LevelerConfig::Selection::random)
                   ? bet_.next_clear_flag(rng_.below(bet_.flag_count()))
                   : bet_.next_clear_flag(findex_);  // steps 9-10
+    if (trace_sink_ != nullptr) trace_sink_->on_select(findex_);
 
     const std::uint64_t ecnt_before = ecnt_;
     const std::uint64_t fcnt_before = fcnt();
@@ -90,6 +91,7 @@ void SwLeveler::start_new_interval() {
   bet_.reset();                               // step 7
   findex_ = rng_.below(bet_.flag_count());    // step 6: random restart
   ++stats_.bet_resets;
+  if (trace_sink_ != nullptr) trace_sink_->on_reset(findex_);
 }
 
 void SwLeveler::restore_state(std::uint64_t ecnt, std::size_t findex,

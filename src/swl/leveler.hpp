@@ -20,6 +20,24 @@
 
 namespace swl::wear {
 
+/// Algorithm-level event stream of the SW Leveler, for external observers
+/// (the reference-model oracle in src/model cross-checks the cyclic scan and
+/// the resetting intervals against these events). A null sink costs one
+/// pointer test per event; events fire only inside SWL-Procedure, never on
+/// the write hot path.
+class LevelerTraceSink {
+ public:
+  virtual ~LevelerTraceSink() = default;
+
+  /// SWL-Procedure selected BET flag `flag` for collection (Algorithm 1,
+  /// steps 9–10); fires before the Cleaner is asked to collect the set.
+  virtual void on_select(std::size_t flag) = 0;
+
+  /// The BET was reset — a new resetting interval begins (Algorithm 1,
+  /// steps 4–7) — with the re-randomized scan cursor.
+  virtual void on_reset(std::size_t new_findex) = 0;
+};
+
 /// Tuning parameters of the SW Leveler.
 struct LevelerConfig {
   /// Mapping mode: one BET flag per 2^k contiguous blocks.
@@ -72,6 +90,10 @@ class SwLeveler final : public Leveler {
   [[nodiscard]] const LevelerConfig& config() const noexcept { return config_; }
   [[nodiscard]] const LevelerStats& stats() const noexcept override { return stats_; }
 
+  /// Attaches (or, with nullptr, detaches) an algorithm-event observer.
+  /// Non-owning; the sink must outlive the leveler or be detached first.
+  void set_trace_sink(LevelerTraceSink* sink) noexcept { trace_sink_ = sink; }
+
   // -- persistence hooks (see snapshot.hpp) ----------------------------------
 
   /// Overwrites the interval state from a restored snapshot. The paper notes
@@ -88,6 +110,7 @@ class SwLeveler final : public Leveler {
   std::uint64_t ecnt_ = 0;  // block erases since the BET was reset
   std::size_t findex_ = 0;  // cyclic-scan cursor over BET flags
   bool running_ = false;
+  LevelerTraceSink* trace_sink_ = nullptr;
   LevelerStats stats_;
 };
 

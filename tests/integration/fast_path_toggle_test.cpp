@@ -1,0 +1,172 @@
+// Fast-path / slow-path equivalence under mid-run toggling.
+//
+// TranslationLayer::write_record dispatches through the layer's non-virtual
+// fast path only while NandChip::fast_media() holds — attaching any
+// power-loss hook (even one that always proceeds) flips every subsequent
+// write onto the virtual slow path. These tests drive one stack through
+// write_record while attaching/detaching a benign hook and erase observers
+// mid-run, and a twin stack through the always-virtual write(), asserting
+// the two end bit-identical: the dispatch route must never leak into state.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "ftl/ftl.hpp"
+#include "nand/nand_chip.hpp"
+#include "nand/power_loss.hpp"
+#include "nftl/nftl.hpp"
+#include "swl/leveler.hpp"
+#include "tl/translation_layer.hpp"
+
+namespace swl {
+namespace {
+
+/// A power-loss hook that never cuts power. Attaching it has exactly one
+/// effect: fast_media() goes false, forcing the virtual write path.
+class BenignHook final : public nand::PowerLossHook {
+ public:
+  nand::CrashDecision on_operation(nand::CrashOp) override {
+    return nand::CrashDecision::proceed;
+  }
+};
+
+enum class Layer { ftl, nftl };
+
+struct Stack {
+  Stack(Layer which, BlockIndex blocks, PageIndex pages) {
+    nand::NandConfig cc;
+    cc.geometry = FlashGeometry{.block_count = blocks, .pages_per_block = pages,
+                                .page_size_bytes = 512};
+    cc.timing = default_timing(CellType::slc_large_block);
+    chip = std::make_unique<nand::NandChip>(cc);
+    if (which == Layer::ftl) {
+      ftl::FtlConfig cfg;
+      cfg.lba_count = blocks * pages * 6 / 10;
+      layer = std::make_unique<ftl::Ftl>(*chip, cfg);
+    } else {
+      nftl::NftlConfig cfg;
+      cfg.vba_count = blocks * 6 / 10;
+      layer = std::make_unique<nftl::Nftl>(*chip, cfg);
+    }
+    wear::LevelerConfig lc;
+    lc.k = 2;
+    lc.threshold = 4;
+    auto lev = std::make_unique<wear::SwLeveler>(blocks, lc);
+    leveler = lev.get();
+    layer->attach_leveler(std::move(lev));
+  }
+  std::unique_ptr<nand::NandChip> chip;
+  std::unique_ptr<tl::TranslationLayer> layer;
+  wear::SwLeveler* leveler = nullptr;
+  BenignHook hook;
+  std::uint64_t observer_erases = 0;
+};
+
+void expect_identical(Stack& a, Stack& b) {
+  EXPECT_EQ(a.chip->counters().programs, b.chip->counters().programs);
+  EXPECT_EQ(a.chip->counters().erases, b.chip->counters().erases);
+  EXPECT_EQ(a.chip->erase_counts(), b.chip->erase_counts());
+  EXPECT_EQ(a.layer->counters().host_writes, b.layer->counters().host_writes);
+  EXPECT_EQ(a.layer->counters().gc_erases, b.layer->counters().gc_erases);
+  EXPECT_EQ(a.layer->counters().swl_erases, b.layer->counters().swl_erases);
+  ASSERT_NE(a.leveler, nullptr);
+  ASSERT_NE(b.leveler, nullptr);
+  EXPECT_EQ(a.leveler->ecnt(), b.leveler->ecnt());
+  EXPECT_EQ(a.leveler->findex(), b.leveler->findex());
+  EXPECT_EQ(a.leveler->bet().bits().words(), b.leveler->bet().bits().words());
+  for (Lba lba = 0; lba < a.layer->lba_count(); ++lba) {
+    std::uint64_t ta = 0;
+    std::uint64_t tb = 0;
+    const Status sa = a.layer->read_record(lba, &ta);
+    const Status sb = b.layer->read(lba, &tb);
+    EXPECT_EQ(sa, sb) << "lba " << lba;
+    EXPECT_EQ(ta, tb) << "lba " << lba;
+  }
+  EXPECT_NO_THROW(a.layer->check_invariants());
+  EXPECT_NO_THROW(b.layer->check_invariants());
+}
+
+void run_toggle_workload(Layer which) {
+  // Stack a uses write_record (fast path whenever the media allows); stack b
+  // always takes the virtual path. The hook and an erase observer are
+  // attached and detached at phase boundaries mid-run on BOTH stacks so the
+  // op streams stay identical.
+  Stack a(which, 16, 8);
+  Stack b(which, 16, 8);
+  Rng rng(7);
+  std::uint64_t token = 1;
+  std::size_t tok_a = 0;
+  std::size_t tok_b = 0;
+  std::uint64_t fast_before_hook = 0;
+
+  const auto burst = [&](std::uint64_t writes) {
+    for (std::uint64_t i = 0; i < writes; ++i) {
+      const Lba lba = static_cast<Lba>(rng.below(a.layer->lba_count()));
+      const std::uint64_t t = token++;
+      ASSERT_EQ(a.layer->write_record(lba, t), b.layer->write(lba, t));
+    }
+  };
+
+  // Phase 1: unhooked — the fast path must actually fire.
+  burst(300);
+  fast_before_hook = a.layer->counters().fast_path_writes;
+  EXPECT_GT(fast_before_hook, 0u);
+
+  // Phase 2: benign hook attached — fast-path counter must freeze.
+  a.chip->set_power_loss_hook(&a.hook);
+  b.chip->set_power_loss_hook(&b.hook);
+  EXPECT_FALSE(a.chip->fast_media());
+  burst(300);
+  EXPECT_EQ(a.layer->counters().fast_path_writes, fast_before_hook);
+
+  // Phase 3: hook off, observer on — observers do not gate the fast path.
+  a.chip->set_power_loss_hook(nullptr);
+  b.chip->set_power_loss_hook(nullptr);
+  tok_a = a.chip->add_erase_observer(
+      [&a](BlockIndex, std::uint32_t) { ++a.observer_erases; });
+  tok_b = b.chip->add_erase_observer(
+      [&b](BlockIndex, std::uint32_t) { ++b.observer_erases; });
+  burst(300);
+  EXPECT_GT(a.layer->counters().fast_path_writes, fast_before_hook);
+
+  // Phase 4: observer off again, finish the run.
+  a.chip->remove_erase_observer(tok_a);
+  b.chip->remove_erase_observer(tok_b);
+  burst(300);
+
+  EXPECT_EQ(a.observer_erases, b.observer_erases);
+  expect_identical(a, b);
+}
+
+TEST(FastPathToggle, FtlTwinStacksStayIdentical) { run_toggle_workload(Layer::ftl); }
+
+TEST(FastPathToggle, NftlTwinStacksStayIdentical) { run_toggle_workload(Layer::nftl); }
+
+TEST(FastPathToggle, HookAttachMidRunFreezesFastPathCounterOnly) {
+  // Attach/detach repeatedly at finer granularity; every toggle point is a
+  // potential state-divergence seam.
+  Stack a(Layer::ftl, 12, 8);
+  Stack b(Layer::ftl, 12, 8);
+  Rng rng(11);
+  std::uint64_t token = 1;
+  for (int phase = 0; phase < 10; ++phase) {
+    const bool hooked = phase % 2 == 1;
+    a.chip->set_power_loss_hook(hooked ? &a.hook : nullptr);
+    b.chip->set_power_loss_hook(hooked ? &b.hook : nullptr);
+    const std::uint64_t before = a.layer->counters().fast_path_writes;
+    for (int i = 0; i < 80; ++i) {
+      const Lba lba = static_cast<Lba>(rng.below(a.layer->lba_count()));
+      const std::uint64_t t = token++;
+      ASSERT_EQ(a.layer->write_record(lba, t), b.layer->write(lba, t));
+    }
+    if (hooked) {
+      EXPECT_EQ(a.layer->counters().fast_path_writes, before) << "phase " << phase;
+    }
+  }
+  expect_identical(a, b);
+}
+
+}  // namespace
+}  // namespace swl

@@ -139,6 +139,50 @@ TEST(Bet, SingleBlockTailSet) {
   EXPECT_EQ(bet.set_size_of(1), 1u);
 }
 
+TEST(Bet, MaxKDegeneratesToSingleFlag) {
+  // Any k with 2^k >= block_count leaves exactly one flag covering the whole
+  // device — the legal extreme of the one-to-many mode.
+  for (const std::uint32_t k : {4u, 5u, 20u, 31u}) {
+    Bet bet(16, k);
+    ASSERT_EQ(bet.flag_count(), 1u) << "k=" << k;
+    EXPECT_EQ(bet.first_block_of(0), 0u);
+    EXPECT_EQ(bet.set_size_of(0), 16u) << "k=" << k;
+    for (BlockIndex b = 0; b < 16; ++b) EXPECT_EQ(bet.flag_of(b), 0u);
+    // The single flag makes every erase fill the BET outright.
+    EXPECT_FALSE(bet.all_set());
+    EXPECT_TRUE(bet.mark_erased(7));
+    EXPECT_TRUE(bet.all_set());
+    EXPECT_FALSE(bet.mark_erased(3));  // already set: fcnt must not move
+    bet.reset();
+    EXPECT_EQ(bet.set_count(), 0u);
+    EXPECT_EQ(bet.next_clear_flag(0), 0u);
+  }
+}
+
+TEST(Bet, MaxKSizeBytesIsOneByte) {
+  // Table 1 extreme: one flag rounds up to a single byte regardless of the
+  // device size.
+  EXPECT_EQ(Bet::size_bytes(16, 31), 1u);
+  EXPECT_EQ(Bet::size_bytes(65536, 31), 1u);
+}
+
+TEST(Bet, TailSetShorterThanHalfASet) {
+  // 13 blocks, one flag per 4: flags {0..3},{4..7},{8..11},{12} — the tail
+  // set is a single block, shorter than 2^(k-1).
+  Bet bet(13, 2);
+  ASSERT_EQ(bet.flag_count(), 4u);
+  EXPECT_EQ(bet.set_size_of(3), 1u);
+  EXPECT_EQ(bet.first_block_of(3), 12u);
+  EXPECT_EQ(bet.flag_of(12), 3u);
+  EXPECT_TRUE(bet.mark_erased(12));
+  EXPECT_EQ(bet.set_count(), 1u);
+  // The cyclic scan must still treat the short tail flag as an ordinary
+  // candidate.
+  EXPECT_EQ(bet.next_clear_flag(3), 0u);
+  bet.reset();
+  EXPECT_EQ(bet.next_clear_flag(3), 3u);
+}
+
 // Property: for any k, every block maps to exactly one flag and the
 // first_block_of/set_size_of decomposition tiles the block range.
 TEST(Bet, PropertyFlagPartitionTilesBlocks) {

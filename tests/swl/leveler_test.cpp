@@ -146,6 +146,41 @@ TEST(SwLeveler, KModeCollectsWholeBlockSets) {
   for (const auto b : cleaner.collected) EXPECT_GE(b, 4u);
 }
 
+TEST(SwLeveler, MaxKSingleFlagResetsWithoutCollecting) {
+  // 2^k >= block_count: one flag covers the whole device, so the first erase
+  // fills the BET. Every run() over threshold can only start a new interval
+  // (Algorithm 1 steps 3-8) — there is never a clear flag to collect.
+  SwLeveler lev(16, config(2, /*k=*/5));
+  ASSERT_EQ(lev.bet().flag_count(), 1u);
+  RecordingCleaner cleaner(lev);
+  for (int i = 0; i < 10; ++i) lev.on_block_erased(static_cast<BlockIndex>(i % 16));
+  EXPECT_EQ(lev.fcnt(), 1u);
+  EXPECT_TRUE(lev.needs_leveling());
+  lev.run(cleaner);
+  EXPECT_TRUE(cleaner.collected.empty());
+  EXPECT_GE(lev.stats().bet_resets, 1u);
+  EXPECT_EQ(lev.ecnt(), 0u);
+  EXPECT_EQ(lev.fcnt(), 0u);
+  EXPECT_EQ(lev.findex(), 0u);  // the only legal findex
+  EXPECT_FALSE(lev.needs_leveling());
+}
+
+TEST(SwLeveler, TailSetCollectionCoversOnlyRealBlocks) {
+  // 13 blocks, k=2: the tail set {12} is one block. A leveler collecting the
+  // tail flag must hand the Cleaner exactly that one block, not 2^k.
+  SwLeveler lev(13, config(2, /*k=*/2));
+  RecordingCleaner cleaner(lev);
+  // Set flags 0..2 (blocks 0..11) hot; only the tail flag stays clear.
+  for (int i = 0; i < 24; ++i) lev.on_block_erased(static_cast<BlockIndex>(i % 12));
+  EXPECT_EQ(lev.fcnt(), 3u);
+  lev.run(cleaner);
+  // Whatever the scan order, block 12 is the only clear candidate the first
+  // collection can pick, and no collected index may fall outside the device.
+  ASSERT_FALSE(cleaner.collected.empty());
+  EXPECT_EQ(cleaner.collected.front(), 12u);
+  for (const auto b : cleaner.collected) EXPECT_LT(b, 13u);
+}
+
 TEST(SwLeveler, StallGuardStopsFruitlessScans) {
   SwLeveler lev(8, config(2));
   NoopCleaner cleaner;
