@@ -166,7 +166,9 @@ std::uint64_t layer_write(MakeLayer&& make_layer) {
     // Hot/cold mix: half the writes to 64 hot pages.
     const Lba lba =
         rng.chance(0.5) ? static_cast<Lba>(rng.below(64)) : static_cast<Lba>(rng.below(lbas));
-    (void)layer->write(lba, token++);
+    // Benign discard: the replay-throughput point measures the write path
+    // itself; out_of_space cannot occur at this utilization.
+    discard_status(layer->write(lba, token++));
   }
   return kWrites;
 }

@@ -1,0 +1,70 @@
+// Clang thread-safety-analysis annotations.
+//
+// Under clang, these macros expand to the static-analysis attributes behind
+// -Wthread-safety (promoted to errors in the top-level CMakeLists), so lock
+// discipline — which mutex guards which state, which functions require or
+// exclude which locks — is checked at compile time. Under GCC and MSVC they
+// expand to nothing; CI's clang job keeps the wall standing for every change.
+//
+// Usage (see also src/core/sync.hpp for the CAPABILITY-annotated primitives):
+//
+//   core::Mutex mu_;
+//   std::deque<Task> queue_ GUARDED_BY(mu_);   // access only with mu_ held
+//   void drain() REQUIRES(mu_);                // caller must hold mu_
+//   void submit(Task t) EXCLUDES(mu_);         // caller must NOT hold mu_
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#ifndef SWL_CORE_ANNOTATIONS_HPP
+#define SWL_CORE_ANNOTATIONS_HPP
+
+#if defined(__clang__) && (!defined(SWL_NO_THREAD_SAFETY_ANALYSIS))
+#define SWL_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SWL_THREAD_ANNOTATION__(x)  // no-op on non-clang compilers
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define CAPABILITY(x) SWL_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class that acquires a capability at construction and
+/// releases it at destruction.
+#define SCOPED_CAPABILITY SWL_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while the given capability is held.
+#define GUARDED_BY(x) SWL_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define PT_GUARDED_BY(x) SWL_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function that acquires the capability (and does not release it).
+#define ACQUIRE(...) SWL_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability.
+#define RELEASE(...) SWL_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns `ret`.
+#define TRY_ACQUIRE(ret, ...) SWL_THREAD_ANNOTATION__(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Caller must hold the capability to call this function.
+#define REQUIRES(...) SWL_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention).
+#define EXCLUDES(...) SWL_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability.
+#define ASSERT_CAPABILITY(x) SWL_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returning a reference to the given capability.
+#define RETURN_CAPABILITY(x) SWL_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Ordering hint: this capability must be acquired after `...`.
+#define ACQUIRED_AFTER(...) SWL_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Ordering hint: this capability must be acquired before `...`.
+#define ACQUIRED_BEFORE(...) SWL_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+/// Escape hatch: disables analysis inside one function. Every use must carry
+/// a comment explaining why the analysis cannot see the invariant.
+#define NO_THREAD_SAFETY_ANALYSIS SWL_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // SWL_CORE_ANNOTATIONS_HPP

@@ -1,6 +1,20 @@
 #include "core/status.hpp"
 
 #include <ostream>
+#include <sstream>
+
+#include "core/contracts.hpp"
+
+namespace swl::detail {
+
+void status_check_fail(const char* expr, const char* file, int line, Status got) {
+  std::ostringstream os;
+  os << "status check failed: " << expr << " returned " << to_string(got) << " at " << file << ':'
+     << line;
+  throw InvariantError(os.str());
+}
+
+}  // namespace swl::detail
 
 namespace swl {
 

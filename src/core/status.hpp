@@ -10,7 +10,12 @@
 
 namespace swl {
 
-enum class Status {
+// [[nodiscard]] on the *type*: every function returning a Status — today's and
+// tomorrow's — is implicitly nodiscard, so a silently dropped error code fails
+// the build under -Werror=unused-result (enabled unconditionally in the
+// top-level CMakeLists). Intentional discards must go through the named
+// helpers below, never a bare (void) cast, so they remain grep-able.
+enum class [[nodiscard]] Status {
   ok,
   /// Page was already programmed; NAND pages are program-once between erases.
   page_already_programmed,
@@ -50,6 +55,29 @@ std::ostream& operator<<(std::ostream& os, Status s);
 /// True when the status denotes success.
 [[nodiscard]] constexpr bool ok(Status s) noexcept { return s == Status::ok; }
 
+/// Deliberately discards a Status whose failure is benign *by design* at the
+/// call site (e.g. best-effort invalidation of a page that a crash may already
+/// have consumed). Every call must carry a comment saying why the failure is
+/// benign. Named (instead of a bare `(void)` cast) so discards stay grep-able
+/// and flash_lint can audit them.
+constexpr void discard_status(Status /*unused*/) noexcept {}
+
 }  // namespace swl
+
+/// Asserts that `expr` (a Status expression) evaluated to Status::ok; for call
+/// sites where a failure is impossible by construction (e.g. programming a
+/// page just handed out by the free-block pool on fast media). Throws
+/// swl::InvariantError with the status name otherwise — never silently drops.
+#define SWL_CHECK_OK(expr)                                                        \
+  do {                                                                            \
+    const ::swl::Status swl_check_ok_status_ = (expr);                            \
+    if (!::swl::ok(swl_check_ok_status_))                                         \
+      ::swl::detail::status_check_fail(#expr, __FILE__, __LINE__,                 \
+                                       swl_check_ok_status_);                     \
+  } while (false)
+
+namespace swl::detail {
+[[noreturn]] void status_check_fail(const char* expr, const char* file, int line, Status got);
+}  // namespace swl::detail
 
 #endif  // SWL_CORE_STATUS_HPP

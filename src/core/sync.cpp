@@ -1,0 +1,16 @@
+#include "core/sync.hpp"
+
+#include <sstream>
+
+#include "core/contracts.hpp"
+
+namespace swl {
+
+void ThreadChecker::fail(const char* what) {
+  std::ostringstream os;
+  os << "thread-confinement violation: " << what
+     << " called from a thread that does not own the object (see core/sync.hpp ThreadChecker)";
+  throw InvariantError(os.str());
+}
+
+}  // namespace swl

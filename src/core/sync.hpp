@@ -1,0 +1,125 @@
+// Capability-annotated synchronization primitives.
+//
+// Thin wrappers over the standard primitives that carry the clang
+// thread-safety attributes from core/annotations.hpp, so that lock discipline
+// on the state they guard is verified at compile time (-Wthread-safety under
+// clang; see CI's clang job). All concurrent code in the tree uses these —
+// never raw std::mutex / std::condition_variable — so every piece of shared
+// mutable state can be GUARDED_BY a named capability.
+//
+// ThreadChecker covers the complementary case: state that is *not* shared but
+// thread-confined by design (a sweep point's NandChip, a Simulator's perf
+// counters). It asserts, in debug builds, that all checked operations happen
+// on the owning thread, turning an accidental cross-thread use into an
+// immediate contract failure instead of a data race.
+#ifndef SWL_CORE_SYNC_HPP
+#define SWL_CORE_SYNC_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/annotations.hpp"
+
+namespace swl {
+
+/// A std::mutex carrying the `capability` annotation. Prefer MutexLock for
+/// scoped acquisition; call lock()/unlock() directly only where RAII does not
+/// fit (and the annotations will hold you to balancing them).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for interop with CondVar only.
+  [[nodiscard]] std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over core::Mutex (the annotated std::lock_guard).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to core::Mutex.
+///
+/// wait() takes the Mutex directly and is annotated REQUIRES(mu): the analysis
+/// verifies the caller holds the lock across the wait. Use an explicit
+/// `while (!condition) cv.wait(mu);` loop rather than a predicate lambda —
+/// clang's analysis cannot see through the lambda indirection, the loop it
+/// verifies completely.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires `mu` before returning.
+  void wait(Mutex& mu) REQUIRES(mu) {
+    // adopt_lock: `mu` is already held (enforced statically); release() keeps
+    // the unique_lock from unlocking it again on destruction.
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Debug-build thread-confinement assertion (compiled out under NDEBUG).
+///
+/// Most simulator state is deliberately unsynchronized: every sweep point
+/// owns its SimClock, Rng, NandChip and Simulator, and the sweep runner's
+/// determinism guarantee rests on that confinement. A ThreadChecker member
+/// makes the confinement checkable: the first check() binds the owning
+/// thread, every later check() asserts the same thread. An object handed to
+/// another thread on purpose (e.g. a chip built on the main thread, then run
+/// inside one sweep point) calls detach() at the handoff.
+class ThreadChecker {
+ public:
+  /// Asserts the calling thread owns this object (binding it on first use).
+  /// `what` names the operation for the failure message.
+  void check(const char* what) const {
+#ifndef NDEBUG
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};  // unbound
+    if (owner_.compare_exchange_strong(expected, self, std::memory_order_relaxed)) return;
+    if (expected != self) fail(what);
+#else
+    (void)what;
+#endif
+  }
+
+  /// Unbinds: the next check() re-binds to its calling thread. Call at a
+  /// deliberate ownership handoff.
+  void detach() noexcept { owner_.store(std::thread::id{}, std::memory_order_relaxed); }
+
+ private:
+  [[noreturn]] static void fail(const char* what);
+
+  mutable std::atomic<std::thread::id> owner_{};
+};
+
+}  // namespace swl
+
+#endif  // SWL_CORE_SYNC_HPP

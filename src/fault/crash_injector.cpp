@@ -28,7 +28,9 @@ Status CrashSnapshotStore::write_slot(unsigned slot, const std::vector<std::uint
       // Half the encoding reached the medium; the checksum over the full
       // body can never validate such a prefix.
       const auto half = static_cast<std::ptrdiff_t>(bytes.size() / 2);
-      (void)inner_.write_slot(slot, {bytes.begin(), bytes.begin() + half});
+      // Benign discard: the prefix is torn garbage by construction; whether
+      // the half-write itself also failed changes nothing for recovery.
+      discard_status(inner_.write_slot(slot, {bytes.begin(), bytes.begin() + half}));
       throw nand::PowerLossError{};
     }
   }

@@ -151,7 +151,9 @@ class Runner {
       // A fresh persistence object resumes the slot sequence from the store,
       // exactly like firmware re-initializing after a reboot.
       s.persistence.emplace(s.store);
-      if (mounted) (void)s.persistence->load(*lev);  // corrupt/absent: start fresh
+      // Benign discard: a corrupt or absent snapshot means "start a fresh
+      // interval", which load() already leaves the leveler set up for.
+      if (mounted) discard_status(s.persistence->load(*lev));
       lev->set_trace_sink(&*s.ref_swl);
       s.layer->attach_leveler(std::move(lev));
       s.ref_swl->resync(*s.leveler);

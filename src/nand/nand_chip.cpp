@@ -65,6 +65,7 @@ bool NandChip::inject_erase_failure() {
 }
 
 Status NandChip::erase_block(BlockIndex index) {
+  thread_checker_.check("NandChip::erase_block");
   check_block(index);
   Block& block = blocks_[index];
   if (block.retired) return Status::bad_block;
@@ -131,12 +132,14 @@ void NandChip::forget_logical_state() {
 }
 
 std::size_t NandChip::add_erase_observer(EraseObserver observer) {
+  thread_checker_.check("NandChip::add_erase_observer");
   SWL_REQUIRE(static_cast<bool>(observer), "null erase observer");
   erase_observers_.push_back(std::move(observer));
   return erase_observers_.size() - 1;
 }
 
 void NandChip::remove_erase_observer(std::size_t token) {
+  thread_checker_.check("NandChip::remove_erase_observer");
   SWL_REQUIRE(token < erase_observers_.size(), "unknown erase-observer token");
   SWL_REQUIRE(static_cast<bool>(erase_observers_[token]), "erase observer already removed");
   erase_observers_[token] = nullptr;

@@ -32,6 +32,7 @@
 #include "core/geometry.hpp"
 #include "core/rng.hpp"
 #include "core/status.hpp"
+#include "core/sync.hpp"
 #include "core/types.hpp"
 #include "nand/power_loss.hpp"
 #include "nand/spare_area.hpp"
@@ -187,12 +188,21 @@ class NandChip {
   }
 
   /// Registers `observer`; returns a token accepted by remove_erase_observer.
-  std::size_t add_erase_observer(EraseObserver observer);
+  /// [[nodiscard]]: dropping the token makes deregistration impossible — an
+  /// observer owner that can die before the chip then leaves a dangling
+  /// callback. Cast to void only when the observer provably outlives the chip.
+  [[nodiscard]] std::size_t add_erase_observer(EraseObserver observer);
 
   /// Deregisters a previously registered observer (other tokens stay valid).
   /// An observer owner that dies before the chip MUST deregister — the chip
   /// would otherwise call into a dangling object on the next erase.
   void remove_erase_observer(std::size_t token);
+
+  /// Rebinds the chip's thread-confinement check (see core/sync.hpp): a chip
+  /// built on one thread and then handed to a single sweep-point worker calls
+  /// this at the handoff. Debug builds assert every erase / observer-list
+  /// mutation happens on the owning thread.
+  void detach_owner_thread() noexcept { thread_checker_.detach(); }
 
   /// Attaches (or detaches, with nullptr) a power-loss hook. The hook is
   /// consulted before every page program and block erase; when it cuts
@@ -280,7 +290,12 @@ class NandChip {
   PowerLossHook* power_loss_hook_ = nullptr;
   std::vector<Block> blocks_;
   std::vector<std::uint32_t> erase_counts_;
+  // Thread-confined (not mutex-guarded): one chip belongs to one sweep
+  // point / one thread. thread_checker_ turns a cross-thread erase or
+  // observer registration into an immediate failure in debug builds; the
+  // sweep's determinism tests and the TSan CI job guard the release path.
   std::vector<EraseObserver> erase_observers_;
+  ThreadChecker thread_checker_;
   // mutable: reads are logically const but still count and cost time
   mutable NandCounters counters_;
   std::optional<FailureEvent> first_failure_;

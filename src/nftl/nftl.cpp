@@ -87,7 +87,9 @@ void Nftl::rebuild_from_flash() {
       const nand::SpareArea& spare = chip().spare(addr);
       write_sequence_ = std::max(write_sequence_, spare.sequence);
       if (spare.lba == kInvalidLba || spare.lba >= lba_count_) {
-        (void)chip().invalidate_page(addr);  // garbage (failed program)
+        // Benign discard: mount-scan invalidation; the crash may already
+        // have consumed the page.
+        discard_status(chip().invalidate_page(addr));  // garbage (failed program)
         continue;
       }
       const Vba vba = spare.lba / pages;
@@ -200,11 +202,13 @@ void Nftl::rebuild_from_flash() {
       const Lba lba = spare.lba;
       const Ppa previous = latest_[lba];
       if (!previous.valid() || spare.sequence > winning_sequence[lba]) {
-        if (previous.valid()) (void)chip().invalidate_page(previous);
+        // Benign discards (both below): superseded-version invalidation
+        // during the mount scan; an already-consumed page is already invalid.
+        if (previous.valid()) discard_status(chip().invalidate_page(previous));
         latest_[lba] = addr;
         winning_sequence[lba] = spare.sequence;
       } else {
-        (void)chip().invalidate_page(addr);
+        discard_status(chip().invalidate_page(addr));
       }
     }
   };
@@ -636,7 +640,9 @@ void Nftl::do_collect_blocks(BlockIndex first, BlockIndex count) {
     }
     if (owner_[b] == kInvalidVba) continue;  // dropped block (should be retired)
     if (pool_.empty()) continue;             // no destination for a fold
-    (void)fold(owner_[b]);  // a failed fold under media errors is skipped
+    // Benign discard: a failed fold under media errors is skipped — the
+    // leveling pass retries the block set in a later interval.
+    if (!fold(owner_[b])) continue;
   }
 }
 

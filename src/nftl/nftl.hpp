@@ -103,7 +103,7 @@ class Nftl final : public tl::TranslationLayer {
   /// full" fold and the GC merge of the paper. Program failures abandon the
   /// fresh block and retry with another (bounded); false when every attempt
   /// failed (state is then unchanged).
-  bool fold(Vba vba);
+  [[nodiscard]] bool fold(Vba vba);
 
   /// Allocates a block from the pool for `vba` (dynamic wear leveling).
   BlockIndex allocate_block(Vba vba);

@@ -13,6 +13,7 @@
 #ifndef SWL_RUNNER_SWEEP_RUNNER_HPP
 #define SWL_RUNNER_SWEEP_RUNNER_HPP
 
+#include <cstddef>
 #include <future>
 #include <memory>
 #include <optional>
@@ -20,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/annotations.hpp"
+#include "core/sync.hpp"
 #include "runner/thread_pool.hpp"
 
 namespace swl::runner {
@@ -42,8 +45,16 @@ class SweepRunner {
   template <typename Fn>
   [[nodiscard]] auto submit(Fn fn) -> std::future<std::invoke_result_t<Fn&>> {
     using R = std::invoke_result_t<Fn&>;
-    std::packaged_task<R()> task(std::move(fn));
+    // The completion bump lives *inside* the packaged task (via a scope
+    // guard) so it happens before the future is satisfied: a caller that
+    // returns from future.get() must observe completed() include this point,
+    // whether the point returned or threw.
+    std::packaged_task<R()> task([this, fn = std::move(fn)]() mutable -> R {
+      const PointDoneGuard guard{this};
+      return fn();
+    });
     std::future<R> result = task.get_future();
+    ++submitted_;
     if (pool_ == nullptr) {
       task();
     } else {
@@ -52,6 +63,17 @@ class SweepRunner {
       pool_->submit([shared] { (*shared)(); });
     }
     return result;
+  }
+
+  /// Points submitted so far. Main (submitting) thread only.
+  [[nodiscard]] std::size_t submitted() const noexcept { return submitted_; }
+
+  /// Points that have finished running (successfully or with an exception
+  /// captured in their future). Thread-safe: readable from the main thread
+  /// for progress reporting while a sweep is in flight.
+  [[nodiscard]] std::size_t completed() const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    return completed_;
   }
 
   /// Runs fn(0..n-1) across the pool and returns the results ordered by
@@ -73,8 +95,23 @@ class SweepRunner {
   }
 
  private:
+  void note_point_done() EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    ++completed_;
+  }
+
+  // Runs note_point_done() when the enclosing packaged task unwinds —
+  // normally or by exception — which is before the task's promise is set.
+  struct PointDoneGuard {
+    SweepRunner* runner;
+    ~PointDoneGuard() { runner->note_point_done(); }
+  };
+
   unsigned jobs_;
   std::unique_ptr<ThreadPool> pool_;  // null when jobs_ == 1
+  std::size_t submitted_ = 0;         // main thread only (submit is not concurrent)
+  mutable Mutex mu_;
+  std::size_t completed_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace swl::runner

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -24,7 +24,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   SWL_REQUIRE(static_cast<bool>(task), "null task");
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     SWL_REQUIRE(!stopping_, "submit after shutdown");
     queue_.push_back(std::move(task));
   }
@@ -35,8 +35,10 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit loop (not a predicate lambda) so the thread-safety analysis
+      // verifies the guarded reads — see core/sync.hpp CondVar::wait.
+      while (!stopping_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stopping_ and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -3,16 +3,21 @@
 // Deliberately minimal: a bounded set of workers draining one FIFO queue of
 // type-erased tasks. Ordering guarantees, futures and result collection live
 // one layer up in SweepRunner; this class only provides the threads.
+//
+// All shared state is GUARDED_BY(mu_) and verified by clang's thread-safety
+// analysis (see core/annotations.hpp): an unguarded touch of the queue or the
+// stop flag fails the build.
 #ifndef SWL_RUNNER_THREAD_POOL_HPP
 #define SWL_RUNNER_THREAD_POOL_HPP
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/annotations.hpp"
+#include "core/sync.hpp"
 
 namespace swl::runner {
 
@@ -28,20 +33,20 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; it runs on some worker, in FIFO dispatch order.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) EXCLUDES(mu_);
 
   [[nodiscard]] unsigned thread_count() const noexcept {
     return static_cast<unsigned>(workers_.size());
   }
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written by the constructor only
 };
 
 }  // namespace swl::runner

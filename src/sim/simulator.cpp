@@ -77,6 +77,7 @@ Simulator::Simulator(const SimConfig& config) {
 
 std::uint64_t Simulator::run(trace::TraceSource& source, double max_years,
                              bool stop_on_first_failure, std::uint64_t max_records) {
+  thread_checker_.check("Simulator::run");
   const SimTime horizon = seconds_to_us(max_years * kSecondsPerYear);
   tl::TranslationLayer& layer = *layer_;
   const Lba lba_count = layer.lba_count();
@@ -168,6 +169,7 @@ std::uint64_t Simulator::run(trace::TraceSource& source, double max_years,
 
 std::uint64_t Simulator::run_serial(trace::TraceSource& source, double max_years,
                                     bool stop_on_first_failure, std::uint64_t max_records) {
+  thread_checker_.check("Simulator::run_serial");
   const SimTime horizon = seconds_to_us(max_years * kSecondsPerYear);
   const std::uint64_t start_records = records_;
   while (records_ - start_records < max_records) {

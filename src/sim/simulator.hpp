@@ -166,7 +166,11 @@ class Simulator {
   std::size_t batch_pos_ = 0;
   std::size_t batch_len_ = 0;
   WearTracker wear_;
+  // Thread-confined, like the chip it drives: perf_ and the carry buffer are
+  // mutated without synchronization, so one Simulator must stay on one
+  // thread. Checked (debug builds) at every run()/run_serial() entry.
   PerfCounters perf_;
+  ThreadChecker thread_checker_;
 };
 
 /// Builds the standard simulator stack for a config.

@@ -32,6 +32,30 @@ TEST(Status, StreamsReadably) {
   EXPECT_EQ(os.str(), "out_of_space");
 }
 
+TEST(Status, CheckOkPassesSilentlyOnOk) {
+  EXPECT_NO_THROW(SWL_CHECK_OK(Status::ok));
+}
+
+TEST(Status, CheckOkThrowsNamingExpressionAndStatus) {
+  try {
+    SWL_CHECK_OK(Status::block_worn_out);
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("Status::block_worn_out"), std::string::npos);  // the expression
+    EXPECT_NE(what.find("block_worn_out"), std::string::npos);          // the status name
+    EXPECT_NE(what.find("status_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Status, DiscardStatusIsTheSanctionedDrop) {
+  // Exercising the helper pins that the sanctioned-discard path compiles
+  // and is a no-op; [[nodiscard]] on the enum makes a bare drop of the
+  // same expression a build error under -Werror=unused-result.
+  discard_status(Status::io_error);
+  SUCCEED();
+}
+
 TEST(Contracts, RequireThrowsWithContext) {
   try {
     SWL_REQUIRE(false, "the message");

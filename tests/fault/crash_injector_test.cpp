@@ -69,7 +69,7 @@ TEST(CrashInjector, CutDuringEraseLeavesGarbageAndNoCountedErase) {
   CrashInjector injector(2 * 0 + 1);  // during the erase (first hooked op)
   chip.set_power_loss_hook(&injector);
   int observed_erases = 0;
-  chip.add_erase_observer([&](BlockIndex, std::uint32_t) { ++observed_erases; });
+  (void)chip.add_erase_observer([&](BlockIndex, std::uint32_t) { ++observed_erases; });
 
   EXPECT_THROW((void)chip.erase_block(2), nand::PowerLossError);
   EXPECT_EQ(injector.fired_op(), nand::CrashOp::erase);

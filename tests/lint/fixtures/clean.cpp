@@ -1,0 +1,38 @@
+// Fixture: everything here is legal — flash_lint must report zero findings.
+// Never compiled.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct Accessors {
+  [[nodiscard]] std::uint64_t ecnt() const { return 0; }  // accessor decl, not a write
+  [[nodiscard]] std::size_t findex() const { return 0; }
+  // Declaring a member that shares a reserved name needs a line-scoped allow:
+  [[nodiscard]] int rand() const { return 4; }  // flash-lint: allow(raw-rand) — member decl
+};
+
+// erase_block in comments and strings must be ignored: erase_block(0).
+inline const std::string kDoc = "call erase_block( via GC; use std::rand() never";
+
+bool reads(const Accessors& a) {
+  // Member-access rand() is somebody's API, not the C library.
+  const bool uneven = a.ecnt() >= 100 && a.rand() > 2;
+  // Comparison reads of state names are not mutations.
+  const std::uint64_t ecnt_copy = a.ecnt();
+  return uneven && ecnt_copy == a.findex();
+}
+
+/* raw string carrying forbidden tokens:
+   R"(...)" content must be skipped entirely */
+inline const char* kRaw = R"lint(fopen("x","wb") and fwrite and srand(1))lint";
+
+// Deliberate, line-scoped exceptions with the documented marker (the state
+// names are reserved tree-wide, even for locals):
+inline std::uint64_t shadow_demo() {
+  std::uint64_t findex = 1;  // flash-lint: allow(swl-state-outside-swl) — local shadow
+  findex = 2;                // flash-lint: allow(swl-state-outside-swl) — local shadow
+  return findex;
+}
+
+}  // namespace fixture

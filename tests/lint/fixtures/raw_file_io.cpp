@@ -1,0 +1,16 @@
+// Fixture: seeded violations of raw-file-io. Never compiled.
+#include <cstdio>
+
+namespace fixture {
+
+// A snapshot "fast path" that skips the durable write-fsync-rename sequence:
+// exactly the crash-consistency bug class PR 2's fault injection hunts.
+bool quick_save(const void* bytes, std::size_t n) {
+  std::FILE* f = std::fopen("snapshot.bin", "wb");  // line 10: finding (fopen)
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(bytes, 1, n, f) == n;  // line 12: finding (fwrite)
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace fixture

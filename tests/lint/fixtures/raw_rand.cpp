@@ -1,0 +1,14 @@
+// Fixture: seeded violations of raw-rand. Never compiled.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int roll_dice() {
+  std::srand(42);                       // line 8: finding (srand)
+  std::random_device entropy;           // line 9: finding (random_device)
+  std::mt19937 gen(entropy());          // line 10: finding (mt19937)
+  return std::rand() % 6;               // line 11: finding (rand)
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: seeded violation of erase-outside-cleaner. Never compiled — only
+// fed to flash_lint by lint_test.
+#include "nand/nand_chip.hpp"
+
+namespace fixture {
+
+// A "helpful" module erasing a block directly: the erase bypasses nothing at
+// the chip level (observers still fire), but the module-routing rule exists
+// so every erase decision stays inside the GC/Cleaner code the leveler is
+// integrated with.
+void scrub_block(swl::nand::NandChip& chip) {
+  (void)chip.erase_block(3);  // line 12: finding expected here
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: seeded violations of swl-state-outside-swl. Never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+struct RogueLeveler {
+  std::uint64_t ecnt_ = 0;
+  std::size_t findex_ = 0;
+};
+
+void tamper(RogueLeveler& lev, std::uint64_t ecnt_snapshot) {
+  lev.ecnt_ = ecnt_snapshot;  // line 12: finding (assignment)
+  ++lev.findex_;              // line 13: finding (pre-increment)
+  lev.ecnt_ += 2;             // line 14: finding (compound assignment)
+}
+
+// Reads are fine: comparisons and accessor calls must NOT be flagged.
+bool reads_only(const RogueLeveler& lev) { return lev.ecnt_ == 7 && lev.findex_ >= 1; }
+
+}  // namespace fixture

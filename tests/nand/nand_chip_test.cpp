@@ -158,7 +158,7 @@ TEST(NandChip, RetirementStopsWornBlocks) {
 TEST(NandChip, EraseObserverFiresWithNewCount) {
   NandChip chip(small_config());
   std::vector<std::pair<BlockIndex, std::uint32_t>> events;
-  chip.add_erase_observer([&](BlockIndex b, std::uint32_t c) { events.emplace_back(b, c); });
+  (void)chip.add_erase_observer([&](BlockIndex b, std::uint32_t c) { events.emplace_back(b, c); });
   ASSERT_EQ(chip.erase_block(1), Status::ok);
   ASSERT_EQ(chip.erase_block(1), Status::ok);
   ASSERT_EQ(chip.erase_block(4), Status::ok);

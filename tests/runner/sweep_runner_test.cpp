@@ -79,5 +79,41 @@ TEST(SweepRunner, SubmitInterleavesWithMap) {
   EXPECT_EQ(mapped.back(), 9u);
 }
 
+TEST(SweepRunner, ProgressCountersTrackCompletion) {
+  for (const unsigned jobs : {1u, 4u}) {
+    SweepRunner runner(jobs);
+    EXPECT_EQ(runner.submitted(), 0u);
+    EXPECT_EQ(runner.completed(), 0u);
+    const auto results = runner.map(32, [](std::size_t i) { return i; });
+    ASSERT_EQ(results.size(), 32u);
+    // map() joins on every future, so all points are complete afterwards.
+    EXPECT_EQ(runner.submitted(), 32u);
+    EXPECT_EQ(runner.completed(), 32u);
+  }
+}
+
+TEST(SweepRunner, FailedPointsStillCountAsCompleted) {
+  SweepRunner runner(2);
+  auto fut = runner.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)fut.get(), std::runtime_error);
+  EXPECT_EQ(runner.submitted(), 1u);
+  EXPECT_EQ(runner.completed(), 1u);
+}
+
+TEST(SweepRunner, CompletedIsReadableWhilePointsRun) {
+  SweepRunner runner(2);
+  std::atomic<bool> release{false};
+  auto gate = runner.submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+    return 0;
+  });
+  // The blocked point has not completed; the counter must say so without
+  // data races (the TSan job runs this test).
+  EXPECT_EQ(runner.submitted(), 1u);
+  EXPECT_LE(runner.completed(), 1u);
+  release.store(true);
+  EXPECT_EQ(gate.get(), 0);
+}
+
 }  // namespace
 }  // namespace swl::runner

@@ -1,0 +1,474 @@
+#include "flash_lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "runner/json.hpp"
+
+namespace swl::lint {
+
+namespace {
+
+// -- lexer ------------------------------------------------------------------
+
+[[nodiscard]] bool ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-character operators the rules distinguish, longest first (maximal
+/// munch): `ecnt == x` must not lex as `ecnt` `=` `= x`.
+constexpr std::array<std::string_view, 20> kOperators = {
+    "<<=", ">>=", "...", "->*", "==", "!=", "<=", ">=", "&&", "||",
+    "++",  "--",  "+=",  "-=",  "*=", "/=", "%=", "&=", "|=", "^=",
+};
+
+/// Skips a raw string literal R"delim(...)delim", returning the index one
+/// past its end (and counting newlines into `line`).
+std::size_t skip_raw_string(std::string_view s, std::size_t i, std::size_t& line) {
+  // i points at the 'R'; i+1 is '"'.
+  std::size_t j = i + 2;
+  std::string delim;
+  while (j < s.size() && s[j] != '(') delim.push_back(s[j++]);
+  const std::string close = ")" + delim + "\"";
+  const std::size_t end = s.find(close, j);
+  const std::size_t stop = end == std::string_view::npos ? s.size() : end + close.size();
+  line += static_cast<std::size_t>(std::count(s.begin() + static_cast<std::ptrdiff_t>(i),
+                                              s.begin() + static_cast<std::ptrdiff_t>(stop), '\n'));
+  return stop;
+}
+
+/// Skips a quoted literal ('...' or "...") honoring backslash escapes.
+std::size_t skip_quoted(std::string_view s, std::size_t i, std::size_t& line) {
+  const char quote = s[i];
+  std::size_t j = i + 1;
+  while (j < s.size()) {
+    if (s[j] == '\\' && j + 1 < s.size()) {
+      j += 2;
+      continue;
+    }
+    if (s[j] == '\n') ++line;  // unterminated literal: tolerate, keep counting
+    if (s[j] == quote) return j + 1;
+    ++j;
+  }
+  return j;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  bool line_start = true;  // only whitespace seen on this line so far
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: drop through end of line (honoring \-splices).
+    if (c == '#' && line_start) {
+      while (i < source.size() && source[i] != '\n') {
+        if (source[i] == '\\' && i + 1 < source.size() && source[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    line_start = false;
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+      const std::size_t end = source.find("*/", i + 2);
+      const std::size_t stop = end == std::string_view::npos ? source.size() : end + 2;
+      line += static_cast<std::size_t>(
+          std::count(source.begin() + static_cast<std::ptrdiff_t>(i),
+                     source.begin() + static_cast<std::ptrdiff_t>(stop), '\n'));
+      i = stop;
+      continue;
+    }
+    if (c == 'R' && i + 1 < source.size() && source[i + 1] == '"') {
+      i = skip_raw_string(source, i, line);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      i = skip_quoted(source, i, line);
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < source.size() && ident_char(source[j])) ++j;
+      tokens.push_back({source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;  // crude number scan; rules never inspect numbers
+      while (j < source.size() && (ident_char(source[j]) || source[j] == '.')) ++j;
+      tokens.push_back({source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    bool matched = false;
+    for (const std::string_view op : kOperators) {
+      if (source.substr(i, op.size()) == op) {
+        tokens.push_back({source.substr(i, op.size()), line});
+        i += op.size();
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    tokens.push_back({source.substr(i, 1), line});
+    ++i;
+  }
+  return tokens;
+}
+
+std::vector<std::pair<std::size_t, std::string>> suppressions(std::string_view source) {
+  std::vector<std::pair<std::size_t, std::string>> out;
+  constexpr std::string_view kMarker = "flash-lint: allow(";
+  std::size_t line = 1;
+  std::size_t pos = 0;
+  while (pos < source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    const std::string_view text =
+        source.substr(pos, eol == std::string_view::npos ? source.size() - pos : eol - pos);
+    std::size_t at = text.find(kMarker);
+    while (at != std::string_view::npos) {
+      const std::size_t open = at + kMarker.size();
+      const std::size_t close = text.find(')', open);
+      if (close != std::string_view::npos) {
+        out.emplace_back(line, std::string(text.substr(open, close - open)));
+      }
+      at = text.find(kMarker, open);
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+    ++line;
+  }
+  return out;
+}
+
+// -- rules ------------------------------------------------------------------
+
+const std::vector<RuleInfo>& rule_table() {
+  static const std::vector<RuleInfo> kRules = {
+      {
+          .id = "erase-outside-cleaner",
+          .summary = "NandChip::erase_block called outside the Cleaner/GC modules "
+                     "(erases must be BET-visible per Algorithm 2)",
+          .hint = "route the erase through the owning translation layer's GC/fold path "
+                  "(src/ftl, src/nftl) so the chip's erase observers — and therefore "
+                  "SWL-BETUpdate — see it",
+          // nand: the implementation + its declaration; ftl/nftl: the GC
+          // (Cleaner) modules of the two translation layers; tests: unit and
+          // fault-injection tests drive the raw chip API on purpose.
+          .default_allow = {"src/nand/", "src/ftl/", "src/nftl/", "tests/"},
+      },
+      {
+          .id = "swl-state-outside-swl",
+          .summary = "mutation of the leveler interval state (ecnt/fcnt/findex) outside src/swl",
+          .hint = "only the SW Leveler mutates its interval state; read through "
+                  "SwLeveler::ecnt()/fcnt()/findex() or extend src/swl if the algorithm "
+                  "itself is changing",
+          // tests: snapshot/leveler tests construct interval states by hand.
+          // raw-rand and raw-file-io deliberately have NO tests/ entry:
+          // determinism and the durable-write policy bind in tests too.
+          .default_allow = {"src/swl/", "tests/"},
+      },
+      {
+          .id = "raw-rand",
+          .summary = "raw randomness source (rand/srand/std::random_device/std::mt19937/...) "
+                     "outside core::Rng",
+          .hint = "draw from a seeded core::Rng (plumb one in or derive a sub-stream); "
+                  "unseeded randomness breaks sweep determinism and fuzz replayability",
+          .default_allow = {"src/core/rng."},
+      },
+      {
+          .id = "raw-file-io",
+          .summary = "raw fopen/fwrite-family host I/O outside the durable snapshot store",
+          .hint = "persist through FileSnapshotStore (src/swl/snapshot.*): its "
+                  "write-fsync-rename slot path is what makes snapshots crash-consistent",
+          .default_allow = {"src/swl/snapshot."},
+      },
+  };
+  return kRules;
+}
+
+namespace {
+
+[[nodiscard]] const RuleInfo& rule_by_id(std::string_view id) {
+  for (const RuleInfo& r : rule_table()) {
+    if (r.id == id) return r;
+  }
+  throw std::runtime_error("unknown flash_lint rule: " + std::string(id));
+}
+
+[[nodiscard]] bool path_allowed(std::string_view rel_path, const RuleInfo& rule,
+                                const Options& options) {
+  for (const std::string_view prefix : rule.default_allow) {
+    if (rel_path.starts_with(prefix)) return true;
+  }
+  for (const std::string& entry : options.extra_allow) {
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) continue;  // validated by the CLI
+    const std::string_view entry_rule{entry.data(), colon};
+    const std::string_view prefix{entry.data() + colon + 1, entry.size() - colon - 1};
+    if ((entry_rule == "*" || entry_rule == rule.id) && rel_path.starts_with(prefix)) return true;
+  }
+  return false;
+}
+
+/// Identifiers whose *any* appearance violates raw-rand. `random` itself is
+/// deliberately absent: LevelerConfig::Selection::random is a legitimate
+/// enumerator, and the engine/device names below are what actually smuggle in
+/// nondeterminism.
+const std::unordered_set<std::string_view> kRandIdents = {
+    "rand",          "srand",      "rand_r",     "drand48",    "lrand48",
+    "mrand48",       "random_device", "mt19937", "mt19937_64", "minstd_rand",
+    "minstd_rand0",  "default_random_engine", "ranlux24", "ranlux48", "knuth_b",
+    "random_shuffle",
+};
+
+/// C-stdio write family: opening or writing a FILE* outside the durable store.
+const std::unordered_set<std::string_view> kFileIoIdents = {
+    "fopen",
+    "freopen",
+    "fdopen",
+    "fwrite",
+};
+
+/// The leveler interval state, free and member spellings.
+const std::unordered_set<std::string_view> kSwlState = {
+    "ecnt", "fcnt", "findex", "ecnt_", "fcnt_", "findex_",
+};
+
+/// Tokens that make the *preceding* identifier a mutation.
+const std::unordered_set<std::string_view> kMutatingNext = {
+    "=",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", "++", "--",
+};
+
+struct RuleContext {
+  std::string_view rel_path;
+  const std::vector<Token>& tokens;
+  const std::vector<std::pair<std::size_t, std::string>>& allows;
+  const Options& options;
+  std::vector<Finding>& findings;
+};
+
+void emit(RuleContext& ctx, const RuleInfo& rule, std::size_t line, std::string message) {
+  for (const auto& [allow_line, allow_rule] : ctx.allows) {
+    if (allow_line == line && (allow_rule == rule.id || allow_rule == "*")) return;
+  }
+  ctx.findings.push_back({std::string(rule.id), std::string(ctx.rel_path), line,
+                          std::move(message), std::string(rule.hint)});
+}
+
+void check_erase_outside_cleaner(RuleContext& ctx) {
+  const RuleInfo& rule = rule_by_id("erase-outside-cleaner");
+  if (path_allowed(ctx.rel_path, rule, ctx.options)) return;
+  const auto& t = ctx.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text == "erase_block" && t[i + 1].text == "(") {
+      emit(ctx, rule, t[i].line,
+           "direct erase_block call — erases outside the Cleaner/GC modules bypass "
+           "SWL-BETUpdate (Algorithm 2)");
+    }
+  }
+}
+
+void check_swl_state(RuleContext& ctx) {
+  const RuleInfo& rule = rule_by_id("swl-state-outside-swl");
+  if (path_allowed(ctx.rel_path, rule, ctx.options)) return;
+  const auto& t = ctx.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!kSwlState.contains(t[i].text)) continue;
+    const bool written_after = i + 1 < t.size() && kMutatingNext.contains(t[i + 1].text);
+    // Pre-increment applies through a member chain: `++lev.findex_` puts the
+    // operator before `lev`, so walk back over `ident . ident . ...` first.
+    std::size_t j = i;
+    while (j >= 2 && (t[j - 1].text == "." || t[j - 1].text == "->") &&
+           ident_start(t[j - 2].text.front())) {
+      j -= 2;
+    }
+    const bool written_before = j > 0 && (t[j - 1].text == "++" || t[j - 1].text == "--");
+    // `foo.ecnt = 1` on a non-leveler struct is still flagged: the state
+    // names are reserved for the leveler tree-wide, by design.
+    if (written_after || written_before) {
+      emit(ctx, rule, t[i].line,
+           "mutation of leveler interval state '" + std::string(t[i].text) +
+               "' outside src/swl");
+    }
+  }
+}
+
+void check_raw_rand(RuleContext& ctx) {
+  const RuleInfo& rule = rule_by_id("raw-rand");
+  if (path_allowed(ctx.rel_path, rule, ctx.options)) return;
+  const auto& t = ctx.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!kRandIdents.contains(t[i].text)) continue;
+    // Member access `x.rand(...)`/`x->rand(...)` is somebody's API, not the
+    // C library; `::rand` and `std::rand` are exactly what we're after.
+    if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) continue;
+    emit(ctx, rule, t[i].line,
+         "raw randomness source '" + std::string(t[i].text) +
+             "' — all randomness must flow through core::Rng");
+  }
+}
+
+void check_raw_file_io(RuleContext& ctx) {
+  const RuleInfo& rule = rule_by_id("raw-file-io");
+  if (path_allowed(ctx.rel_path, rule, ctx.options)) return;
+  const auto& t = ctx.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!kFileIoIdents.contains(t[i].text)) continue;
+    if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) continue;
+    if (i + 1 >= t.size() || t[i + 1].text != "(") continue;  // a mention, not a call
+    emit(ctx, rule, t[i].line,
+         "raw '" + std::string(t[i].text) +
+             "' call — durable state must go through FileSnapshotStore");
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(std::string_view rel_path, std::string_view source,
+                                 const Options& options) {
+  const std::vector<Token> tokens = tokenize(source);
+  const auto allows = suppressions(source);
+  std::vector<Finding> findings;
+  RuleContext ctx{rel_path, tokens, allows, options, findings};
+  check_erase_outside_cleaner(ctx);
+  check_swl_state(ctx);
+  check_raw_rand(ctx);
+  check_raw_file_io(ctx);
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return findings;
+}
+
+// -- file handling ----------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("flash_lint: cannot read " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+[[nodiscard]] std::string rel_display(const std::filesystem::path& file,
+                                      const std::filesystem::path& root) {
+  std::error_code ec;
+  const std::filesystem::path rel =
+      std::filesystem::relative(std::filesystem::weakly_canonical(file, ec), root, ec);
+  const std::filesystem::path shown =
+      (ec || rel.empty() || rel.native().starts_with("..")) ? file : rel;
+  return shown.generic_string();
+}
+
+}  // namespace
+
+Report lint_files(const std::vector<std::filesystem::path>& files,
+                  const std::filesystem::path& root, const Options& options) {
+  std::error_code ec;
+  const std::filesystem::path canon_root = std::filesystem::weakly_canonical(root, ec);
+  Report report;
+  for (const auto& file : files) {
+    const std::string source = read_file(file);
+    const std::string rel = rel_display(file, ec ? root : canon_root);
+    auto findings = lint_source(rel, source, options);
+    report.findings.insert(report.findings.end(), std::make_move_iterator(findings.begin()),
+                           std::make_move_iterator(findings.end()));
+    ++report.files_scanned;
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+            });
+  return report;
+}
+
+std::vector<std::filesystem::path> collect_sources(
+    const std::vector<std::filesystem::path>& dirs) {
+  std::set<std::filesystem::path> out;  // set: dedupe overlapping dirs, sorted
+  for (const auto& dir : dirs) {
+    if (!std::filesystem::exists(dir)) continue;
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp") out.insert(entry.path());
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::filesystem::path> files_from_compile_commands(
+    const std::filesystem::path& compile_commands) {
+  const std::string text = read_file(compile_commands);
+  const std::optional<runner::Json> doc = runner::Json::parse(text);
+  if (!doc || !doc->is_array()) {
+    throw std::runtime_error("flash_lint: malformed compile_commands.json: " +
+                             compile_commands.string());
+  }
+  std::set<std::filesystem::path> out;
+  for (std::size_t i = 0; i < doc->size(); ++i) {
+    const runner::Json* entry = doc->at(i);
+    const runner::Json* file = entry != nullptr ? entry->find("file") : nullptr;
+    const std::string* name = file != nullptr ? file->string() : nullptr;
+    if (name == nullptr) continue;
+    std::filesystem::path p(*name);
+    if (p.is_relative()) {
+      const runner::Json* dir = entry->find("directory");
+      const std::string* dir_name = dir != nullptr ? dir->string() : nullptr;
+      if (dir_name != nullptr) p = std::filesystem::path(*dir_name) / p;
+    }
+    if (std::filesystem::exists(p)) out.insert(p);
+  }
+  return {out.begin(), out.end()};
+}
+
+std::string report_to_json(const Report& report) {
+  runner::Json doc = runner::Json::object();
+  doc.set("version", 1);
+  doc.set("files_scanned", static_cast<std::uint64_t>(report.files_scanned));
+  runner::Json findings = runner::Json::array();
+  for (const Finding& f : report.findings) {
+    runner::Json item = runner::Json::object();
+    item.set("rule", f.rule);
+    item.set("file", f.file);
+    item.set("line", static_cast<std::uint64_t>(f.line));
+    item.set("message", f.message);
+    item.set("hint", f.hint);
+    findings.push(std::move(item));
+  }
+  doc.set("findings", std::move(findings));
+  return doc.dump(2);
+}
+
+}  // namespace swl::lint

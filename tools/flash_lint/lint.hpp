@@ -1,0 +1,129 @@
+// flash_lint — domain-specific static checks for the SWL tree.
+//
+// Enforces flash-semantics invariants that generic tooling (clang-tidy,
+// -Wthread-safety) cannot express, because they are *module* rules of the
+// DAC 2007 design rather than language rules:
+//
+//   erase-outside-cleaner   NandChip::erase_block may be called only from the
+//                           Cleaner/GC modules (src/ftl, src/nftl) and the
+//                           chip implementation itself. Every erase must be
+//                           BET-visible: SWL-BETUpdate (Algorithm 2) hooks
+//                           block erasure via the chip's erase observers, and
+//                           an erase issued from a random module is exactly
+//                           the kind of silent invariant erosion the wear-
+//                           leveling literature warns about.
+//   swl-state-outside-swl   The leveler's interval state — ecnt, fcnt,
+//                           findex (and their member-variable spellings) —
+//                           may be mutated only inside src/swl. Everyone
+//                           else reads through the const accessors.
+//   raw-rand                No rand()/srand()/std::random_device/std::mt19937
+//                           etc. outside core::Rng. Sweep determinism and the
+//                           fuzzer's replayability both rest on every random
+//                           draw flowing through the seeded core::Rng stream.
+//   raw-file-io             No fopen/fwrite-family host I/O outside the
+//                           durable FileSnapshotStore implementation:
+//                           persistence must route through its
+//                           write-fsync-rename path or it is not
+//                           crash-consistent.
+//
+// The checker is a token-level AST-lite pass: each translation unit is
+// tokenized with comments, string/char literals and preprocessor directives
+// stripped (libclang is deliberately not a dependency — the container's
+// toolchain is gcc-only), then per-rule token patterns run over the stream.
+// File-scope policy comes from per-rule path allowlists; line-scope
+// exceptions use a `flash-lint: allow(<rule>)` comment on the offending line.
+//
+// The library (this header + lint.cpp) is separate from the CLI (main.cpp)
+// so tests can drive rules on in-memory fixtures; tools/run_lint.sh is the
+// entry point humans and CI share.
+#ifndef SWL_TOOLS_FLASH_LINT_LINT_HPP
+#define SWL_TOOLS_FLASH_LINT_LINT_HPP
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swl::lint {
+
+/// One rule of the table above.
+struct RuleInfo {
+  std::string_view id;       ///< stable machine name, e.g. "raw-rand"
+  std::string_view summary;  ///< one-line description for --list-rules
+  std::string_view hint;     ///< how to fix a violation (--fix-hints)
+  /// Repo-relative path prefixes where the rule does not apply (the modules
+  /// that legitimately own the behavior). Forward slashes, case-sensitive.
+  std::vector<std::string_view> default_allow;
+};
+
+/// The built-in rule table (stable order; index is not part of the API).
+[[nodiscard]] const std::vector<RuleInfo>& rule_table();
+
+/// One violation.
+struct Finding {
+  std::string rule;
+  std::string file;  ///< repo-relative path (as passed to lint_source)
+  std::size_t line = 0;
+  std::string message;
+  std::string hint;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+struct Options {
+  /// Extra allowlist entries, "rule:path-prefix" (checked in addition to the
+  /// rule's default_allow). "*:prefix" applies to every rule.
+  std::vector<std::string> extra_allow;
+};
+
+/// One lexed token: an identifier, number, or punctuation run (maximal-munch
+/// over the multi-character operators the rules care about).
+struct Token {
+  std::string_view text;  ///< view into the source buffer passed to tokenize
+  std::size_t line = 1;
+};
+
+/// Tokenizes C++ source: //- and /**/-comments, string literals (including
+/// raw strings), character literals and preprocessor directives are dropped;
+/// identifiers and operators come back with 1-based line numbers.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+/// Lines carrying a `flash-lint: allow(<rule>)` comment, per rule id.
+/// (Extracted before comment stripping.)
+[[nodiscard]] std::vector<std::pair<std::size_t, std::string>> suppressions(
+    std::string_view source);
+
+/// Runs every rule over one file's contents. `rel_path` is the repo-relative
+/// path (forward slashes) used for allowlists and reporting.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view rel_path, std::string_view source,
+                                               const Options& options = {});
+
+struct Report {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+};
+
+/// Lints files on disk. Paths outside `root` are reported as given; paths
+/// under `root` are reported root-relative. Unreadable files throw
+/// std::runtime_error.
+[[nodiscard]] Report lint_files(const std::vector<std::filesystem::path>& files,
+                                const std::filesystem::path& root, const Options& options = {});
+
+/// All *.hpp / *.cpp files under the given directories (sorted, recursive).
+[[nodiscard]] std::vector<std::filesystem::path> collect_sources(
+    const std::vector<std::filesystem::path>& dirs);
+
+/// The "file" entries of a compile_commands.json (absolute paths, deduped,
+/// sorted; entries whose file no longer exists are dropped). Throws
+/// std::runtime_error on unreadable/malformed input.
+[[nodiscard]] std::vector<std::filesystem::path> files_from_compile_commands(
+    const std::filesystem::path& compile_commands);
+
+/// Machine-readable report: {"version":1,"files_scanned":N,
+/// "findings":[{"rule","file","line","message","hint"},...]}.
+[[nodiscard]] std::string report_to_json(const Report& report);
+
+}  // namespace swl::lint
+
+#endif  // SWL_TOOLS_FLASH_LINT_LINT_HPP

@@ -1,0 +1,145 @@
+// flash_lint CLI — see lint.hpp for the rule table and tools/run_lint.sh for
+// the entry point CI and local runs share.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "flash_lint/lint.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: flash_lint [options] [file...]\n"
+        "\n"
+        "Flash-semantics checks for the SWL tree (see TESTING.md, 'Static analysis').\n"
+        "With no files, scans src/ tools/ bench/ examples/ under --root.\n"
+        "\n"
+        "options:\n"
+        "  --root DIR             repo root for default scan + relative paths (default: .)\n"
+        "  --compile-commands F   lint the translation units listed in F (plus all\n"
+        "                         headers under the default directories)\n"
+        "  --allow RULE:PREFIX    extra allowlist entry (RULE or '*', repo-relative\n"
+        "                         path prefix); repeatable\n"
+        "  --json                 machine-readable report on stdout\n"
+        "  --fix-hints            include a fix hint with each text finding\n"
+        "  --list-rules           print the rule table and exit\n"
+        "  -h, --help             this message\n";
+}
+
+struct Args {
+  std::filesystem::path root = ".";
+  std::filesystem::path compile_commands;
+  std::vector<std::filesystem::path> files;
+  swl::lint::Options options;
+  bool json = false;
+  bool fix_hints = false;
+  bool list_rules = false;
+};
+
+[[nodiscard]] const char* need_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    std::cerr << "flash_lint: " << argv[i] << " needs a value\n";
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+[[nodiscard]] Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--root") {
+      args.root = need_value(argc, argv, i);
+    } else if (arg == "--compile-commands") {
+      args.compile_commands = need_value(argc, argv, i);
+    } else if (arg == "--allow") {
+      const std::string entry = need_value(argc, argv, i);
+      const std::size_t colon = entry.find(':');
+      bool known = colon != std::string::npos;
+      if (known && entry.substr(0, colon) != "*") {
+        known = false;
+        for (const auto& rule : swl::lint::rule_table()) {
+          if (rule.id == entry.substr(0, colon)) known = true;
+        }
+      }
+      if (!known) {
+        std::cerr << "flash_lint: --allow wants RULE:PREFIX with a known rule (or '*'), got '"
+                  << entry << "'\n";
+        std::exit(2);
+      }
+      args.options.extra_allow.push_back(entry);
+    } else if (arg == "--json") {
+      args.json = true;
+    } else if (arg == "--fix-hints") {
+      args.fix_hints = true;
+    } else if (arg == "--list-rules") {
+      args.list_rules = true;
+    } else if (arg == "-h" || arg == "--help") {
+      print_usage(std::cout);
+      std::exit(0);
+    } else if (arg.starts_with("-")) {
+      std::cerr << "flash_lint: unknown option '" << arg << "'\n";
+      print_usage(std::cerr);
+      std::exit(2);
+    } else {
+      args.files.emplace_back(arg);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.list_rules) {
+    for (const auto& rule : swl::lint::rule_table()) {
+      std::cout << rule.id << "\n  " << rule.summary << "\n  allowed in:";
+      for (const auto& prefix : rule.default_allow) std::cout << ' ' << prefix << "*";
+      std::cout << "\n  fix: " << rule.hint << "\n";
+    }
+    return 0;
+  }
+  try {
+    std::vector<std::filesystem::path> files = args.files;
+    if (files.empty()) {
+      if (!args.compile_commands.empty()) {
+        files = swl::lint::files_from_compile_commands(args.compile_commands);
+        // compile_commands lists translation units only; headers carry inline
+        // hot paths, so always sweep them in as well.
+        for (auto& header : swl::lint::collect_sources(
+                 {args.root / "src", args.root / "tools", args.root / "bench",
+                  args.root / "examples"})) {
+          if (header.extension() == ".hpp") files.push_back(std::move(header));
+        }
+      } else {
+        files = swl::lint::collect_sources({args.root / "src", args.root / "tools",
+                                            args.root / "bench", args.root / "examples"});
+      }
+      if (files.empty()) {
+        std::cerr << "flash_lint: nothing to lint under " << args.root << "\n";
+        return 2;
+      }
+    }
+    const swl::lint::Report report = swl::lint::lint_files(files, args.root, args.options);
+    if (args.json) {
+      std::cout << swl::lint::report_to_json(report) << "\n";
+    } else {
+      for (const auto& f : report.findings) {
+        std::cout << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+        if (args.fix_hints) std::cout << "    fix: " << f.hint << "\n";
+      }
+      std::cout << "flash_lint: " << report.findings.size() << " finding(s) in "
+                << report.files_scanned << " file(s)\n";
+    }
+    return report.findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Run the flash-semantics linter the way CI does.
+#
+#   tools/run_lint.sh [extra flash_lint args...]
+#
+# Configures the release preset if needed (for compile_commands.json), builds
+# the flash_lint target, and lints every translation unit listed in the
+# compile database plus all headers under the default roots. Any extra
+# arguments are forwarded — e.g.:
+#
+#   tools/run_lint.sh --json            # machine-readable findings
+#   tools/run_lint.sh --fix-hints       # per-rule remediation hints
+#   tools/run_lint.sh --list-rules      # rule table + default allowlists
+#
+# Exit status: 0 clean, 1 findings, 2 usage/IO error (flash_lint's contract).
+set -eu
+
+repo_root="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  cmake --preset release -S "$repo_root" >/dev/null
+fi
+cmake --build "$build_dir" --target flash_lint -j "$(nproc)" >/dev/null
+
+exec "$build_dir/tools/flash_lint" \
+  --root "$repo_root" \
+  --compile-commands "$build_dir/compile_commands.json" \
+  "$@"
