@@ -10,8 +10,13 @@
 //   --trace-days D         base-trace length override
 //   --years Y              simulated duration for fixed-length experiments
 //   --seed S               workload seed
-//   --jobs N               sweep-point parallelism (0 = hardware threads;
-//                          results are identical for every N)
+//   --jobs N               worker threads (0 = hardware threads). Parallelism
+//                          applies across sweep points and across the shards
+//                          of sharded replay points; results are identical
+//                          for every N
+//   --shards N             shard count for sharded replay points (default 8;
+//                          the shard count — unlike --jobs — changes what is
+//                          computed, so it is part of the experiment config)
 //   --json FILE            machine-readable results + wall-clock timing
 #ifndef SWL_BENCH_BENCH_COMMON_HPP
 #define SWL_BENCH_BENCH_COMMON_HPP
@@ -35,6 +40,7 @@ struct Options {
   double years = 0.02;  // fixed-duration experiments (Table 4, Figs. 6-7)
   bool paper_scale = false;
   unsigned jobs = 0;      // 0 = one worker per hardware thread
+  unsigned shards = 8;    // shard count for sharded replay points (>= 1)
   std::string json_path;  // empty = no JSON artifact
 };
 
@@ -73,6 +79,37 @@ inline double parse_f64(const char* flag, const std::string& value) {
 
 }  // namespace detail
 
+/// Pure-ALU spin (xorshift64): no memory traffic, no branches that depend on
+/// data — a stable proxy for the host's single-thread speed. Benches report
+/// its throughput so perf numbers taken on different machines (or a
+/// different turbo state) can be normalized against each other.
+inline std::uint64_t calibrate_spin() {
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;
+  constexpr std::uint64_t kIters = std::uint64_t{1} << 26;
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  // Fold the state into a side effect the optimizer must preserve.
+  volatile std::uint64_t sink = x;
+  (void)sink;
+  return kIters;
+}
+
+/// Times one calibrate_spin(): items per second, best of three.
+inline double calibrate_items_per_second() {
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t items = calibrate_spin();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (seconds > 0.0) best = std::max(best, static_cast<double>(items) / seconds);
+  }
+  return best;
+}
+
 inline Options parse_options(int argc, char** argv) {
   Options opt;  // scaled defaults come from sim::ExperimentScale
   for (int i = 1; i < argc; ++i) {
@@ -104,11 +141,23 @@ inline Options parse_options(int argc, char** argv) {
       opt.scale.seed = detail::parse_u64("--seed", need_value("--seed"));
     } else if (arg == "--jobs") {
       opt.jobs = static_cast<unsigned>(detail::parse_u64("--jobs", need_value("--jobs")));
+    } else if (arg == "--shards") {
+      const char* value = need_value("--shards");
+      opt.shards = static_cast<unsigned>(detail::parse_u64("--shards", value));
+      // 0 would mean "no shards at all" — reject it like any other malformed
+      // value instead of silently running unsharded.
+      if (opt.shards == 0) detail::flag_value_error("--shards", value);
     } else if (arg == "--json") {
       opt.json_path = need_value("--json");
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "flags: --paper-scale --blocks N --endurance N --trace-days D "
-                   "--years Y --seed S --jobs N --json FILE\n";
+                   "--years Y --seed S --jobs N --shards N --json FILE\n"
+                   "  --jobs N    worker threads (0 = hardware threads); parallelizes across\n"
+                   "              sweep points and across shards of sharded replay points.\n"
+                   "              Results are bit-identical for every N.\n"
+                   "  --shards N  shard count for sharded replay points (default 8, min 1).\n"
+                   "              Part of the experiment definition: changing it changes the\n"
+                   "              sharded results, changing --jobs never does.\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
@@ -188,6 +237,10 @@ class BenchReport {
     doc.set("bench", name_);
     doc.set("jobs", runner::resolve_jobs(opt_.jobs));
     doc.set("wall_ms", elapsed);
+    // Host-speed normalizer (see calibrate_spin): lets trajectory tooling
+    // compare this artifact's wall_ms across machines. Measured at finish so
+    // it reflects the same thermal/turbo state as the run itself.
+    doc.set("calibrate_items_per_second", calibrate_items_per_second());
     runner::Json scale = runner::Json::object();
     scale.set("block_count", static_cast<std::uint64_t>(opt_.scale.block_count));
     scale.set("endurance", static_cast<std::uint64_t>(opt_.scale.endurance));

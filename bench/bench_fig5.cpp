@@ -8,6 +8,10 @@
 // All 34 sweep points (2 layers x (1 baseline + 4 T x 4 k)) are independent
 // simulations over a shared immutable base trace per layer, so they run
 // concurrently on the sweep runner; --jobs only changes wall-clock time.
+// Parallelism stays at the point level: intra-point sharding (see
+// sim/sharded_replay.hpp, used by bench_micro's replay_ftl_sharded point)
+// does not apply here, because the minimum first-failure time over N device
+// replicas is a different statistic than one device's first failure.
 #include <iostream>
 #include <optional>
 #include <vector>

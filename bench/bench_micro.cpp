@@ -14,14 +14,19 @@
 //   - hot_data_*                 hotness identifier record/classify
 //   - scatter_permutation        LBA scattering permutation
 //   - trace_generation           synthetic workload synthesis
+//   - victim_select              tl::VictimIndex mark/flush/select mix
 //   - replay_ftl / replay_nftl   the headline: Simulator::run over a
 //                                SegmentReplaySource at the default scale,
 //                                with the batched pipeline's PerfCounters
 //                                attached to the point
+//   - replay_ftl_sharded         the same budget split over --shards device
+//                                replicas on the --jobs thread pool with a
+//                                deterministic merge
 //
-// Timings run sequentially regardless of --jobs — parallel timing on a
-// shared host would only add noise. The flag still selects the jobs value
-// recorded in the artifact header.
+// Micro-point timings run sequentially regardless of --jobs — parallel
+// timing on a shared host would only add noise. The sharded replay point is
+// the exception: its shards execute on the --jobs pool (its *result* is
+// still identical for every --jobs value).
 #include <chrono>
 #include <cstdint>
 #include <iostream>
@@ -37,6 +42,8 @@
 #include "nftl/nftl.hpp"
 #include "swl/bet.hpp"
 #include "swl/leveler.hpp"
+#include "sim/sharded_replay.hpp"
+#include "tl/victim_index.hpp"
 #include "trace/segment_replay.hpp"
 #include "trace/synthetic.hpp"
 
@@ -75,22 +82,6 @@ void run_point(bench::BenchReport& report, const std::string& name, Body&& body)
   point.set("seconds", seconds);
   point.set("items_per_second", ips);
   report.add_point(std::move(point));
-}
-
-/// Pure-ALU spin (xorshift64): no memory traffic, no branches that depend on
-/// data — a stable proxy for the host's single-thread speed.
-std::uint64_t calibrate_spin() {
-  std::uint64_t x = 0x9E3779B97F4A7C15ULL;
-  constexpr std::uint64_t kIters = std::uint64_t{1} << 26;
-  for (std::uint64_t i = 0; i < kIters; ++i) {
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-  }
-  // Fold the state into a side effect the optimizer must preserve.
-  volatile std::uint64_t sink = x;
-  (void)sink;
-  return kIters;
 }
 
 std::uint64_t bet_update() {
@@ -225,6 +216,53 @@ std::uint64_t trace_generation() {
   return records;
 }
 
+/// Mixed tl::VictimIndex workload over a device-scale block population:
+/// dirty-marks dominate (the per-write maintenance cost), with flush+select
+/// queries mixed in — roughly 60% marks, 30% positive-scan selections, 10%
+/// most-invalid fallback probes.
+std::uint64_t victim_select() {
+  constexpr BlockIndex kBlocks = 4096;
+  constexpr PageIndex kPages = 64;
+  nand::NandConfig cc;
+  cc.geometry = FlashGeometry{kBlocks, kPages, 512};
+  cc.timing = default_timing(CellType::slc_large_block);
+  nand::NandChip chip(cc);
+  Rng rng(7);
+  // Populate every block with a random valid/invalid split so scores spread
+  // across the whole range and both query paths see realistic masks.
+  for (BlockIndex b = 0; b < kBlocks; ++b) {
+    const auto programmed = static_cast<PageIndex>(rng.below(kPages + 1));
+    for (PageIndex page = 0; page < programmed; ++page) {
+      (void)chip.program_page(Ppa{b, page}, 1, nand::SpareArea{0, 1, 0});
+      if (rng.chance(0.5)) (void)chip.invalidate_page(Ppa{b, page});
+    }
+  }
+  tl::VictimIndex index(kBlocks, kPages, 1.0);
+  for (BlockIndex b = 0; b < kBlocks; ++b) index.mark_dirty(b);
+  constexpr std::uint64_t kIters = 2'000'000;
+  std::uint64_t sink = 0;
+  std::size_t cursor = 0;
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    const std::uint64_t pick = rng.below(10);
+    if (pick < 6) {
+      index.mark_dirty(static_cast<BlockIndex>(rng.below(kBlocks)));
+    } else if (pick < 9) {
+      index.flush(chip);
+      if (index.any_positive()) {
+        const auto b = static_cast<BlockIndex>(index.next_positive(cursor));
+        cursor = (static_cast<std::size_t>(b) + 1) % kBlocks;
+        sink += b;
+      }
+    } else {
+      index.flush(chip);
+      sink += index.most_invalid(chip);
+    }
+  }
+  volatile std::uint64_t side_effect = sink;
+  (void)side_effect;
+  return kIters;
+}
+
 /// The headline benchmark: the full batched replay pipeline — Simulator::run
 /// pulling a SegmentReplaySource through the layer's record fast paths at
 /// this binary's --blocks/--seed scale.
@@ -278,6 +316,53 @@ void replay_point(bench::BenchReport& report, const bench::Options& opt, sim::La
   report.add_point(std::move(point));
 }
 
+/// The sharded replay pipeline: replay_ftl's record budget split across
+/// `--shards` device replicas executed on a `--jobs`-worker SweepRunner and
+/// merged deterministically — the one micro point whose wall time uses the
+/// thread pool (the merged result is identical for every --jobs value).
+void sharded_replay_point(bench::BenchReport& report, const bench::Options& opt,
+                          const trace::Trace& base) {
+  constexpr std::uint64_t kRecords = 8'000'000;
+  const sim::SimConfig config =
+      sim::make_sim_config(opt.scale, sim::LayerKind::ftl, std::nullopt);
+  double seconds = 0.0;
+  sim::SimResult result;
+  for (int rep = 0; rep < kReps; ++rep) {
+    runner::SweepRunner pool(opt.jobs);
+    const auto start = std::chrono::steady_clock::now();
+    sim::SimResult merged =
+        sim::run_sharded_on(pool, config, opt.scale, base, 1e6, kRecords, opt.shards);
+    const double s = now_seconds(start);
+    if (rep == 0 || s < seconds) {
+      seconds = s;
+      result = std::move(merged);
+    }
+  }
+  const double ips =
+      seconds > 0.0 ? static_cast<double>(result.records_processed) / seconds : 0.0;
+  std::cout << "  replay_ftl_sharded: " << sim::fmt(ips / 1e6, 2) << " Mrec/s  ("
+            << result.records_processed << " records, " << opt.shards << " shard(s) on "
+            << runner::resolve_jobs(opt.jobs) << " job(s), fast-path writes "
+            << result.counters.fast_path_writes << "/" << result.counters.host_writes << ")\n";
+
+  runner::Json point = runner::Json::object();
+  point.set("name", "replay_ftl_sharded");
+  point.set("items", result.records_processed);
+  point.set("seconds", seconds);
+  point.set("items_per_second", ips);
+  runner::Json extra = runner::Json::object();
+  extra.set("shards", static_cast<std::uint64_t>(opt.shards));
+  extra.set("jobs", static_cast<std::uint64_t>(runner::resolve_jobs(opt.jobs)));
+  // Merged deterministic canaries: must not move unless the simulation, the
+  // shard count or the seed derivation changed.
+  extra.set("fast_path_writes", result.counters.fast_path_writes);
+  extra.set("host_writes", result.counters.host_writes);
+  extra.set("total_erases", result.counters.total_erases());
+  extra.set("total_live_copies", result.counters.total_live_copies());
+  point.set("replay", std::move(extra));
+  report.add_point(std::move(point));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -286,7 +371,7 @@ int main(int argc, char** argv) {
   bench::print_scale(opt);
   bench::BenchReport report("micro", opt);
 
-  run_point(report, "calibrate", &calibrate_spin);
+  run_point(report, "calibrate", &bench::calibrate_spin);
   run_point(report, "bet_update", &bet_update);
   run_point(report, "bet_scan", &bet_scan);
   run_point(report, "swl_procedure", &swl_procedure);
@@ -304,9 +389,12 @@ int main(int argc, char** argv) {
   run_point(report, "scatter_permutation", &scatter_permutation);
   run_point(report, "trace_generation", &trace_generation);
 
+  run_point(report, "victim_select", &victim_select);
+
   const trace::Trace base = sim::make_base_trace(opt.scale, sim::LayerKind::ftl);
   replay_point(report, opt, sim::LayerKind::ftl, base);
   replay_point(report, opt, sim::LayerKind::nftl, base);
+  sharded_replay_point(report, opt, base);
 
   return report.finish();
 }

@@ -4,75 +4,142 @@
 
 #include "core/contracts.hpp"
 
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 namespace swl {
 
 namespace {
 
-constexpr std::size_t kWordBits = 64;
-
 constexpr std::size_t word_count_for(std::size_t bits) noexcept {
-  return (bits + kWordBits - 1) / kWordBits;
+  return (bits + 63) / 64;
+}
+
+// -- word-run scanning -------------------------------------------------------
+//
+// The cyclic scans below spend almost all their time skipping words that are
+// entirely uninteresting (all-set for the zero scan, all-zero for the set
+// scan). find_word_not() finds the first word in [begin, end) that differs
+// from `sentinel`, or `end`. The AVX2 path compares four words per iteration;
+// the dispatch is resolved once per process via __builtin_cpu_supports, so
+// machines without AVX2 fall back to the scalar loop transparently. Both
+// paths visit words in the same order and return the same index, so the
+// choice can never change a scan result.
+
+using FindWordNotFn = std::size_t (*)(const std::uint64_t*, std::size_t, std::size_t,
+                                      std::uint64_t);
+
+std::size_t find_word_not_scalar(const std::uint64_t* words, std::size_t begin, std::size_t end,
+                                 std::uint64_t sentinel) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (words[i] != sentinel) return i;
+  }
+  return end;
+}
+
+#if defined(__x86_64__)
+__attribute__((target("avx2"))) std::size_t find_word_not_avx2(const std::uint64_t* words,
+                                                               std::size_t begin, std::size_t end,
+                                                               std::uint64_t sentinel) {
+  std::size_t i = begin;
+  const __m256i needle = _mm256_set1_epi64x(static_cast<long long>(sentinel));
+  for (; i + 4 <= end; i += 4) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    const auto eq = static_cast<unsigned>(_mm256_movemask_epi8(_mm256_cmpeq_epi64(v, needle)));
+    if (eq != 0xFFFFFFFFu) {
+      // Each 64-bit lane contributes 8 movemask bits; the first lane that is
+      // not all-ones is the first mismatching word.
+      return i + (static_cast<std::size_t>(std::countr_one(eq)) >> 3);
+    }
+  }
+  for (; i < end; ++i) {
+    if (words[i] != sentinel) return i;
+  }
+  return end;
+}
+
+FindWordNotFn resolve_find_word_not() {
+  return __builtin_cpu_supports("avx2") ? &find_word_not_avx2 : &find_word_not_scalar;
+}
+#else
+FindWordNotFn resolve_find_word_not() { return &find_word_not_scalar; }
+#endif
+
+std::size_t find_word_not(const std::uint64_t* words, std::size_t begin, std::size_t end,
+                          std::uint64_t sentinel) {
+  static const FindWordNotFn fn = resolve_find_word_not();
+  return fn(words, begin, end, sentinel);
 }
 
 }  // namespace
 
 BitVec::BitVec(std::size_t size) : words_(word_count_for(size), 0), size_(size) {}
 
-bool BitVec::test(std::size_t i) const {
-  SWL_REQUIRE(i < size_, "bit index out of range");
-  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
-}
 
-bool BitVec::set(std::size_t i) {
-  SWL_REQUIRE(i < size_, "bit index out of range");
-  std::uint64_t& w = words_[i / kWordBits];
-  const std::uint64_t mask = 1ULL << (i % kWordBits);
-  if (w & mask) return false;
-  w |= mask;
-  ++count_;
-  return true;
-}
 
-bool BitVec::clear(std::size_t i) {
-  SWL_REQUIRE(i < size_, "bit index out of range");
-  std::uint64_t& w = words_[i / kWordBits];
-  const std::uint64_t mask = 1ULL << (i % kWordBits);
-  if (!(w & mask)) return false;
-  w &= ~mask;
-  --count_;
-  return true;
-}
 
-void BitVec::reset() noexcept {
-  for (auto& w : words_) w = 0;
-  count_ = 0;
-}
 
 std::size_t BitVec::next_zero_cyclic(std::size_t start) const {
   SWL_REQUIRE(size_ > 0 && start < size_, "scan start out of range");
   SWL_REQUIRE(!all_set(), "no zero bit to find");
-  // Word-at-a-time: a word with a zero bit yields its position in one
-  // countr_one; fully-set words are skipped with a single compare. Bits at or
-  // beyond size_ in the tail word are storage-guaranteed zero but are not
-  // valid positions, so the scan treats them as set.
+  // Bits at or beyond size_ in the tail word are storage-guaranteed zero but
+  // are not valid positions, so the scan treats them as set. The stored tail
+  // word therefore always looks "interesting" to find_word_not; scan_range
+  // re-checks it with the tail mask applied before trusting it.
   const std::size_t nwords = words_.size();
   const std::size_t tail_bits = size_ % kWordBits;
   const std::uint64_t tail_mask = tail_bits == 0 ? 0 : ~((1ULL << tail_bits) - 1);
-  std::size_t wi = start / kWordBits;
-  const std::size_t start_bit = start % kWordBits;
-  // Bits before `start` count as set on the first visit; the extra iteration
-  // (<= nwords) revisits the start word unmasked after wrapping.
-  std::uint64_t w = words_[wi] | (start_bit == 0 ? 0 : (1ULL << start_bit) - 1);
-  for (std::size_t step = 0; step <= nwords; ++step) {
-    if (wi == nwords - 1) w |= tail_mask;
-    if (w != ~0ULL) {
-      return wi * kWordBits + static_cast<std::size_t>(std::countr_one(w));
+  constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+
+  const auto scan_range = [&](std::size_t begin, std::size_t end) -> std::size_t {
+    for (std::size_t wi = begin; wi < end; ++wi) {
+      wi = find_word_not(words_.data(), wi, end, ~0ULL);
+      if (wi == end) break;
+      std::uint64_t w = words_[wi];
+      if (wi == nwords - 1) w |= tail_mask;
+      if (w != ~0ULL) {
+        return wi * kWordBits + static_cast<std::size_t>(std::countr_one(w));
+      }
     }
-    wi = wi + 1 == nwords ? 0 : wi + 1;
-    w = words_[wi];
+    return kNotFound;
+  };
+
+  // Start word first, with bits below `start` counting as set; then forward
+  // to the end; then wrap around, revisiting the start word unmasked so a
+  // zero bit below `start` is still found on the way back.
+  const std::size_t start_word = start / kWordBits;
+  const std::size_t start_bit = start % kWordBits;
+  std::uint64_t w = words_[start_word] | (start_bit == 0 ? 0 : (1ULL << start_bit) - 1);
+  if (start_word == nwords - 1) w |= tail_mask;
+  if (w != ~0ULL) {
+    return start_word * kWordBits + static_cast<std::size_t>(std::countr_one(w));
   }
-  SWL_ASSERT(false, "unreachable: !all_set() guarantees a zero bit");
-  return start;
+  std::size_t found = scan_range(start_word + 1, nwords);
+  if (found == kNotFound) found = scan_range(0, start_word + 1);
+  SWL_ASSERT(found != kNotFound, "unreachable: !all_set() guarantees a zero bit");
+  return found;
+}
+
+std::size_t BitVec::next_set_cyclic(std::size_t start) const {
+  SWL_REQUIRE(size_ > 0 && start < size_, "scan start out of range");
+  SWL_REQUIRE(!none_set(), "no set bit to find");
+  // Stray bits beyond size_ are storage-guaranteed zero, so no tail handling
+  // is needed: a nonzero word always holds a valid set position.
+  const std::size_t nwords = words_.size();
+  const std::size_t start_word = start / kWordBits;
+  const std::size_t start_bit = start % kWordBits;
+  const std::uint64_t w =
+      words_[start_word] & (start_bit == 0 ? ~0ULL : ~((1ULL << start_bit) - 1));
+  if (w != 0) {
+    return start_word * kWordBits + static_cast<std::size_t>(std::countr_zero(w));
+  }
+  std::size_t wi = find_word_not(words_.data(), start_word + 1, nwords, 0);
+  if (wi == nwords) {
+    wi = find_word_not(words_.data(), 0, start_word + 1, 0);
+    SWL_ASSERT(wi != start_word + 1, "unreachable: !none_set() guarantees a set bit");
+  }
+  return wi * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[wi]));
 }
 
 void BitVec::resize(std::size_t size) {

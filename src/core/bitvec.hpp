@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/contracts.hpp"
+
 namespace swl {
 
 class BitVec {
@@ -27,22 +29,55 @@ class BitVec {
   [[nodiscard]] bool all_set() const noexcept { return count_ == size_; }
   [[nodiscard]] bool none_set() const noexcept { return count_ == 0; }
 
+  // The single-bit operations are inline: they sit on per-write hot paths
+  // (BET flag updates, victim-index dirty marks) where an out-of-line call
+  // would dominate the bit twiddle.
+
   /// Value of bit `i`. Requires i < size().
-  [[nodiscard]] bool test(std::size_t i) const;
+  [[nodiscard]] bool test(std::size_t i) const {
+    SWL_REQUIRE(i < size_, "bit index out of range");
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+  }
 
   /// Sets bit `i`; returns true when the bit transitioned 0 → 1.
-  bool set(std::size_t i);
+  bool set(std::size_t i) {
+    SWL_REQUIRE(i < size_, "bit index out of range");
+    std::uint64_t& w = words_[i / kWordBits];
+    const std::uint64_t mask = 1ULL << (i % kWordBits);
+    if (w & mask) return false;
+    w |= mask;
+    ++count_;
+    return true;
+  }
 
   /// Clears bit `i`; returns true when the bit transitioned 1 → 0.
-  bool clear(std::size_t i);
+  bool clear(std::size_t i) {
+    SWL_REQUIRE(i < size_, "bit index out of range");
+    std::uint64_t& w = words_[i / kWordBits];
+    const std::uint64_t mask = 1ULL << (i % kWordBits);
+    if (!(w & mask)) return false;
+    w &= ~mask;
+    --count_;
+    return true;
+  }
 
   /// Clears every bit.
-  void reset() noexcept;
+  void reset() noexcept {
+    for (auto& w : words_) w = 0;
+    count_ = 0;
+  }
 
   /// Index of the first zero bit at or after `start`, scanning cyclically and
   /// wrapping past the end; requires not all_set() and start < size().
-  /// O(words) worst case, O(1) amortized over a full scan.
+  /// Runs of fully-set words are skipped four at a time on AVX2 hosts
+  /// (runtime-dispatched); O(words) worst case, O(1) amortized over a scan.
   [[nodiscard]] std::size_t next_zero_cyclic(std::size_t start) const;
+
+  /// Index of the first set bit at or after `start`, scanning cyclically and
+  /// wrapping past the end; requires not none_set() and start < size().
+  /// Same word/SIMD skipping as next_zero_cyclic, with all-zero words as the
+  /// uninteresting run.
+  [[nodiscard]] std::size_t next_set_cyclic(std::size_t start) const;
 
   /// Resizes to `size` bits, preserving the prefix; new bits are zero.
   void resize(std::size_t size);
@@ -56,6 +91,8 @@ class BitVec {
   void assign(std::vector<std::uint64_t> words, std::size_t size);
 
  private:
+  static constexpr std::size_t kWordBits = 64;
+
   std::vector<std::uint64_t> words_;
   std::size_t size_ = 0;
   std::size_t count_ = 0;

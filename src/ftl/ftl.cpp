@@ -12,7 +12,9 @@ Ftl::Ftl(nand::NandChip& chip, FtlConfig config)
     : tl::TranslationLayer(chip),
       config_(config),
       pool_(chip.geometry().block_count, config.alloc_policy),
-      scanner_(chip.geometry().block_count) {
+      scanner_(chip.geometry().block_count),
+      vindex_(chip.geometry().block_count, chip.geometry().pages_per_block,
+              config.gc_cost_weight) {
   init_config();
   for (BlockIndex b = 0; b < chip.geometry().block_count; ++b) {
     pool_.add(b, chip.erase_count(b));
@@ -23,7 +25,9 @@ Ftl::Ftl(nand::NandChip& chip, FtlConfig config, MountTag)
     : tl::TranslationLayer(chip),
       config_(config),
       pool_(chip.geometry().block_count, config.alloc_policy),
-      scanner_(chip.geometry().block_count) {
+      scanner_(chip.geometry().block_count),
+      vindex_(chip.geometry().block_count, chip.geometry().pages_per_block,
+              config.gc_cost_weight) {
   init_config();
   rebuild_from_flash();
 }
@@ -56,7 +60,9 @@ void Ftl::init_config() {
   last_write_seq_.assign(geo.block_count, 0);
   gc_trigger_cached_ = gc_trigger_level();
   bytes_mode_ = chip().config().store_payload_bytes;
+  use_victim_index_ = !config_.reference_victim_scan;
   set_fast_paths(&Ftl::fast_write_thunk, &Ftl::fast_read_thunk);
+  set_prefetch(&Ftl::prefetch_thunk);
 }
 
 void Ftl::rebuild_from_flash() {
@@ -119,6 +125,12 @@ void Ftl::rebuild_from_flash() {
   adopt(0, host_frontier_, host_next_page_);
   adopt(1, gc_frontier_, gc_next_page_);
   if (config_.hot_cold_separation) adopt(2, hot_frontier_, hot_next_page_);
+  // The passes above invalidated stale pages in place; synchronize the
+  // victim index with the chip's real counts once. Retired blocks never
+  // enter the index.
+  for (BlockIndex b = 0; b < geo.block_count; ++b) {
+    if (!chip().is_retired(b)) sync_victim(b);
+  }
 }
 
 BlockIndex Ftl::gc_trigger_level() const noexcept {
@@ -175,6 +187,7 @@ Status Ftl::write_internal(Lba lba, std::uint64_t payload_token,
     dst = take_frontier_page(frontier, next_page);
     const Status st = chip().program_page(
         dst, payload_token, nand::SpareArea{lba, ++write_sequence_, 0}, data);
+    sync_victim(dst.block);  // a failed program consumes the page: counts moved either way
     if (st == Status::ok) {
       last_write_seq_[dst.block] = write_sequence_;
       break;
@@ -186,6 +199,7 @@ Status Ftl::write_internal(Lba lba, std::uint64_t payload_token,
   if (old.valid()) {
     const Status inv = chip().invalidate_page(old);
     SWL_ASSERT(inv == Status::ok, "stale mapping pointed at an unprogrammed page");
+    sync_victim(old.block);
   }
   map_[lba] = dst;
   finish_host_write();
@@ -242,15 +256,28 @@ bool Ftl::fast_write_thunk(tl::TranslationLayer& base, Lba lba, std::uint64_t pa
   const Status st =
       chip.program_page(dst, payload_token, nand::SpareArea{lba, ++self.write_sequence_, 0});
   SWL_ASSERT(st == Status::ok, "fast-path frontier page was not programmable");
+  self.sync_victim(dst.block);
   self.last_write_seq_[dst.block] = self.write_sequence_;
   const Ppa old = self.map_[lba];
   if (old.valid()) {
     const Status inv = chip.invalidate_page(old);
     SWL_ASSERT(inv == Status::ok, "stale mapping pointed at an unprogrammed page");
+    self.sync_victim(old.block);
   }
   self.map_[lba] = dst;
   self.finish_host_write();
   return true;
+}
+
+void Ftl::prefetch_thunk(const tl::TranslationLayer& base, Lba near_lba, Lba far_lba) {
+  const Ftl& self = static_cast<const Ftl&>(base);
+  // The far record only needs its map entry on the way; the near record's
+  // entry was hinted when it was far, so loading it now is cheap and its
+  // mapped page's metadata (invalidated on overwrite, read on a read
+  // record) can be pulled too.
+  __builtin_prefetch(self.map_.data() + far_lba, 0, 1);
+  const Ppa near_ppa = self.map_[near_lba];
+  if (near_ppa.valid()) self.chip().prefetch_page(near_ppa);
 }
 
 Status Ftl::read_bytes(Lba lba, std::span<std::uint8_t> out) {
@@ -313,7 +340,43 @@ bool Ftl::gc_once() {
     return clean_block(best);
   }
   // Greedy cost/benefit selection via cyclic scan (Section 5.1).
-  BlockIndex victim = scanner_.next([&](BlockIndex b) {
+  BlockIndex victim = kInvalidBlock;
+  if (use_victim_index_) {
+    // Index-accelerated equivalent of the reference scan below: hop over the
+    // positive-score blocks from the cursor instead of probing every block.
+    // Positive-score blocks are never pooled (pooled blocks score 0) nor
+    // retired (removed from the index on retirement), so only the write
+    // frontiers need filtering here. A full wrap (b == first again) means
+    // every positive block is a frontier — same outcome as a fruitless cycle.
+    vindex_.flush(chip());
+    if (vindex_.any_positive()) {
+      std::size_t start = scanner_.cursor();
+      BlockIndex first = kInvalidBlock;
+      while (true) {
+        const auto b = static_cast<BlockIndex>(vindex_.next_positive(start));
+        if (first == kInvalidBlock) {
+          first = b;
+        } else if (b == first) {
+          break;
+        }
+        if (b != host_frontier_ && b != gc_frontier_ && b != hot_frontier_) {
+          victim = b;
+          break;
+        }
+        start = (b + 1 == geo.block_count) ? 0 : b + 1;
+      }
+    }
+    if (victim != kInvalidBlock) {
+      scanner_.advance_past(victim);
+    } else {
+      // Fallback (reference semantics below): most invalid pages, ties to the
+      // least-worn, then the lowest index; frontiers are eligible here.
+      victim = vindex_.most_invalid(chip());
+    }
+    if (victim == kInvalidBlock) return false;
+    return clean_block(victim);
+  }
+  victim = scanner_.next([&](BlockIndex b) {
     if (b == host_frontier_ || b == gc_frontier_ || b == hot_frontier_) return false;
     if (pool_.contains(b) || chip().is_retired(b)) return false;
     return tl::gc_score(chip().valid_page_count(b), chip().invalid_page_count(b),
@@ -402,6 +465,7 @@ bool Ftl::clean_block(BlockIndex victim) {
       // victim's erase, the mount scan must prefer the copy.
       const Status st = chip().program_page(
           dst, payload_token, nand::SpareArea{lba, ++write_sequence_, 0, role}, data);
+      sync_victim(dst.block);
       if (st == Status::ok) {
         map_[lba] = dst;
         last_write_seq_[dst.block] = write_sequence_;
@@ -411,12 +475,16 @@ bool Ftl::clean_block(BlockIndex victim) {
     }
     const Status inv = chip().invalidate_page(src);
     SWL_ASSERT(inv == Status::ok, "relocated source page was not invalidatable");
+    sync_victim(victim);
     count_live_copy();
   }
   const Status st = chip().erase_block(victim);
   if (st == Status::ok) {
     pool_.add(victim, chip().erase_count(victim));
   }
+  // Erased (score 0, no invalid pages) or retired: either way the block
+  // leaves the index until it is programmed again.
+  if (use_victim_index_) vindex_.remove(victim);
   // A worn-out, retired block is silently dropped from circulation.
   return true;
 }

@@ -18,6 +18,7 @@
 #include "tl/free_block_pool.hpp"
 #include "tl/gc_policy.hpp"
 #include "tl/translation_layer.hpp"
+#include "tl/victim_index.hpp"
 
 namespace swl::ftl {
 
@@ -47,6 +48,12 @@ struct FtlConfig {
   /// Strengthens dynamic wear leveling; needs one extra block of reserve.
   bool hot_cold_separation = false;
   hotness::HotDataConfig hotness;
+  /// Diagnostic: select GC victims with the reference scans (the cyclic
+  /// chip-probing scan plus the most-invalid fallback loop) instead of the
+  /// incrementally maintained tl::VictimIndex. Must select the same victims
+  /// in the same order (pinned by the victim-scan property test and the
+  /// differential fuzzer); never needed in production.
+  bool reference_victim_scan = false;
 };
 
 class Ftl final : public tl::TranslationLayer {
@@ -125,6 +132,15 @@ class Ftl final : public tl::TranslationLayer {
   /// trigger, destination frontier open — and bails to write() otherwise.
   static bool fast_write_thunk(tl::TranslationLayer& base, Lba lba, std::uint64_t payload_token);
   static Status fast_read_thunk(tl::TranslationLayer& base, Lba lba, std::uint64_t* payload_token);
+  /// Prefetch hint (see TranslationLayer::prefetch_records): pulls the far
+  /// record's map entry and the near record's mapped page toward the cache.
+  static void prefetch_thunk(const tl::TranslationLayer& base, Lba near_lba, Lba far_lba);
+
+  /// Marks `b` for victim-index re-scoring after an operation changed its
+  /// page counts (the index flushes lazily at the next GC selection).
+  void sync_victim(BlockIndex b) {
+    if (use_victim_index_) vindex_.mark_dirty(b);
+  }
 
   /// Copies the victim's live pages to the GC frontier, erases it and
   /// returns it to the pool. False when the victim's live pages exceed the
@@ -137,6 +153,10 @@ class Ftl final : public tl::TranslationLayer {
   std::vector<Ppa> map_;  // the address translation table (in RAM), Fig. 2(a)
   tl::FreeBlockPool pool_;
   tl::CyclicVictimScanner scanner_;
+  // Cached greedy victim scores (dirty mask + positive/candidate masks),
+  // flushed lazily at GC selection; reference_victim_scan disables it.
+  tl::VictimIndex vindex_;
+  bool use_victim_index_ = true;
   BlockIndex host_frontier_ = kInvalidBlock;
   PageIndex host_next_page_ = 0;
   BlockIndex gc_frontier_ = kInvalidBlock;

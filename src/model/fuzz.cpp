@@ -96,11 +96,15 @@ class Runner {
   }
 
  private:
-  [[nodiscard]] ftl::FtlConfig ftl_config() const {
+  [[nodiscard]] ftl::FtlConfig ftl_config(const Stack& s) const {
     ftl::FtlConfig cfg;
     cfg.lba_count = sched_.params.lba_count;
     cfg.gc_cost_weight = sched_.params.gc_cost_weight;
     cfg.victim_policy = sched_.params.victim_policy;
+    // Stack B optionally runs the reference victim scans against A's
+    // victim-index selection — a live equivalence check of tl::VictimIndex
+    // under media errors, remounts and leveler interference.
+    cfg.reference_victim_scan = !s.fast && sched_.params.reference_scan_b;
     return cfg;
   }
 
@@ -143,7 +147,7 @@ class Runner {
   /// (restored from the snapshot store when one validates), persistence.
   void mount_stack(Stack& s, bool mounted) {
     const FuzzParams& p = sched_.params;
-    s.layer = sim::make_layer(p.layer, *s.chip, ftl_config(), nftl_config(s), mounted);
+    s.layer = sim::make_layer(p.layer, *s.chip, ftl_config(s), nftl_config(s), mounted);
     s.leveler = nullptr;
     if (p.with_leveler) {
       auto lev = std::make_unique<wear::SwLeveler>(p.block_count, p.leveler);
@@ -541,6 +545,7 @@ FuzzSchedule generate_schedule(std::uint64_t seed, std::optional<sim::LayerKind>
     const std::uint64_t cap = pages - 2ULL * p.pages_per_block;
     p.lba_count = static_cast<Lba>(std::clamp<std::uint64_t>(pages * frac / 100, 1, cap));
     lba_count = p.lba_count;
+    p.reference_scan_b = rng.chance(0.5);
   } else {
     const std::uint64_t frac = 55 + rng.below(31);
     p.vba_count = static_cast<Vba>(

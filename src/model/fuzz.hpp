@@ -82,7 +82,8 @@ struct FuzzParams {
   /// Exported logical pages (FTL) / virtual blocks (NFTL); 0 = layer default.
   Lba lba_count = 0;
   Vba vba_count = 0;
-  /// Stack B uses NftlConfig::reference_victim_scan (NFTL only).
+  /// Stack B selects GC victims with the reference scans instead of the
+  /// victim index (FtlConfig/NftlConfig::reference_victim_scan).
   bool reference_scan_b = false;
   /// Injected media-error probability (same stream on both chips).
   double program_fail_p = 0.0;

@@ -11,9 +11,8 @@ NandChip::NandChip(NandConfig config, SimClock* clock)
   SWL_REQUIRE(config_.geometry.valid(), "invalid flash geometry");
   SWL_REQUIRE(config_.timing.endurance > 0, "endurance must be positive");
   blocks_.resize(config_.geometry.block_count);
-  for (auto& b : blocks_) {
-    b.pages.resize(config_.geometry.pages_per_block);
-  }
+  page_stride_ = config_.geometry.pages_per_block;
+  pages_.resize(static_cast<std::size_t>(config_.geometry.block_count) * page_stride_);
   erase_counts_.assign(config_.geometry.block_count, 0);
   inject_failures_ = config_.failures.enabled();
 }
@@ -37,8 +36,9 @@ void NandChip::store_page_bytes(Block& block, Page& page, PageIndex page_index,
   page.has_data = true;
 }
 
-void NandChip::consume_page(Block& block, PageIndex page_index) {
-  Page& page = block.pages[page_index];
+void NandChip::consume_page(BlockIndex block_index, PageIndex page_index) {
+  Block& block = blocks_[block_index];
+  Page& page = page_at(block_index, page_index);
   if (!page_current(block, page)) {
     page = Page{};  // lazily apply the last erase before consuming
     page.epoch = block.epoch;
@@ -84,7 +84,7 @@ Status NandChip::erase_block(BlockIndex index) {
       // complete — the count stays, and no observer fires. Recovery reclaims
       // the block through a fresh (full) erase.
       for (PageIndex p = 0; p < config_.geometry.pages_per_block; ++p) {
-        consume_page(block, p);
+        consume_page(index, p);
       }
       throw PowerLossError{};
   }
@@ -119,9 +119,11 @@ Status NandChip::erase_block(BlockIndex index) {
 }
 
 void NandChip::forget_logical_state() {
-  for (auto& block : blocks_) {
+  for (BlockIndex b = 0; b < config_.geometry.block_count; ++b) {
+    Block& block = blocks_[b];
     PageIndex valid = 0;
-    for (auto& page : block.pages) {
+    for (PageIndex p = 0; p < config_.geometry.pages_per_block; ++p) {
+      Page& page = page_at(b, p);
       if (!page_current(block, page)) continue;  // stale content: reads as free
       if (page.state == PageState::invalid) page.state = PageState::valid;
       if (page.state == PageState::valid) ++valid;

@@ -217,6 +217,15 @@ class NandChip {
     return !inject_failures_ && power_loss_hook_ == nullptr;
   }
 
+  /// Hints the CPU to pull the page's metadata cache line in ahead of an
+  /// upcoming read_token/page_state/spare visit. Purely advisory: no timing,
+  /// no counters, no state change. `addr` must be a valid address.
+  void prefetch_page(Ppa addr) const noexcept {
+    __builtin_prefetch(pages_.data() + static_cast<std::size_t>(addr.block) * page_stride_ +
+                           addr.page,
+                       /*rw=*/0, /*locality=*/1);
+  }
+
   // -- misc -----------------------------------------------------------------
 
   [[nodiscard]] const FlashGeometry& geometry() const noexcept { return config_.geometry; }
@@ -237,7 +246,6 @@ class NandChip {
   };
 
   struct Block {
-    std::vector<Page> pages;
     /// Payload-byte arena (pages_per_block × page_size bytes), shared by all
     /// pages of the block. Allocated lazily on the first byte-carrying
     /// program and reused across erases, so the token-only hot path never
@@ -273,10 +281,18 @@ class NandChip {
   [[nodiscard]] static bool page_current(const Block& block, const Page& page) noexcept {
     return page.epoch == block.epoch;
   }
+  /// Page storage is one flat chip-level array indexed block * stride + page
+  /// (see pages_ below); these are the only places that compute the index.
+  [[nodiscard]] Page& page_at(BlockIndex block, PageIndex page) noexcept {
+    return pages_[static_cast<std::size_t>(block) * page_stride_ + page];
+  }
+  [[nodiscard]] const Page& page_at(BlockIndex block, PageIndex page) const noexcept {
+    return pages_[static_cast<std::size_t>(block) * page_stride_ + page];
+  }
   /// Turns a page into unreadable garbage (a failed or torn program): the
   /// cells were partially written, fail ECC, and cannot be re-programmed
   /// before the next erase of the block.
-  void consume_page(Block& block, PageIndex page);
+  void consume_page(BlockIndex block, PageIndex page);
   /// The arena slice backing `page` of `block` (arena must exist).
   [[nodiscard]] std::span<std::uint8_t> arena_slice(const Block& block, PageIndex page) const;
   [[nodiscard]] bool inject_program_failure(BlockIndex block);
@@ -289,6 +305,12 @@ class NandChip {
   SimClock* clock_;
   PowerLossHook* power_loss_hook_ = nullptr;
   std::vector<Block> blocks_;
+  /// All pages of the chip in one flat array (block-major, stride
+  /// page_stride_). One contiguous allocation keeps sequential page visits —
+  /// GC copy loops, spare-area scans, the prefetch hot path — on adjacent
+  /// cache lines instead of chasing a per-block vector indirection.
+  std::vector<Page> pages_;
+  std::size_t page_stride_ = 0;  // == geometry.pages_per_block, cached
   std::vector<std::uint32_t> erase_counts_;
   // Thread-confined (not mutex-guarded): one chip belongs to one sweep
   // point / one thread. thread_checker_ turns a cross-thread erase or
@@ -310,7 +332,7 @@ inline PageReadResult NandChip::read_page(Ppa addr) const {
   tick(config_.timing.read_page_us);
   ++counters_.reads;
   const Block& block = blocks_[addr.block];
-  const Page& page = block.pages[addr.page];
+  const Page& page = page_at(addr.block, addr.page);
   PageReadResult result;
   if (!page_current(block, page) || page.state == PageState::free) {
     result.status = Status::page_not_programmed;
@@ -331,7 +353,7 @@ inline std::uint64_t NandChip::read_token(Ppa addr) const {
   tick(config_.timing.read_page_us);
   ++counters_.reads;
   const Block& block = blocks_[addr.block];
-  const Page& page = block.pages[addr.page];
+  const Page& page = page_at(addr.block, addr.page);
   SWL_ASSERT(page_current(block, page) && page.state != PageState::free,
              "read_token of an unprogrammed page");
   return page.payload;
@@ -344,7 +366,7 @@ inline Status NandChip::program_page(Ppa addr, std::uint64_t payload_token,
   check_ppa(addr);
   Block& block = blocks_[addr.block];
   if (block.retired) return Status::bad_block;
-  Page& page = block.pages[addr.page];
+  Page& page = page_at(addr.block, addr.page);
   if (!page_current(block, page)) {
     // Lazily apply the last erase of the block to this page.
     page = Page{};
@@ -362,7 +384,7 @@ inline Status NandChip::program_page(Ppa addr, std::uint64_t payload_token,
         throw PowerLossError{};
       case CrashDecision::cut_during:
         // Torn page: the cells were partially written before power died.
-        consume_page(block, addr.page);
+        consume_page(addr.block, addr.page);
         throw PowerLossError{};
     }
   }
@@ -374,7 +396,7 @@ inline Status NandChip::program_page(Ppa addr, std::uint64_t payload_token,
     // holds fails ECC, which the spare-area scan recognizes by the
     // kInvalidLba marker.
     ++counters_.program_failures;
-    consume_page(block, addr.page);
+    consume_page(addr.block, addr.page);
     return Status::program_failed;
   }
   page.payload = payload_token;
@@ -392,7 +414,7 @@ inline Status NandChip::program_page(Ppa addr, std::uint64_t payload_token,
 inline Status NandChip::invalidate_page(Ppa addr) {
   check_ppa(addr);
   Block& block = blocks_[addr.block];
-  Page& page = block.pages[addr.page];
+  Page& page = page_at(addr.block, addr.page);
   if (!page_current(block, page) || page.state == PageState::free) {
     return Status::page_not_programmed;
   }
@@ -407,14 +429,14 @@ inline Status NandChip::invalidate_page(Ppa addr) {
 inline PageState NandChip::page_state(Ppa addr) const {
   check_ppa(addr);
   const Block& block = blocks_[addr.block];
-  const Page& page = block.pages[addr.page];
+  const Page& page = page_at(addr.block, addr.page);
   return page_current(block, page) ? page.state : PageState::free;
 }
 
 inline const SpareArea& NandChip::spare(Ppa addr) const {
   check_ppa(addr);
   const Block& block = blocks_[addr.block];
-  const Page& page = block.pages[addr.page];
+  const Page& page = page_at(addr.block, addr.page);
   return page_current(block, page) ? page.spare : kErasedSpare;
 }
 

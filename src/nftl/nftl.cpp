@@ -12,7 +12,9 @@ Nftl::Nftl(nand::NandChip& chip, NftlConfig config)
     : tl::TranslationLayer(chip),
       config_(config),
       pool_(chip.geometry().block_count, config.alloc_policy),
-      scanner_(chip.geometry().block_count) {
+      scanner_(chip.geometry().block_count),
+      vindex_(chip.geometry().block_count, chip.geometry().pages_per_block,
+              config.gc_cost_weight) {
   init_config();
   for (BlockIndex b = 0; b < chip.geometry().block_count; ++b) {
     pool_.add(b, chip.erase_count(b));
@@ -23,7 +25,9 @@ Nftl::Nftl(nand::NandChip& chip, NftlConfig config, MountTag)
     : tl::TranslationLayer(chip),
       config_(config),
       pool_(chip.geometry().block_count, config.alloc_policy),
-      scanner_(chip.geometry().block_count) {
+      scanner_(chip.geometry().block_count),
+      vindex_(chip.geometry().block_count, chip.geometry().pages_per_block,
+              config.gc_cost_weight) {
   init_config();
   rebuild_from_flash();
 }
@@ -46,19 +50,16 @@ void Nftl::init_config() {
   SWL_REQUIRE(config_.gc_trigger_fraction >= 0.0 && config_.gc_trigger_fraction < 1.0,
               "gc_trigger_fraction out of range");
   lba_count_ = config_.vba_count * geo.pages_per_block;
-  primary_.assign(config_.vba_count, kInvalidBlock);
-  replacement_.assign(config_.vba_count, kInvalidBlock);
-  replacement_next_.assign(config_.vba_count, 0);
+  vmap_.assign(config_.vba_count, VbaEntry{});
   owner_.assign(geo.block_count, kInvalidVba);
   latest_.assign(lba_count_, kInvalidPpa);
   last_write_seq_.assign(geo.block_count, 0);
   gc_trigger_cached_ = gc_trigger_level();
   bytes_mode_ = chip().config().store_payload_bytes;
   maybe_invalid_.assign(geo.block_count, 0);
-  // A negative cost weight could score a fully-valid block above zero, so the
-  // clean-block skip is only sound for the usual non-negative weights.
-  scan_skips_clean_ = config_.gc_cost_weight >= 0.0 && !config_.reference_victim_scan;
+  use_victim_index_ = !config_.reference_victim_scan;
   set_fast_paths(&Nftl::fast_write_thunk, &Nftl::fast_read_thunk);
+  set_prefetch(&Nftl::prefetch_thunk);
 }
 
 void Nftl::rebuild_from_flash() {
@@ -140,7 +141,7 @@ void Nftl::rebuild_from_flash() {
     // Replacement: newest by sequence wins (a fold can leave at most one
     // behind; duplicates would be pre-fold leftovers with older sequences).
     for (const BlockIndex b : replacements[v]) {
-      BlockIndex& slot = replacement_[v];
+      BlockIndex& slot = vmap_[v].replacement;
       if (slot == kInvalidBlock) {
         slot = b;
       } else if (info[slot].max_sequence < info[b].max_sequence) {
@@ -172,7 +173,7 @@ void Nftl::rebuild_from_flash() {
       }
       std::vector<bool> needed(pages, false);
       readable_offsets(winner, needed);
-      readable_offsets(replacement_[v], needed);
+      readable_offsets(vmap_[v].replacement, needed);
       bool complete = true;
       for (PageIndex o = 0; o < pages && complete; ++o) {
         if (!needed[o]) continue;
@@ -183,7 +184,7 @@ void Nftl::rebuild_from_flash() {
       to_recycle.push_back(complete ? winner : b);
       if (complete) winner = b;
     }
-    primary_[v] = winner;
+    vmap_[v].primary = winner;
   }
 
   for (const BlockIndex b : to_recycle) {
@@ -213,26 +214,29 @@ void Nftl::rebuild_from_flash() {
     }
   };
   for (Vba v = 0; v < config_.vba_count; ++v) {
-    if (primary_[v] != kInvalidBlock) {
-      owner_[primary_[v]] = v;
-      elect_pages(primary_[v]);
+    if (vmap_[v].primary != kInvalidBlock) {
+      owner_[vmap_[v].primary] = v;
+      elect_pages(vmap_[v].primary);
     }
-    if (replacement_[v] != kInvalidBlock) {
-      if (primary_[v] == kInvalidBlock) {
+    if (vmap_[v].replacement != kInvalidBlock) {
+      if (vmap_[v].primary == kInvalidBlock) {
         // A replacement can never outlive its primary in this layer's crash
         // model; finding one orphaned means corruption.
         SWL_ASSERT(false, "orphan replacement block during mount");
       }
-      owner_[replacement_[v]] = v;
-      elect_pages(replacement_[v]);
-      replacement_next_[v] = info[replacement_[v]].last_programmed + 1;
+      owner_[vmap_[v].replacement] = v;
+      elect_pages(vmap_[v].replacement);
+      vmap_[v].replacement_next = info[vmap_[v].replacement].last_programmed + 1;
     }
   }
 
   // The passes above invalidated garbage and stale versions in place;
-  // resynchronize the scan filter with the chip's real counts once.
+  // resynchronize the scan filter and the victim index with the chip's real
+  // counts once. Only owned blocks are scannable, and retired blocks must
+  // never enter the index.
   for (BlockIndex b = 0; b < geo.block_count; ++b) {
     maybe_invalid_[b] = chip().invalid_page_count(b) > 0 ? 1 : 0;
+    if (!chip().is_retired(b) && owner_[b] != kInvalidVba) sync_victim(b);
   }
 }
 
@@ -254,8 +258,10 @@ BlockIndex Nftl::allocate_block(Vba vba) {
 void Nftl::release_block(BlockIndex block) {
   owner_[block] = kInvalidVba;
   // Either outcome leaves the block out of the victim scan (erased and
-  // pooled, or retired), so its invalid flag can drop.
+  // pooled, or retired), so its invalid flag can drop and the victim index
+  // forgets it.
   maybe_invalid_[block] = 0;
+  if (use_victim_index_) vindex_.remove(block);
   if (chip().erase_block(block) == Status::ok) {
     pool_.add(block, chip().erase_count(block));
   }
@@ -286,10 +292,10 @@ Status Nftl::write_internal(Lba lba, std::uint64_t payload_token,
   const Vba vba = lba / pages;
   const PageIndex offset = lba % pages;
 
-  if (primary_[vba] == kInvalidBlock) {
-    primary_[vba] = allocate_block(vba);
+  if (vmap_[vba].primary == kInvalidBlock) {
+    vmap_[vba].primary = allocate_block(vba);
   }
-  Ppa dst{primary_[vba], offset};
+  Ppa dst{vmap_[vba].primary, offset};
   Status st = Status::page_already_programmed;
   if (chip().page_state(dst) == PageState::free) {
     // First write of this offset since the last fold: it goes to the page
@@ -299,6 +305,7 @@ Status Nftl::write_internal(Lba lba, std::uint64_t payload_token,
         nand::SpareArea{lba, ++write_sequence_, 0, nand::PageRole::primary}, data);
     SWL_ASSERT(st == Status::ok || st == Status::program_failed,
                "free primary page was not programmable");
+    sync_victim(dst.block);  // a failed program consumes the page: counts moved either way
     if (st == Status::ok) {
       last_write_seq_[dst.block] = write_sequence_;
     } else {
@@ -316,6 +323,7 @@ Status Nftl::write_internal(Lba lba, std::uint64_t payload_token,
     const Status inv = chip().invalidate_page(old);
     SWL_ASSERT(inv == Status::ok, "stale version pointed at an unprogrammed page");
     note_invalid(old.block);
+    sync_victim(old.block);
   }
   latest_[lba] = dst;
   finish_host_write();
@@ -328,20 +336,21 @@ Ppa Nftl::append_to_replacement(Vba vba, Lba lba, std::uint64_t payload_token,
   // Bounded retries: each failed program consumes one replacement page, so a
   // media-error storm eventually exhausts the budget instead of spinning.
   for (PageIndex attempt = 0; attempt < 4 * pages; ++attempt) {
-    if (replacement_[vba] == kInvalidBlock) {
-      replacement_[vba] = allocate_block(vba);
-      replacement_next_[vba] = 0;
-    } else if (replacement_next_[vba] >= pages) {
+    if (vmap_[vba].replacement == kInvalidBlock) {
+      vmap_[vba].replacement = allocate_block(vba);
+      vmap_[vba].replacement_next = 0;
+    } else if (vmap_[vba].replacement_next >= pages) {
       // "When a replacement block is full, valid pages in the block and its
       // associated primary block are merged into a new primary block."
       if (!fold(vba)) return kInvalidPpa;
-      replacement_[vba] = allocate_block(vba);
-      replacement_next_[vba] = 0;
+      vmap_[vba].replacement = allocate_block(vba);
+      vmap_[vba].replacement_next = 0;
     }
-    const Ppa dst{replacement_[vba], replacement_next_[vba]++};
+    const Ppa dst{vmap_[vba].replacement, vmap_[vba].replacement_next++};
     const Status st = chip().program_page(
         dst, payload_token,
         nand::SpareArea{lba, ++write_sequence_, 0, nand::PageRole::replacement}, data);
+    sync_victim(dst.block);
     if (st == Status::ok) {
       last_write_seq_[dst.block] = write_sequence_;
       return dst;
@@ -354,8 +363,8 @@ Ppa Nftl::append_to_replacement(Vba vba, Lba lba, std::uint64_t payload_token,
 
 bool Nftl::fold(Vba vba) {
   const PageIndex pages = chip().geometry().pages_per_block;
-  const BlockIndex old_primary = primary_[vba];
-  const BlockIndex old_replacement = replacement_[vba];
+  const BlockIndex old_primary = vmap_[vba].primary;
+  const BlockIndex old_replacement = vmap_[vba].replacement;
   SWL_ASSERT(old_primary != kInvalidBlock, "fold of an unmapped VBA");
   const Lba base = vba * pages;
 
@@ -393,6 +402,7 @@ bool Nftl::fold(Vba vba) {
           Ppa{fresh, offset}, payload_token,
           nand::SpareArea{base + offset, ++write_sequence_, 0, nand::PageRole::primary},
           data);
+      sync_victim(fresh);
       if (st != Status::ok) {
         SWL_ASSERT(st == Status::program_failed, "fold destination page was not programmable");
         note_invalid(fresh);  // the failed program consumed the page
@@ -410,9 +420,9 @@ bool Nftl::fold(Vba vba) {
     for (PageIndex offset = 0; offset < pages; ++offset) {
       if (fold_scratch_[offset].valid()) latest_[base + offset] = fold_scratch_[offset];
     }
-    primary_[vba] = fresh;
-    replacement_[vba] = kInvalidBlock;
-    replacement_next_[vba] = 0;
+    vmap_[vba].primary = fresh;
+    vmap_[vba].replacement = kInvalidBlock;
+    vmap_[vba].replacement_next = 0;
     release_block(old_primary);
     if (old_replacement != kInvalidBlock) release_block(old_replacement);
     return true;
@@ -460,15 +470,15 @@ bool Nftl::fast_write_thunk(tl::TranslationLayer& base, Lba lba, std::uint64_t p
   const PageIndex pages = chip.geometry().pages_per_block;
   const Vba vba = lba / pages;
   const PageIndex offset = lba % pages;
-  const BlockIndex primary = self.primary_[vba];
+  const BlockIndex primary = self.vmap_[vba].primary;
   if (primary == kInvalidBlock) return false;
 
   Ppa dst{primary, offset};
   nand::PageRole role = nand::PageRole::primary;
   if (chip.page_state(dst) != PageState::free) {
-    const BlockIndex replacement = self.replacement_[vba];
-    if (replacement == kInvalidBlock || self.replacement_next_[vba] >= pages) return false;
-    dst = Ppa{replacement, self.replacement_next_[vba]++};
+    const BlockIndex replacement = self.vmap_[vba].replacement;
+    if (replacement == kInvalidBlock || self.vmap_[vba].replacement_next >= pages) return false;
+    dst = Ppa{replacement, self.vmap_[vba].replacement_next++};
     role = nand::PageRole::replacement;
   }
 
@@ -478,16 +488,30 @@ bool Nftl::fast_write_thunk(tl::TranslationLayer& base, Lba lba, std::uint64_t p
   const Status st = chip.program_page(
       dst, payload_token, nand::SpareArea{lba, ++self.write_sequence_, 0, role}, {});
   SWL_ASSERT(st == Status::ok, "fast-path destination page was not programmable");
+  self.sync_victim(dst.block);
   self.last_write_seq_[dst.block] = self.write_sequence_;
   const Ppa old = self.latest_[lba];
   if (old.valid()) {
     const Status inv = chip.invalidate_page(old);
     SWL_ASSERT(inv == Status::ok, "stale version pointed at an unprogrammed page");
     self.note_invalid(old.block);
+    self.sync_victim(old.block);
   }
   self.latest_[lba] = dst;
   self.finish_host_write();
   return true;
+}
+
+void Nftl::prefetch_thunk(const tl::TranslationLayer& base, Lba near_lba, Lba far_lba) {
+  const Nftl& self = static_cast<const Nftl&>(base);
+  const PageIndex pages = self.chip().geometry().pages_per_block;
+  // The far record needs its version-index and VBA-table entries on the way;
+  // the near record is close enough that its current page's metadata
+  // (invalidated on overwrite, read on a read record) is worth pulling too.
+  __builtin_prefetch(self.latest_.data() + far_lba, 0, 1);
+  __builtin_prefetch(self.vmap_.data() + far_lba / pages, 0, 1);
+  const Ppa near_ppa = self.latest_[near_lba];
+  if (near_ppa.valid()) self.chip().prefetch_page(near_ppa);
 }
 
 Status Nftl::read_bytes(Lba lba, std::span<std::uint8_t> out) {
@@ -510,12 +534,12 @@ Ppa Nftl::translate(Lba lba) const {
 
 BlockIndex Nftl::primary_block(Vba vba) const {
   SWL_REQUIRE(vba < config_.vba_count, "VBA out of range");
-  return primary_[vba];
+  return vmap_[vba].primary;
 }
 
 BlockIndex Nftl::replacement_block(Vba vba) const {
   SWL_REQUIRE(vba < config_.vba_count, "VBA out of range");
-  return replacement_[vba];
+  return vmap_[vba].replacement;
 }
 
 void Nftl::maybe_gc() {
@@ -561,40 +585,29 @@ bool Nftl::gc_select_and_fold() {
     if (best == kInvalidBlock) return false;
     return fold(owner_[best]);
   }
-  // Greedy cyclic scan with the most-invalid fallback folded into the same
-  // pass. The cyclic scan frequently fails on a steady-state device (no
-  // block has invalid > valid), and its failure implies it visited every
-  // block — so the fallback's winner can be accumulated along the way
-  // instead of rescanned. The fallback preference is the order-independent
-  // total order (invalid desc, erase count asc, block index asc), so
-  // accumulating it in cyclic rather than index order picks the same block.
-  // With a non-negative cost weight a positive score implies invalid > 0
-  // (scan_skips_clean_), letting both the candidate test and the fallback
-  // skip clean blocks via maybe_invalid_ without touching chip state.
+  // Greedy cost/benefit selection. The victim index already knows which
+  // blocks score positive (and which hold any invalid page, for the
+  // fallback); every indexed block is owned and live, because release_block
+  // removes a block before its erase/retire and pooled blocks are never
+  // marked, so no query-time filtering is needed. The cursor-cyclic
+  // next_positive() reproduces the reference scan's visiting order, and the
+  // fallback's index-order candidate walk reproduces its total order
+  // (invalid desc, erase count asc, block index asc).
   BlockIndex victim = kInvalidBlock;
-  if (scan_skips_clean_) {
-    BlockIndex fallback = kInvalidBlock;
-    PageIndex best_invalid = 0;
-    std::uint32_t best_erases = 0;
-    victim = scanner_.next([&](BlockIndex b) {
-      if (!maybe_invalid_[b]) return false;  // implies invalid_page_count == 0
-      if (owner_[b] == kInvalidVba || chip().is_retired(b)) return false;
-      const PageIndex invalid = chip().invalid_page_count(b);
-      if (invalid == 0) return false;
-      const std::uint32_t erases = chip().erase_count(b);
-      if (fallback == kInvalidBlock || invalid > best_invalid ||
-          (invalid == best_invalid &&
-           (erases < best_erases || (erases == best_erases && b < fallback)))) {
-        fallback = b;
-        best_invalid = invalid;
-        best_erases = erases;
-      }
-      return tl::gc_score(chip().valid_page_count(b), invalid, config_.gc_cost_weight) > 0.0;
-    });
-    if (victim == kInvalidBlock) victim = fallback;
-  } else {
-    // Negative cost weight: a clean block can still score above zero, so run
-    // the reference two-pass scan without the clean-block filter.
+  if (use_victim_index_) {
+    vindex_.flush(chip());
+    if (vindex_.any_positive()) {
+      victim = static_cast<BlockIndex>(vindex_.next_positive(scanner_.cursor()));
+      scanner_.advance_past(victim);
+    } else {
+      victim = vindex_.most_invalid(chip());
+    }
+    if (victim == kInvalidBlock) return false;
+    SWL_ASSERT(owner_[victim] != kInvalidVba, "victim index selected an unowned block");
+    return fold(owner_[victim]);
+  }
+  {
+    // Reference two-pass scan, probing every block's live counts.
     victim = scanner_.next([&](BlockIndex b) {
       if (owner_[b] == kInvalidVba || chip().is_retired(b)) return false;
       return tl::gc_score(chip().valid_page_count(b), chip().invalid_page_count(b),
@@ -658,7 +671,7 @@ void Nftl::check_invariants() const {
     SWL_ASSERT(chip().page_state(p) == PageState::valid, "version index points at non-valid page");
     SWL_ASSERT(chip().spare(p).lba == lba, "version index and spare area disagree");
     const Vba vba = lba / pages;
-    SWL_ASSERT(p.block == primary_[vba] || p.block == replacement_[vba],
+    SWL_ASSERT(p.block == vmap_[vba].primary || p.block == vmap_[vba].replacement,
                "version lives outside its VBA's blocks");
   }
 
@@ -673,13 +686,13 @@ void Nftl::check_invariants() const {
   SWL_ASSERT(versioned == valid_pages, "version count != valid page count");
 
   for (Vba v = 0; v < config_.vba_count; ++v) {
-    if (primary_[v] != kInvalidBlock) {
-      SWL_ASSERT(owner_[primary_[v]] == v, "primary ownership mismatch");
+    if (vmap_[v].primary != kInvalidBlock) {
+      SWL_ASSERT(owner_[vmap_[v].primary] == v, "primary ownership mismatch");
     }
-    if (replacement_[v] != kInvalidBlock) {
-      SWL_ASSERT(owner_[replacement_[v]] == v, "replacement ownership mismatch");
-      SWL_ASSERT(primary_[v] != kInvalidBlock, "replacement without a primary");
-      SWL_ASSERT(chip().free_page_count(replacement_[v]) == pages - replacement_next_[v],
+    if (vmap_[v].replacement != kInvalidBlock) {
+      SWL_ASSERT(owner_[vmap_[v].replacement] == v, "replacement ownership mismatch");
+      SWL_ASSERT(vmap_[v].primary != kInvalidBlock, "replacement without a primary");
+      SWL_ASSERT(chip().free_page_count(vmap_[v].replacement) == pages - vmap_[v].replacement_next,
                  "replacement write pointer out of sync");
     }
   }

@@ -17,6 +17,7 @@
 #include "tl/free_block_pool.hpp"
 #include "tl/gc_policy.hpp"
 #include "tl/translation_layer.hpp"
+#include "tl/victim_index.hpp"
 
 namespace swl::nftl {
 
@@ -39,11 +40,11 @@ struct NftlConfig {
   /// GC victim selection: the paper's greedy cyclic scan, or LFS-style
   /// cost-benefit with age.
   tl::VictimPolicy victim_policy = tl::VictimPolicy::greedy_cyclic;
-  /// Diagnostic: run the reference victim scan — the two-pass cyclic scan +
-  /// fallback without the maybe_invalid clean-block filter. Must select the
-  /// same victims as the default single-pass scan (pinned by the
-  /// victim-scan property test and the differential fuzzer); never needed
-  /// in production.
+  /// Diagnostic: select GC victims with the reference scans — the two-pass
+  /// cyclic scan + fallback probing every block's live counts — instead of
+  /// the incrementally maintained tl::VictimIndex. Must select the same
+  /// victims in the same order (pinned by the victim-scan property test and
+  /// the differential fuzzer); never needed in production.
   bool reference_victim_scan = false;
 };
 
@@ -130,6 +131,16 @@ class Nftl final : public tl::TranslationLayer {
   /// allocation or a fold — and bails to write() otherwise.
   static bool fast_write_thunk(tl::TranslationLayer& base, Lba lba, std::uint64_t payload_token);
   static Status fast_read_thunk(tl::TranslationLayer& base, Lba lba, std::uint64_t* payload_token);
+  /// Prefetch hint (see TranslationLayer::prefetch_records): pulls the far
+  /// record's version-index and VBA-table entries and the near record's
+  /// current page toward the cache.
+  static void prefetch_thunk(const tl::TranslationLayer& base, Lba near_lba, Lba far_lba);
+
+  /// Marks `b` for victim-index re-scoring after an operation changed its
+  /// page counts (the index flushes lazily at the next GC selection).
+  void sync_victim(BlockIndex b) {
+    if (use_victim_index_) vindex_.mark_dirty(b);
+  }
 
   /// Programs `lba`'s payload into the next free page of the replacement
   /// block, allocating / folding as necessary and retrying past failed
@@ -138,12 +149,20 @@ class Nftl final : public tl::TranslationLayer {
   Ppa append_to_replacement(Vba vba, Lba lba, std::uint64_t payload_token,
                             std::span<const std::uint8_t> data);
 
+  /// Per-VBA mapping state, one struct per virtual block so a write touches
+  /// one cache line instead of three parallel arrays: the primary block, the
+  /// replacement block (kInvalidBlock when absent) and the next free page in
+  /// the replacement.
+  struct VbaEntry {
+    BlockIndex primary = kInvalidBlock;
+    BlockIndex replacement = kInvalidBlock;
+    PageIndex replacement_next = 0;
+  };
+
   NftlConfig config_;
   Lba lba_count_ = 0;
-  std::vector<BlockIndex> primary_;      // per VBA
-  std::vector<BlockIndex> replacement_;  // per VBA
-  std::vector<PageIndex> replacement_next_;
-  std::vector<Vba> owner_;  // per physical block: owning VBA or kInvalidVba
+  std::vector<VbaEntry> vmap_;  // per VBA
+  std::vector<Vba> owner_;      // per physical block: owning VBA or kInvalidVba
   // Simulation-side read-acceleration index of each LBA's newest version;
   // a firmware implementation derives this from spare areas, which the
   // invariant checker verifies this index against.
@@ -166,13 +185,16 @@ class Nftl final : public tl::TranslationLayer {
   std::vector<Ppa> fold_scratch_;
   // Conservative per-block "may hold invalid pages" flag — a superset of the
   // blocks with invalid_page_count > 0, maintained at every page
-  // invalidation / failed program (set) and every erase (cleared). Victim
-  // scans skip unflagged blocks without touching chip state: no GC policy
-  // can pick a block with zero invalid pages (for the greedy score this
-  // needs gc_cost_weight >= 0, hence scan_skips_clean_). Stale set flags are
+  // invalidation / failed program (set) and every erase (cleared). The
+  // cost-benefit-age victim scan skips unflagged blocks without touching
+  // chip state (no policy can pick a block with zero invalid pages); the
+  // greedy policy goes through vindex_ instead. Stale set flags are
   // harmless — the predicate still reads the real counts.
   std::vector<std::uint8_t> maybe_invalid_;
-  bool scan_skips_clean_ = true;
+  // Cached greedy victim scores (dirty mask + positive/candidate masks),
+  // flushed lazily at GC selection; reference_victim_scan disables it.
+  tl::VictimIndex vindex_;
+  bool use_victim_index_ = true;
 
   static constexpr Vba kInvalidVba = static_cast<Vba>(-1);
 };

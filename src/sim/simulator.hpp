@@ -139,6 +139,7 @@ class Simulator {
   /// large enough to amortize the virtual call, small enough to stay in L2.
   static constexpr std::size_t kBatchCapacity = 4096;
 
+
   /// O(1)-per-erase running erase-count summary (fed by an erase observer),
   /// so result() does not rescan every block. Integer-exact sums; produces
   /// the same Summary stats::summarize computes from the full table.

@@ -55,7 +55,10 @@ class Bet {
   void reset() noexcept { flags_.reset(); }
 
   /// Index of the first clear flag at or after `start`, cyclically — the
-  /// scan of Algorithm 1 steps 9–10. Requires !all_set().
+  /// scan of Algorithm 1 steps 9–10. Requires !all_set(). Runs whole
+  /// uint64 words at a time (AVX2-assisted where available) via
+  /// BitVec::next_zero_cyclic, so densely-set tables cost far less than a
+  /// per-flag loop.
   [[nodiscard]] std::size_t next_clear_flag(std::size_t start) const {
     return flags_.next_zero_cyclic(start);
   }

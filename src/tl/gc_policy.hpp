@@ -64,6 +64,14 @@ class CyclicVictimScanner {
 
   [[nodiscard]] BlockIndex cursor() const noexcept { return cursor_; }
 
+  /// Places the cursor just past `block`, exactly where next() leaves it
+  /// after returning `block` as a candidate. Lets an index-accelerated
+  /// selection (tl::VictimIndex) replicate the scan's cursor state without
+  /// visiting the intermediate blocks.
+  void advance_past(BlockIndex block) noexcept {
+    cursor_ = (block + 1 == block_count_) ? 0 : block + 1;
+  }
+
  private:
   BlockIndex block_count_;
   BlockIndex cursor_ = 0;

@@ -4,7 +4,65 @@
 
 #include "core/contracts.hpp"
 
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 namespace swl::trace {
+
+namespace {
+
+// -- segment rebase copy -----------------------------------------------------
+//
+// next_batch spends its time copying base-trace slices while adding a fixed
+// delta to every timestamp. rebase_copy() is that loop; the AVX2 path moves
+// two 16-byte records per 32-byte vector, adding the delta to the two
+// timestamp lanes and zero to the lba/op lanes. Unsigned 64-bit lane adds
+// wrap exactly like the scalar `+=`, so both paths are bit-identical; the
+// dispatch is resolved once per process via __builtin_cpu_supports.
+
+using RebaseCopyFn = void (*)(TraceRecord*, const TraceRecord*, std::size_t, SimTime);
+
+void rebase_copy_scalar(TraceRecord* out, const TraceRecord* src, std::size_t n, SimTime delta) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = src[i];
+    out[i].time_us += delta;
+  }
+}
+
+#if defined(__x86_64__)
+__attribute__((target("avx2"))) void rebase_copy_avx2(TraceRecord* out, const TraceRecord* src,
+                                                      std::size_t n, SimTime delta) {
+  // Two records per vector: lanes 0/2 are the records' time_us fields, lanes
+  // 1/3 carry lba+op (and padding) and get zero added.
+  static_assert(sizeof(TraceRecord) == 16, "rebase_copy_avx2 assumes 16-byte records");
+  const __m256i add =
+      _mm256_set_epi64x(0, static_cast<long long>(delta), 0, static_cast<long long>(delta));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    v = _mm256_add_epi64(v, add);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+  }
+  for (; i < n; ++i) {
+    out[i] = src[i];
+    out[i].time_us += delta;
+  }
+}
+
+RebaseCopyFn resolve_rebase_copy() {
+  return __builtin_cpu_supports("avx2") ? &rebase_copy_avx2 : &rebase_copy_scalar;
+}
+#else
+RebaseCopyFn resolve_rebase_copy() { return &rebase_copy_scalar; }
+#endif
+
+void rebase_copy(TraceRecord* out, const TraceRecord* src, std::size_t n, SimTime delta) {
+  static const RebaseCopyFn fn = resolve_rebase_copy();
+  fn(out, src, n, delta);
+}
+
+}  // namespace
 
 SegmentReplaySource::SegmentReplaySource(const Trace& base, double segment_s, std::uint64_t seed)
     : base_(base), segment_us_(seconds_to_us(segment_s)), rng_(seed) {
@@ -16,19 +74,41 @@ SegmentReplaySource::SegmentReplaySource(const Trace& base, double segment_s, st
                              }),
               "base trace must be sorted by time");
   base_duration_us_ = base_.back().time_us + 1;
+  // Size the bucket index to at most ~4K buckets (32 KiB): one linear pass
+  // here replaces two full binary searches per segment forever after.
+  constexpr std::uint64_t kMaxBuckets = 4096;
+  while ((base_duration_us_ >> bucket_shift_) + 1 > kMaxBuckets) ++bucket_shift_;
+  const auto bucket_count = static_cast<std::size_t>((base_duration_us_ >> bucket_shift_) + 1);
+  bucket_.assign(bucket_count + 1, base_.size());
+  std::size_t idx = 0;
+  for (std::size_t b = 0; b < bucket_count; ++b) {
+    const SimTime t = static_cast<SimTime>(b) << bucket_shift_;
+    while (idx < base_.size() && base_[idx].time_us < t) ++idx;
+    bucket_[b] = idx;
+  }
   pick_segment();
+}
+
+std::size_t SegmentReplaySource::first_at_or_after(SimTime t) const {
+  if (t >= base_duration_us_) return base_.size();
+  const auto b = static_cast<std::size_t>(t >> bucket_shift_);
+  // Records before bucket_[b] have time < (b << shift) <= t; records from
+  // bucket_[b + 1] on have time >= ((b + 1) << shift) > t. So the global
+  // lower_bound answer lies in [bucket_[b], bucket_[b + 1]] — when the
+  // search comes back empty it is exactly bucket_[b + 1].
+  const auto lo = base_.begin() + static_cast<std::ptrdiff_t>(bucket_[b]);
+  const auto hi = base_.begin() + static_cast<std::ptrdiff_t>(bucket_[b + 1]);
+  const auto it = std::lower_bound(
+      lo, hi, t, [](const TraceRecord& r, SimTime tt) { return r.time_us < tt; });
+  return static_cast<std::size_t>(it - base_.begin());
 }
 
 void SegmentReplaySource::pick_segment() {
   const SimTime span =
       base_duration_us_ > segment_us_ ? base_duration_us_ - segment_us_ + 1 : 1;
   segment_start_us_ = rng_.below(span);
-  const auto lo = std::lower_bound(base_.begin(), base_.end(), segment_start_us_,
-                                   [](const TraceRecord& r, SimTime t) { return r.time_us < t; });
-  const auto hi = std::lower_bound(base_.begin(), base_.end(), segment_start_us_ + segment_us_,
-                                   [](const TraceRecord& r, SimTime t) { return r.time_us < t; });
-  pos_ = static_cast<std::size_t>(lo - base_.begin());
-  segment_end_ = static_cast<std::size_t>(hi - base_.begin());
+  pos_ = first_at_or_after(segment_start_us_);
+  segment_end_ = first_at_or_after(segment_start_us_ + segment_us_);
   ++segments_;
 }
 
@@ -55,11 +135,7 @@ std::size_t SegmentReplaySource::next_batch(TraceRecord* out, std::size_t n) {
     // Same re-base next() applies: offset + (t - start) == t + (offset - start)
     // in unsigned arithmetic, so the hoisted delta is bit-identical.
     const SimTime delta = timeline_offset_us_ - segment_start_us_;
-    const TraceRecord* src = base_.data() + pos_;
-    for (std::size_t i = 0; i < take; ++i) {
-      out[filled + i] = src[i];
-      out[filled + i].time_us += delta;
-    }
+    rebase_copy(out + filled, base_.data() + pos_, take, delta);
     pos_ += take;
     filled += take;
   }

@@ -12,6 +12,7 @@
 #define SWL_TRACE_SEGMENT_REPLAY_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "core/rng.hpp"
 #include "trace/trace.hpp"
@@ -38,9 +39,21 @@ class SegmentReplaySource final : public TraceSource {
  private:
   void pick_segment();
 
+  /// Index of the first base record with time_us >= t — the same element
+  /// std::lower_bound over the whole trace finds, located via the bucket
+  /// index below so each probe touches only one bucket's worth of records.
+  [[nodiscard]] std::size_t first_at_or_after(SimTime t) const;
+
   const Trace& base_;
   SimTime segment_us_;
   SimTime base_duration_us_;
+  // Time-bucket index over the base trace: bucket_[b] is the index of the
+  // first record with time_us >= (b << bucket_shift_), with one sentinel
+  // entry (== base_.size()) at the end. Without it every pick_segment runs
+  // two full binary searches over the base trace — dozens of random DRAM
+  // probes per segment; the buckets narrow both to one bucket's span.
+  std::vector<std::size_t> bucket_;
+  unsigned bucket_shift_ = 0;
   Rng rng_;
   std::size_t pos_ = 0;        // next record within the current segment
   std::size_t segment_end_ = 0;

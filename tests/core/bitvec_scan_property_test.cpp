@@ -1,0 +1,120 @@
+// Property tests for the word/SIMD-parallel BitVec cyclic scans.
+//
+// next_zero_cyclic and next_set_cyclic skip uninteresting word runs four at
+// a time on AVX2 hosts; these tests pin both against bit-at-a-time scalar
+// references over randomized patterns plus the edge shapes most likely to
+// expose word-boundary bugs: nearly-all-set tables, a single zero exactly on
+// a 64-bit word boundary, and sizes that leave a short tail word.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/bitvec.hpp"
+#include "core/rng.hpp"
+
+namespace swl {
+namespace {
+
+// Bit-at-a-time references: the semantics the fast scans must reproduce.
+std::size_t ref_next_zero_cyclic(const BitVec& v, std::size_t start) {
+  for (std::size_t step = 0; step < v.size(); ++step) {
+    const std::size_t i = (start + step) % v.size();
+    if (!v.test(i)) return i;
+  }
+  ADD_FAILURE() << "reference scan found no zero bit";
+  return v.size();
+}
+
+std::size_t ref_next_set_cyclic(const BitVec& v, std::size_t start) {
+  for (std::size_t step = 0; step < v.size(); ++step) {
+    const std::size_t i = (start + step) % v.size();
+    if (v.test(i)) return i;
+  }
+  ADD_FAILURE() << "reference scan found no set bit";
+  return v.size();
+}
+
+void check_all_starts(const BitVec& v) {
+  for (std::size_t start = 0; start < v.size(); ++start) {
+    if (!v.all_set()) {
+      EXPECT_EQ(v.next_zero_cyclic(start), ref_next_zero_cyclic(v, start))
+          << "size " << v.size() << " start " << start;
+    }
+    if (!v.none_set()) {
+      EXPECT_EQ(v.next_set_cyclic(start), ref_next_set_cyclic(v, start))
+          << "size " << v.size() << " start " << start;
+    }
+  }
+}
+
+// Sizes straddling word boundaries: exact multiples of 64, off-by-one around
+// them, a sub-word vector, and a size large enough that the AVX2 four-word
+// inner loop actually runs (> 4 * 64 bits of skippable run).
+const std::size_t kSizes[] = {1, 3, 63, 64, 65, 127, 128, 129, 191, 320, 321, 509, 512, 777};
+
+TEST(BitVecScanProperty, RandomPatternsMatchScalarReference) {
+  Rng rng(0xb17c0de);
+  for (const std::size_t size : kSizes) {
+    for (int round = 0; round < 4; ++round) {
+      BitVec v(size);
+      // Mix dense and sparse fills: dense tables exercise zero-scans skipping
+      // long set runs, sparse ones exercise set-scans skipping zero runs.
+      const double density = round % 2 == 0 ? 0.97 : 0.05;
+      for (std::size_t i = 0; i < size; ++i) {
+        if (rng.chance(density)) v.set(i);
+      }
+      check_all_starts(v);
+    }
+  }
+}
+
+TEST(BitVecScanProperty, SingleZeroAtEveryWordBoundary) {
+  for (const std::size_t size : kSizes) {
+    for (std::size_t hole = 0; hole < size; hole += (size > 64 ? 64 : 1)) {
+      BitVec v(size);
+      for (std::size_t i = 0; i < size; ++i) v.set(i);
+      v.clear(hole);
+      for (std::size_t start = 0; start < size; start += 13) {
+        EXPECT_EQ(v.next_zero_cyclic(start), hole) << "size " << size << " start " << start;
+      }
+      // The mirror case: a single set bit at the same position.
+      BitVec w(size);
+      w.set(hole);
+      for (std::size_t start = 0; start < size; start += 13) {
+        EXPECT_EQ(w.next_set_cyclic(start), hole) << "size " << size << " start " << start;
+      }
+    }
+  }
+}
+
+TEST(BitVecScanProperty, TailWordEdges) {
+  // All valid bits set except the last one: the only zero lives in the tail
+  // word, right next to the storage-guaranteed-zero stray bits. A scan that
+  // trusts the stored tail word without masking would return size_ instead.
+  for (const std::size_t size : kSizes) {
+    if (size < 2) continue;
+    BitVec v(size);
+    for (std::size_t i = 0; i + 1 < size; ++i) v.set(i);
+    for (std::size_t start = 0; start < size; ++start) {
+      EXPECT_EQ(v.next_zero_cyclic(start), size - 1) << "size " << size << " start " << start;
+    }
+    // And with the tail zero filled in, the vector is genuinely full.
+    v.set(size - 1);
+    EXPECT_TRUE(v.all_set());
+  }
+}
+
+TEST(BitVecScanProperty, WrapAroundFindsBitsBelowStart) {
+  BitVec v(200);
+  v.set(5);
+  EXPECT_EQ(v.next_set_cyclic(100), 5u);
+  for (std::size_t i = 0; i < 200; ++i) v.set(i);
+  v.clear(5);
+  EXPECT_EQ(v.next_zero_cyclic(100), 5u);
+  EXPECT_EQ(v.next_zero_cyclic(5), 5u);
+  EXPECT_EQ(v.next_zero_cyclic(6), 5u);
+}
+
+}  // namespace
+}  // namespace swl

@@ -1,12 +1,13 @@
 // Randomized cross-check of the NFTL victim-scan fast path.
 //
-// The production scan consults the maybe_invalid_ dirty bitmap to skip clean
-// blocks in a single pass (folding the most-invalid fallback into that same
-// pass); NftlConfig::reference_victim_scan disables the short-cut and probes
-// the chip for every candidate in the plain two-pass scan. The two must pick
-// the same victims in the same order — this test drives identical random
-// workloads through both configurations and asserts the entire externally
-// visible state (mapping, wear, counters) stays bit-identical.
+// The production greedy policy selects victims through tl::VictimIndex —
+// cached scores flushed from a dirty mask at GC time — and the
+// cost-benefit-age policy skips blocks via the maybe_invalid_ dirty bitmap;
+// NftlConfig::reference_victim_scan disables both short-cuts and probes the
+// chip for every candidate in the plain two-pass scan. The configurations
+// must pick the same victims in the same order — this test drives identical
+// random workloads through both and asserts the entire externally visible
+// state (mapping, wear, counters) stays bit-identical.
 #include <gtest/gtest.h>
 
 #include <memory>

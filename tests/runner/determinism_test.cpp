@@ -9,6 +9,7 @@
 
 #include "runner/sweep_runner.hpp"
 #include "sim/experiments.hpp"
+#include "sim/sharded_replay.hpp"
 #include "trace/segment_replay.hpp"
 
 namespace swl::sim {
@@ -125,6 +126,54 @@ TEST(SweepDeterminism, ParallelSweepMatchesSerialBitForBit) {
   for (std::size_t i = 0; i < serial.size(); ++i) {
     SCOPED_TRACE("sweep point " + std::to_string(i));
     expect_identical(serial[i], parallel[i]);
+  }
+}
+
+// Sharded single-point replay: the merged result must depend only on the
+// shard count — never on how many workers executed the shards — and the
+// batched per-shard pipeline must merge bit-identically to the run_serial
+// reference loop replaying the same shard streams.
+TEST(SweepDeterminism, ShardedReplayMatchesSerialReference) {
+  const ExperimentScale scale = tiny_scale();
+  wear::LevelerConfig lc;
+  lc.threshold = 4;
+  // Odd record total over 4 shards: the remainder exercises the uneven
+  // budget split (three shards of 2'500 records, one of 2'501).
+  constexpr std::uint64_t kRecords = 10'001;
+  constexpr std::uint32_t kShards = 4;
+  for (const LayerKind layer : {LayerKind::ftl, LayerKind::nftl}) {
+    SCOPED_TRACE(layer == LayerKind::ftl ? "ftl" : "nftl");
+    const trace::Trace base = make_base_trace(scale, layer);
+    const SimConfig config = make_sim_config(scale, layer, lc);
+
+    runner::SweepRunner serial_runner(1);
+    const SimResult reference =
+        run_sharded_on(serial_runner, config, scale, base, scale.max_years, kRecords, kShards,
+                       /*use_serial=*/true);
+    EXPECT_EQ(reference.records_processed, kRecords);
+    EXPECT_EQ(reference.counters.fast_path_writes, 0u);  // reference loop never fast-paths
+
+    for (const unsigned jobs : {1u, 2u, 8u}) {
+      SCOPED_TRACE("jobs " + std::to_string(jobs));
+      runner::SweepRunner pool(jobs);
+      const SimResult merged =
+          run_sharded_on(pool, config, scale, base, scale.max_years, kRecords, kShards);
+      expect_identical(merged, reference, /*compare_fast_path=*/false);
+      EXPECT_GT(merged.counters.fast_path_writes, 0u);  // batched shards used the fast path
+    }
+  }
+}
+
+// Shard budgets partition the record total exactly, whatever the remainder.
+TEST(SweepDeterminism, ShardBudgetsPartitionTotal) {
+  for (const std::uint64_t total : {0ULL, 1ULL, 7ULL, 8ULL, 10'001ULL}) {
+    for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+      std::uint64_t sum = 0;
+      for (std::uint32_t j = 0; j < shards; ++j) {
+        sum += shard_record_budget(total, shards, j);
+      }
+      EXPECT_EQ(sum, total) << total << " records over " << shards << " shards";
+    }
   }
 }
 

@@ -30,6 +30,20 @@
 // the committed baseline and the CI measurement are best-of-several
 // *invocations*, merged with this mode, before being compared.
 //
+// Baseline-update mode:
+//
+//   perf_compare --update-baseline BASELINE.json IN1.json [IN2.json ...]
+//                [--ratchet] [--max-regression PCT]
+//
+// One-command re-baseline: merges the inputs (best-of per benchmark, same
+// rule as --merge) and writes the result over BASELINE.json. With
+// --ratchet the write is refused (exit 1) when any benchmark already in the
+// old baseline would regress beyond the threshold after calibrate
+// normalization — the baseline may only move sideways-or-up, so an
+// accidental re-baseline cannot launder a real regression. A missing or
+// unreadable old baseline is not an error: the first baseline has nothing
+// to ratchet against.
+//
 // After an intentional perf change, re-baseline by committing a fresh
 // merged artifact as bench/BENCH_micro.json (see README).
 #include <cstdint>
@@ -95,11 +109,11 @@ std::string fmt_ips(double ips) {
   return os.str();
 }
 
-int merge(const std::string& out_path, const std::vector<std::string>& inputs) {
+std::optional<PointMap> merge_points(const std::vector<std::string>& inputs) {
   PointMap best;
   for (const std::string& path : inputs) {
     const auto points = load_points(path);
-    if (!points.has_value()) return 2;
+    if (!points.has_value()) return std::nullopt;
     for (const auto& [name, pt] : *points) {
       const auto it = best.find(name);
       if (it == best.end() || pt.items_per_second > it->second.items_per_second) {
@@ -107,11 +121,15 @@ int merge(const std::string& out_path, const std::vector<std::string>& inputs) {
       }
     }
   }
+  return best;
+}
+
+int write_artifact(const std::string& out_path, PointMap points, std::size_t input_count) {
   Json doc = Json::object();
   doc.set("bench", "micro");
-  doc.set("merged_from", static_cast<std::uint64_t>(inputs.size()));
+  doc.set("merged_from", static_cast<std::uint64_t>(input_count));
   Json arr = Json::array();
-  for (auto& [name, pt] : best) arr.push(std::move(pt.raw));
+  for (auto& [name, pt] : points) arr.push(std::move(pt.raw));
   doc.set("points", std::move(arr));
   std::ofstream out(out_path);
   if (!out) {
@@ -119,8 +137,71 @@ int merge(const std::string& out_path, const std::vector<std::string>& inputs) {
     return 2;
   }
   out << doc.dump() << "\n";
-  std::cout << "merged " << inputs.size() << " artifact(s) into " << out_path << "\n";
+  std::cout << "merged " << input_count << " artifact(s) into " << out_path << "\n";
   return 0;
+}
+
+int merge(const std::string& out_path, const std::vector<std::string>& inputs) {
+  auto best = merge_points(inputs);
+  if (!best.has_value()) return 2;
+  return write_artifact(out_path, std::move(*best), inputs.size());
+}
+
+/// The ratchet: every benchmark in the old baseline must survive in the
+/// candidate at no worse than `1 - threshold` of its normalized throughput.
+/// Returns true when the candidate may replace the baseline.
+bool ratchet_allows(const PointMap& old_baseline, const PointMap& candidate, double threshold) {
+  const auto base_cal = old_baseline.find("calibrate");
+  const auto cand_cal = candidate.find("calibrate");
+  if (base_cal == old_baseline.end() || cand_cal == candidate.end() ||
+      base_cal->second.items_per_second <= 0.0 || cand_cal->second.items_per_second <= 0.0) {
+    std::cerr << "perf_compare: ratchet needs a positive `calibrate` point on both sides\n";
+    return false;
+  }
+  const double speed = cand_cal->second.items_per_second / base_cal->second.items_per_second;
+  bool ok = true;
+  for (const auto& [name, base] : old_baseline) {
+    if (name == "calibrate") continue;
+    const auto it = candidate.find(name);
+    if (it == candidate.end()) {
+      std::cout << "  ratchet: " << name << " MISSING from new baseline\n";
+      ok = false;
+      continue;
+    }
+    const double ratio = (it->second.items_per_second / speed) / base.items_per_second;
+    if (ratio < 1.0 - threshold) {
+      std::cout << "  ratchet: " << name << " would regress to ";
+      std::cout.precision(3);
+      std::cout << std::fixed << ratio << "x normalized (" << fmt_ips(base.items_per_second)
+                << " -> " << fmt_ips(it->second.items_per_second) << ")\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+int update_baseline(const std::string& baseline_path, const std::vector<std::string>& inputs,
+                    bool ratchet, double threshold) {
+  auto best = merge_points(inputs);
+  if (!best.has_value()) return 2;
+  if (ratchet) {
+    // Swallow load errors on purpose: the first-ever baseline (or one from a
+    // pre-gate era) has nothing to ratchet against.
+    std::ifstream probe(baseline_path);
+    if (probe) {
+      probe.close();
+      const auto old_baseline = load_points(baseline_path);
+      if (old_baseline.has_value() && !ratchet_allows(*old_baseline, *best, threshold)) {
+        std::cerr << "perf_compare: refusing to update " << baseline_path
+                  << " — existing baseline point(s) would regress beyond " << threshold * 100.0
+                  << "% (rerun without --ratchet to force)\n";
+        return 1;
+      }
+    } else {
+      std::cout << "no existing baseline at " << baseline_path << "; nothing to ratchet\n";
+    }
+  }
+  return write_artifact(baseline_path, std::move(*best), inputs.size());
 }
 
 int compare(const std::string& baseline_path, const std::string& current_path,
@@ -182,7 +263,9 @@ int compare(const std::string& baseline_path, const std::string& current_path,
 
 void usage(std::ostream& os) {
   os << "usage: perf_compare BASELINE.json CURRENT.json [--max-regression 0.15]\n"
-        "       perf_compare --merge OUT.json IN1.json IN2.json [...]\n";
+        "       perf_compare --merge OUT.json IN1.json IN2.json [...]\n"
+        "       perf_compare --update-baseline BASELINE.json IN1.json [IN2.json ...]\n"
+        "                    [--ratchet] [--max-regression 0.15]\n";
 }
 
 }  // namespace
@@ -191,6 +274,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   double threshold = 0.15;
   bool merge_mode = false;
+  bool update_mode = false;
+  bool ratchet = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--max-regression") {
@@ -210,6 +295,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--merge") {
       merge_mode = true;
+    } else if (arg == "--update-baseline") {
+      update_mode = true;
+    } else if (arg == "--ratchet") {
+      ratchet = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return 0;
@@ -217,12 +306,28 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
+  if (merge_mode && update_mode) {
+    std::cerr << "--merge and --update-baseline are mutually exclusive\n";
+    return 2;
+  }
+  if (ratchet && !update_mode) {
+    std::cerr << "--ratchet only applies to --update-baseline\n";
+    return 2;
+  }
   if (merge_mode) {
     if (paths.size() < 3) {
       usage(std::cerr);
       return 2;
     }
     return merge(paths[0], std::vector<std::string>(paths.begin() + 1, paths.end()));
+  }
+  if (update_mode) {
+    if (paths.size() < 2) {
+      usage(std::cerr);
+      return 2;
+    }
+    return update_baseline(paths[0], std::vector<std::string>(paths.begin() + 1, paths.end()),
+                           ratchet, threshold);
   }
   if (paths.size() != 2) {
     usage(std::cerr);
