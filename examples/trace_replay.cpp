@@ -59,7 +59,9 @@ int main(int argc, char** argv) {
             << "%\n\n";
 
   trace::VectorTraceSource source(t);
-  simulator->run(source, /*max_years=*/1000.0, /*stop_on_first_failure=*/false);
+  const std::uint64_t replayed =
+      simulator->run(source, /*max_years=*/1000.0, /*stop_on_first_failure=*/false);
+  std::cout << "replayed " << replayed << " of " << t.size() << " records\n";
   const sim::SimResult r = simulator->result();
 
   std::cout << "replayed through " << simulator->layer().name() << " + SWL: "

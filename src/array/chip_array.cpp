@@ -1,0 +1,194 @@
+#include "array/chip_array.hpp"
+
+#include <algorithm>
+
+#include "core/contracts.hpp"
+#include "core/status.hpp"
+
+namespace swl::array {
+
+ChipArray::ChipArray(const ArrayConfig& config)
+    : channels_(config.channels), dies_(config.dies), chip_count_(config.chip_count()) {
+  SWL_REQUIRE(config.channels >= 1, "array needs at least one channel");
+  SWL_REQUIRE(config.dies >= 1, "array needs at least one die per channel");
+  SWL_REQUIRE(!config.chip.failures.enabled(),
+              "array replay requires failure injection disabled (stripe "
+              "migration assumes copies cannot fail)");
+  chips_.reserve(chip_count_);
+  for (std::uint32_t c = 0; c < chip_count_; ++c) {
+    chips_.push_back(ChipStack{sim::make_simulator(config.chip), {}});
+  }
+  per_chip_lbas_ = chips_.front().sim->lba_count();
+  chip_map_.resize(chip_count_);
+  slot_map_.resize(chip_count_);
+  for (std::uint32_t c = 0; c < chip_count_; ++c) {
+    chip_map_[c] = c;  // identity placement until the first migration
+    slot_map_[c] = c;
+  }
+  written_.assign(chip_count_, BitVec(static_cast<std::size_t>(per_chip_lbas_)));
+}
+
+std::uint32_t ChipArray::chip_at_slot(std::uint32_t slot) const {
+  SWL_REQUIRE(slot < chip_count_, "stripe slot out of range");
+  return chip_map_[slot];
+}
+
+std::uint32_t ChipArray::slot_of_chip(std::uint32_t chip) const {
+  SWL_REQUIRE(chip < chip_count_, "chip index out of range");
+  return slot_map_[chip];
+}
+
+void ChipArray::replay_round(std::span<const trace::TraceRecord> records,
+                             runner::SweepRunner& runner, double max_years, bool use_serial) {
+  // Route (serial, in record order — the per-chip queues are a deterministic
+  // function of the record stream and the current placement).
+  const Lba total_lbas = lba_count();
+  for (const trace::TraceRecord& rec : records) {
+    const Lba global = rec.lba < total_lbas ? rec.lba : rec.lba % total_lbas;
+    const std::uint32_t slot = slot_of(global);
+    const Lba local = local_lba(global);
+    if (rec.op == trace::Op::write) {
+      ++counters_.writes_routed;
+      (void)written_[slot].set(static_cast<std::size_t>(local));
+    } else {
+      ++counters_.reads_routed;
+      if (!written_[slot].test(static_cast<std::size_t>(local))) {
+        // Never-written stripe page: answered here, like a layer-level
+        // lba_not_mapped. Crucially this also covers pages a *previous*
+        // tenant of the chip wrote before a migration — those mappings
+        // still exist on-chip but must stay unobservable.
+        ++counters_.reads_unmapped;
+        continue;
+      }
+    }
+    chips_[chip_map_[slot]].queue.push_back(trace::TraceRecord{rec.time_us, local, rec.op});
+  }
+  counters_.records_routed += records.size();
+
+  // Hand every stack to whichever worker gets its channel this round.
+  for (ChipStack& s : chips_) s.sim->detach_owner_thread();
+  const std::vector<std::uint64_t> dropped_per_channel =
+      runner.map(channels_, [&](std::size_t channel) -> std::uint64_t {
+        std::uint64_t dropped = 0;
+        // Dies share their channel's task: sequential within it, modelling
+        // the shared channel bus; channels run in parallel.
+        for (std::uint32_t die = 0; die < dies_; ++die) {
+          ChipStack& s = chips_[chip_index(static_cast<std::uint32_t>(channel), die)];
+          trace::VectorTraceSource source(s.queue);
+          const std::uint64_t n =
+              use_serial
+                  ? s.sim->run_serial(source, max_years, /*stop_on_first_failure=*/false)
+                  : s.sim->run(source, max_years, /*stop_on_first_failure=*/false);
+          SWL_ASSERT(n <= s.queue.size(), "chip replayed more records than routed");
+          dropped += s.queue.size() - n;
+        }
+        return dropped;
+      });
+  // Back to the coordinating thread (for migration / inspection).
+  for (ChipStack& s : chips_) {
+    s.sim->detach_owner_thread();
+    s.queue.clear();
+  }
+  for (const std::uint64_t d : dropped_per_channel) counters_.records_dropped += d;
+}
+
+void ChipArray::exchange_stripes(std::uint32_t chip_a, std::uint32_t chip_b) {
+  SWL_REQUIRE(chip_a < chip_count_ && chip_b < chip_count_, "chip index out of range");
+  SWL_REQUIRE(chip_a != chip_b, "stripe exchange needs two distinct chips");
+  const std::uint32_t slot_a = slot_map_[chip_a];
+  const std::uint32_t slot_b = slot_map_[chip_b];
+  tl::TranslationLayer& layer_a = chips_[chip_a].sim->layer();
+  tl::TranslationLayer& layer_b = chips_[chip_b].sim->layer();
+  BitVec& written_a = written_[slot_a];
+  BitVec& written_b = written_[slot_b];
+  for (Lba local = 0; local < per_chip_lbas_; ++local) {
+    const auto bit = static_cast<std::size_t>(local);
+    const bool has_a = written_a.test(bit);
+    const bool has_b = written_b.test(bit);
+    if (!has_a && !has_b) continue;
+    // Read both sides before writing either (the chips are distinct, but a
+    // one-sided hole must not observe a half-done exchange).
+    std::uint64_t token_a = 0;
+    std::uint64_t token_b = 0;
+    bool copy_a = false;
+    bool copy_b = false;
+    if (has_a) {
+      const Status st = layer_a.read(local, &token_a);
+      SWL_ASSERT(st == Status::ok || st == Status::lba_not_mapped, "unexpected read failure");
+      // lba_not_mapped with the bit set: the write that set the bit was
+      // dropped mid-round (device full / horizon). Demote to a hole.
+      if (st == Status::ok) copy_a = true; else (void)written_a.clear(bit);
+    }
+    if (has_b) {
+      const Status st = layer_b.read(local, &token_b);
+      SWL_ASSERT(st == Status::ok || st == Status::lba_not_mapped, "unexpected read failure");
+      if (st == Status::ok) copy_b = true; else (void)written_b.clear(bit);
+    }
+    // The copies go through the normal host write path: they wear the
+    // destination, count as its host writes, and can trigger its SW
+    // Leveler — migration cost is modelled, not waved away.
+    if (copy_a) {
+      SWL_CHECK_OK(layer_b.write(local, token_a));
+      ++counters_.migration_copies;
+    }
+    if (copy_b) {
+      SWL_CHECK_OK(layer_a.write(local, token_b));
+      ++counters_.migration_copies;
+    }
+  }
+  // Placement swap: the written bitmaps are keyed by slot, so they follow
+  // their stripes automatically.
+  std::swap(chip_map_[slot_a], chip_map_[slot_b]);
+  std::swap(slot_map_[chip_a], slot_map_[chip_b]);
+  ++counters_.migrations;
+}
+
+sim::Simulator& ChipArray::chip_sim(std::uint32_t chip) {
+  SWL_REQUIRE(chip < chip_count_, "chip index out of range");
+  return *chips_[chip].sim;
+}
+
+const sim::Simulator& ChipArray::chip_sim(std::uint32_t chip) const {
+  SWL_REQUIRE(chip < chip_count_, "chip index out of range");
+  return *chips_[chip].sim;
+}
+
+double ChipArray::mean_erase_count(std::uint32_t chip) const {
+  SWL_REQUIRE(chip < chip_count_, "chip index out of range");
+  const std::vector<std::uint32_t>& counts = chips_[chip].sim->chip().erase_counts();
+  if (counts.empty()) return 0.0;
+  std::uint64_t sum = 0;
+  for (const std::uint32_t c : counts) sum += c;
+  return static_cast<double>(sum) / static_cast<double>(counts.size());
+}
+
+std::vector<double> ChipArray::per_chip_mean_erases() const {
+  std::vector<double> means(chip_count_);
+  for (std::uint32_t c = 0; c < chip_count_; ++c) means[c] = mean_erase_count(c);
+  return means;
+}
+
+sim::SimResult ChipArray::chip_result(std::uint32_t chip) const {
+  SWL_REQUIRE(chip < chip_count_, "chip index out of range");
+  return chips_[chip].sim->result();
+}
+
+std::optional<double> ChipArray::first_failure_years() const {
+  std::optional<double> earliest;
+  for (const ChipStack& s : chips_) {
+    if (const auto& f = s.sim->chip().first_failure(); f.has_value()) {
+      const double years =
+          static_cast<double>(f->time_us) / static_cast<double>(kUsPerSecond) / kSecondsPerYear;
+      if (!earliest.has_value() || years < *earliest) earliest = years;
+    }
+  }
+  return earliest;
+}
+
+double ChipArray::elapsed_years() const {
+  double latest = 0.0;
+  for (const ChipStack& s : chips_) latest = std::max(latest, s.sim->clock().years());
+  return latest;
+}
+
+}  // namespace swl::array

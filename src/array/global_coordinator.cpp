@@ -1,0 +1,57 @@
+#include "array/global_coordinator.hpp"
+
+#include "core/contracts.hpp"
+
+namespace swl::array {
+
+GlobalLevelCoordinator::GlobalLevelCoordinator(std::uint32_t chip_count, CoordinatorConfig config)
+    : config_(config), chip_count_(chip_count) {
+  SWL_REQUIRE(chip_count >= 1, "coordinator needs at least one chip");
+  SWL_REQUIRE(config.threshold > 1.0, "cross-chip threshold must exceed 1 (perfect evenness)");
+  SWL_REQUIRE(config.min_mean_erases >= 0.0, "warm-up guard cannot be negative");
+}
+
+Decision GlobalLevelCoordinator::decide(std::span<const double> chip_mean_erases,
+                                        const CoordinatorConfig& config, std::uint64_t round,
+                                        std::uint32_t cooldown_remaining) {
+  SWL_REQUIRE(!chip_mean_erases.empty(), "decision needs at least one chip");
+  Decision d;
+  d.round = round;
+  double sum = 0.0;
+  std::size_t hottest = 0;
+  std::size_t coldest = 0;
+  for (std::size_t c = 0; c < chip_mean_erases.size(); ++c) {
+    sum += chip_mean_erases[c];
+    // Strict comparisons: ties stay at the lowest index, keeping the rule a
+    // pure deterministic function of the means.
+    if (chip_mean_erases[c] > chip_mean_erases[hottest]) hottest = c;
+    if (chip_mean_erases[c] < chip_mean_erases[coldest]) coldest = c;
+  }
+  const double avg = sum / static_cast<double>(chip_mean_erases.size());
+  d.ratio = avg > 0.0 ? chip_mean_erases[hottest] / avg : 0.0;
+  d.from_chip = static_cast<std::uint32_t>(hottest);
+  d.to_chip = static_cast<std::uint32_t>(coldest);
+  d.migrate = cooldown_remaining == 0 && avg >= config.min_mean_erases &&
+              d.ratio >= config.threshold && hottest != coldest;
+  return d;
+}
+
+Decision GlobalLevelCoordinator::evaluate_round(ChipArray& array) {
+  SWL_REQUIRE(array.chip_count() == chip_count_,
+              "coordinator was built for a different array width");
+  const std::vector<double> means = array.per_chip_mean_erases();
+  const Decision d = decide(means, config_, round_, cooldown_left_);
+  ++stats_.evaluations;
+  if (d.migrate) {
+    array.exchange_stripes(d.from_chip, d.to_chip);
+    ++stats_.migrations;
+    cooldown_left_ = config_.cooldown_rounds;
+  } else if (cooldown_left_ > 0) {
+    --cooldown_left_;
+  }
+  log_.push_back(d);
+  ++round_;
+  return d;
+}
+
+}  // namespace swl::array

@@ -1,0 +1,103 @@
+// Reference oracle for the multi-chip array (src/array).
+//
+// Extends the differential-testing scheme of this directory to array scale:
+//   - RefArrayWear tallies every chip's erases through its own chip
+//     observers — ground truth independent of the array's accounting — and
+//     recomputes each GlobalLevelCoordinator decision from those tallies
+//     with the coordinator's own pure decide() rule plus a mirrored
+//     round/cooldown state. A coordinator that migrates when it should not,
+//     picks the wrong chips, or misses a trigger diverges from the mirror.
+//   - Per-chip RefSwLeveler mirrors (one per BET) verify every chip's SW
+//     Leveler exactly like the single-chip fuzzer does.
+//
+// Decision checking is two-phase because the migration itself erases blocks:
+// capture expected_decision() *before* GlobalLevelCoordinator::evaluate_round
+// (both then see the same pre-migration tallies), then hand the actual
+// decision to on_decision() for comparison and mirror advance.
+//
+// run_array_check is the self-contained harness swl_fuzz --array-smoke
+// drives: a seeded mini array experiment, checked every round, returning a
+// result fingerprint so the caller can also pin jobs-independence.
+#ifndef SWL_MODEL_REF_ARRAY_HPP
+#define SWL_MODEL_REF_ARRAY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/chip_array.hpp"
+#include "array/global_coordinator.hpp"
+#include "model/ref_swl.hpp"
+
+namespace swl::model {
+
+class RefArrayWear {
+ public:
+  /// `leveler` is the per-chip SW Leveler config when the chips run one
+  /// (enables the per-chip RefSwLeveler mirrors); nullopt when they don't.
+  RefArrayWear(const array::ChipArray& array_shape, array::CoordinatorConfig coordinator,
+               std::optional<wear::LevelerConfig> leveler);
+
+  /// Registers erase observers on every chip and wires the per-chip
+  /// RefSwLeveler mirrors (trace sink + resync). Call once, on a freshly
+  /// built array (the tallies start at the chips' all-zero counts); the
+  /// oracle must outlive the array or call detach() first.
+  void attach(array::ChipArray& array);
+
+  /// Deregisters all observers and trace sinks (so the oracle may be
+  /// destroyed while the array lives on).
+  void detach(array::ChipArray& array);
+
+  /// The decision the coordinator must make next, recomputed from the
+  /// oracle's own tallies and mirrored round/cooldown state. Capture this
+  /// BEFORE evaluate_round — the migration's own erases land in the tallies
+  /// and would skew a post-hoc recomputation.
+  [[nodiscard]] array::Decision expected_decision() const;
+
+  /// Compares the coordinator's actual decision against the captured
+  /// expectation and advances the mirror. Returns "" when consistent, else
+  /// a diagnostic. Call exactly once per round.
+  [[nodiscard]] std::string on_decision(const array::Decision& expected,
+                                        const array::Decision& actual);
+
+  /// Verifies every chip's SW Leveler against its RefSwLeveler mirror and
+  /// the oracle's per-chip mean erases against the array's own accounting.
+  [[nodiscard]] std::string check(const array::ChipArray& array) const;
+
+  /// Ground-truth per-chip mean erase counts (tally / blocks-per-chip).
+  [[nodiscard]] std::vector<double> mean_erases() const;
+
+ private:
+  array::CoordinatorConfig coordinator_config_;
+  std::uint32_t chip_count_ = 0;
+  std::size_t blocks_per_chip_ = 0;
+  std::uint64_t round_ = 0;
+  std::uint32_t cooldown_left_ = 0;
+  /// Per-chip erase tallies. Distinct elements are written by distinct
+  /// round workers (one chip = one worker per round), which is race-free;
+  /// the coordinating thread reads them only after the round barrier.
+  std::vector<std::uint64_t> erases_;
+  std::vector<std::unique_ptr<RefSwLeveler>> ref_levelers_;  // empty w/o SWL
+  std::vector<std::size_t> observer_tokens_;
+  bool attached_ = false;
+};
+
+/// Outcome of one seeded array check run.
+struct ArrayCheckResult {
+  bool passed = true;
+  std::string message;          ///< first divergence (empty when passed)
+  std::uint64_t fingerprint = 0;  ///< digest of the final per-chip results
+  std::uint64_t migrations = 0;
+  std::uint64_t rounds = 0;
+};
+
+/// Runs a small seeded array experiment (geometry, leveler tuning and
+/// coordinator threshold all derived from `seed`) with RefArrayWear checking
+/// every coordinator decision and every per-chip BET after every round.
+/// `jobs` sets the worker count; the fingerprint must not depend on it.
+[[nodiscard]] ArrayCheckResult run_array_check(std::uint64_t seed, std::uint32_t jobs);
+
+}  // namespace swl::model
+
+#endif  // SWL_MODEL_REF_ARRAY_HPP

@@ -1,0 +1,95 @@
+#include "sim/array_experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "sim/sharded_replay.hpp"
+#include "trace/segment_replay.hpp"
+#include "trace/synthetic.hpp"
+
+namespace swl::sim {
+
+array::ArrayConfig make_array_config(const ArrayScale& scale, LayerKind layer,
+                                     std::optional<wear::LevelerConfig> leveler) {
+  array::ArrayConfig config;
+  config.channels = scale.channels;
+  config.dies = scale.dies;
+  config.chip = make_sim_config(scale.chip, layer, leveler);
+  return config;
+}
+
+trace::Trace make_array_base_trace(const ArrayScale& scale, LayerKind layer) {
+  const Lba global_lbas =
+      exported_lba_count(scale.chip, layer) * static_cast<Lba>(scale.chip_count());
+  return trace::generate_synthetic_trace(make_trace_config(scale.chip, global_lbas));
+}
+
+CrossChipWear summarize_cross_chip(const std::vector<double>& chip_mean_erases) {
+  CrossChipWear w;
+  if (chip_mean_erases.empty()) return w;
+  double sum = 0.0;
+  w.min = chip_mean_erases.front();
+  w.max = chip_mean_erases.front();
+  for (const double m : chip_mean_erases) {
+    sum += m;
+    w.min = std::min(w.min, m);
+    w.max = std::max(w.max, m);
+  }
+  const auto n = static_cast<double>(chip_mean_erases.size());
+  w.mean = sum / n;
+  double sq = 0.0;
+  for (const double m : chip_mean_erases) sq += (m - w.mean) * (m - w.mean);
+  w.stddev = std::sqrt(sq / n);
+  w.max_over_avg = w.mean > 0.0 ? w.max / w.mean : 0.0;
+  return w;
+}
+
+ArrayOutcome run_array_on(runner::SweepRunner& runner, const ArrayScale& scale, LayerKind layer,
+                          std::optional<wear::LevelerConfig> leveler, const trace::Trace& base,
+                          double years, std::uint64_t total_records, bool stop_on_failure,
+                          bool use_serial) {
+  SWL_REQUIRE(scale.records_per_round >= 1, "rounds need at least one record");
+  array::ChipArray arr(make_array_config(scale, layer, leveler));
+  std::optional<array::GlobalLevelCoordinator> coordinator;
+  if (scale.coordinator_enabled) {
+    coordinator.emplace(arr.chip_count(), scale.coordinator);
+  }
+  // Same stream derivation the single-chip harness uses (seed ^ 0x1234).
+  trace::SegmentReplaySource source(base, scale.chip.segment_minutes * 60.0,
+                                    scale.chip.seed ^ 0x1234);
+  std::vector<trace::TraceRecord> buffer(
+      static_cast<std::size_t>(std::min<std::uint64_t>(scale.records_per_round, 1ULL << 20)));
+
+  ArrayOutcome out;
+  std::uint64_t routed = 0;
+  while (routed < total_records) {
+    const auto want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(buffer.size(), total_records - routed));
+    const std::size_t n = source.next_batch(buffer.data(), want);
+    if (n == 0) break;  // finite source ended
+    arr.replay_round({buffer.data(), n}, runner, years, use_serial);
+    routed += n;
+    ++out.rounds;
+    if (coordinator.has_value()) {
+      coordinator->evaluate_round(arr);  // the full decision log is captured below
+    }
+    if (stop_on_failure && arr.first_failure_years().has_value()) break;
+    if (arr.elapsed_years() >= years) break;
+  }
+
+  out.per_chip.reserve(arr.chip_count());
+  for (std::uint32_t c = 0; c < arr.chip_count(); ++c) out.per_chip.push_back(arr.chip_result(c));
+  out.combined = merge_shard_results(out.per_chip);
+  out.array = arr.counters();
+  if (coordinator.has_value()) {
+    out.coordinator = coordinator->stats();
+    out.decisions = coordinator->log();
+  }
+  out.cross_chip = summarize_cross_chip(arr.per_chip_mean_erases());
+  out.first_failure_years = arr.first_failure_years();
+  out.elapsed_years = arr.elapsed_years();
+  return out;
+}
+
+}  // namespace swl::sim

@@ -19,7 +19,11 @@ std::uint64_t shard_seed(std::uint64_t base_seed, std::uint32_t shard) noexcept 
 }
 
 std::uint64_t shard_record_budget(std::uint64_t total, std::uint32_t shards,
-                                  std::uint32_t shard) noexcept {
+                                  std::uint32_t shard) {
+  // Guard the division: shards == 0 would be UB here, well before any
+  // caller-side SWL_REQUIRE gets a chance to fire.
+  SWL_REQUIRE(shards >= 1, "shard count must be >= 1");
+  SWL_REQUIRE(shard < shards, "shard index out of range");
   return total / shards + (shard < total % shards ? 1 : 0);
 }
 
@@ -82,17 +86,21 @@ SimResult run_replay_shard(const SimConfig& config, const ExperimentScale& scale
   trace::SegmentReplaySource source(base, scale.segment_minutes * 60.0,
                                     shard_seed(scale.seed ^ 0x1234, shard));
   const std::uint64_t budget = shard_record_budget(total_records, shards, shard);
-  if (use_serial) {
-    (void)sim->run_serial(source, years, /*stop_on_first_failure=*/false, budget);
-  } else {
-    (void)sim->run(source, years, /*stop_on_first_failure=*/false, budget);
-  }
+  // run()/run_serial() return the records processed by the call, not a
+  // Status; the count still carries an invariant worth keeping: a shard may
+  // stop early (horizon, exhausted source) but can never replay more than
+  // its budget, or the merged point would double-count records.
+  const std::uint64_t processed =
+      use_serial ? sim->run_serial(source, years, /*stop_on_first_failure=*/false, budget)
+                 : sim->run(source, years, /*stop_on_first_failure=*/false, budget);
+  SWL_ASSERT(processed <= budget, "shard replayed more records than its budget");
   return sim->result();
 }
 
 SimResult run_sharded_on(runner::SweepRunner& runner, const SimConfig& config,
                          const ExperimentScale& scale, const trace::Trace& base, double years,
                          std::uint64_t total_records, std::uint32_t shards, bool use_serial) {
+  SWL_REQUIRE(shards >= 1, "shard count must be >= 1");
   std::vector<SimResult> results = runner.map(shards, [&](std::size_t shard) {
     return run_replay_shard(config, scale, base, years, total_records, shards,
                             static_cast<std::uint32_t>(shard), use_serial);

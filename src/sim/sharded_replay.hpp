@@ -37,9 +37,12 @@ namespace swl::sim {
 
 /// Records shard `shard` replays out of `total` across `shards` shards: an
 /// even split with the first total % shards shards taking one extra record,
-/// so every record is replayed exactly once whatever the remainder.
+/// so every record is replayed exactly once whatever the remainder. When
+/// shards > total, the tail shards get a zero budget (their replay is an
+/// empty run over the correct geometry, and the merge is unaffected).
+/// Requires shards >= 1 and shard < shards (throws PreconditionError).
 [[nodiscard]] std::uint64_t shard_record_budget(std::uint64_t total, std::uint32_t shards,
-                                                std::uint32_t shard) noexcept;
+                                                std::uint32_t shard);
 
 /// Fixed-order reduction of independent shard results: counters, erase
 /// counts and leveler stats sum element-wise; the erase summary is recomputed

@@ -108,12 +108,13 @@ class Simulator {
   /// Feeds records from `source` until (a) the source ends, (b) `max_records`
   /// records were processed, (c) the simulated clock passes `max_years`, or
   /// (d) `stop_on_first_failure` and a block wore out. Returns the records
-  /// processed by *this call*. Resumable: call again to continue — but keep
-  /// feeding the same source, since a call that stops early may carry
-  /// already-pulled records into the next call.
-  std::uint64_t run(trace::TraceSource& source, double max_years,
-                    bool stop_on_first_failure,
-                    std::uint64_t max_records = UINT64_MAX);
+  /// processed by *this call* — [[nodiscard]] because a caller that ignores
+  /// the count cannot tell a completed budget from an early stop. Resumable:
+  /// call again to continue — but keep feeding the same source, since a call
+  /// that stops early may carry already-pulled records into the next call.
+  [[nodiscard]] std::uint64_t run(trace::TraceSource& source, double max_years,
+                                  bool stop_on_first_failure,
+                                  std::uint64_t max_records = UINT64_MAX);
 
   /// Reference implementation of run(): one record at a time through the
   /// virtual TraceSource::next() and TranslationLayer::write()/read()
@@ -121,9 +122,9 @@ class Simulator {
   /// batched pipeline: replaying the same trace through run() and
   /// run_serial() must produce bit-identical results. Do not interleave with
   /// run() on one source (run() may hold pulled records in its carry buffer).
-  std::uint64_t run_serial(trace::TraceSource& source, double max_years,
-                           bool stop_on_first_failure,
-                           std::uint64_t max_records = UINT64_MAX);
+  [[nodiscard]] std::uint64_t run_serial(trace::TraceSource& source, double max_years,
+                                         bool stop_on_first_failure,
+                                         std::uint64_t max_records = UINT64_MAX);
 
   [[nodiscard]] SimResult result() const;
 
@@ -132,7 +133,19 @@ class Simulator {
   [[nodiscard]] nand::NandChip& chip() noexcept { return *chip_; }
   [[nodiscard]] const nand::NandChip& chip() const noexcept { return *chip_; }
   [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] const SimClock& clock() const noexcept { return clock_; }
   [[nodiscard]] Lba lba_count() const noexcept { return layer_->lba_count(); }
+
+  /// Rebinds the simulator's (and its chip's) thread-confinement check: a
+  /// driver that replays rounds on a worker pool calls this at every
+  /// ownership handoff — before dispatching a round to a (possibly
+  /// different) worker, and again before touching the stack from the
+  /// coordinating thread. One simulator still runs on exactly one thread at
+  /// a time; only the owner changes.
+  void detach_owner_thread() noexcept {
+    thread_checker_.detach();
+    chip_->detach_owner_thread();
+  }
 
  private:
   /// Records pulled per next_batch call: 4096 records = 64 KiB of buffer,

@@ -1,0 +1,193 @@
+// ChipArray unit tests: striped placement math, routing + the per-stripe
+// written bitmap, and cross-chip stripe exchange (data moves, placement
+// swaps, the bitmap travels with the stripe).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "array/chip_array.hpp"
+#include "core/contracts.hpp"
+#include "core/status.hpp"
+#include "runner/sweep_runner.hpp"
+#include "sim/array_experiment.hpp"
+
+namespace swl::array {
+namespace {
+
+sim::ArrayScale tiny_array_scale() {
+  sim::ArrayScale scale;
+  scale.chip.block_count = 48;
+  scale.chip.endurance = 40;
+  scale.chip.base_trace_days = 0.05;
+  scale.chip.seed = 7;
+  scale.channels = 2;
+  scale.dies = 2;
+  return scale;
+}
+
+ArrayConfig tiny_config() {
+  return sim::make_array_config(tiny_array_scale(), sim::LayerKind::ftl, std::nullopt);
+}
+
+/// Global LBA whose stripe slot is `slot` and per-chip page is `local`.
+Lba global_lba(const ChipArray& arr, std::uint32_t slot, Lba local) {
+  return local * arr.chip_count() + slot;
+}
+
+TEST(ChipArray, GeometryAndInitialPlacement) {
+  ChipArray arr(tiny_config());
+  EXPECT_EQ(arr.channels(), 2u);
+  EXPECT_EQ(arr.dies(), 2u);
+  EXPECT_EQ(arr.chip_count(), 4u);
+  EXPECT_GT(arr.per_chip_lba_count(), 0u);
+  EXPECT_EQ(arr.lba_count(), arr.per_chip_lba_count() * 4);
+  for (Lba g = 0; g < 16; ++g) {
+    EXPECT_EQ(arr.slot_of(g), g % 4);
+    EXPECT_EQ(arr.local_lba(g), g / 4);
+    EXPECT_EQ(arr.chip_of(g), g % 4);  // identity placement before migration
+  }
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(arr.chip_at_slot(c), c);
+    EXPECT_EQ(arr.slot_of_chip(c), c);
+  }
+}
+
+TEST(ChipArray, ConstructionRejectsBadConfigs) {
+  ArrayConfig zero_channels = tiny_config();
+  zero_channels.channels = 0;
+  EXPECT_THROW(ChipArray{zero_channels}, PreconditionError);
+  ArrayConfig zero_dies = tiny_config();
+  zero_dies.dies = 0;
+  EXPECT_THROW(ChipArray{zero_dies}, PreconditionError);
+  ArrayConfig with_failures = tiny_config();
+  with_failures.chip.failures.program_fail_p = 0.01;
+  EXPECT_THROW(ChipArray{with_failures}, PreconditionError);
+}
+
+TEST(ChipArray, RoutesRecordsToStripedChips) {
+  ChipArray arr(tiny_config());
+  runner::SweepRunner runner(1);
+  // One write per chip, then one read-back each: chip c serves slot c.
+  trace::Trace records;
+  SimTime t = 1000;
+  for (std::uint32_t slot = 0; slot < 4; ++slot) {
+    records.push_back({t += 1000, global_lba(arr, slot, 3), trace::Op::write});
+  }
+  for (std::uint32_t slot = 0; slot < 4; ++slot) {
+    records.push_back({t += 1000, global_lba(arr, slot, 3), trace::Op::read});
+  }
+  arr.replay_round(records, runner, /*max_years=*/1000.0);
+  EXPECT_EQ(arr.counters().records_routed, 8u);
+  EXPECT_EQ(arr.counters().writes_routed, 4u);
+  EXPECT_EQ(arr.counters().reads_routed, 4u);
+  EXPECT_EQ(arr.counters().reads_unmapped, 0u);
+  EXPECT_EQ(arr.counters().records_dropped, 0u);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    const sim::SimResult r = arr.chip_result(c);
+    EXPECT_EQ(r.counters.host_writes, 1u) << "chip " << c;
+    EXPECT_EQ(r.counters.host_reads, 1u) << "chip " << c;
+  }
+}
+
+TEST(ChipArray, ReadOfNeverWrittenPageIsAnsweredAtRouting) {
+  ChipArray arr(tiny_config());
+  runner::SweepRunner runner(1);
+  trace::Trace records = {{1000, global_lba(arr, 0, 5), trace::Op::read}};
+  arr.replay_round(records, runner, 1000.0);
+  EXPECT_EQ(arr.counters().reads_unmapped, 1u);
+  // The read never reached any chip.
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(arr.chip_result(c).counters.host_reads, 0u);
+  }
+}
+
+TEST(ChipArray, LbasBeyondExportedSpaceWrapLikeTheSimulator) {
+  ChipArray arr(tiny_config());
+  runner::SweepRunner runner(1);
+  const Lba wrapped = arr.lba_count() + 2;  // ≡ global LBA 2
+  trace::Trace records = {{1000, wrapped, trace::Op::write}};
+  arr.replay_round(records, runner, 1000.0);
+  EXPECT_EQ(arr.chip_result(2).counters.host_writes, 1u);
+}
+
+TEST(ChipArray, ExchangeStripesMovesDataAndPlacement) {
+  ChipArray arr(tiny_config());
+  runner::SweepRunner runner(1);
+  // Write pages into the stripes of chip 0 and chip 1 (asymmetric counts so
+  // the two directions are distinguishable).
+  trace::Trace records;
+  SimTime t = 1000;
+  for (Lba local = 0; local < 6; ++local) {
+    records.push_back({t += 1000, global_lba(arr, 0, local), trace::Op::write});
+  }
+  records.push_back({t += 1000, global_lba(arr, 1, 0), trace::Op::write});
+  arr.replay_round(records, runner, 1000.0);
+
+  arr.exchange_stripes(0, 1);
+  EXPECT_EQ(arr.counters().migrations, 1u);
+  // 6 pages moved 0→1 plus 1 page moved 1→0.
+  EXPECT_EQ(arr.counters().migration_copies, 7u);
+  // The copies go through the normal host paths, so they show up in the
+  // chips' own counters: each source page is read once, each destination
+  // written once.
+  EXPECT_EQ(arr.chip_result(0).counters.host_reads, 6u);
+  EXPECT_EQ(arr.chip_result(1).counters.host_reads, 1u);
+  EXPECT_EQ(arr.chip_result(0).counters.host_writes, 6u + 1u);
+  EXPECT_EQ(arr.chip_result(1).counters.host_writes, 1u + 6u);
+  // Placement swapped: slot 0 is now served by chip 1 and vice versa.
+  EXPECT_EQ(arr.chip_at_slot(0), 1u);
+  EXPECT_EQ(arr.chip_at_slot(1), 0u);
+  EXPECT_EQ(arr.chip_of(global_lba(arr, 0, 0)), 1u);
+
+  // The moved pages must be readable on their new chip through the normal
+  // routed path (the written bitmap travelled with the stripe).
+  trace::Trace reads;
+  for (Lba local = 0; local < 6; ++local) {
+    reads.push_back({t += 1000, global_lba(arr, 0, local), trace::Op::read});
+  }
+  reads.push_back({t += 1000, global_lba(arr, 1, 0), trace::Op::read});
+  arr.replay_round(reads, runner, 1000.0);
+  EXPECT_EQ(arr.counters().reads_unmapped, 0u);
+  // Chip 1 now serves slot 0's six pages; chip 0 serves slot 1's one page
+  // (on top of the migration reads above).
+  EXPECT_EQ(arr.chip_result(1).counters.host_reads, 1u + 6u);
+  EXPECT_EQ(arr.chip_result(0).counters.host_reads, 6u + 1u);
+
+  // Direct layer-level check: the tokens really live on the other chip now.
+  std::uint64_t token = 0;
+  EXPECT_EQ(arr.chip_sim(1).layer().read(/*local=*/3, &token), Status::ok);
+}
+
+TEST(ChipArray, ExchangeRejectsBadArguments) {
+  ChipArray arr(tiny_config());
+  EXPECT_THROW(arr.exchange_stripes(0, 0), PreconditionError);
+  EXPECT_THROW(arr.exchange_stripes(0, 99), PreconditionError);
+}
+
+TEST(ChipArray, MeanEraseCountMatchesChipWearTable) {
+  const sim::ArrayScale scale = tiny_array_scale();
+  ChipArray arr(sim::make_array_config(scale, sim::LayerKind::ftl, std::nullopt));
+  runner::SweepRunner runner(1);
+  // Enough synthetic traffic to force GC erases: the ~16k-record base trace
+  // once through only fills the free pools, so replay it several times (the
+  // chip clocks simply hold still on the repeated timestamps).
+  const trace::Trace base = sim::make_array_base_trace(scale, sim::LayerKind::ftl);
+  for (int pass = 0; pass < 12; ++pass) {
+    arr.replay_round(base, runner, 1000.0);
+  }
+  const std::vector<double> means = arr.per_chip_mean_erases();
+  ASSERT_EQ(means.size(), arr.chip_count());
+  double total = 0.0;
+  for (std::uint32_t c = 0; c < arr.chip_count(); ++c) {
+    const std::vector<std::uint32_t>& counts = arr.chip_sim(c).chip().erase_counts();
+    std::uint64_t sum = 0;
+    for (const std::uint32_t e : counts) sum += e;
+    EXPECT_EQ(means[c], static_cast<double>(sum) / static_cast<double>(counts.size()));
+    total += means[c];
+  }
+  EXPECT_GT(total, 0.0) << "workload should have caused erases";
+}
+
+}  // namespace
+}  // namespace swl::array

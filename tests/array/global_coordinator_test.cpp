@@ -1,0 +1,163 @@
+// GlobalLevelCoordinator tests: the pure decide() rule (threshold, warm-up,
+// cooldown, tie-breaks) and evaluate_round's side effects on a real array.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "array/chip_array.hpp"
+#include "array/global_coordinator.hpp"
+#include "core/contracts.hpp"
+#include "runner/sweep_runner.hpp"
+#include "sim/array_experiment.hpp"
+
+namespace swl::array {
+namespace {
+
+CoordinatorConfig config_with(double threshold, double min_mean, std::uint32_t cooldown) {
+  CoordinatorConfig c;
+  c.threshold = threshold;
+  c.min_mean_erases = min_mean;
+  c.cooldown_rounds = cooldown;
+  return c;
+}
+
+TEST(GlobalCoordinator, ConstructionRejectsBadConfigs) {
+  EXPECT_THROW(GlobalLevelCoordinator(0, config_with(1.5, 1.0, 0)), PreconditionError);
+  // threshold == 1 would migrate on perfect evenness.
+  EXPECT_THROW(GlobalLevelCoordinator(4, config_with(1.0, 1.0, 0)), PreconditionError);
+  EXPECT_THROW(GlobalLevelCoordinator(4, config_with(1.5, -0.5, 0)), PreconditionError);
+}
+
+TEST(GlobalCoordinator, DecideRejectsEmptyMeans) {
+  EXPECT_THROW((void)GlobalLevelCoordinator::decide({}, config_with(1.5, 0.0, 0), 0, 0),
+               PreconditionError);
+}
+
+TEST(GlobalCoordinator, DecideMigratesWhenRatioReachesThreshold) {
+  const std::vector<double> means = {10.0, 2.0, 4.0, 4.0};  // avg 5, max/avg 2.0
+  const Decision d = GlobalLevelCoordinator::decide(means, config_with(2.0, 0.0, 0), 3, 0);
+  EXPECT_EQ(d.round, 3u);
+  EXPECT_DOUBLE_EQ(d.ratio, 2.0);
+  EXPECT_TRUE(d.migrate);
+  EXPECT_EQ(d.from_chip, 0u);  // hottest
+  EXPECT_EQ(d.to_chip, 1u);    // coldest
+}
+
+TEST(GlobalCoordinator, DecideHoldsBelowThreshold) {
+  const std::vector<double> means = {6.0, 4.0, 5.0, 5.0};  // max/avg 1.2
+  const Decision d = GlobalLevelCoordinator::decide(means, config_with(1.5, 0.0, 0), 0, 0);
+  EXPECT_FALSE(d.migrate);
+  EXPECT_DOUBLE_EQ(d.ratio, 1.2);
+  // The hottest/coldest fields are still filled in for the log.
+  EXPECT_EQ(d.from_chip, 0u);
+  EXPECT_EQ(d.to_chip, 1u);
+}
+
+TEST(GlobalCoordinator, DecideWaitsOutTheWarmUpGuard) {
+  // Huge ratio but a tiny absolute average: the warm-up guard must hold it.
+  const std::vector<double> means = {0.4, 0.0};
+  const CoordinatorConfig cfg = config_with(1.5, 1.0, 0);
+  EXPECT_FALSE(GlobalLevelCoordinator::decide(means, cfg, 0, 0).migrate);
+  // Same shape past the guard migrates.
+  const std::vector<double> warm = {4.0, 0.0};
+  EXPECT_TRUE(GlobalLevelCoordinator::decide(warm, cfg, 0, 0).migrate);
+}
+
+TEST(GlobalCoordinator, DecideRespectsCooldown) {
+  const std::vector<double> means = {8.0, 2.0};
+  const CoordinatorConfig cfg = config_with(1.2, 0.0, 2);
+  EXPECT_FALSE(GlobalLevelCoordinator::decide(means, cfg, 0, /*cooldown_remaining=*/2).migrate);
+  EXPECT_FALSE(GlobalLevelCoordinator::decide(means, cfg, 0, 1).migrate);
+  EXPECT_TRUE(GlobalLevelCoordinator::decide(means, cfg, 0, 0).migrate);
+}
+
+TEST(GlobalCoordinator, DecideBreaksTiesTowardLowestIndex) {
+  // Two equally hot and two equally cold chips: strict comparisons keep the
+  // first of each.
+  const std::vector<double> means = {9.0, 9.0, 1.0, 1.0};
+  const Decision d = GlobalLevelCoordinator::decide(means, config_with(1.2, 0.0, 0), 0, 0);
+  EXPECT_TRUE(d.migrate);
+  EXPECT_EQ(d.from_chip, 0u);
+  EXPECT_EQ(d.to_chip, 2u);
+}
+
+TEST(GlobalCoordinator, DecideNeverMigratesAChipOntoItself) {
+  // All-equal means: hottest == coldest == 0, ratio exactly 1.
+  const std::vector<double> means = {5.0, 5.0, 5.0};
+  const Decision d = GlobalLevelCoordinator::decide(means, config_with(1.01, 0.0, 0), 0, 0);
+  EXPECT_FALSE(d.migrate);
+  // Degenerate single-chip array: nothing to exchange either.
+  const std::vector<double> one = {50.0};
+  EXPECT_FALSE(GlobalLevelCoordinator::decide(one, config_with(1.01, 0.0, 0), 0, 0).migrate);
+}
+
+TEST(GlobalCoordinator, DecideReportsZeroRatioOnUnwornArray) {
+  const std::vector<double> means = {0.0, 0.0};
+  const Decision d = GlobalLevelCoordinator::decide(means, config_with(1.5, 0.0, 0), 0, 0);
+  EXPECT_DOUBLE_EQ(d.ratio, 0.0);
+  EXPECT_FALSE(d.migrate);
+}
+
+// evaluate_round against a real array: an ordered migration happens via
+// exchange_stripes, the log and stats record it, and cooldown counts down.
+TEST(GlobalCoordinator, EvaluateRoundPerformsOrderedMigration) {
+  sim::ArrayScale scale;
+  scale.chip.block_count = 48;
+  scale.chip.endurance = 40;
+  scale.chip.base_trace_days = 0.05;
+  scale.chip.seed = 7;
+  scale.channels = 2;
+  scale.dies = 1;
+  ChipArray arr(sim::make_array_config(scale, sim::LayerKind::ftl, std::nullopt));
+  runner::SweepRunner runner(1);
+
+  // Skew the wear hard: hammer only chip 0's stripe so its mean erase count
+  // runs away from chip 1's.
+  trace::Trace records;
+  SimTime t = 0;
+  const Lba locals = arr.per_chip_lba_count();
+  for (std::uint32_t pass = 0; pass < 40; ++pass) {
+    for (Lba local = 0; local < locals; ++local) {
+      records.push_back({t += 200, local * arr.chip_count() + 0, trace::Op::write});
+    }
+  }
+  arr.replay_round(records, runner, 1000.0);
+  ASSERT_GT(arr.mean_erase_count(0), 0.0);
+
+  GlobalLevelCoordinator coordinator(arr.chip_count(), config_with(1.2, 0.5, 1));
+  const Decision d = coordinator.evaluate_round(arr);
+  ASSERT_TRUE(d.migrate);
+  EXPECT_EQ(d.from_chip, 0u);
+  EXPECT_EQ(d.to_chip, 1u);
+  // The exchange really happened: placement swapped and copies were charged.
+  EXPECT_EQ(arr.chip_at_slot(0), 1u);
+  EXPECT_EQ(arr.counters().migrations, 1u);
+  EXPECT_GT(arr.counters().migration_copies, 0u);
+  EXPECT_EQ(coordinator.stats().evaluations, 1u);
+  EXPECT_EQ(coordinator.stats().migrations, 1u);
+  ASSERT_EQ(coordinator.log().size(), 1u);
+  EXPECT_EQ(coordinator.log().front(), d);
+  // cooldown_rounds = 1: the very next evaluation must sit out even though
+  // the ratio is still above threshold (migration itself wore the cold chip,
+  // but the stripes have not diverged yet).
+  EXPECT_EQ(coordinator.cooldown_remaining(), 1u);
+  const Decision next = coordinator.evaluate_round(arr);
+  EXPECT_FALSE(next.migrate);
+  EXPECT_EQ(coordinator.cooldown_remaining(), 0u);
+}
+
+TEST(GlobalCoordinator, EvaluateRoundRejectsMismatchedArray) {
+  sim::ArrayScale scale;
+  scale.chip.block_count = 48;
+  scale.chip.endurance = 40;
+  scale.chip.base_trace_days = 0.05;
+  scale.chip.seed = 7;
+  scale.channels = 2;
+  scale.dies = 1;
+  ChipArray arr(sim::make_array_config(scale, sim::LayerKind::ftl, std::nullopt));
+  GlobalLevelCoordinator coordinator(/*chip_count=*/8, config_with(1.5, 1.0, 0));
+  EXPECT_THROW((void)coordinator.evaluate_round(arr), PreconditionError);
+}
+
+}  // namespace
+}  // namespace swl::array

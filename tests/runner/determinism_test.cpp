@@ -108,8 +108,11 @@ TEST(SweepDeterminism, BatchedRunMatchesSerialReference) {
       auto serial = make_simulator(config);
       trace::SegmentReplaySource batched_src(base, 600.0, scale.seed ^ 0x1234);
       trace::SegmentReplaySource serial_src(base, 600.0, scale.seed ^ 0x1234);
-      batched->run(batched_src, scale.max_years, stop.on_failure, stop.max_records);
-      serial->run_serial(serial_src, scale.max_years, stop.on_failure, stop.max_records);
+      const std::uint64_t nb =
+          batched->run(batched_src, scale.max_years, stop.on_failure, stop.max_records);
+      const std::uint64_t ns =
+          serial->run_serial(serial_src, scale.max_years, stop.on_failure, stop.max_records);
+      EXPECT_EQ(nb, ns);
       const SimResult a = batched->result();
       const SimResult b = serial->result();
       expect_identical(a, b, /*compare_fast_path=*/false);

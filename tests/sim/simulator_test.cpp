@@ -38,7 +38,7 @@ TEST(Simulator, ClockFollowsTraceTimestamps) {
   trace::Trace t = {{seconds_to_us(10.0), 0, trace::Op::write},
                     {seconds_to_us(20.0), 1, trace::Op::write}};
   trace::VectorTraceSource source(t);
-  sim->run(source, 1.0e6, false);
+  EXPECT_EQ(sim->run(source, 1.0e6, false), t.size());
   EXPECT_GE(sim->clock().seconds(), 20.0);
   EXPECT_LT(sim->clock().seconds(), 21.0);
 }
@@ -49,7 +49,7 @@ TEST(Simulator, HorizonStopsTheRun) {
   trace::SyntheticConfig tc = make_trace_config(tiny_scale(), sim->lba_count());
   const trace::Trace base = trace::generate_synthetic_trace(tc);
   trace::SegmentReplaySource source(base, 600.0, 3);
-  sim->run(source, horizon_years, false);
+  EXPECT_GT(sim->run(source, horizon_years, false), 0u);
   EXPECT_LE(sim->clock().years(), horizon_years * 1.01);
   EXPECT_GE(sim->clock().years(), horizon_years * 0.9);
 }

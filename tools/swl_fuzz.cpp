@@ -15,6 +15,13 @@
 //       soft wall-clock box (default 300 s) honored only after a minimum of
 //       200 schedules.
 //
+//   swl_fuzz --array-smoke [--runs N] [--time-box-s T] [--seed-base S]
+//       CI mode for the multi-chip array: run up to N seeded array checks
+//       (default 40) with the RefArrayWear oracle verifying every
+//       coordinator decision and per-chip BET, each seed at jobs 1, 2 and 4
+//       with fingerprints compared across worker counts. Soft time box
+//       (default 300 s) honored after a minimum of 20 seeds.
+//
 //   swl_fuzz --replay FILE
 //       Re-run a saved schedule file.
 //
@@ -41,6 +48,7 @@
 #include <vector>
 
 #include "model/fuzz.hpp"
+#include "model/ref_array.hpp"
 
 namespace {
 
@@ -53,6 +61,7 @@ struct Cli {
   std::uint64_t runs = 0;
   std::uint64_t seed_base = 1;
   bool fuzz_smoke = false;
+  bool array_smoke = false;
   double time_box_s = 300.0;
   std::string replay_file;
   std::string minimize_file;
@@ -66,6 +75,7 @@ int usage() {
   std::cerr << "usage: swl_fuzz --seed S | --runs N [--seed-base S] | --fuzz-smoke\n"
                "                [--layer ftl|nftl] [--time-box-s T] [--fail-dir DIR]\n"
                "                [--inject-bug skip-betupdate]\n"
+               "       swl_fuzz --array-smoke [--runs N] [--seed-base S] [--time-box-s T]\n"
                "       swl_fuzz --replay FILE\n"
                "       swl_fuzz --minimize FILE [--out FILE]\n";
   return 2;
@@ -178,6 +188,48 @@ int run_many(const Cli& cli, std::uint64_t runs, bool smoke) {
   return 0;
 }
 
+// Array-scale smoke: every seed runs the oracle-checked mini array
+// experiment once per worker count — any oracle divergence or any
+// jobs-dependent fingerprint fails the run. Reproduce a failing seed with
+// the printed seed number (the whole experiment derives from it).
+int run_array_smoke(const Cli& cli, std::uint64_t runs) {
+  constexpr std::uint64_t kSmokeMinimum = 20;
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t done = 0;
+  std::uint64_t migrations = 0;
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    const std::uint64_t seed = cli.seed_base + i;
+    const swl::model::ArrayCheckResult base = swl::model::run_array_check(seed, /*jobs=*/1);
+    if (!base.passed) {
+      std::cerr << "array seed " << seed << " (jobs 1): " << base.message << "\n";
+      return 1;
+    }
+    for (const std::uint32_t jobs : {2u, 4u}) {
+      const swl::model::ArrayCheckResult r = swl::model::run_array_check(seed, jobs);
+      if (!r.passed) {
+        std::cerr << "array seed " << seed << " (jobs " << jobs << "): " << r.message << "\n";
+        return 1;
+      }
+      if (r.fingerprint != base.fingerprint) {
+        std::cerr << "array seed " << seed << ": fingerprint depends on worker count (jobs 1: "
+                  << std::hex << base.fingerprint << ", jobs " << std::dec << jobs << ": "
+                  << std::hex << r.fingerprint << std::dec << ")\n";
+        return 1;
+      }
+    }
+    ++done;
+    migrations += base.migrations;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (done >= kSmokeMinimum && elapsed > cli.time_box_s) break;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  std::cout << done << " array seed(s) ok at jobs {1,2,4}, " << migrations
+            << " coordinator migration(s) exercised, in " << elapsed << " s\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -202,6 +254,8 @@ int main(int argc, char** argv) {
       if (!v || !parse_u64(*v, &cli.seed_base)) return usage();
     } else if (arg == "--fuzz-smoke") {
       cli.fuzz_smoke = true;
+    } else if (arg == "--array-smoke") {
+      cli.array_smoke = true;
     } else if (arg == "--time-box-s") {
       const auto v = value();
       if (!v || !parse_double(*v, &cli.time_box_s)) return usage();
@@ -272,6 +326,10 @@ int main(int argc, char** argv) {
   if (cli.fuzz_smoke) {
     const std::uint64_t runs = cli.runs != 0 ? cli.runs : 240;
     return run_many(cli, runs, /*smoke=*/true);
+  }
+  if (cli.array_smoke) {
+    const std::uint64_t runs = cli.runs != 0 ? cli.runs : 40;
+    return run_array_smoke(cli, runs);
   }
   if (cli.seed.has_value()) return run_one(cli, *cli.seed);
   if (cli.runs != 0) return run_many(cli, cli.runs, /*smoke=*/false);
