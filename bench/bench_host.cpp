@@ -1,0 +1,214 @@
+// Multi-client scaling benchmark of the host front-end (src/host): N client
+// threads driving N sharded device stacks through queue pairs at a fixed
+// queue depth, reporting aggregate request throughput, sector-write IOPS and
+// end-to-end tail latency (p50/p99/p999 from the per-stream histograms).
+//
+// Weak scaling: every arm gives each client the same fixed request budget
+// and each shard the same geometry, so the arm with N clients does N times
+// the work of the 1-client arm over N times the flash. Aggregate IOPS should
+// scale near-linearly while cores last; the final line prints each arm's
+// speedup over the 1-client arm. Expect >= 3x at the 8-client arm on a host
+// with 8+ physical cores and nothing else running (see EXPERIMENTS.md,
+// "Multi-client host scheduler methodology" — on fewer cores the arms
+// time-share and the ratio degrades toward 1x by design, it is a property of
+// the machine, not the scheduler).
+//
+// Flags are the shared bench set (bench_common.hpp); the ones that matter
+// here: --blocks N (per-shard geometry), --seed S, --shards N (the largest
+// arm, default 8), --json FILE. Arms are {1, 2, 4, 8} capped at --shards.
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/rng.hpp"
+#include "ftl/ftl.hpp"
+#include "host/scheduler.hpp"
+#include "swl/leveler.hpp"
+
+namespace {
+
+using namespace swl;
+
+constexpr std::uint64_t kOpsPerClient = 60'000;
+constexpr std::size_t kQueueDepth = 64;
+constexpr int kReps = 2;
+
+host::ShardStack make_stack(const bench::Options& opt) {
+  nand::NandConfig nc;
+  nc.geometry = FlashGeometry{.block_count = opt.scale.block_count,
+                              .pages_per_block = 64,
+                              .page_size_bytes = 2048};
+  nc.timing = default_timing(opt.scale.cell);
+  host::ShardStack s;
+  s.chip = std::make_unique<nand::NandChip>(nc);
+  s.layer = std::make_unique<ftl::Ftl>(*s.chip, ftl::FtlConfig{});
+  // Background SWL interference: the realistic case for a host scheduler —
+  // consumer threads contend with wear-leveling work, not just host I/O.
+  wear::LevelerConfig lc;
+  lc.threshold = bench::eff_t(opt, 100.0);
+  s.layer->attach_leveler(std::make_unique<wear::SwLeveler>(opt.scale.block_count, lc));
+  s.dev = std::make_unique<bdev::BlockDevice>(*s.layer);
+  return s;
+}
+
+struct ArmResult {
+  unsigned clients = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t sector_writes = 0;
+  double seconds = 0.0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+  std::uint64_t coalesced_runs = 0;
+  std::uint64_t would_blocks = 0;
+
+  [[nodiscard]] double requests_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+  [[nodiscard]] double sector_writes_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(sector_writes) / seconds : 0.0;
+  }
+};
+
+/// One client's request stream: mostly random single-sector writes with a
+/// page-aligned run mixed in (coalescer / whole-page fodder), pipelined at
+/// the queue depth with opportunistic reaping.
+void run_client(host::QueuePair& qp, std::uint64_t sectors, std::uint32_t spp,
+                std::uint64_t lane_mask, std::uint64_t seed) {
+  Rng rng(seed);
+  std::array<host::Completion, 64> comps;
+  std::array<std::uint64_t, 8> run{};
+  for (std::uint64_t op = 0; op < kOpsPerClient; ++op) {
+    Status st = Status::ok;
+    if (rng.below(4) == 0) {
+      // Page-aligned whole-page run.
+      const std::uint64_t page = rng.below(sectors / spp);
+      for (std::uint32_t i = 0; i < spp; ++i) run[i] = rng.next() & lane_mask;
+      const std::span<const std::uint64_t> values(run.data(), spp);
+      st = qp.submit_write_run(page * spp, values, host::SubmitMode::try_once);
+      while (st == Status::busy) {
+        if (qp.counters().inflight() > 0) (void)qp.wait(comps);
+        st = qp.submit_write_run(page * spp, values, host::SubmitMode::try_once);
+      }
+    } else {
+      const std::uint64_t sector = rng.below(sectors);
+      const std::uint64_t value = rng.next() & lane_mask;
+      st = qp.submit_write(sector, value, host::SubmitMode::try_once);
+      while (st == Status::busy) {
+        if (qp.counters().inflight() > 0) (void)qp.wait(comps);
+        st = qp.submit_write(sector, value, host::SubmitMode::try_once);
+      }
+    }
+    SWL_CHECK_OK(st);
+    if (op % 16 == 0) (void)qp.poll(comps);
+  }
+  while (qp.counters().inflight() > 0) (void)qp.wait(comps);
+}
+
+ArmResult run_arm(const bench::Options& opt, unsigned clients) {
+  ArmResult best;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::vector<host::ShardStack> stacks;
+    for (unsigned s = 0; s < clients; ++s) stacks.push_back(make_stack(opt));
+    host::HostConfig config;
+    config.queue_depth = kQueueDepth;
+    host::HostScheduler sched(std::move(stacks), config);
+    std::vector<host::QueuePair*> qps;
+    for (unsigned c = 0; c < clients; ++c) qps.push_back(&sched.open_queue_pair());
+    sched.start();
+
+    const std::uint64_t sectors = sched.sector_count();
+    const std::uint32_t spp = sched.sectors_per_page();
+    const std::uint64_t lane_mask = sched.shard_device(0).lane_mask();
+
+    const auto start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> threads;
+      for (unsigned c = 0; c < clients; ++c) {
+        host::QueuePair* qp = qps[c];
+        const std::uint64_t seed = opt.scale.seed * 1000 + c;
+        threads.emplace_back(
+            [qp, sectors, spp, lane_mask, seed] { run_client(*qp, sectors, spp, lane_mask, seed); });
+      }
+      for (auto& t : threads) t.join();
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    sched.stop();
+
+    ArmResult r;
+    r.clients = clients;
+    r.seconds = seconds;
+    host::LatencyHistogram merged;
+    for (unsigned c = 0; c < clients; ++c) {
+      r.requests += qps[c]->counters().completed;
+      r.would_blocks += qps[c]->counters().would_blocks;
+      merged.merge(qps[c]->write_latency());
+      merged.merge(qps[c]->read_latency());
+    }
+    for (unsigned s = 0; s < clients; ++s) {
+      r.sector_writes += sched.shard_device(s).counters().sector_writes;
+      r.coalesced_runs += sched.shard_counters(s).coalesced_runs;
+    }
+    r.p50_ns = merged.quantile(0.50);
+    r.p99_ns = merged.quantile(0.99);
+    r.p999_ns = merged.quantile(0.999);
+    if (rep == 0 || r.requests_per_second() > best.requests_per_second()) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  std::cout << "bench_host: sharded host scheduler, multi-client weak scaling\n";
+  std::cout << "per shard: " << opt.scale.block_count << " blocks x 64 pages x 2 KiB, "
+            << kOpsPerClient << " requests/client at QD " << kQueueDepth << ", "
+            << std::thread::hardware_concurrency() << " hardware thread(s)\n\n";
+  bench::BenchReport report("host", opt);
+
+  std::vector<unsigned> arms;
+  for (const unsigned n : {1u, 2u, 4u, 8u}) {
+    if (n <= opt.shards) arms.push_back(n);
+  }
+
+  double base_rps = 0.0;
+  for (const unsigned clients : arms) {
+    const ArmResult r = run_arm(opt, clients);
+    if (clients == 1) base_rps = r.requests_per_second();
+    const double scaling = base_rps > 0.0 ? r.requests_per_second() / base_rps : 0.0;
+    std::cout << "  " << clients << " client(s) x " << clients << " shard(s): "
+              << sim::fmt(r.requests_per_second() / 1e6, 2) << " Mreq/s, "
+              << sim::fmt(r.sector_writes_per_second() / 1e6, 2) << " Msector-writes/s  (p50 "
+              << r.p50_ns << " ns, p99 " << r.p99_ns << " ns, p999 " << r.p999_ns
+              << " ns, scaling " << sim::fmt(scaling, 2) << "x)\n";
+
+    runner::Json point = runner::Json::object();
+    point.set("name", "host_scale_" + std::to_string(clients) + "c");
+    point.set("items", r.requests);
+    point.set("seconds", r.seconds);
+    point.set("items_per_second", r.requests_per_second());
+    runner::Json extra = runner::Json::object();
+    extra.set("clients", static_cast<std::uint64_t>(clients));
+    extra.set("queue_depth", static_cast<std::uint64_t>(kQueueDepth));
+    extra.set("sector_writes_per_second", r.sector_writes_per_second());
+    extra.set("p50_ns", r.p50_ns);
+    extra.set("p99_ns", r.p99_ns);
+    extra.set("p999_ns", r.p999_ns);
+    extra.set("coalesced_runs", r.coalesced_runs);
+    extra.set("would_blocks", r.would_blocks);
+    extra.set("scaling_vs_1c", scaling);
+    point.set("host", std::move(extra));
+    report.add_point(std::move(point));
+  }
+
+  return report.finish();
+}

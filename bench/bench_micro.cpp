@@ -15,6 +15,13 @@
 //   - scatter_permutation        LBA scattering permutation
 //   - trace_generation           synthetic workload synthesis
 //   - victim_select              tl::VictimIndex mark/flush/select mix
+//   - host_qd1 / host_qd1_p99_ns the host scheduler's per-request round trip
+//                                (sync QD1 writes through one queue pair,
+//                                coalescing off); the _p99_ns point is the
+//                                p99 write latency and gates lower-is-better
+//   - host_mt                    2 clients x 2 shards async at QD 64 — the
+//                                cross-thread submit/complete hand-off cost
+//                                (kept small: baselines record on any host)
 //   - replay_ftl / replay_nftl   the headline: Simulator::run over a
 //                                SegmentReplaySource at the default scale,
 //                                with the batched pipeline's PerfCounters
@@ -31,18 +38,22 @@
 // timing on a shared host would only add noise. The sharded replay point is
 // the exception: its shards execute on the --jobs pool (its *result* is
 // still identical for every --jobs value).
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/permutation.hpp"
 #include "sim/array_experiment.hpp"
 #include "core/rng.hpp"
 #include "ftl/ftl.hpp"
+#include "host/scheduler.hpp"
 #include "hotness/hot_data.hpp"
 #include "nftl/nftl.hpp"
 #include "swl/bet.hpp"
@@ -268,6 +279,115 @@ std::uint64_t victim_select() {
   return kIters;
 }
 
+host::ShardStack make_host_stack() {
+  nand::NandConfig nc;
+  nc.geometry = FlashGeometry{.block_count = 128, .pages_per_block = 64, .page_size_bytes = 2048};
+  nc.timing = default_timing(CellType::mlc_x2);
+  host::ShardStack s;
+  s.chip = std::make_unique<nand::NandChip>(nc);
+  s.layer = std::make_unique<ftl::Ftl>(*s.chip, ftl::FtlConfig{});
+  s.dev = std::make_unique<bdev::BlockDevice>(*s.layer);
+  return s;
+}
+
+/// The host scheduler's per-request round trip: synchronous QD1 writes
+/// through one queue pair with coalescing off (the serial-equivalence
+/// configuration). One run feeds two points — throughput (host_qd1) and the
+/// p99 write latency from the stream's histogram (host_qd1_p99_ns), which
+/// the perf gate treats as lower-is-better. Both keep the best across
+/// repetitions: fastest run for throughput, lowest p99 for latency.
+void host_qd1_points(bench::BenchReport& report) {
+  constexpr std::uint64_t kOps = 100'000;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::vector<host::ShardStack> stacks;
+    stacks.push_back(make_host_stack());
+    host::HostConfig config;
+    config.coalesce_writes = false;
+    host::HostScheduler sched(std::move(stacks), config);
+    host::QueuePair& qp = sched.open_queue_pair();
+    sched.start();
+    const std::uint64_t sectors = sched.sector_count();
+    const std::uint64_t lane_mask = sched.shard_device(0).lane_mask();
+    Rng rng(11);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      SWL_CHECK_OK(qp.write_sector(rng.below(sectors), rng.next() & lane_mask));
+    }
+    const double s = now_seconds(start);
+    sched.stop();
+    ops = kOps;
+    const std::uint64_t rep_p99 = qp.write_latency().quantile(0.99);
+    if (rep == 0 || s < seconds) seconds = s;
+    if (rep == 0 || rep_p99 < p99_ns) p99_ns = rep_p99;
+  }
+  const double ips = seconds > 0.0 ? static_cast<double>(ops) / seconds : 0.0;
+  std::cout << "  host_qd1: " << sim::fmt(ips / 1e6, 2) << " Mreq/s  (" << ops << " requests in "
+            << sim::fmt(seconds * 1e3, 1) << " ms, p99 " << p99_ns << " ns)\n";
+
+  runner::Json point = runner::Json::object();
+  point.set("name", "host_qd1");
+  point.set("items", ops);
+  point.set("seconds", seconds);
+  point.set("items_per_second", ips);
+  report.add_point(std::move(point));
+
+  runner::Json lat = runner::Json::object();
+  lat.set("name", "host_qd1_p99_ns");
+  lat.set("items", ops);
+  lat.set("seconds", seconds);
+  // For latency points items_per_second carries the cost metric itself (ns);
+  // the flag tells perf_compare to gate in the opposite direction.
+  lat.set("items_per_second", static_cast<double>(p99_ns));
+  lat.set("lower_is_better", true);
+  report.add_point(std::move(lat));
+}
+
+/// The cross-thread hand-off cost: 2 client threads driving 2 shards
+/// asynchronously at QD 64 — submission rings, completion rings and
+/// EventCount parking all on the hot path. Kept deliberately small (2x2) so
+/// the point measures the hand-off machinery, not this host's core count.
+std::uint64_t host_mt() {
+  constexpr std::uint64_t kOpsPerClient = 150'000;
+  constexpr unsigned kClients = 2;
+  std::vector<host::ShardStack> stacks;
+  for (unsigned s = 0; s < kClients; ++s) stacks.push_back(make_host_stack());
+  host::HostConfig config;
+  config.queue_depth = 64;
+  host::HostScheduler sched(std::move(stacks), config);
+  std::vector<host::QueuePair*> qps;
+  for (unsigned c = 0; c < kClients; ++c) qps.push_back(&sched.open_queue_pair());
+  sched.start();
+  const std::uint64_t sectors = sched.sector_count();
+  const std::uint64_t lane_mask = sched.shard_device(0).lane_mask();
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (unsigned c = 0; c < kClients; ++c) {
+    host::QueuePair* qp = qps[c];
+    threads.emplace_back([qp, sectors, lane_mask, c] {
+      Rng rng(21 + c);
+      std::array<host::Completion, 64> comps;
+      for (std::uint64_t op = 0; op < kOpsPerClient; ++op) {
+        const std::uint64_t sector = rng.below(sectors);
+        const std::uint64_t value = rng.next() & lane_mask;
+        Status st = qp->submit_write(sector, value, host::SubmitMode::try_once);
+        while (st == Status::busy) {
+          if (qp->counters().inflight() > 0) (void)qp->wait(comps);
+          st = qp->submit_write(sector, value, host::SubmitMode::try_once);
+        }
+        SWL_CHECK_OK(st);
+        if (op % 16 == 0) (void)qp->poll(comps);
+      }
+      while (qp->counters().inflight() > 0) (void)qp->wait(comps);
+    });
+  }
+  for (auto& t : threads) t.join();
+  sched.stop();
+  return kOpsPerClient * kClients;
+}
+
 /// The headline benchmark: the full batched replay pipeline — Simulator::run
 /// pulling a SegmentReplaySource through the layer's record fast paths at
 /// this binary's --blocks/--seed scale.
@@ -452,6 +572,8 @@ int main(int argc, char** argv) {
   run_point(report, "trace_generation", &trace_generation);
 
   run_point(report, "victim_select", &victim_select);
+  host_qd1_points(report);
+  run_point(report, "host_mt", &host_mt);
 
   const trace::Trace base = sim::make_base_trace(opt.scale, sim::LayerKind::ftl);
   replay_point(report, opt, sim::LayerKind::ftl, base);

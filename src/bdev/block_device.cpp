@@ -43,6 +43,7 @@ Status BlockDevice::load_page(Lba lba, std::uint64_t* token) {
 }
 
 Status BlockDevice::write_sector(SectorIndex sector, std::uint64_t value) {
+  thread_checker_.check("BlockDevice::write_sector");
   const Lba lba = page_of(sector);
   std::uint64_t token = 0;
   if (sectors_per_page_ > 1) {
@@ -61,6 +62,7 @@ Status BlockDevice::write_sector(SectorIndex sector, std::uint64_t value) {
 }
 
 Status BlockDevice::read_sector(SectorIndex sector, std::uint64_t* value) {
+  thread_checker_.check("BlockDevice::read_sector");
   SWL_REQUIRE(value != nullptr, "null output");
   const Lba lba = page_of(sector);
   std::uint64_t token = 0;
@@ -85,6 +87,10 @@ std::uint64_t fnv1a_token(std::span<const std::uint8_t> bytes) noexcept {
 }  // namespace
 
 Status BlockDevice::write_sector_bytes(SectorIndex sector, std::span<const std::uint8_t> data) {
+  // The shared page_buffer_ scratch makes this path reentrancy-hostile: a
+  // second thread in here mid-RMW would interleave its bytes into ours. The
+  // confinement check turns that race into an immediate contract failure.
+  thread_checker_.check("BlockDevice::write_sector_bytes");
   SWL_REQUIRE(data.size() == sector_size_, "data must be exactly one sector");
   const Lba lba = page_of(sector);
   std::fill(page_buffer_.begin(), page_buffer_.end(), std::uint8_t{0});
@@ -106,6 +112,7 @@ Status BlockDevice::write_sector_bytes(SectorIndex sector, std::span<const std::
 }
 
 Status BlockDevice::read_sector_bytes(SectorIndex sector, std::span<std::uint8_t> out) {
+  thread_checker_.check("BlockDevice::read_sector_bytes");
   SWL_REQUIRE(out.size() == sector_size_, "out must be exactly one sector");
   const Lba lba = page_of(sector);
   const Status st = layer_.read_bytes(lba, page_buffer_);
@@ -120,6 +127,7 @@ Status BlockDevice::read_sector_bytes(SectorIndex sector, std::span<std::uint8_t
 
 Status BlockDevice::write_sectors(SectorIndex first, std::uint64_t count,
                                   std::uint64_t first_value) {
+  thread_checker_.check("BlockDevice::write_sectors");
   SWL_REQUIRE(count > 0, "empty sector run");
   SWL_REQUIRE(first + count <= sector_count(), "sector run out of range");
   SectorIndex sector = first;
@@ -147,6 +155,43 @@ Status BlockDevice::write_sectors(SectorIndex first, std::uint64_t count,
     value += sectors_per_page_;
   }
   return Status::ok;
+}
+
+Status BlockDevice::write_sector_run(SectorIndex first, std::span<const std::uint64_t> values,
+                                     std::uint64_t* sectors_done) {
+  thread_checker_.check("BlockDevice::write_sector_run");
+  const std::uint64_t count = values.size();
+  SWL_REQUIRE(count > 0, "empty sector run");
+  SWL_REQUIRE(first + count <= sector_count(), "sector run out of range");
+  std::uint64_t done = 0;
+  const auto report = [&](Status st) {
+    if (sectors_done != nullptr) *sectors_done = done;
+    return st;
+  };
+  SectorIndex sector = first;
+  while (done < count) {
+    const bool whole_page = lane_of(sector) == 0 && (count - done) >= sectors_per_page_;
+    if (!whole_page) {
+      const Status st = write_sector(sector, values[done]);
+      if (st != Status::ok) return report(st);
+      ++sector;
+      ++done;
+      continue;
+    }
+    // Aligned whole-page span: pack the lane values into the token directly,
+    // no read needed — the same fast path write_sectors takes.
+    std::uint64_t token = 0;
+    for (std::uint32_t lane = 0; lane < sectors_per_page_; ++lane) {
+      token |= (values[done + lane] & lane_mask_) << (lane * lane_bits_);
+    }
+    const Status st = layer_.write(page_of(sector), token);
+    if (st != Status::ok) return report(st);
+    counters_.sector_writes += sectors_per_page_;
+    ++counters_.page_writes;
+    sector += sectors_per_page_;
+    done += sectors_per_page_;
+  }
+  return report(Status::ok);
 }
 
 }  // namespace swl::bdev

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "tl/translation_layer.hpp"
 
 namespace swl::bdev {
@@ -53,6 +54,18 @@ class BlockDevice {
   /// onward; whole-page spans skip the read-modify-write.
   Status write_sectors(SectorIndex first, std::uint64_t count, std::uint64_t first_value);
 
+  /// Writes `values.size()` consecutive sectors starting at `first` with
+  /// explicit per-sector values — the generalization of write_sectors the
+  /// host front-end's write coalescer feeds. Page handling is identical to
+  /// write_sectors: aligned whole-page spans build the page token directly
+  /// (no read-modify-write), head/tail partial pages go sector by sector, so
+  /// a run submitted here is bit-identical to the equivalent sequence of
+  /// write_sector/write_sectors calls. On failure `*sectors_done` (optional)
+  /// receives the number of leading sectors that were durably written; the
+  /// sector at that index is the one whose page write failed.
+  Status write_sector_run(SectorIndex first, std::span<const std::uint64_t> values,
+                          std::uint64_t* sectors_done = nullptr);
+
   // -- byte-accurate API (requires a chip with store_payload_bytes) ---------
 
   /// Writes one sector of real bytes (`data` must be sector_size bytes);
@@ -72,6 +85,12 @@ class BlockDevice {
   [[nodiscard]] const BdevCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] tl::TranslationLayer& layer() noexcept { return layer_; }
 
+  /// Rebinds the device's thread-confinement check at a deliberate ownership
+  /// handoff (e.g. the host scheduler handing a shard's stack to its consumer
+  /// thread). Pair with NandChip::detach_owner_thread — the whole stack moves
+  /// together.
+  void detach_owner_thread() noexcept { thread_checker_.detach(); }
+
  private:
   [[nodiscard]] Lba page_of(SectorIndex sector) const;
   [[nodiscard]] std::uint32_t lane_of(SectorIndex sector) const noexcept;
@@ -86,6 +105,12 @@ class BlockDevice {
   std::uint64_t lane_mask_;
   BdevCounters counters_;
   std::vector<std::uint8_t> page_buffer_;  // scratch for byte read-modify-write
+  // The device is thread-confined, not thread-safe: counters_ and the shared
+  // page_buffer_ scratch (the byte read-modify-write path) are mutated
+  // without synchronization. Checked (debug builds) at every public
+  // entry point; concurrent callers go through the host scheduler, which
+  // gives each consumer thread exclusive ownership of one device stack.
+  ThreadChecker thread_checker_;
 };
 
 }  // namespace swl::bdev

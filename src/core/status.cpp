@@ -38,6 +38,8 @@ std::string_view to_string(Status s) noexcept {
       return "erase_failed";
     case Status::out_of_space:
       return "out_of_space";
+    case Status::busy:
+      return "busy";
     case Status::corrupt_snapshot:
       return "corrupt_snapshot";
     case Status::io_error:

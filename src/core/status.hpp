@@ -33,6 +33,9 @@ enum class [[nodiscard]] Status {
   erase_failed,
   /// No free page/block could be allocated even after garbage collection.
   out_of_space,
+  /// The operation would block (a bounded queue/ring is full) and the caller
+  /// asked for a non-blocking attempt; retry after making progress.
+  busy,
   /// Persistent state (e.g. a BET snapshot) failed checksum validation.
   corrupt_snapshot,
   /// A host-side I/O operation (snapshot file write, flush, rename) failed.

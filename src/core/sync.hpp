@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <thread>
 
@@ -84,6 +85,79 @@ class CondVar {
 
  private:
   std::condition_variable cv_;
+};
+
+/// Futex-style parking for lock-free producer/consumer rings (an event count).
+///
+/// The problem it solves: a consumer draining a lock-free ring must sleep
+/// when the ring is empty, and a producer must be able to wake it — without
+/// putting a mutex on the producers' hot path. EventCount gives the standard
+/// two-phase answer (as used by folly::EventCount and Linux futex users):
+///
+///   // waiter                                 // signaler
+///   const std::uint64_t t = ec.prepare_wait();  push(item);
+///   if (work_available()) {                     ec.notify();
+///     ec.cancel_wait();
+///   } else {
+///     ec.wait(t);   // sleeps unless notify() ran since prepare_wait()
+///   }
+///
+/// notify() is cheap when nobody waits: one seq_cst fence plus one atomic
+/// load — no lock, no syscall. The seq_cst fences in prepare_wait() and
+/// notify() close the classic lost-wakeup race (waiter checks the ring, then
+/// signaler pushes and checks for waiters, each missing the other): with
+/// both fences in the single total order, either the waiter's re-check sees
+/// the push, or the signaler's waiter-check sees the waiter.
+///
+/// Spurious wakeups are allowed (wait() may return without a notify());
+/// callers always re-check their condition in a loop. Supports any number of
+/// concurrent waiters; notify() wakes them all.
+class EventCount {
+ public:
+  EventCount() = default;
+  EventCount(const EventCount&) = delete;
+  EventCount& operator=(const EventCount&) = delete;
+
+  /// Phase 1 of waiting: announce intent and take a ticket. The caller must
+  /// re-check its wakeup condition after this call and either cancel_wait()
+  /// (condition already true) or wait() with the ticket.
+  [[nodiscard]] std::uint64_t prepare_wait() EXCLUDES(mu_) {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const MutexLock lock(mu_);
+    return generation_;
+  }
+
+  /// Abandons a prepared wait (the re-check found the condition true).
+  void cancel_wait() noexcept { waiters_.fetch_sub(1, std::memory_order_seq_cst); }
+
+  /// Phase 2: blocks until a notify() issued after the ticket was taken (or
+  /// a spurious wakeup; callers re-check in a loop either way).
+  void wait(std::uint64_t ticket) EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      while (generation_ == ticket) cv_.wait(mu_);
+    }
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Wakes every waiter that prepared before this call. Cheap (fence + one
+  /// load, no lock) when nobody is waiting — safe to call per pushed item.
+  void notify() EXCLUDES(mu_) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) == 0) return;
+    {
+      const MutexLock lock(mu_);
+      ++generation_;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::atomic<std::uint64_t> waiters_{0};
+  Mutex mu_;
+  CondVar cv_;
+  std::uint64_t generation_ GUARDED_BY(mu_) = 0;
 };
 
 /// Debug-build thread-confinement assertion (compiled out under NDEBUG).

@@ -1,0 +1,54 @@
+#include "host/latency_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace swl::host {
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t ns) noexcept {
+  if (ns < kSub) return static_cast<std::size_t>(ns);
+  const unsigned exp = std::min<unsigned>(
+      static_cast<unsigned>(std::bit_width(ns)) - 1, kMaxExp - 1);
+  const auto sub = static_cast<std::size_t>((ns >> (exp - kSubBits)) & (kSub - 1));
+  return (static_cast<std::size_t>(exp) - kSubBits + 1) * kSub + sub;
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_bound(std::size_t bucket) noexcept {
+  if (bucket < kSub) return bucket;
+  const auto exp = static_cast<unsigned>(bucket / kSub + kSubBits - 1);
+  const std::uint64_t sub = bucket % kSub;
+  const std::uint64_t lower = (kSub + sub) << (exp - kSubBits);
+  return lower + ((std::uint64_t{1} << (exp - kSubBits)) - 1);
+}
+
+void LatencyHistogram::record(std::uint64_t ns) noexcept {
+  ++buckets_[bucket_of(ns)];
+  ++count_;
+  sum_ += ns;
+  min_ = std::min(min_, ns);
+  max_ = std::max(max_, ns);
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // Rank of the requested sample, 1-based: ceil(q * count), at least 1.
+  const auto rank = static_cast<std::uint64_t>(clamped * static_cast<double>(count_));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    cumulative += buckets_[b];
+    if (cumulative >= target) return std::min(bucket_upper_bound(b), max_);
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t b = 0; b < buckets_.size(); ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+}  // namespace swl::host

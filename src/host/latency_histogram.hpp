@@ -1,0 +1,62 @@
+// Fixed-footprint log-linear latency histogram (HdrHistogram-style).
+//
+// Values (nanoseconds) are bucketed by power of two with 16 linear
+// sub-buckets per octave, so any recorded value lands in a bucket whose
+// width is at most 1/16 of its magnitude — quantile estimates carry a
+// bounded ~6.25% relative error, independent of the latency range. Values
+// below 16 ns are exact. The footprint is a constant ~7.7 KiB regardless of
+// how many samples are recorded, so every stream can afford one per op kind.
+//
+// Not thread-safe by design: each histogram belongs to exactly one client
+// thread (latencies are recorded at completion-reap time, on the reaping
+// thread). Cross-stream aggregation goes through merge() after the streams
+// are quiesced.
+#ifndef SWL_HOST_LATENCY_HISTOGRAM_HPP
+#define SWL_HOST_LATENCY_HISTOGRAM_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace swl::host {
+
+class LatencyHistogram {
+ public:
+  /// Records one value (saturating at the top bucket; ns >= 2^60 is clamped).
+  void record(std::uint64_t ns) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Upper bound of the bucket containing the q-quantile sample (q in
+  /// [0, 1]; 0.5 = p50, 0.99 = p99, 0.999 = p999). Returns 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+  /// Adds every sample of `other` into this histogram.
+  void merge(const LatencyHistogram& other) noexcept;
+
+ private:
+  // 16 exact buckets for [0, 16) plus 16 sub-buckets per octave for
+  // [2^4, 2^60): (60 - 4) * 16 + 16 = 912 buckets.
+  static constexpr unsigned kSubBits = 4;
+  static constexpr unsigned kSub = 1u << kSubBits;
+  static constexpr unsigned kMaxExp = 60;
+  static constexpr std::size_t kBuckets = (kMaxExp - kSubBits) * kSub + kSub;
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t ns) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_upper_bound(std::size_t bucket) noexcept;
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace swl::host
+
+#endif  // SWL_HOST_LATENCY_HISTOGRAM_HPP

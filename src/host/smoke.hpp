@@ -1,0 +1,47 @@
+// Seeded differential check of the host scheduler (swl_fuzz --host-smoke).
+//
+// One seed derives a scheduler configuration (shard count, client count,
+// coalescing, translation-layer kind), drives concurrent client threads
+// through the async queue-pair API over disjoint sector ranges, and then
+// cross-checks the stopped scheduler against two oracles:
+//
+//   - a *direct serial* replay of the same writes on an identical stack
+//     (content must match sector for sector), and
+//   - a shadow map of every client's last write (both devices must match it).
+//
+// Serial-shaped seeds (one client, one shard, coalescing off) tighten the
+// check to full fingerprint equality — BdevCounters, TlCounters and
+// per-block erase counts — because that configuration is documented to be
+// bit-identical to direct serial BlockDevice calls. QoS invariants
+// (submitted == completed, nothing in flight, histogram totals) are checked
+// on every seed.
+#ifndef SWL_HOST_SMOKE_HPP
+#define SWL_HOST_SMOKE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace swl::host {
+
+struct HostCheckResult {
+  bool passed = false;
+  std::string message;
+  /// FNV-1a over the final device content (display/reproduction aid).
+  std::uint64_t fingerprint = 0;
+  unsigned shards = 0;
+  unsigned clients = 0;
+  bool coalesce = false;
+  /// True when the seed ran the serial-shaped strict (bit-identical) check.
+  bool serial_strict = false;
+  std::uint64_t ops = 0;
+};
+
+/// Runs the full differential check for one seed. Deterministic given the
+/// seed up to scheduling (content checks hold under any interleaving; the
+/// strict fingerprint check only runs for serial-shaped seeds, where there
+/// is no interleaving).
+[[nodiscard]] HostCheckResult run_host_check(std::uint64_t seed);
+
+}  // namespace swl::host
+
+#endif  // SWL_HOST_SMOKE_HPP

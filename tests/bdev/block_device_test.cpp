@@ -4,6 +4,7 @@
 
 #include <map>
 #include <memory>
+#include <thread>
 
 #include "core/contracts.hpp"
 #include "core/rng.hpp"
@@ -192,6 +193,132 @@ TEST(BlockDeviceBytes, ByteDataSurvivesGarbageCollection) {
   }
   ftl_layer.check_invariants();
 }
+
+TEST(BlockDevice, MultiPageSpanCountersAccountEveryPath) {
+  Fixture f;  // 4 sectors/page
+  // Span 3..12 inclusive (10 sectors): sector 3 is a partial head (page 0),
+  // pages 1 and 2 are whole (token fast path, no read), sector 15 is... no:
+  // sectors 4..11 are pages 1-2 whole, sector 12 a partial tail (page 3).
+  // All four pages start unmapped, so no read-modify-write anywhere yet.
+  ASSERT_EQ(f.dev->write_sectors(3, 10, 500), Status::ok);
+  EXPECT_EQ(f.dev->counters().sector_writes, 10u);
+  EXPECT_EQ(f.dev->counters().page_writes, 4u);
+  EXPECT_EQ(f.dev->counters().rmw_page_reads, 0u);
+  // Rewriting the same span: the partial head and tail pages are mapped now,
+  // so exactly those two cost a read-modify-write; the whole pages still
+  // skip it.
+  ASSERT_EQ(f.dev->write_sectors(3, 10, 900), Status::ok);
+  EXPECT_EQ(f.dev->counters().sector_writes, 20u);
+  EXPECT_EQ(f.dev->counters().page_writes, 8u);
+  EXPECT_EQ(f.dev->counters().rmw_page_reads, 2u);
+  for (SectorIndex s = 3; s < 13; ++s) {
+    std::uint64_t v = 0;
+    ASSERT_EQ(f.dev->read_sector(s, &v), Status::ok);
+    EXPECT_EQ(v, (900 + (s - 3)) & f.dev->lane_mask());
+  }
+}
+
+TEST(BlockDevice, WriteSectorRunIsBitIdenticalToWriteSectors) {
+  // The coalescer's contract: page handling of write_sector_run is exactly
+  // write_sectors' — with consecutive values the two are bit-identical,
+  // content *and* counters.
+  Fixture run_fixture;
+  Fixture span_fixture;
+  const std::uint64_t values[] = {100, 101, 102, 103, 104, 105};
+  // Unaligned 6-sector run: partial head (sectors 2-3), whole page (4-7).
+  ASSERT_EQ(run_fixture.dev->write_sector_run(2, values), Status::ok);
+  ASSERT_EQ(span_fixture.dev->write_sectors(2, 6, 100), Status::ok);
+  EXPECT_EQ(run_fixture.dev->counters().sector_writes,
+            span_fixture.dev->counters().sector_writes);
+  EXPECT_EQ(run_fixture.dev->counters().rmw_page_reads,
+            span_fixture.dev->counters().rmw_page_reads);
+  EXPECT_EQ(run_fixture.dev->counters().page_writes,
+            span_fixture.dev->counters().page_writes);
+  for (SectorIndex s = 2; s < 8; ++s) {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    ASSERT_EQ(run_fixture.dev->read_sector(s, &a), Status::ok);
+    ASSERT_EQ(span_fixture.dev->read_sector(s, &b), Status::ok);
+    EXPECT_EQ(a, b) << "sector " << s;
+  }
+}
+
+TEST(BlockDevice, WholePageRunSkipsRmwThatPerSectorWritesPay) {
+  // The fast path the host coalescer exists to reach: the aligned whole page
+  // inside a run costs one page write and zero RMW reads, where the same
+  // sectors written one by one cost a page write *per sector* plus an RMW
+  // read for every sector after the first.
+  Fixture run_fixture;
+  Fixture serial_fixture;
+  const std::uint64_t values[] = {7, 8, 9, 10};
+  ASSERT_EQ(run_fixture.dev->write_sector_run(4, values), Status::ok);  // page 1, aligned
+  for (SectorIndex s = 4; s < 8; ++s) {
+    ASSERT_EQ(serial_fixture.dev->write_sector(s, values[s - 4]), Status::ok);
+  }
+  EXPECT_EQ(run_fixture.dev->counters().page_writes, 1u);
+  EXPECT_EQ(run_fixture.dev->counters().rmw_page_reads, 0u);
+  EXPECT_EQ(serial_fixture.dev->counters().page_writes, 4u);
+  EXPECT_EQ(serial_fixture.dev->counters().rmw_page_reads, 3u);
+  // Same sector writes, same final content either way.
+  EXPECT_EQ(run_fixture.dev->counters().sector_writes,
+            serial_fixture.dev->counters().sector_writes);
+  for (SectorIndex s = 4; s < 8; ++s) {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    ASSERT_EQ(run_fixture.dev->read_sector(s, &a), Status::ok);
+    ASSERT_EQ(serial_fixture.dev->read_sector(s, &b), Status::ok);
+    EXPECT_EQ(a, b) << "sector " << s;
+  }
+}
+
+TEST(BlockDevice, WriteSectorRunReportsDurablePrefixOnFailure) {
+  Fixture f;
+  const std::uint64_t values[] = {1, 2, 3};
+  std::uint64_t done = 99;
+  ASSERT_EQ(f.dev->write_sector_run(0, values, &done), Status::ok);
+  EXPECT_EQ(done, 3u);
+}
+
+#ifndef NDEBUG
+// Satellite of the host-scheduler PR: the device shares one RMW scratch
+// buffer and unsynchronized counters across all public entry points, so it
+// is thread-confined, not thread-safe. The ThreadChecker makes a concurrent
+// second caller a loud InvariantError instead of silent data corruption.
+TEST(BlockDevice, RejectsCrossThreadUseWithoutDetach) {
+  Fixture f;
+  ASSERT_EQ(f.dev->write_sector(0, 1), Status::ok);  // binds to this thread
+  std::thread other([&] {
+    EXPECT_THROW((void)f.dev->write_sector(1, 2), InvariantError);
+    std::uint64_t v = 0;
+    EXPECT_THROW((void)f.dev->read_sector(0, &v), InvariantError);
+  });
+  other.join();
+  // The owning thread still works.
+  std::uint64_t v = 0;
+  ASSERT_EQ(f.dev->read_sector(0, &v), Status::ok);
+  EXPECT_EQ(v, 1u);
+}
+
+TEST(BlockDevice, DetachHandsOwnershipToTheNextThread) {
+  Fixture f;
+  ASSERT_EQ(f.dev->write_sector(0, 7), Status::ok);
+  f.dev->detach_owner_thread();
+  f.chip->detach_owner_thread();  // the whole stack moves together
+  std::thread other([&] {
+    ASSERT_EQ(f.dev->write_sector(1, 8), Status::ok);  // rebinds here
+    std::uint64_t v = 0;
+    ASSERT_EQ(f.dev->read_sector(0, &v), Status::ok);
+    EXPECT_EQ(v, 7u);
+    // Hand back so the main thread (and the fixture teardown) own it again.
+    f.dev->detach_owner_thread();
+    f.chip->detach_owner_thread();
+  });
+  other.join();
+  std::uint64_t v = 0;
+  ASSERT_EQ(f.dev->read_sector(1, &v), Status::ok);
+  EXPECT_EQ(v, 8u);
+}
+#endif  // NDEBUG
 
 // Property: random sector workload over an NFTL with static wear leveling
 // preserves every sector through GC, folds and SWL collections.

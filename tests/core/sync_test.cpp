@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -55,6 +57,77 @@ TEST(CondVar, WaitWakesOnNotify) {
   }
   signaller.join();
   SUCCEED();
+}
+
+TEST(EventCount, NotifyWakesAPreparedWaiter) {
+  EventCount ec;
+  std::atomic<bool> ready{false};
+  std::thread waiter([&] {
+    for (;;) {
+      if (ready.load(std::memory_order_acquire)) return;
+      const std::uint64_t ticket = ec.prepare_wait();
+      if (ready.load(std::memory_order_acquire)) {
+        ec.cancel_wait();
+        return;
+      }
+      ec.wait(ticket);  // spurious wakeups allowed: loop re-checks
+    }
+  });
+  ready.store(true, std::memory_order_release);
+  ec.notify();
+  waiter.join();
+  SUCCEED();
+}
+
+TEST(EventCount, TicketTakenBeforeNotifyPreventsLostWakeup) {
+  // The two-phase protocol's whole point: a notify issued *after*
+  // prepare_wait must make the subsequent wait(ticket) return, even though
+  // the waiter was not yet blocked in wait() when notify ran.
+  EventCount ec;
+  const std::uint64_t ticket = ec.prepare_wait();
+  std::thread notifier([&] { ec.notify(); });
+  notifier.join();
+  ec.wait(ticket);  // must not hang
+  SUCCEED();
+}
+
+TEST(EventCount, CancelWaitLeavesNotifyCheap) {
+  EventCount ec;
+  const std::uint64_t ticket = ec.prepare_wait();
+  (void)ticket;
+  ec.cancel_wait();
+  ec.notify();  // no waiters: must be a no-op, not a hang or a crash
+  SUCCEED();
+}
+
+TEST(EventCount, ParkedConsumerDrainsProducerStream) {
+  // The scheduler's actual usage shape: a producer pushes work through an
+  // unsynchronized-except-atomics mailbox and notifies; the consumer parks
+  // with the prepare/re-check/wait dance whenever the mailbox is empty.
+  constexpr std::uint64_t kItems = 50'000;
+  EventCount ec;
+  std::atomic<std::uint64_t> produced{0};
+  std::uint64_t consumed = 0;
+  std::thread consumer([&] {
+    while (consumed < kItems) {
+      if (produced.load(std::memory_order_acquire) > consumed) {
+        ++consumed;
+        continue;
+      }
+      const std::uint64_t ticket = ec.prepare_wait();
+      if (produced.load(std::memory_order_acquire) > consumed) {
+        ec.cancel_wait();
+        continue;
+      }
+      ec.wait(ticket);
+    }
+  });
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    produced.fetch_add(1, std::memory_order_release);
+    ec.notify();
+  }
+  consumer.join();
+  EXPECT_EQ(consumed, kItems);
 }
 
 #ifndef NDEBUG

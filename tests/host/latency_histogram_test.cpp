@@ -1,0 +1,108 @@
+// host::LatencyHistogram — the fixed-footprint log-linear histogram behind
+// the per-stream p50/p99/p999 QoS metrics. Pins the exactness of the
+// sub-16ns buckets, the bounded relative error everywhere else, and the
+// merge/summary-statistics contract.
+#include "host/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+
+namespace swl::host {
+namespace {
+
+TEST(LatencyHistogram, EmptyHistogramReportsZeros) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0u);
+}
+
+TEST(LatencyHistogram, ValuesBelowSixteenAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  // 16 samples 0..15: the q-quantile bucket is exactly the sample value.
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 15u);
+  EXPECT_EQ(h.quantile(0.5), 7u);
+}
+
+TEST(LatencyHistogram, SummaryStatisticsAreExact) {
+  LatencyHistogram h;
+  h.record(100);
+  h.record(300);
+  h.record(200);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 300u);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(LatencyHistogram, QuantileBucketErrorIsBounded) {
+  // Log-linear with 16 sub-buckets per octave: the reported bucket upper
+  // bound overestimates the true sample by at most 1/16 of its magnitude.
+  Rng rng(42);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    LatencyHistogram h;
+    const std::uint64_t v = rng.below(1'000'000'000) + 1;
+    h.record(v);
+    const std::uint64_t q = h.quantile(0.5);
+    EXPECT_GE(q, v);
+    EXPECT_LE(static_cast<double>(q), static_cast<double>(v) * (1.0 + 1.0 / 16.0) + 1.0)
+        << "value " << v;
+  }
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotoneAndOrdered) {
+  LatencyHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 100'000; ++i) h.record(rng.below(1'000'000));
+  const std::uint64_t p50 = h.quantile(0.50);
+  const std::uint64_t p99 = h.quantile(0.99);
+  const std::uint64_t p999 = h.quantile(0.999);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_LE(p999, h.quantile(1.0));
+  // Uniform samples over [0, 1e6): p50 lands near the middle.
+  EXPECT_GT(p50, 400'000u);
+  EXPECT_LT(p50, 600'000u);
+}
+
+TEST(LatencyHistogram, HugeValuesSaturateInsteadOfOverflowing) {
+  LatencyHistogram h;
+  h.record(~std::uint64_t{0});
+  h.record(std::uint64_t{1} << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GT(h.quantile(1.0), std::uint64_t{1} << 59);
+}
+
+TEST(LatencyHistogram, MergeMatchesRecordingEverythingIntoOne) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram all;
+  Rng rng(11);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t v = rng.below(10'000'000);
+    (i % 2 == 0 ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(a.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace swl::host

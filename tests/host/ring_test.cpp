@@ -1,0 +1,132 @@
+// host::MpscRing / host::SpscRing — the lock-free rings under the queue
+// pairs. Single-thread tests pin the bounded-FIFO contract (ordering,
+// capacity rounding, full/empty, wraparound); the stress tests run real
+// producer/consumer threads and verify nothing is lost, duplicated or
+// reordered per producer (run under TSan in CI).
+#include "host/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace swl::host {
+namespace {
+
+TEST(Ring, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ring_capacity_for(0), 2u);
+  EXPECT_EQ(ring_capacity_for(1), 2u);
+  EXPECT_EQ(ring_capacity_for(2), 2u);
+  EXPECT_EQ(ring_capacity_for(3), 4u);
+  EXPECT_EQ(ring_capacity_for(64), 64u);
+  EXPECT_EQ(ring_capacity_for(65), 128u);
+  EXPECT_EQ(MpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(9).capacity(), 16u);
+}
+
+TEST(Ring, MpscFifoSingleThread) {
+  MpscRing<int> ring(8);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    int v = -1;
+    ASSERT_TRUE(ring.try_pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  int v = -1;
+  EXPECT_FALSE(ring.try_pop(&v));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(Ring, MpscWrapsAroundManyLaps) {
+  MpscRing<std::uint64_t> ring(4);
+  std::uint64_t next_out = 0;
+  for (std::uint64_t in = 0; in < 1000; ++in) {
+    ASSERT_TRUE(ring.try_push(in));
+    if (in % 3 == 0) {  // drain lag so the indices lap the capacity
+      std::uint64_t v = 0;
+      while (ring.try_pop(&v)) EXPECT_EQ(v, next_out++);
+    }
+  }
+  std::uint64_t v = 0;
+  while (ring.try_pop(&v)) EXPECT_EQ(v, next_out++);
+  EXPECT_EQ(next_out, 1000u);
+}
+
+TEST(Ring, SpscFifoAndFullEmpty) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));
+  int v = -1;
+  ASSERT_TRUE(ring.try_pop(&v));
+  EXPECT_EQ(v, 0);
+  ASSERT_TRUE(ring.try_push(4));  // freed one slot
+  for (int want = 1; want <= 4; ++want) {
+    ASSERT_TRUE(ring.try_pop(&v));
+    EXPECT_EQ(v, want);
+  }
+  EXPECT_FALSE(ring.try_pop(&v));
+}
+
+TEST(Ring, MpscMultiProducerStressKeepsEveryItemOncePerProducerInOrder) {
+  constexpr unsigned kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 20'000;
+  MpscRing<std::uint64_t> ring(64);
+  // Each item encodes (producer, sequence); the consumer checks that every
+  // producer's stream arrives gap-free and in order.
+  std::vector<std::uint64_t> next_seq(kProducers, 0);
+  std::uint64_t received = 0;
+  std::thread consumer([&] {
+    while (received < kProducers * kPerProducer) {
+      std::uint64_t item = 0;
+      if (!ring.try_pop(&item)) {
+        std::this_thread::yield();
+        continue;
+      }
+      const std::uint64_t producer = item >> 32;
+      const std::uint64_t seq = item & 0xFFFFFFFFu;
+      ASSERT_LT(producer, kProducers);
+      ASSERT_EQ(seq, next_seq[producer]);
+      ++next_seq[producer];
+      ++received;
+    }
+  });
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        while (!ring.try_push((p << 32) | i)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+  for (unsigned p = 0; p < kProducers; ++p) EXPECT_EQ(next_seq[p], kPerProducer);
+}
+
+TEST(Ring, SpscStressTransfersStreamIntact) {
+  constexpr std::uint64_t kItems = 200'000;
+  SpscRing<std::uint64_t> ring(16);
+  std::thread consumer([&] {
+    for (std::uint64_t want = 0; want < kItems;) {
+      std::uint64_t v = 0;
+      if (!ring.try_pop(&v)) {
+        std::this_thread::yield();
+        continue;
+      }
+      ASSERT_EQ(v, want);
+      ++want;
+    }
+  });
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    while (!ring.try_push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+}
+
+}  // namespace
+}  // namespace swl::host

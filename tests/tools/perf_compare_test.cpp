@@ -1,0 +1,189 @@
+// swl::perf — the perf-regression comparator behind tools/perf_compare and
+// the CI perf gate, driven on in-memory artifacts. Covers artifact parsing
+// (including the lower_is_better flag), the direction-aware merge rule, the
+// normalization math in both gating directions, the compare-mode exit codes
+// and the --ratchet admission check.
+#include "perf_compare/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace swl::perf {
+namespace {
+
+/// Builds an artifact JSON string from (name, items_per_second,
+/// lower_is_better) triples.
+std::string artifact(
+    const std::vector<std::tuple<std::string, double, bool>>& points) {
+  std::ostringstream os;
+  os << "{\"bench\":\"micro\",\"points\":[";
+  bool first = true;
+  for (const auto& [name, ips, lib] : points) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << name << "\",\"items\":1,\"seconds\":1.0,\"items_per_second\":"
+       << ips;
+    if (lib) os << ",\"lower_is_better\":true";
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+PointMap parse_or_die(const std::string& text) {
+  std::ostringstream err;
+  auto points = parse_points(text, "test", err);
+  EXPECT_TRUE(points.has_value()) << err.str();
+  return points.value_or(PointMap{});
+}
+
+TEST(PerfCompare, ParsesPointsAndDirectionFlag) {
+  const PointMap points = parse_or_die(
+      artifact({{"calibrate", 100.0, false}, {"a", 5.0, false}, {"lat_ns", 250.0, true}}));
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points.at("a").value, 5.0);
+  EXPECT_FALSE(points.at("a").lower_is_better);
+  EXPECT_TRUE(points.at("lat_ns").lower_is_better);
+}
+
+TEST(PerfCompare, RejectsMalformedArtifacts) {
+  std::ostringstream err;
+  EXPECT_FALSE(parse_points("not json", "t", err).has_value());
+  EXPECT_FALSE(parse_points("{\"bench\":\"micro\"}", "t", err).has_value());
+  EXPECT_FALSE(
+      parse_points("{\"points\":[{\"name\":\"x\"}]}", "t", err).has_value());
+}
+
+TEST(PerfCompare, BetterIsDirectionAware) {
+  Point throughput;
+  Point latency;
+  latency.lower_is_better = true;
+  EXPECT_TRUE(better(throughput, 2.0, 1.0));
+  EXPECT_FALSE(better(throughput, 1.0, 2.0));
+  EXPECT_TRUE(better(latency, 1.0, 2.0));
+  EXPECT_FALSE(better(latency, 2.0, 1.0));
+}
+
+TEST(PerfCompare, MergeKeepsBestPerDirection) {
+  const PointMap a = parse_or_die(artifact({{"thr", 10.0, false}, {"lat", 300.0, true}}));
+  const PointMap b = parse_or_die(artifact({{"thr", 12.0, false}, {"lat", 200.0, true}}));
+  const PointMap merged = merge_point_maps({a, b});
+  EXPECT_DOUBLE_EQ(merged.at("thr").value, 12.0);   // max throughput
+  EXPECT_DOUBLE_EQ(merged.at("lat").value, 200.0);  // min latency
+}
+
+TEST(PerfCompare, NormalizedRatioThroughputDirection) {
+  Point base;
+  base.value = 100.0;
+  Point cur;
+  cur.value = 50.0;
+  // Same machine: half the throughput is a 0.5 ratio.
+  EXPECT_DOUBLE_EQ(normalized_ratio(base, cur, 1.0), 0.5);
+  // A 2x faster machine doubling the result is no real change: ratio 1.0.
+  cur.value = 200.0;
+  EXPECT_DOUBLE_EQ(normalized_ratio(base, cur, 2.0), 1.0);
+}
+
+TEST(PerfCompare, NormalizedRatioLatencyDirection) {
+  Point base;
+  base.value = 100.0;
+  base.lower_is_better = true;
+  Point cur = base;
+  // Same machine, same latency: ratio exactly 1.
+  EXPECT_DOUBLE_EQ(normalized_ratio(base, cur, 1.0), 1.0);
+  // 25% more latency on the same machine: ratio 0.8 (worse).
+  cur.value = 125.0;
+  EXPECT_DOUBLE_EQ(normalized_ratio(base, cur, 1.0), 0.8);
+  // A 2x faster machine halves latency for free — 50ns there is only parity.
+  cur.value = 50.0;
+  EXPECT_DOUBLE_EQ(normalized_ratio(base, cur, 2.0), 1.0);
+  // Lower latency on the same machine is an improvement: ratio > 1.
+  cur.value = 80.0;
+  EXPECT_GT(normalized_ratio(base, cur, 1.0), 1.0);
+}
+
+TEST(PerfCompare, CompareExitCodes) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const PointMap base = parse_or_die(
+      artifact({{"calibrate", 100.0, false}, {"thr", 10.0, false}, {"lat", 100.0, true}}));
+
+  // Identical run: ok.
+  EXPECT_EQ(compare(base, base, 0.15, out, err), 0);
+  // Throughput regressed 50%: fail.
+  const PointMap slow = parse_or_die(
+      artifact({{"calibrate", 100.0, false}, {"thr", 5.0, false}, {"lat", 100.0, true}}));
+  EXPECT_EQ(compare(base, slow, 0.15, out, err), 1);
+  // Latency regressed 50% (the lower-is-better direction): fail.
+  const PointMap laggy = parse_or_die(
+      artifact({{"calibrate", 100.0, false}, {"thr", 10.0, false}, {"lat", 150.0, true}}));
+  EXPECT_EQ(compare(base, laggy, 0.15, out, err), 1);
+  // Latency *improved* 50%: ok — direction matters.
+  const PointMap snappy = parse_or_die(
+      artifact({{"calibrate", 100.0, false}, {"thr", 10.0, false}, {"lat", 50.0, true}}));
+  EXPECT_EQ(compare(base, snappy, 0.15, out, err), 0);
+  // A baseline point missing from the current run: fail.
+  const PointMap missing =
+      parse_or_die(artifact({{"calibrate", 100.0, false}, {"thr", 10.0, false}}));
+  EXPECT_EQ(compare(base, missing, 0.15, out, err), 1);
+  // New current-only points are reported, not gated.
+  const PointMap extra = parse_or_die(artifact(
+      {{"calibrate", 100.0, false}, {"thr", 10.0, false}, {"lat", 100.0, true}, {"new", 1.0, false}}));
+  EXPECT_EQ(compare(base, extra, 0.15, out, err), 0);
+  // No calibrate point: bad input.
+  const PointMap uncalibrated = parse_or_die(artifact({{"thr", 10.0, false}}));
+  EXPECT_EQ(compare(uncalibrated, uncalibrated, 0.15, out, err), 2);
+}
+
+TEST(PerfCompare, CompareNormalizesMachineSpeedInBothDirections) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const PointMap base = parse_or_die(
+      artifact({{"calibrate", 100.0, false}, {"thr", 10.0, false}, {"lat", 100.0, true}}));
+  // Twice-as-fast machine: throughput doubled and latency halved are both
+  // exactly parity after normalization.
+  const PointMap fast_host = parse_or_die(
+      artifact({{"calibrate", 200.0, false}, {"thr", 20.0, false}, {"lat", 50.0, true}}));
+  EXPECT_EQ(compare(base, fast_host, 0.15, out, err), 0);
+  // Same numbers claimed from a half-speed machine mean a real improvement;
+  // claimed from a double-speed machine, the *unchanged* raw latency is a
+  // 2x normalized regression.
+  const PointMap lazy = parse_or_die(
+      artifact({{"calibrate", 200.0, false}, {"thr", 10.0, false}, {"lat", 100.0, true}}));
+  EXPECT_EQ(compare(base, lazy, 0.15, out, err), 1);
+}
+
+TEST(PerfCompare, RatchetAdmitsOnlySidewaysOrUp) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const PointMap base = parse_or_die(
+      artifact({{"calibrate", 100.0, false}, {"thr", 10.0, false}, {"lat", 100.0, true}}));
+  const PointMap improved = parse_or_die(
+      artifact({{"calibrate", 100.0, false}, {"thr", 12.0, false}, {"lat", 80.0, true}}));
+  EXPECT_TRUE(ratchet_allows(base, improved, 0.15, out, err));
+  const PointMap lat_regressed = parse_or_die(
+      artifact({{"calibrate", 100.0, false}, {"thr", 12.0, false}, {"lat", 200.0, true}}));
+  EXPECT_FALSE(ratchet_allows(base, lat_regressed, 0.15, out, err));
+  const PointMap dropped =
+      parse_or_die(artifact({{"calibrate", 100.0, false}, {"thr", 10.0, false}}));
+  EXPECT_FALSE(ratchet_allows(base, dropped, 0.15, out, err));
+}
+
+TEST(PerfCompare, MergedArtifactRoundTrips) {
+  const PointMap points = parse_or_die(
+      artifact({{"calibrate", 100.0, false}, {"thr", 10.0, false}, {"lat", 100.0, true}}));
+  const runner::Json doc = merged_artifact(points, 3);
+  std::ostringstream err;
+  const auto reparsed = parse_points(doc.dump(), "merged", err);
+  ASSERT_TRUE(reparsed.has_value()) << err.str();
+  EXPECT_EQ(reparsed->size(), 3u);
+  EXPECT_TRUE(reparsed->at("lat").lower_is_better);
+  EXPECT_DOUBLE_EQ(reparsed->at("thr").value, 10.0);
+}
+
+}  // namespace
+}  // namespace swl::perf

@@ -1,0 +1,191 @@
+#include "perf_compare/compare.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace swl::perf {
+
+namespace {
+
+std::string fmt_value(const Point& p) {
+  std::ostringstream os;
+  os.precision(3);
+  if (p.lower_is_better) {
+    os << std::fixed << p.value << "ns";  // cost metrics are reported raw
+  } else {
+    os << std::fixed << p.value / 1e6 << "M/s";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<PointMap> parse_points(const std::string& json_text, const std::string& label,
+                                     std::ostream& err) {
+  const std::optional<runner::Json> doc = runner::Json::parse(json_text);
+  if (!doc.has_value()) {
+    err << "perf_compare: " << label << " is not valid JSON\n";
+    return std::nullopt;
+  }
+  const runner::Json* points = doc->find("points");
+  if (points == nullptr || !points->is_array()) {
+    err << "perf_compare: " << label << " has no points array\n";
+    return std::nullopt;
+  }
+  PointMap out;
+  for (std::size_t i = 0; i < points->size(); ++i) {
+    const runner::Json& p = *points->at(i);
+    const runner::Json* name = p.find("name");
+    const runner::Json* ips = p.find("items_per_second");
+    if (name == nullptr || name->string() == nullptr || ips == nullptr ||
+        !ips->number().has_value()) {
+      err << "perf_compare: " << label << " point " << i << " lacks name/items_per_second\n";
+      return std::nullopt;
+    }
+    Point pt;
+    pt.value = *ips->number();
+    if (const runner::Json* lib = p.find("lower_is_better");
+        lib != nullptr && lib->boolean().has_value()) {
+      pt.lower_is_better = *lib->boolean();
+    }
+    pt.raw = p;
+    out[*name->string()] = std::move(pt);
+  }
+  return out;
+}
+
+std::optional<PointMap> load_points(const std::string& path, std::ostream& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err << "perf_compare: cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_points(buf.str(), path, err);
+}
+
+bool better(const Point& point, double a, double b) {
+  return point.lower_is_better ? a < b : a > b;
+}
+
+PointMap merge_point_maps(const std::vector<PointMap>& inputs) {
+  PointMap best;
+  for (const PointMap& points : inputs) {
+    for (const auto& [name, pt] : points) {
+      const auto it = best.find(name);
+      if (it == best.end() || better(pt, pt.value, it->second.value)) {
+        best[name] = pt;
+      }
+    }
+  }
+  return best;
+}
+
+double normalized_ratio(const Point& base, const Point& current, double speed) {
+  if (base.lower_is_better) {
+    // A faster machine lowers a cost metric for free, so normalization
+    // scales the current cost *up* by the speed factor; the ratio then reads
+    // "how much of the baseline's (normalized) cost budget do we use".
+    const double normalized = current.value * speed;
+    return normalized > 0.0 ? base.value / normalized : 0.0;
+  }
+  return base.value > 0.0 ? (current.value / speed) / base.value : 0.0;
+}
+
+std::optional<double> speed_factor(const PointMap& baseline, const PointMap& current,
+                                   std::ostream& err) {
+  const auto base_cal = baseline.find("calibrate");
+  const auto cur_cal = current.find("calibrate");
+  if (base_cal == baseline.end() || cur_cal == current.end() || base_cal->second.value <= 0.0 ||
+      cur_cal->second.value <= 0.0) {
+    err << "perf_compare: both sides need a positive `calibrate` point\n";
+    return std::nullopt;
+  }
+  return cur_cal->second.value / base_cal->second.value;
+}
+
+int compare(const PointMap& baseline, const PointMap& current, double threshold,
+            std::ostream& out, std::ostream& err) {
+  const std::optional<double> speed = speed_factor(baseline, current, err);
+  if (!speed.has_value()) return 2;
+  out << "machine speed vs baseline host: " << fmt_value(current.at("calibrate")) << " / "
+      << fmt_value(baseline.at("calibrate")) << " = ";
+  out.precision(3);
+  out << std::fixed << *speed << "x\n\n";
+
+  bool failed = false;
+  out << "  benchmark                 baseline      current   normalized  verdict\n";
+  for (const auto& [name, base] : baseline) {
+    if (name == "calibrate") continue;
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      out << "  " << name << ": MISSING from current run\n";
+      failed = true;
+      continue;
+    }
+    const double ratio = normalized_ratio(base, it->second, *speed);
+    const bool regressed = ratio < 1.0 - threshold;
+    failed = failed || regressed;
+    out << "  ";
+    out.width(22);
+    out << std::left << name << std::right;
+    out.width(13);
+    out << fmt_value(base);
+    out.width(13);
+    out << fmt_value(it->second);
+    out.width(12);
+    out.precision(3);
+    out << std::fixed << ratio;
+    out << (regressed ? "  REGRESSED" : "  ok") << (base.lower_is_better ? "  [lower-is-better]" : "")
+        << "\n";
+  }
+  for (const auto& [name, pt] : current) {
+    if (baseline.find(name) == baseline.end()) {
+      out << "  " << name << ": new benchmark (" << fmt_value(pt) << "), not gated\n";
+    }
+  }
+
+  out << "\nperf gate: "
+      << (failed ? "FAIL (normalized metric regressed beyond " : "ok (threshold ")
+      << threshold * 100.0 << "%)\n";
+  return failed ? 1 : 0;
+}
+
+bool ratchet_allows(const PointMap& old_baseline, const PointMap& candidate, double threshold,
+                    std::ostream& out, std::ostream& err) {
+  const std::optional<double> speed = speed_factor(old_baseline, candidate, err);
+  if (!speed.has_value()) return false;
+  bool ok = true;
+  for (const auto& [name, base] : old_baseline) {
+    if (name == "calibrate") continue;
+    const auto it = candidate.find(name);
+    if (it == candidate.end()) {
+      out << "  ratchet: " << name << " MISSING from new baseline\n";
+      ok = false;
+      continue;
+    }
+    const double ratio = normalized_ratio(base, it->second, *speed);
+    if (ratio < 1.0 - threshold) {
+      out << "  ratchet: " << name << " would regress to ";
+      out.precision(3);
+      out << std::fixed << ratio << "x normalized (" << fmt_value(base) << " -> "
+          << fmt_value(it->second) << ")\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+runner::Json merged_artifact(PointMap points, std::size_t input_count) {
+  runner::Json doc = runner::Json::object();
+  doc.set("bench", "micro");
+  doc.set("merged_from", static_cast<std::uint64_t>(input_count));
+  runner::Json arr = runner::Json::array();
+  for (auto& [name, pt] : points) arr.push(std::move(pt.raw));
+  doc.set("points", std::move(arr));
+  return doc;
+}
+
+}  // namespace swl::perf

@@ -1,0 +1,81 @@
+// Core logic of the perf-regression comparator (tools/perf_compare), split
+// from the CLI so tests/tools can drive it on in-memory artifacts.
+//
+// An artifact is bench_micro --json output: {bench, points:[{name, items,
+// seconds, items_per_second, ...}]}. Machine speed is normalized away via
+// the `calibrate` point (pure-ALU spin). Two metric directions exist:
+//
+//   higher-is-better (default)     items_per_second is a throughput;
+//                                  normalized = current / speed
+//   lower-is-better                the point carries "lower_is_better": true
+//                                  and items_per_second holds a cost metric
+//                                  (e.g. p99 latency in ns); a faster
+//                                  machine shrinks it, so the normalization
+//                                  *multiplies*: normalized = current * speed
+//
+// Both directions share one gate formula via normalized_ratio(): ratio >= 1
+// means at-least-as-good, and `ratio < 1 - threshold` is a regression.
+#ifndef SWL_TOOLS_PERF_COMPARE_COMPARE_HPP
+#define SWL_TOOLS_PERF_COMPARE_COMPARE_HPP
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/json.hpp"
+
+namespace swl::perf {
+
+struct Point {
+  /// The gated metric (the point's items_per_second field) — a throughput
+  /// for higher-is-better points, a cost (latency) for lower-is-better ones.
+  double value = 0.0;
+  bool lower_is_better = false;
+  runner::Json raw;  // the full point object, for merge output
+};
+
+using PointMap = std::map<std::string, Point>;
+
+/// Parses an artifact's points. `label` names the source in diagnostics
+/// (written to `err`). std::nullopt on malformed input.
+[[nodiscard]] std::optional<PointMap> parse_points(const std::string& json_text,
+                                                   const std::string& label, std::ostream& err);
+
+/// parse_points over a file.
+[[nodiscard]] std::optional<PointMap> load_points(const std::string& path, std::ostream& err);
+
+/// True when metric value `a` beats `b` in the point's direction.
+[[nodiscard]] bool better(const Point& point, double a, double b);
+
+/// Per-benchmark best across the inputs (direction-aware), the merge rule
+/// behind --merge and --update-baseline.
+[[nodiscard]] PointMap merge_point_maps(const std::vector<PointMap>& inputs);
+
+/// The gate quantity: >= 1.0 means the current run is at least as good as
+/// the baseline after normalizing machine speed (speed = current calibrate /
+/// baseline calibrate). Direction comes from the baseline point.
+[[nodiscard]] double normalized_ratio(const Point& base, const Point& current, double speed);
+
+/// Extracts the calibrate-based speed factor from two maps; std::nullopt
+/// (with a diagnostic on `err`) when either side lacks a positive calibrate.
+[[nodiscard]] std::optional<double> speed_factor(const PointMap& baseline,
+                                                 const PointMap& current, std::ostream& err);
+
+/// The compare-mode verdict table. Returns the process exit code: 0 ok,
+/// 1 regression (or a baseline point missing from current), 2 bad input.
+[[nodiscard]] int compare(const PointMap& baseline, const PointMap& current, double threshold,
+                          std::ostream& out, std::ostream& err);
+
+/// The --ratchet check: every benchmark of the old baseline must survive in
+/// the candidate at `ratio >= 1 - threshold`. Diagnostics go to `out`.
+[[nodiscard]] bool ratchet_allows(const PointMap& old_baseline, const PointMap& candidate,
+                                  double threshold, std::ostream& out, std::ostream& err);
+
+/// Serializes a merged artifact document ({bench, merged_from, points}).
+[[nodiscard]] runner::Json merged_artifact(PointMap points, std::size_t input_count);
+
+}  // namespace swl::perf
+
+#endif  // SWL_TOOLS_PERF_COMPARE_COMPARE_HPP

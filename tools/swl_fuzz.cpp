@@ -22,6 +22,14 @@
 //       with fingerprints compared across worker counts. Soft time box
 //       (default 300 s) honored after a minimum of 20 seeds.
 //
+//   swl_fuzz --host-smoke [--runs N] [--time-box-s T] [--seed-base S]
+//       CI mode for the host front-end: run up to N seeded scheduler checks
+//       (default 60) driving concurrent client threads through the queue-pair
+//       API and cross-checking final content against a direct serial
+//       BlockDevice oracle and a shadow map; serial-shaped seeds additionally
+//       require bit-identical counters and erase counts. Soft time box
+//       (default 300 s) honored after a minimum of 30 seeds.
+//
 //   swl_fuzz --replay FILE
 //       Re-run a saved schedule file.
 //
@@ -47,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "host/smoke.hpp"
 #include "model/fuzz.hpp"
 #include "model/ref_array.hpp"
 
@@ -62,6 +71,7 @@ struct Cli {
   std::uint64_t seed_base = 1;
   bool fuzz_smoke = false;
   bool array_smoke = false;
+  bool host_smoke = false;
   double time_box_s = 300.0;
   std::string replay_file;
   std::string minimize_file;
@@ -76,6 +86,7 @@ int usage() {
                "                [--layer ftl|nftl] [--time-box-s T] [--fail-dir DIR]\n"
                "                [--inject-bug skip-betupdate]\n"
                "       swl_fuzz --array-smoke [--runs N] [--seed-base S] [--time-box-s T]\n"
+               "       swl_fuzz --host-smoke [--runs N] [--seed-base S] [--time-box-s T]\n"
                "       swl_fuzz --replay FILE\n"
                "       swl_fuzz --minimize FILE [--out FILE]\n";
   return 2;
@@ -230,6 +241,39 @@ int run_array_smoke(const Cli& cli, std::uint64_t runs) {
   return 0;
 }
 
+// Host front-end smoke: every seed stands up a sharded scheduler plus a
+// direct serial oracle and diffs them after concurrent client traffic (see
+// src/host/smoke.hpp for what each seed checks). Reproduce a failure with
+// the printed seed number.
+int run_host_smoke(const Cli& cli, std::uint64_t runs) {
+  constexpr std::uint64_t kSmokeMinimum = 30;
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t done = 0;
+  std::uint64_t strict = 0;
+  std::uint64_t ops = 0;
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    const std::uint64_t seed = cli.seed_base + i;
+    const swl::host::HostCheckResult r = swl::host::run_host_check(seed);
+    if (!r.passed) {
+      std::cerr << "host seed " << seed << " (" << r.shards << " shard(s), " << r.clients
+                << " client(s), coalesce " << (r.coalesce ? "on" : "off")
+                << "): " << r.message << "\n";
+      return 1;
+    }
+    ++done;
+    if (r.serial_strict) ++strict;
+    ops += r.ops;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (done >= kSmokeMinimum && elapsed > cli.time_box_s) break;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  std::cout << done << " host seed(s) ok (" << strict << " serial-strict), " << ops
+            << " request(s) exercised, in " << elapsed << " s\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -256,6 +300,8 @@ int main(int argc, char** argv) {
       cli.fuzz_smoke = true;
     } else if (arg == "--array-smoke") {
       cli.array_smoke = true;
+    } else if (arg == "--host-smoke") {
+      cli.host_smoke = true;
     } else if (arg == "--time-box-s") {
       const auto v = value();
       if (!v || !parse_double(*v, &cli.time_box_s)) return usage();
@@ -330,6 +376,10 @@ int main(int argc, char** argv) {
   if (cli.array_smoke) {
     const std::uint64_t runs = cli.runs != 0 ? cli.runs : 40;
     return run_array_smoke(cli, runs);
+  }
+  if (cli.host_smoke) {
+    const std::uint64_t runs = cli.runs != 0 ? cli.runs : 60;
+    return run_host_smoke(cli, runs);
   }
   if (cli.seed.has_value()) return run_one(cli, *cli.seed);
   if (cli.runs != 0) return run_many(cli, cli.runs, /*smoke=*/false);
