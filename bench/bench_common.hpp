@@ -193,6 +193,11 @@ inline runner::Json sim_result_json(const sim::SimResult& r) {
   j.set("erase_mean", r.erase_summary.mean);
   j.set("erase_stddev", r.erase_summary.stddev);
   j.set("erase_max", static_cast<std::uint64_t>(r.erase_summary.max));
+  // Mapping I/O (zero for in-RAM-map layers; the DFTL's flash-resident map
+  // meters every translation-page read/program here).
+  j.set("map_reads", r.counters.map_reads);
+  j.set("map_writes", r.counters.map_writes);
+  j.set("map_write_amplification", r.counters.map_write_amplification());
   // Replay-pipeline diagnostics (wall-clock; see sim::PerfCounters). Unlike
   // everything above these vary run to run — they describe how fast the
   // simulation went, not what it computed.

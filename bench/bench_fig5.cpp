@@ -5,6 +5,10 @@
 // Reported in simulated years until the first block reaches its endurance
 // limit, on the infinite segment-replayed synthetic trace.
 //
+// Section (c) extends the figure beyond the paper: the DFTL (flash-resident
+// page map, src/dftl) against the in-RAM FTL with SWL off and on, including
+// the mapping-write amplification its translation-page traffic costs.
+//
 // All 34 sweep points (2 layers x (1 baseline + 4 T x 4 k)) are independent
 // simulations over a shared immutable base trace per layer, so they run
 // concurrently on the sweep runner; --jobs only changes wall-clock time.
@@ -96,6 +100,51 @@ int main(int argc, char** argv) {
     if (points[i].leveler.has_value()) pj.set("k", points[i].leveler->k);
     pj.set("baseline", !points[i].leveler.has_value());
     report.add_point(std::move(pj));
+  }
+
+  // (c) Flash-resident mapping: the same first-failure experiment for the
+  // DFTL against the in-RAM FTL, SWL off and on (T=100, k=0 — the paper's
+  // headline configuration). The DFTL's translation-page traffic adds map
+  // wear on top of the host writes, so its first failure lands earlier; the
+  // mapping-write amplification column quantifies that overhead.
+  {
+    wear::LevelerConfig lc;
+    lc.k = 0;
+    lc.threshold = bench::eff_t(opt, 100.0);
+    struct DftlPoint {
+      sim::LayerKind layer;
+      std::optional<wear::LevelerConfig> leveler;
+    };
+    const DftlPoint extra_points[] = {
+        {sim::LayerKind::ftl, std::nullopt},
+        {sim::LayerKind::ftl, lc},
+        {sim::LayerKind::dftl, std::nullopt},
+        {sim::LayerKind::dftl, lc},
+    };
+    const trace::Trace dftl_base = sim::make_base_trace(opt.scale, sim::LayerKind::dftl);
+    const std::vector<sim::SimResult> extra =
+        pool.map(std::size(extra_points), [&](std::size_t i) {
+          const DftlPoint& p = extra_points[i];
+          const trace::Trace& base = p.layer == sim::LayerKind::ftl ? bases[0] : dftl_base;
+          return sim::run_infinite_on(opt.scale, p.layer, p.leveler, base, opt.scale.max_years,
+                                      /*stop_on_failure=*/true);
+        });
+    std::cout << "(c) DFTL (flash-resident map) vs FTL, SWL off / on (T=100, k=0)\n";
+    sim::TableWriter table({"layer", "SWL", "first failure (years)", "map-write amplification"});
+    for (std::size_t i = 0; i < std::size(extra_points); ++i) {
+      const double years = extra[i].first_failure_years.value_or(opt.scale.max_years);
+      table.add_row({std::string(sim::to_string(extra_points[i].layer)),
+                     extra_points[i].leveler.has_value() ? "on" : "off", fmt(years, 3),
+                     fmt(extra[i].counters.map_write_amplification(), 4)});
+      runner::Json pj = bench::sim_result_json(extra[i]);
+      pj.set("layer", sim::to_string(extra_points[i].layer));
+      pj.set("T", extra_points[i].leveler.has_value() ? 100.0 : 0.0);
+      if (extra_points[i].leveler.has_value()) pj.set("k", extra_points[i].leveler->k);
+      pj.set("baseline", !extra_points[i].leveler.has_value());
+      pj.set("dftl_comparison", true);
+      report.add_point(std::move(pj));
+    }
+    std::cout << table.str() << "\n";
   }
 
   std::cout << "paper reference: FTL improved by 51.2% (T=100, k=0 reported; larger k "

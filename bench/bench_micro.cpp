@@ -10,7 +10,9 @@
 // Coverage:
 //   - bet_update / bet_scan      SWL-BETUpdate cost and zero-flag scanning
 //   - swl_procedure              full SW Leveler runs (cyclic selection)
-//   - ftl_write / nftl_write     raw layer write throughput (hot/cold mix)
+//   - ftl_write / nftl_write /
+//     dftl_write                 raw layer write throughput (hot/cold mix;
+//                                dftl pays the CMT + translation-page path)
 //   - hot_data_*                 hotness identifier record/classify
 //   - scatter_permutation        LBA scattering permutation
 //   - trace_generation           synthetic workload synthesis
@@ -22,10 +24,13 @@
 //   - host_mt                    2 clients x 2 shards async at QD 64 — the
 //                                cross-thread submit/complete hand-off cost
 //                                (kept small: baselines record on any host)
-//   - replay_ftl / replay_nftl   the headline: Simulator::run over a
+//   - replay_ftl / replay_nftl /
+//     replay_dftl                the headline: Simulator::run over a
 //                                SegmentReplaySource at the default scale,
 //                                with the batched pipeline's PerfCounters
-//                                attached to the point
+//                                attached to the point (replay_dftl also
+//                                reports map_reads/map_writes — the wear
+//                                cost of the flash-resident map)
 //   - replay_ftl_sharded         the same budget split over --shards device
 //                                replicas on the --jobs thread pool with a
 //                                deterministic merge
@@ -52,6 +57,7 @@
 #include "core/permutation.hpp"
 #include "sim/array_experiment.hpp"
 #include "core/rng.hpp"
+#include "dftl/dftl.hpp"
 #include "ftl/ftl.hpp"
 #include "host/scheduler.hpp"
 #include "hotness/hot_data.hpp"
@@ -159,11 +165,12 @@ std::uint64_t swl_procedure() {
 }
 
 template <typename MakeLayer>
-std::uint64_t layer_write(MakeLayer&& make_layer) {
+std::uint64_t layer_write(MakeLayer&& make_layer, bool store_bytes = false) {
   constexpr std::uint64_t kWrites = 1'000'000;
   nand::NandConfig nc;
   nc.geometry = FlashGeometry{.block_count = 256, .pages_per_block = 64, .page_size_bytes = 2048};
   nc.timing = default_timing(CellType::mlc_x2);
+  nc.store_payload_bytes = store_bytes;  // DFTL translation pages need bytes
   auto chip = std::make_unique<nand::NandChip>(nc);
   auto layer = make_layer(*chip);
   const Lba lbas = layer->lba_count();
@@ -395,7 +402,9 @@ void replay_point(bench::BenchReport& report, const bench::Options& opt, sim::La
                   const trace::Trace& base) {
   constexpr std::uint64_t kRecords = 8'000'000;
   const std::string name =
-      std::string("replay_") + (kind == sim::LayerKind::ftl ? "ftl" : "nftl");
+      std::string("replay_") + (kind == sim::LayerKind::ftl    ? "ftl"
+                                : kind == sim::LayerKind::nftl ? "nftl"
+                                                               : "dftl");
   // Best-of-kReps like run_point; every repetition replays the same records
   // into a fresh simulator, and the reported counters come from the fastest.
   std::uint64_t records = 0;
@@ -437,6 +446,10 @@ void replay_point(bench::BenchReport& report, const bench::Options& opt, sim::La
   extra.set("host_writes", result.counters.host_writes);
   extra.set("total_erases", result.counters.total_erases());
   extra.set("total_live_copies", result.counters.total_live_copies());
+  // Mapping I/O: zero for the in-RAM-map layers, the wear overhead of the
+  // flash-resident map for replay_dftl.
+  extra.set("map_reads", result.counters.map_reads);
+  extra.set("map_writes", result.counters.map_writes);
   point.set("replay", std::move(extra));
   report.add_point(std::move(point));
 }
@@ -566,6 +579,20 @@ int main(int argc, char** argv) {
       return std::make_unique<nftl::Nftl>(chip, nftl::NftlConfig{});
     });
   });
+  run_point(report, "dftl_write", [] {
+    return layer_write(
+        [](nand::NandChip& chip) {
+          // Moderate utilization and a half-map CMT: the point measures the
+          // CMT + translation-page write path, not worst-case GC thrash (the
+          // default 98% budget spends ~100x the time in map RMW storms).
+          dftl::DftlConfig cfg;
+          cfg.lba_count = 13'000;  // ~80% of the 16384 physical pages
+          cfg.cmt_capacity = 16;
+          cfg.writeback_batch = 4;
+          return std::make_unique<dftl::Dftl>(chip, cfg);
+        },
+        /*store_bytes=*/true);
+  });
   run_point(report, "hot_data_record_write", &hot_data_record_write);
   run_point(report, "hot_data_classify", &hot_data_classify);
   run_point(report, "scatter_permutation", &scatter_permutation);
@@ -578,6 +605,7 @@ int main(int argc, char** argv) {
   const trace::Trace base = sim::make_base_trace(opt.scale, sim::LayerKind::ftl);
   replay_point(report, opt, sim::LayerKind::ftl, base);
   replay_point(report, opt, sim::LayerKind::nftl, base);
+  replay_point(report, opt, sim::LayerKind::dftl, base);
   sharded_replay_point(report, opt, base);
   array_replay_point(report, opt);
 

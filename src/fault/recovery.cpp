@@ -40,12 +40,15 @@ struct Device {
     nand::NandConfig c;
     c.geometry = config.geometry;
     c.timing = config.timing;
+    // DFTL stores translation pages as byte payloads.
+    c.store_payload_bytes = config.layer == sim::LayerKind::dftl;
     return c;
   }
 
   explicit Device(const CrashWorkloadConfig& config)
       : chip(chip_config(config), /*clock=*/nullptr) {
-    layer = sim::make_layer(config.layer, chip, config.ftl, config.nftl, /*mounted=*/false);
+    layer = sim::make_layer(config.layer, chip, config.ftl, config.nftl, config.dftl,
+                            /*mounted=*/false);
     auto lev = std::make_unique<wear::SwLeveler>(config.geometry.block_count, config.leveler);
     leveler = lev.get();
     layer->attach_leveler(std::move(lev));
@@ -141,8 +144,8 @@ CrashPointOutcome run_crash_point(const CrashWorkloadConfig& config, std::uint64
 
   // -- recovery drill --------------------------------------------------------
   dev.chip.forget_logical_state();
-  auto recovered =
-      sim::make_layer(config.layer, dev.chip, config.ftl, config.nftl, /*mounted=*/true);
+  auto recovered = sim::make_layer(config.layer, dev.chip, config.ftl, config.nftl, config.dftl,
+                                   /*mounted=*/true);
   recovered->check_invariants();
 
   // Reload the leveler from the dual-buffer snapshots.
@@ -206,8 +209,8 @@ CrashPointOutcome run_crash_point(const CrashWorkloadConfig& config, std::uint64
   SWL_ASSERT(recovered->write(probe_lba, probe_token) == Status::ok,
              "post-recovery write failed");
   dev.chip.forget_logical_state();
-  auto remounted =
-      sim::make_layer(config.layer, dev.chip, config.ftl, config.nftl, /*mounted=*/true);
+  auto remounted = sim::make_layer(config.layer, dev.chip, config.ftl, config.nftl, config.dftl,
+                                   /*mounted=*/true);
   remounted->check_invariants();
   std::uint64_t token = 0;
   SWL_ASSERT(remounted->read(probe_lba, &token) == Status::ok,

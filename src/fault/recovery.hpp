@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "core/geometry.hpp"
+#include "dftl/dftl.hpp"
 #include "ftl/ftl.hpp"
 #include "nftl/nftl.hpp"
 #include "runner/sweep_runner.hpp"
@@ -43,6 +44,10 @@ struct CrashWorkloadConfig {
   ftl::FtlConfig ftl;
   /// 12 of the 16 default blocks exported: NFTL folds need pool slack.
   nftl::NftlConfig nftl{.vba_count = 12};
+  /// Small translation pages and a 2-slot CMT so the default workload
+  /// actually exercises fetches, evictions and write-back batching (one
+  /// page-sized translation page would make the whole map one CMT slot).
+  dftl::DftlConfig dftl{.lbas_per_tpage = 8, .cmt_capacity = 2, .writeback_batch = 2};
   std::uint64_t host_writes = 120;
   /// LevelerPersistence::save cadence in host writes (0 disables snapshots).
   std::uint64_t snapshot_every = 16;

@@ -7,7 +7,9 @@
 
 #include "core/contracts.hpp"
 #include "core/rng.hpp"
+#include "dftl/dftl.hpp"
 #include "fault/crash_injector.hpp"
+#include "model/ref_dftl.hpp"
 #include "model/ref_store.hpp"
 #include "model/ref_swl.hpp"
 #include "nand/power_loss.hpp"
@@ -58,6 +60,7 @@ struct Stack {
   std::optional<RefStore> ref_store;
   std::optional<RefWear> ref_wear;
   std::optional<RefSwLeveler> ref_swl;
+  std::optional<RefDftl> ref_dftl;
 };
 
 class Runner {
@@ -81,6 +84,14 @@ class Runner {
         a_.leveler->restore_state(a_.leveler->ecnt() - 1, a_.leveler->findex(),
                                   a_.leveler->bet().bits().words());
         injected = true;
+      }
+      if (msg.empty() && options.inject == FuzzOptions::Inject::skip_cmt_writeback &&
+          !injected && i >= options.inject_at_step) {
+        if (auto* d = dynamic_cast<dftl::Dftl*>(a_.layer.get())) {
+          // Waits for a dirty CMT slot, exactly like skip_bet_update waits
+          // for the first counted erase.
+          injected = d->debug_drop_first_dirty();
+        }
       }
       if (msg.empty()) msg = check_all();
       if (!msg.empty()) {
@@ -117,6 +128,17 @@ class Runner {
     return cfg;
   }
 
+  [[nodiscard]] dftl::DftlConfig dftl_config(const Stack& s) const {
+    dftl::DftlConfig cfg;
+    cfg.lba_count = sched_.params.lba_count;
+    cfg.lbas_per_tpage = sched_.params.dftl_lbas_per_tpage;
+    cfg.cmt_capacity = sched_.params.dftl_cmt_capacity;
+    cfg.writeback_batch = sched_.params.dftl_writeback_batch;
+    cfg.gc_cost_weight = sched_.params.gc_cost_weight;
+    cfg.reference_victim_scan = !s.fast && sched_.params.reference_scan_b;
+    return cfg;
+  }
+
   void build_stack(Stack& s) {
     const FuzzParams& p = sched_.params;
     nand::NandConfig cfg;
@@ -126,6 +148,8 @@ class Runner {
     cfg.timing.endurance = 1'000'000'000;
     cfg.failures.program_fail_p = p.program_fail_p;
     cfg.failures.seed = p.failure_seed;
+    // DFTL stores translation pages as byte payloads.
+    cfg.store_payload_bytes = p.layer == sim::LayerKind::dftl;
     s.chip = std::make_unique<nand::NandChip>(cfg, nullptr);
     // Model observers are chip-level: they survive remounts and therefore
     // see every erase any layer incarnation ever performs.
@@ -147,7 +171,17 @@ class Runner {
   /// (restored from the snapshot store when one validates), persistence.
   void mount_stack(Stack& s, bool mounted) {
     const FuzzParams& p = sched_.params;
-    s.layer = sim::make_layer(p.layer, *s.chip, ftl_config(s), nftl_config(s), mounted);
+    s.layer =
+        sim::make_layer(p.layer, *s.chip, ftl_config(s), nftl_config(s), dftl_config(s), mounted);
+    if (p.layer == sim::LayerKind::dftl) {
+      // The mapping-cache oracle replays trace-sink events between mounts;
+      // mount events are unobserved (the sink attaches here), so each mount
+      // re-baselines the model from introspection.
+      auto& d = static_cast<dftl::Dftl&>(*s.layer);
+      if (!s.ref_dftl.has_value()) s.ref_dftl.emplace(d.tpage_count());
+      d.set_trace_sink(&*s.ref_dftl);
+      s.ref_dftl->resync(d);
+    }
     s.leveler = nullptr;
     if (p.with_leveler) {
       auto lev = std::make_unique<wear::SwLeveler>(p.block_count, p.leveler);
@@ -365,6 +399,10 @@ class Runner {
       std::string msg = s.ref_swl->check(*s.leveler);
       if (!msg.empty()) return std::string(s.id) + " vs SWL model: " + msg;
     }
+    if (s.ref_dftl.has_value()) {
+      std::string msg = s.ref_dftl->check(static_cast<const dftl::Dftl&>(*s.layer));
+      if (!msg.empty()) return std::string(s.id) + " vs DFTL model: " + msg;
+    }
     {
       std::string msg = s.ref_wear->check(
           *s.chip, s.layer->counters().total_erases() + s.retired_layer_erases);
@@ -516,9 +554,13 @@ FuzzSchedule generate_schedule(std::uint64_t seed, std::optional<sim::LayerKind>
   Rng rng(seed);
   FuzzSchedule s;
   FuzzParams& p = s.params;
-  p.layer = force_layer.has_value()
-                ? *force_layer
-                : (rng.chance(0.5) ? sim::LayerKind::ftl : sim::LayerKind::nftl);
+  if (force_layer.has_value()) {
+    p.layer = *force_layer;
+  } else {
+    constexpr std::array<sim::LayerKind, 3> kLayers{
+        sim::LayerKind::ftl, sim::LayerKind::nftl, sim::LayerKind::dftl};
+    p.layer = kLayers[rng.below(kLayers.size())];
+  }
   p.block_count = static_cast<BlockIndex>(12 + rng.below(37));  // 12..48
   constexpr std::array<PageIndex, 3> kPages{4, 8, 16};
   p.pages_per_block = kPages[rng.below(kPages.size())];
@@ -546,11 +588,34 @@ FuzzSchedule generate_schedule(std::uint64_t seed, std::optional<sim::LayerKind>
     p.lba_count = static_cast<Lba>(std::clamp<std::uint64_t>(pages * frac / 100, 1, cap));
     lba_count = p.lba_count;
     p.reference_scan_b = rng.chance(0.5);
-  } else {
+  } else if (p.layer == sim::LayerKind::nftl) {
     const std::uint64_t frac = 55 + rng.below(31);
     p.vba_count = static_cast<Vba>(
         std::clamp<std::uint64_t>(p.block_count * frac / 100, 1, p.block_count - 3ULL));
     lba_count = static_cast<Lba>(p.vba_count * p.pages_per_block);
+    p.reference_scan_b = rng.chance(0.5);
+  } else {
+    // DFTL: tiny translation pages so the schedule actually churns the CMT,
+    // and small capacities so evictions and write-back batching fire.
+    constexpr std::array<std::uint32_t, 3> kTpageSizes{4, 8, 16};
+    p.dftl_lbas_per_tpage =
+        rng.chance(0.2) ? 0 : kTpageSizes[rng.below(kTpageSizes.size())];
+    constexpr std::array<std::uint32_t, 4> kCmt{1, 2, 4, 0};
+    p.dftl_cmt_capacity = kCmt[rng.below(kCmt.size())];
+    constexpr std::array<std::uint32_t, 3> kBatch{1, 2, 4};
+    p.dftl_writeback_batch = kBatch[rng.below(kBatch.size())];
+    // 55–85% of the data budget; every R data pages need one translation
+    // page on top, plus the default 4-block reserve (DftlConfig REQUIREs
+    // lba_count + tpage_count + reserve <= page_count).
+    const std::uint64_t r =
+        p.dftl_lbas_per_tpage == 0 ? p.page_size_bytes / 4 : p.dftl_lbas_per_tpage;
+    const std::uint64_t reserve = 4ULL * p.pages_per_block;
+    const std::uint64_t frac = 55 + rng.below(31);
+    std::uint64_t cand =
+        std::max<std::uint64_t>(1, (pages - reserve) * r / (r + 1) * frac / 100);
+    while (cand > 1 && cand + (cand + r - 1) / r + reserve > pages) --cand;
+    p.lba_count = static_cast<Lba>(cand);
+    lba_count = p.lba_count;
     p.reference_scan_b = rng.chance(0.5);
   }
   if (rng.chance(0.15)) {
@@ -631,7 +696,10 @@ std::string serialize(const FuzzSchedule& schedule) {
   const FuzzParams& p = schedule.params;
   std::ostringstream os;
   os << "swl-fuzz-schedule v1\n";
-  os << "layer " << (p.layer == sim::LayerKind::ftl ? "ftl" : "nftl") << "\n";
+  os << "layer "
+     << (p.layer == sim::LayerKind::ftl ? "ftl"
+                                        : (p.layer == sim::LayerKind::nftl ? "nftl" : "dftl"))
+     << "\n";
   os << "blocks " << p.block_count << "\n";
   os << "pages " << p.pages_per_block << "\n";
   os << "page_size " << p.page_size_bytes << "\n";
@@ -647,6 +715,9 @@ std::string serialize(const FuzzSchedule& schedule) {
   os << "weight " << format_double(p.gc_cost_weight) << "\n";
   os << "lba_count " << p.lba_count << "\n";
   os << "vba_count " << p.vba_count << "\n";
+  os << "dftl_tpage " << p.dftl_lbas_per_tpage << "\n";
+  os << "dftl_cmt " << p.dftl_cmt_capacity << "\n";
+  os << "dftl_batch " << p.dftl_writeback_batch << "\n";
   os << "reference_scan_b " << (p.reference_scan_b ? 1 : 0) << "\n";
   os << "program_fail_p " << format_double(p.program_fail_p) << "\n";
   os << "failure_seed " << p.failure_seed << "\n";
@@ -684,6 +755,8 @@ bool deserialize(const std::string& text, FuzzSchedule* out, std::string* error)
         p.layer = sim::LayerKind::ftl;
       } else if (v == "nftl") {
         p.layer = sim::LayerKind::nftl;
+      } else if (v == "dftl") {
+        p.layer = sim::LayerKind::dftl;
       } else {
         return fail("unknown layer \"" + v + "\"");
       }
@@ -729,6 +802,12 @@ bool deserialize(const std::string& text, FuzzSchedule* out, std::string* error)
       ls >> p.lba_count;
     } else if (key == "vba_count") {
       ls >> p.vba_count;
+    } else if (key == "dftl_tpage") {
+      ls >> p.dftl_lbas_per_tpage;
+    } else if (key == "dftl_cmt") {
+      ls >> p.dftl_cmt_capacity;
+    } else if (key == "dftl_batch") {
+      ls >> p.dftl_writeback_batch;
     } else if (key == "reference_scan_b") {
       int v = 0;
       ls >> v;

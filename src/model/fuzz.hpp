@@ -79,9 +79,14 @@ struct FuzzParams {
   wear::LevelerConfig leveler;
   tl::VictimPolicy victim_policy = tl::VictimPolicy::greedy_cyclic;
   double gc_cost_weight = 1.0;
-  /// Exported logical pages (FTL) / virtual blocks (NFTL); 0 = layer default.
+  /// Exported logical pages (FTL/DFTL) / virtual blocks (NFTL); 0 = layer
+  /// default.
   Lba lba_count = 0;
   Vba vba_count = 0;
+  /// DFTL shape (ignored by the other layers); 0 = DftlConfig default.
+  std::uint32_t dftl_lbas_per_tpage = 0;
+  std::uint32_t dftl_cmt_capacity = 0;
+  std::uint32_t dftl_writeback_batch = 1;
   /// Stack B selects GC victims with the reference scans instead of the
   /// victim index (FtlConfig/NftlConfig::reference_victim_scan).
   bool reference_scan_b = false;
@@ -105,6 +110,11 @@ struct FuzzOptions {
     /// is rolled back by one (the flag half of Algorithm 2 left intact) —
     /// exactly the state a leveler that missed one erase event would hold.
     skip_bet_update,
+    /// Drop one CMT write-back on stack A (DFTL only): at the first step
+    /// boundary at or after inject_at_step where some CMT slot is dirty, its
+    /// dirty flag is cleared without programming the translation page —
+    /// exactly the state a skipped write-back would leave behind.
+    skip_cmt_writeback,
   };
   Inject inject = Inject::none;
   std::size_t inject_at_step = 0;

@@ -1,0 +1,159 @@
+#include "model/ref_dftl.hpp"
+
+#include <sstream>
+
+namespace swl::model {
+
+RefDftl::RefDftl(Lba tpage_count)
+    : resident_(tpage_count, 0),
+      dirty_(tpage_count, 0),
+      location_(tpage_count, kInvalidPpa) {}
+
+void RefDftl::record_event_error(std::string message) {
+  if (event_error_.empty()) event_error_ = std::move(message);
+}
+
+void RefDftl::on_fetch(Lba tvpn, bool from_flash) {
+  if (tvpn >= resident_.size()) {
+    record_event_error("fetch of out-of-range tvpn " + std::to_string(tvpn));
+    return;
+  }
+  if (resident_[tvpn] != 0) {
+    record_event_error("fetch of already-resident tvpn " + std::to_string(tvpn));
+  }
+  if (from_flash != location_[tvpn].valid()) {
+    std::ostringstream os;
+    os << "fetch of tvpn " << tvpn << " reported from_flash=" << from_flash
+       << " but the model " << (location_[tvpn].valid() ? "knows" : "has no")
+       << " flash version";
+    record_event_error(os.str());
+  }
+  resident_[tvpn] = 1;
+  dirty_[tvpn] = 0;
+  ++resident_count_;
+}
+
+void RefDftl::on_evict(Lba tvpn) {
+  if (tvpn >= resident_.size()) {
+    record_event_error("evict of out-of-range tvpn " + std::to_string(tvpn));
+    return;
+  }
+  if (resident_[tvpn] == 0) {
+    record_event_error("evict of non-resident tvpn " + std::to_string(tvpn));
+    return;
+  }
+  if (dirty_[tvpn] != 0) {
+    record_event_error("evict of still-dirty tvpn " + std::to_string(tvpn) +
+                       " (write-back skipped?)");
+  }
+  resident_[tvpn] = 0;
+  dirty_[tvpn] = 0;
+  --resident_count_;
+}
+
+void RefDftl::on_mark_dirty(Lba tvpn) {
+  if (tvpn >= resident_.size()) {
+    record_event_error("mark_dirty of out-of-range tvpn " + std::to_string(tvpn));
+    return;
+  }
+  if (resident_[tvpn] == 0) {
+    record_event_error("mark_dirty of non-resident tvpn " + std::to_string(tvpn));
+    return;
+  }
+  dirty_[tvpn] = 1;
+}
+
+void RefDftl::on_tpage_program(Lba tvpn, Ppa where, dftl::TpageWrite cause) {
+  if (tvpn >= resident_.size()) {
+    record_event_error("tpage program of out-of-range tvpn " + std::to_string(tvpn));
+    return;
+  }
+  if (!where.valid()) {
+    record_event_error("tpage program of tvpn " + std::to_string(tvpn) +
+                       " at an invalid address");
+    return;
+  }
+  switch (cause) {
+    case dftl::TpageWrite::writeback:
+      if (resident_[tvpn] == 0) {
+        record_event_error("writeback of non-resident tvpn " + std::to_string(tvpn));
+      } else if (dirty_[tvpn] == 0) {
+        record_event_error("writeback of already-clean tvpn " + std::to_string(tvpn));
+      }
+      dirty_[tvpn] = 0;
+      break;
+    case dftl::TpageWrite::gc_update:
+      if (resident_[tvpn] != 0) {
+        record_event_error("direct GC update of resident tvpn " + std::to_string(tvpn) +
+                           " (must go through the CMT)");
+      }
+      break;
+    case dftl::TpageWrite::gc_relocate:
+      if (resident_[tvpn] != 0 && dirty_[tvpn] != 0) {
+        record_event_error("GC relocation of dirty-resident tvpn " + std::to_string(tvpn) +
+                           " (dirty pages must flush as writebacks)");
+      }
+      break;
+    case dftl::TpageWrite::recovery:
+      if (resident_[tvpn] != 0) {
+        record_event_error("recovery rewrite of resident tvpn " + std::to_string(tvpn));
+      }
+      break;
+  }
+  location_[tvpn] = where;
+}
+
+std::string RefDftl::check(const dftl::Dftl& layer) const {
+  if (!event_error_.empty()) return "dftl event error: " + event_error_;
+  if (layer.tpage_count() != tpage_count()) {
+    return "dftl model shape mismatch: layer has " + std::to_string(layer.tpage_count()) +
+           " translation pages, model has " + std::to_string(tpage_count());
+  }
+  for (Lba tvpn = 0; tvpn < tpage_count(); ++tvpn) {
+    const bool resident = layer.is_resident(tvpn);
+    if (resident != (resident_[tvpn] != 0)) {
+      std::ostringstream os;
+      os << "tvpn " << tvpn << ": layer resident=" << resident << ", model says "
+         << (resident_[tvpn] != 0);
+      return os.str();
+    }
+    if (resident && layer.is_dirty(tvpn) != (dirty_[tvpn] != 0)) {
+      std::ostringstream os;
+      os << "tvpn " << tvpn << ": layer dirty=" << layer.is_dirty(tvpn) << ", model says "
+         << (dirty_[tvpn] != 0);
+      return os.str();
+    }
+    if (layer.tpage_location(tvpn) != location_[tvpn]) {
+      std::ostringstream os;
+      os << "tvpn " << tvpn << ": layer flash version at ("
+         << layer.tpage_location(tvpn).block << "," << layer.tpage_location(tvpn).page
+         << "), model expects (" << location_[tvpn].block << "," << location_[tvpn].page
+         << ")";
+      return os.str();
+    }
+  }
+  if (layer.resident_count() != resident_count_) {
+    return "resident count mismatch: layer " + std::to_string(layer.resident_count()) +
+           ", model " + std::to_string(resident_count_);
+  }
+  return "";
+}
+
+void RefDftl::resync(const dftl::Dftl& layer) {
+  const Lba n = layer.tpage_count();
+  resident_.assign(n, 0);
+  dirty_.assign(n, 0);
+  location_.assign(n, kInvalidPpa);
+  resident_count_ = 0;
+  for (Lba tvpn = 0; tvpn < n; ++tvpn) {
+    location_[tvpn] = layer.tpage_location(tvpn);
+    if (layer.is_resident(tvpn)) {
+      resident_[tvpn] = 1;
+      dirty_[tvpn] = layer.is_dirty(tvpn) ? 1 : 0;
+      ++resident_count_;
+    }
+  }
+  event_error_.clear();
+}
+
+}  // namespace swl::model

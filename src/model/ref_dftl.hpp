@@ -1,0 +1,74 @@
+// Executable reference model of the DFTL mapping cache.
+//
+// Where the production Dftl maintains the CMT as a flat arena with an
+// index-based LRU list and the GTD as a packed Ppa vector, this oracle
+// re-derives the *observable* mapping-cache state — which translation pages
+// are resident, which are dirty, and where the current flash version of each
+// lives — purely from the DftlTraceSink event stream. Event-time rules:
+//
+//   on_fetch(tvpn, from_flash)  — the page must not already be resident, and
+//       from_flash must match whether the model knows a flash version;
+//   on_evict(tvpn)              — the page must be resident and clean (the
+//       layer always writes a dirty victim back before evicting);
+//   on_mark_dirty(tvpn)         — the page must be resident;
+//   on_tpage_program(tvpn, where, cause)
+//       writeback   — resident and dirty; becomes clean, version moves;
+//       gc_update   — not resident (direct RMW path never touches the CMT);
+//       gc_relocate — clean if resident (dirty pages flush as writebacks);
+//       recovery    — not resident (mount runs before any admission).
+//
+// A rule violation is recorded sticky and surfaces from the next check();
+// check() additionally compares the replayed state against the layer's
+// introspection for every translation page. resync() adopts a freshly
+// mounted layer as the new baseline after a power cycle (the CMT restarts
+// empty; flash versions come from the rebuilt GTD).
+#ifndef SWL_MODEL_REF_DFTL_HPP
+#define SWL_MODEL_REF_DFTL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "dftl/dftl.hpp"
+
+namespace swl::model {
+
+class RefDftl final : public dftl::DftlTraceSink {
+ public:
+  /// Models a fresh layer: nothing resident, no flash versions. Wire via
+  /// Dftl::set_trace_sink before the first host operation (or resync()).
+  explicit RefDftl(Lba tpage_count);
+
+  // DftlTraceSink. Verified at event time; a mismatch is sticky and
+  // surfaces from the next check().
+  void on_fetch(Lba tvpn, bool from_flash) override;
+  void on_evict(Lba tvpn) override;
+  void on_mark_dirty(Lba tvpn) override;
+  void on_tpage_program(Lba tvpn, Ppa where, dftl::TpageWrite cause) override;
+
+  /// Compares the replayed residency/dirty/version state against the
+  /// layer's introspection. Returns "" when consistent, else a diagnostic.
+  [[nodiscard]] std::string check(const dftl::Dftl& layer) const;
+
+  /// Adopts a freshly mounted layer as the new baseline after a power
+  /// cycle: mount events are not observed (the sink attaches after mount),
+  /// so the replayed state restarts from introspection.
+  void resync(const dftl::Dftl& layer);
+
+  [[nodiscard]] Lba tpage_count() const noexcept { return static_cast<Lba>(resident_.size()); }
+  [[nodiscard]] std::uint32_t resident_count() const noexcept { return resident_count_; }
+
+ private:
+  void record_event_error(std::string message);
+
+  std::vector<std::uint8_t> resident_;
+  std::vector<std::uint8_t> dirty_;
+  std::vector<Ppa> location_;  // current flash version (kInvalidPpa = none)
+  std::uint32_t resident_count_ = 0;
+  std::string event_error_;  // first event-time mismatch (sticky)
+};
+
+}  // namespace swl::model
+
+#endif  // SWL_MODEL_REF_DFTL_HPP

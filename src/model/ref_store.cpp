@@ -212,9 +212,97 @@ std::string check_mapping(const nftl::Nftl& nftl) {
   return {};
 }
 
+std::string check_mapping(const dftl::Dftl& dftl) {
+  const nand::NandChip& chip = dftl.chip();
+  const auto& geo = chip.geometry();
+  std::vector<std::uint8_t> referenced(geo.page_count(), 0);
+  std::uint64_t mapped = 0;
+  for (Lba lba = 0; lba < dftl.lba_count(); ++lba) {
+    const Ppa ppa = dftl.translate(lba);
+    if (!ppa.valid()) continue;
+    ++mapped;
+    std::ostringstream os;
+    if (chip.page_state(ppa) != nand::PageState::valid) {
+      os << "DFTL maps LBA " << lba << " to a non-valid page";
+      return os.str();
+    }
+    if (chip.spare(ppa).role == nand::PageRole::translation) {
+      os << "DFTL maps LBA " << lba << " to a translation page";
+      return os.str();
+    }
+    if (chip.spare(ppa).lba != lba) {
+      os << "DFTL maps LBA " << lba << " to a page whose spare names LBA " << chip.spare(ppa).lba;
+      return os.str();
+    }
+    const std::uint64_t flat =
+        static_cast<std::uint64_t>(ppa.block) * geo.pages_per_block + ppa.page;
+    if (referenced[flat] != 0) {
+      os << "two LBAs map to the same physical page (block " << ppa.block << ", page "
+         << ppa.page << ")";
+      return os.str();
+    }
+    referenced[flat] = 1;
+  }
+  std::uint64_t directory = 0;
+  for (Lba tvpn = 0; tvpn < dftl.tpage_count(); ++tvpn) {
+    const Ppa ppa = dftl.tpage_location(tvpn);
+    if (!ppa.valid()) continue;
+    ++directory;
+    std::ostringstream os;
+    if (chip.page_state(ppa) != nand::PageState::valid) {
+      os << "DFTL GTD entry " << tvpn << " names a non-valid page";
+      return os.str();
+    }
+    if (chip.spare(ppa).role != nand::PageRole::translation) {
+      os << "DFTL GTD entry " << tvpn << " names a non-translation page";
+      return os.str();
+    }
+    if (chip.spare(ppa).lba != tvpn) {
+      os << "DFTL GTD entry " << tvpn << " names a translation page whose spare carries tvpn "
+         << chip.spare(ppa).lba;
+      return os.str();
+    }
+    const std::uint64_t flat =
+        static_cast<std::uint64_t>(ppa.block) * geo.pages_per_block + ppa.page;
+    if (referenced[flat] != 0) {
+      os << "DFTL GTD entry " << tvpn << " shares a physical page (block " << ppa.block
+         << ", page " << ppa.page << ")";
+      return os.str();
+    }
+    referenced[flat] = 1;
+  }
+  std::uint64_t valid_data = 0;
+  std::uint64_t valid_trans = 0;
+  for (BlockIndex b = 0; b < geo.block_count; ++b) {
+    for (PageIndex p = 0; p < geo.pages_per_block; ++p) {
+      const Ppa ppa{b, p};
+      if (chip.page_state(ppa) != nand::PageState::valid) continue;
+      if (chip.spare(ppa).role == nand::PageRole::translation) {
+        ++valid_trans;
+      } else {
+        ++valid_data;
+      }
+    }
+  }
+  if (valid_data != mapped) {
+    std::ostringstream os;
+    os << "DFTL: " << valid_data << " valid data pages on chip but " << mapped
+       << " mapped LBAs";
+    return os.str();
+  }
+  if (valid_trans != directory) {
+    std::ostringstream os;
+    os << "DFTL: " << valid_trans << " valid translation pages on chip but " << directory
+       << " GTD entries";
+    return os.str();
+  }
+  return {};
+}
+
 std::string check_mapping(const tl::TranslationLayer& layer) {
   if (const auto* f = dynamic_cast<const ftl::Ftl*>(&layer)) return check_mapping(*f);
   if (const auto* n = dynamic_cast<const nftl::Nftl*>(&layer)) return check_mapping(*n);
+  if (const auto* d = dynamic_cast<const dftl::Dftl*>(&layer)) return check_mapping(*d);
   return {};
 }
 

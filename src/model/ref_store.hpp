@@ -9,11 +9,13 @@
 //   the chip's own erase observer, cross-checked against the chip's counts
 //   and the translation layer's gc/swl attribution split.
 //
-//   check_mapping — the executable page-map (FTL) and block-map (NFTL)
-//   references: every mapped LBA must resolve to a valid page whose spare
-//   area names that LBA, no two LBAs may share a page, and NFTL locations
-//   must live in the owning VBA's primary block (at the LBA's offset) or its
-//   replacement block.
+//   check_mapping — the executable page-map (FTL), block-map (NFTL) and
+//   flash-resident-map (DFTL) references: every mapped LBA must resolve to a
+//   valid page whose spare area names that LBA, no two LBAs may share a
+//   page, NFTL locations must live in the owning VBA's primary block (at the
+//   LBA's offset) or its replacement block, and every DFTL GTD entry must
+//   name a distinct valid translation-role page whose spare carries the
+//   translation virtual page number.
 #ifndef SWL_MODEL_REF_STORE_HPP
 #define SWL_MODEL_REF_STORE_HPP
 
@@ -22,6 +24,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "dftl/dftl.hpp"
 #include "ftl/ftl.hpp"
 #include "nand/nand_chip.hpp"
 #include "nftl/nftl.hpp"
@@ -86,6 +89,7 @@ class RefWear {
 [[nodiscard]] std::string check_mapping(const tl::TranslationLayer& layer);
 [[nodiscard]] std::string check_mapping(const ftl::Ftl& ftl);
 [[nodiscard]] std::string check_mapping(const nftl::Nftl& nftl);
+[[nodiscard]] std::string check_mapping(const dftl::Dftl& dftl);
 
 }  // namespace swl::model
 

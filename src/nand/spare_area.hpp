@@ -22,7 +22,15 @@ enum class PageState : std::uint8_t {
 /// Block role a page's writer records, so a mount-time scan can classify
 /// blocks without host metadata (NFTL tags primary vs replacement blocks;
 /// the page-mapping FTL uses plain data pages).
-enum class PageRole : std::uint8_t { data = 0, primary = 1, replacement = 2 };
+enum class PageRole : std::uint8_t {
+  data = 0,
+  primary = 1,
+  replacement = 2,
+  /// Flash-resident translation page (DFTL): the payload is a packed slice of
+  /// the logical-to-physical map and spare.lba holds the translation virtual
+  /// page number instead of a host LBA.
+  translation = 3,
+};
 
 /// Spare-area contents written atomically with the page payload.
 struct SpareArea {

@@ -220,10 +220,16 @@ void Nftl::rebuild_from_flash() {
     }
     if (vmap_[v].replacement != kInvalidBlock) {
       if (vmap_[v].primary == kInvalidBlock) {
-        // A replacement can never outlive its primary in this layer's crash
-        // model; finding one orphaned means corruption.
-        SWL_ASSERT(false, "orphan replacement block during mount");
+        // Reachable without corruption: a primary whose every program failed
+        // holds only unreadable garbage, so the scan recycled it above while
+        // the VBA's data lives solely in the replacement. Rebuild the pair
+        // with a fresh empty primary — the same shape the live layer held
+        // after the failed programs (the recycled ex-primary guarantees the
+        // pool is not empty here).
+        SWL_ASSERT(!pool_.empty(), "no free block to re-pair an orphaned replacement");
+        vmap_[v].primary = pool_.take();
       }
+      owner_[vmap_[v].primary] = v;
       owner_[vmap_[v].replacement] = v;
       elect_pages(vmap_[v].replacement);
       vmap_[v].replacement_next = info[vmap_[v].replacement].last_programmed + 1;

@@ -14,6 +14,8 @@ std::string_view to_string(LayerKind k) noexcept {
       return "FTL";
     case LayerKind::nftl:
       return "NFTL";
+    case LayerKind::dftl:
+      return "DFTL";
   }
   return "unknown";
 }
@@ -55,14 +57,17 @@ Simulator::Simulator(const SimConfig& config) {
   SWL_REQUIRE(config.geometry.valid(), "invalid geometry");
   chip_ = std::make_unique<nand::NandChip>(
       nand::NandConfig{.geometry = config.geometry, .timing = config.timing,
-                       .failures = config.failures},
+                       .failures = config.failures,
+                       // DFTL stores translation pages as byte payloads.
+                       .store_payload_bytes = config.layer == LayerKind::dftl},
       &clock_);
   wear_.init(config.geometry.block_count);
   // The chip outlives the observer (both die with this Simulator), and the
   // tracker starts from the fresh chip's all-zero counts.
   (void)chip_->add_erase_observer(
       [this](BlockIndex, std::uint32_t count) { wear_.on_erase(count); });
-  layer_ = make_layer(config.layer, *chip_, config.ftl, config.nftl, /*mounted=*/false);
+  layer_ = make_layer(config.layer, *chip_, config.ftl, config.nftl, config.dftl,
+                      /*mounted=*/false);
   SWL_REQUIRE(!(config.leveler.has_value() && config.oracle_leveler.has_value()),
               "choose either the SW Leveler or the oracle policy, not both");
   if (config.leveler.has_value()) {
@@ -226,6 +231,7 @@ std::unique_ptr<Simulator> make_simulator(const SimConfig& config) {
 std::unique_ptr<tl::TranslationLayer> make_layer(LayerKind kind, nand::NandChip& chip,
                                                  const ftl::FtlConfig& ftl_config,
                                                  const nftl::NftlConfig& nftl_config,
+                                                 const dftl::DftlConfig& dftl_config,
                                                  bool mounted) {
   switch (kind) {
     case LayerKind::ftl:
@@ -234,6 +240,9 @@ std::unique_ptr<tl::TranslationLayer> make_layer(LayerKind kind, nand::NandChip&
     case LayerKind::nftl:
       return mounted ? nftl::Nftl::mount(chip, nftl_config)
                      : std::make_unique<nftl::Nftl>(chip, nftl_config);
+    case LayerKind::dftl:
+      return mounted ? dftl::Dftl::mount(chip, dftl_config)
+                     : std::make_unique<dftl::Dftl>(chip, dftl_config);
   }
   SWL_ASSERT(false, "unknown layer kind");
   return nullptr;

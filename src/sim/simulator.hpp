@@ -20,6 +20,7 @@
 
 #include "core/clock.hpp"
 #include "core/geometry.hpp"
+#include "dftl/dftl.hpp"
 #include "ftl/ftl.hpp"
 #include "nand/nand_chip.hpp"
 #include "nftl/nftl.hpp"
@@ -31,7 +32,7 @@
 
 namespace swl::sim {
 
-enum class LayerKind { ftl, nftl };
+enum class LayerKind { ftl, nftl, dftl };
 
 [[nodiscard]] std::string_view to_string(LayerKind k) noexcept;
 
@@ -50,6 +51,7 @@ struct SimConfig {
   /// Layer tuning (lba_count/vba_count of 0 keeps the layer's default).
   ftl::FtlConfig ftl;
   nftl::NftlConfig nftl;
+  dftl::DftlConfig dftl;
 };
 
 /// Replay-pipeline instrumentation, accumulated across run() calls. Pure
@@ -194,11 +196,9 @@ class Simulator {
 /// is false (expects an erased chip), otherwise by mount-scanning the
 /// existing flash image (crash recovery). Shared by the Simulator and the
 /// fault-injection harness so both construct layers the same way.
-[[nodiscard]] std::unique_ptr<tl::TranslationLayer> make_layer(LayerKind kind,
-                                                              nand::NandChip& chip,
-                                                              const ftl::FtlConfig& ftl_config,
-                                                              const nftl::NftlConfig& nftl_config,
-                                                              bool mounted);
+[[nodiscard]] std::unique_ptr<tl::TranslationLayer> make_layer(
+    LayerKind kind, nand::NandChip& chip, const ftl::FtlConfig& ftl_config,
+    const nftl::NftlConfig& nftl_config, const dftl::DftlConfig& dftl_config, bool mounted);
 
 }  // namespace swl::sim
 

@@ -39,10 +39,21 @@ struct TlCounters {
   /// paths are bit-identical — surfaced so the simulator can report the
   /// fast-path hit rate.
   std::uint64_t fast_path_writes = 0;
+  /// Flash reads of mapping metadata (DFTL translation-page fetches); zero
+  /// for layers whose map lives entirely in RAM.
+  std::uint64_t map_reads = 0;
+  /// Flash programs of mapping metadata (translation-page write-backs, GC
+  /// read-modify-writes and relocations, mount recovery rewrites). The ratio
+  /// map_writes / host_writes is the mapping-write amplification.
+  std::uint64_t map_writes = 0;
 
   [[nodiscard]] std::uint64_t total_erases() const noexcept { return gc_erases + swl_erases; }
   [[nodiscard]] std::uint64_t total_live_copies() const noexcept {
     return gc_live_copies + swl_live_copies;
+  }
+  [[nodiscard]] double map_write_amplification() const noexcept {
+    return host_writes == 0 ? 0.0
+                            : static_cast<double>(map_writes) / static_cast<double>(host_writes);
   }
 };
 
@@ -183,6 +194,12 @@ class TranslationLayer : public wear::Cleaner {
 
   /// Implementations call this once per successful host read.
   void finish_host_read() noexcept { ++counters_.host_reads; }
+
+  /// Implementations call this for every flash read of mapping metadata.
+  void count_map_read() noexcept { ++counters_.map_reads; }
+
+  /// Implementations call this for every flash program of mapping metadata.
+  void count_map_write() noexcept { ++counters_.map_writes; }
 
   /// True while serving an SWL collection request.
   [[nodiscard]] bool serving_swl() const noexcept { return serving_swl_; }

@@ -100,6 +100,88 @@ TEST(FuzzHarness, InjectedBetUpdateSkipIsCaughtAndMinimized) {
   EXPECT_TRUE(clean.ok) << clean.message;
 }
 
+TEST(FuzzHarness, SeedCorpusPassesOnDftl) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const FuzzSchedule schedule = generate_schedule(seed, sim::LayerKind::dftl);
+    EXPECT_EQ(schedule.params.layer, sim::LayerKind::dftl);
+    const FuzzOutcome outcome = run_schedule(schedule);
+    EXPECT_TRUE(outcome.ok) << "seed " << seed << " step " << outcome.failing_step << ": "
+                            << outcome.message;
+  }
+}
+
+TEST(FuzzHarness, DftlScheduleSerializationRoundTrips) {
+  // DFTL schedules carry the extra shape keys (dftl_tpage/dftl_cmt/
+  // dftl_batch); they must survive the text form and replay identically.
+  for (const std::uint64_t seed : {2ull, 9ull, 17ull}) {
+    const FuzzSchedule schedule = generate_schedule(seed, sim::LayerKind::dftl);
+    const std::string text = serialize(schedule);
+    EXPECT_NE(text.find("layer dftl"), std::string::npos);
+    FuzzSchedule parsed;
+    std::string error;
+    ASSERT_TRUE(deserialize(text, &parsed, &error)) << error;
+    EXPECT_EQ(serialize(parsed), text);
+    EXPECT_EQ(parsed.params.dftl_lbas_per_tpage, schedule.params.dftl_lbas_per_tpage);
+    EXPECT_EQ(parsed.params.dftl_cmt_capacity, schedule.params.dftl_cmt_capacity);
+    EXPECT_EQ(parsed.params.dftl_writeback_batch, schedule.params.dftl_writeback_batch);
+    const FuzzOutcome a = run_schedule(schedule);
+    const FuzzOutcome b = run_schedule(parsed);
+    ASSERT_TRUE(a.ok) << a.message;
+    ASSERT_TRUE(b.ok) << b.message;
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+  }
+}
+
+TEST(FuzzHarness, InjectedCmtWritebackSkipIsCaughtAndMinimized) {
+  // Drop exactly one CMT write-back on the fast stack. RefDftl re-derives
+  // dirty state from the event stream, so the cleared-without-programming
+  // dirty flag must surface as a model divergence on some seed quickly.
+  FuzzOptions options;
+  options.inject = FuzzOptions::Inject::skip_cmt_writeback;
+  std::optional<std::uint64_t> failing_seed;
+  FuzzSchedule failing;
+  FuzzOutcome failure;
+  for (std::uint64_t seed = 1; seed <= 40 && !failing_seed.has_value(); ++seed) {
+    FuzzSchedule schedule = generate_schedule(seed, sim::LayerKind::dftl);
+    const FuzzOutcome outcome = run_schedule(schedule, options);
+    if (!outcome.ok) {
+      failing_seed = seed;
+      failing = schedule;
+      failure = outcome;
+    }
+  }
+  ASSERT_TRUE(failing_seed.has_value())
+      << "no seed in 1..40 caught the injected CMT write-back skip";
+  EXPECT_NE(failure.message.find("DFTL model"), std::string::npos) << failure.message;
+
+  const MinimizeResult min = minimize(failing, options);
+  EXPECT_FALSE(min.outcome.ok);
+  EXPECT_LE(min.schedule.steps.size(), 32u)
+      << "minimizer left " << min.schedule.steps.size() << " steps";
+  EXPECT_LE(min.schedule.steps.size(), failing.steps.size());
+
+  // The minimized schedule is a real reproducer: it fails under the
+  // injection and passes clean.
+  const FuzzOutcome replay = run_schedule(min.schedule, options);
+  EXPECT_FALSE(replay.ok);
+  const FuzzOutcome clean = run_schedule(min.schedule);
+  EXPECT_TRUE(clean.ok) << clean.message;
+}
+
+TEST(FuzzHarness, CrashHeavyDftlScheduleStaysInSync) {
+  // Crash bursts against DFTL: mount-time translation-page recovery plus the
+  // model resync after every remount, under nothing but writes and crashes.
+  FuzzSchedule schedule = generate_schedule(6, sim::LayerKind::dftl);
+  schedule.steps.clear();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    schedule.steps.push_back({StepKind::write_burst, 1100 + i, 50, 100});
+    schedule.steps.push_back({StepKind::crash_burst, 2100 + i, 30, 3 * i + 1});
+    schedule.steps.push_back({StepKind::power_cycle, 0, 0, 0});
+  }
+  const FuzzOutcome outcome = run_schedule(schedule);
+  EXPECT_TRUE(outcome.ok) << "step " << outcome.failing_step << ": " << outcome.message;
+}
+
 TEST(FuzzHarness, CrashHeavyScheduleStaysInSync) {
   // Hand-built schedule: nothing but write bursts and crash bursts, driving
   // the recovery path and the post-crash resync hard.

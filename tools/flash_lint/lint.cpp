@@ -179,12 +179,12 @@ const std::vector<RuleInfo>& rule_table() {
           .summary = "NandChip::erase_block called outside the Cleaner/GC modules "
                      "(erases must be BET-visible per Algorithm 2)",
           .hint = "route the erase through the owning translation layer's GC/fold path "
-                  "(src/ftl, src/nftl) so the chip's erase observers — and therefore "
-                  "SWL-BETUpdate — see it",
-          // nand: the implementation + its declaration; ftl/nftl: the GC
-          // (Cleaner) modules of the two translation layers; tests: unit and
+                  "(src/ftl, src/nftl, src/dftl) so the chip's erase observers — and "
+                  "therefore SWL-BETUpdate — see it",
+          // nand: the implementation + its declaration; ftl/nftl/dftl: the GC
+          // (Cleaner) modules of the translation layers; tests: unit and
           // fault-injection tests drive the raw chip API on purpose.
-          .default_allow = {"src/nand/", "src/ftl/", "src/nftl/", "tests/"},
+          .default_allow = {"src/nand/", "src/ftl/", "src/nftl/", "src/dftl/", "tests/"},
       },
       {
           .id = "swl-state-outside-swl",

@@ -2,18 +2,24 @@
 //
 // Modes:
 //
-//   swl_fuzz --seed S [--layer ftl|nftl]
+//   swl_fuzz --seed S [--layer ftl|nftl|dftl]
 //       Generate and run the schedule of one seed; print its fingerprint
 //       (bit-stable across runs and machines).
 //
-//   swl_fuzz --runs N [--seed-base S] [--layer ftl|nftl]
+//   swl_fuzz --runs N [--seed-base S] [--layer ftl|nftl|dftl]
 //       Run N consecutive seeds.
 //
 //   swl_fuzz --fuzz-smoke [--runs N] [--time-box-s T] [--seed-base S]
-//       CI mode: run up to N schedules (default 240), alternating the
-//       translation layer by seed so both FTL and NFTL are covered, with a
-//       soft wall-clock box (default 300 s) honored only after a minimum of
-//       200 schedules.
+//       CI mode: run up to N schedules (default 240), rotating the
+//       translation layer by seed so FTL, NFTL and DFTL are all covered,
+//       with a soft wall-clock box (default 300 s) honored only after a
+//       minimum of 200 schedules.
+//
+//   swl_fuzz --dftl-smoke [--runs N] [--time-box-s T] [--seed-base S]
+//       CI mode pinning every schedule to DFTL (default 150 runs, soft time
+//       box honored after 100): the flash-resident map, CMT eviction /
+//       write-back batching, translation-block GC and mount recovery all
+//       cross-checked against the RefDftl oracle, including crash bursts.
 //
 //   swl_fuzz --array-smoke [--runs N] [--time-box-s T] [--seed-base S]
 //       CI mode for the multi-chip array: run up to N seeded array checks
@@ -39,6 +45,10 @@
 //   --inject-bug skip-betupdate   deliberately drop one SWL-BETUpdate on the
 //                                 fast stack — the harness must catch it
 //                                 (self-test of the oracles' teeth).
+//   --inject-bug skip-cmt-writeback
+//                                 deliberately drop one DFTL CMT write-back
+//                                 on the fast stack (use with --layer dftl);
+//                                 the harness must catch it.
 //   --fail-dir DIR                where failing schedules are written
 //                                 (default: current directory).
 //
@@ -70,6 +80,7 @@ struct Cli {
   std::uint64_t runs = 0;
   std::uint64_t seed_base = 1;
   bool fuzz_smoke = false;
+  bool dftl_smoke = false;
   bool array_smoke = false;
   bool host_smoke = false;
   double time_box_s = 300.0;
@@ -83,8 +94,9 @@ struct Cli {
 
 int usage() {
   std::cerr << "usage: swl_fuzz --seed S | --runs N [--seed-base S] | --fuzz-smoke\n"
-               "                [--layer ftl|nftl] [--time-box-s T] [--fail-dir DIR]\n"
-               "                [--inject-bug skip-betupdate]\n"
+               "                [--layer ftl|nftl|dftl] [--time-box-s T] [--fail-dir DIR]\n"
+               "                [--inject-bug skip-betupdate|skip-cmt-writeback]\n"
+               "       swl_fuzz --dftl-smoke [--runs N] [--seed-base S] [--time-box-s T]\n"
                "       swl_fuzz --array-smoke [--runs N] [--seed-base S] [--time-box-s T]\n"
                "       swl_fuzz --host-smoke [--runs N] [--seed-base S] [--time-box-s T]\n"
                "       swl_fuzz --replay FILE\n"
@@ -163,18 +175,20 @@ int run_one(const Cli& cli, std::uint64_t seed) {
   return 0;
 }
 
-int run_many(const Cli& cli, std::uint64_t runs, bool smoke) {
-  constexpr std::uint64_t kSmokeMinimum = 200;
+int run_many(const Cli& cli, std::uint64_t runs, bool smoke, std::uint64_t smoke_minimum) {
   const auto start = std::chrono::steady_clock::now();
   std::uint64_t done = 0;
   std::uint64_t ftl_runs = 0;
   std::uint64_t nftl_runs = 0;
+  std::uint64_t dftl_runs = 0;
   for (std::uint64_t i = 0; i < runs; ++i) {
     const std::uint64_t seed = cli.seed_base + i;
     Cli per_run = cli;
-    if (smoke) {
-      // Alternate the layer by index so a time-boxed run still covers both.
-      per_run.layer = (i % 2 == 0) ? swl::sim::LayerKind::ftl : swl::sim::LayerKind::nftl;
+    if (smoke && !per_run.layer.has_value()) {
+      // Rotate the layer by index so a time-boxed run still covers all three.
+      constexpr swl::sim::LayerKind kRotation[3] = {
+          swl::sim::LayerKind::ftl, swl::sim::LayerKind::nftl, swl::sim::LayerKind::dftl};
+      per_run.layer = kRotation[i % 3];
     }
     const FuzzSchedule schedule = swl::model::generate_schedule(seed, per_run.layer);
     const FuzzOutcome outcome = swl::model::run_schedule(schedule, cli.options);
@@ -185,17 +199,19 @@ int run_many(const Cli& cli, std::uint64_t runs, bool smoke) {
     ++done;
     if (schedule.params.layer == swl::sim::LayerKind::ftl) {
       ++ftl_runs;
-    } else {
+    } else if (schedule.params.layer == swl::sim::LayerKind::nftl) {
       ++nftl_runs;
+    } else {
+      ++dftl_runs;
     }
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-    if (smoke && done >= kSmokeMinimum && elapsed > cli.time_box_s) break;
+    if (smoke && done >= smoke_minimum && elapsed > cli.time_box_s) break;
   }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  std::cout << done << " schedule(s) ok (" << ftl_runs << " FTL, " << nftl_runs << " NFTL) in "
-            << elapsed << " s\n";
+  std::cout << done << " schedule(s) ok (" << ftl_runs << " FTL, " << nftl_runs << " NFTL, "
+            << dftl_runs << " DFTL) in " << elapsed << " s\n";
   return 0;
 }
 
@@ -298,6 +314,8 @@ int main(int argc, char** argv) {
       if (!v || !parse_u64(*v, &cli.seed_base)) return usage();
     } else if (arg == "--fuzz-smoke") {
       cli.fuzz_smoke = true;
+    } else if (arg == "--dftl-smoke") {
+      cli.dftl_smoke = true;
     } else if (arg == "--array-smoke") {
       cli.array_smoke = true;
     } else if (arg == "--host-smoke") {
@@ -328,13 +346,21 @@ int main(int argc, char** argv) {
         cli.layer = swl::sim::LayerKind::ftl;
       } else if (*v == "nftl") {
         cli.layer = swl::sim::LayerKind::nftl;
+      } else if (*v == "dftl") {
+        cli.layer = swl::sim::LayerKind::dftl;
       } else {
         return usage();
       }
     } else if (arg == "--inject-bug") {
       const auto v = value();
-      if (!v || *v != "skip-betupdate") return usage();
-      cli.options.inject = FuzzOptions::Inject::skip_bet_update;
+      if (!v) return usage();
+      if (*v == "skip-betupdate") {
+        cli.options.inject = FuzzOptions::Inject::skip_bet_update;
+      } else if (*v == "skip-cmt-writeback") {
+        cli.options.inject = FuzzOptions::Inject::skip_cmt_writeback;
+      } else {
+        return usage();
+      }
     } else {
       return usage();
     }
@@ -371,7 +397,13 @@ int main(int argc, char** argv) {
 
   if (cli.fuzz_smoke) {
     const std::uint64_t runs = cli.runs != 0 ? cli.runs : 240;
-    return run_many(cli, runs, /*smoke=*/true);
+    return run_many(cli, runs, /*smoke=*/true, /*smoke_minimum=*/200);
+  }
+  if (cli.dftl_smoke) {
+    Cli dftl_cli = cli;
+    dftl_cli.layer = swl::sim::LayerKind::dftl;
+    const std::uint64_t runs = cli.runs != 0 ? cli.runs : 150;
+    return run_many(dftl_cli, runs, /*smoke=*/true, /*smoke_minimum=*/100);
   }
   if (cli.array_smoke) {
     const std::uint64_t runs = cli.runs != 0 ? cli.runs : 40;
@@ -382,6 +414,6 @@ int main(int argc, char** argv) {
     return run_host_smoke(cli, runs);
   }
   if (cli.seed.has_value()) return run_one(cli, *cli.seed);
-  if (cli.runs != 0) return run_many(cli, cli.runs, /*smoke=*/false);
+  if (cli.runs != 0) return run_many(cli, cli.runs, /*smoke=*/false, /*smoke_minimum=*/0);
   return usage();
 }

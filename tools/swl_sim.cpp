@@ -54,7 +54,7 @@ void print_help() {
       R"(swl_sim — static wear leveling simulator (DAC 2007 reproduction)
 
 device
-  --layer ftl|nftl        translation layer (default nftl)
+  --layer ftl|nftl|dftl   translation layer (default nftl)
   --blocks N              physical blocks (default 256; paper: 4096)
   --endurance N           erase endurance (default 1000; paper: 10000)
   --alloc fifo|lifo|coldest  free-block allocation policy (default fifo)
@@ -112,6 +112,8 @@ std::optional<CliOptions> parse(int argc, char** argv) {
         opt.layer = sim::LayerKind::ftl;
       } else if (v == "nftl") {
         opt.layer = sim::LayerKind::nftl;
+      } else if (v == "dftl") {
+        opt.layer = sim::LayerKind::dftl;
       } else {
         std::cerr << "unknown layer: " << v << "\n";
         return std::nullopt;
@@ -282,7 +284,8 @@ int main(int argc, char** argv) {
 
   if (opt.csv) {
     std::cout << "layer,swl,oracle,k,T_eff,alloc,years,first_failure_years,erases,swl_erases,"
-                 "live_copies,swl_copies,erase_mean,erase_dev,erase_max,host_writes\n"
+                 "live_copies,swl_copies,erase_mean,erase_dev,erase_max,host_writes,"
+                 "map_reads,map_writes,map_write_amp\n"
               << sim::to_string(opt.layer) << ',' << opt.use_swl << ',' << opt.use_oracle << ','
               << opt.k << ',' << effective_t << ',' << to_string(opt.alloc) << ','
               << sim::fmt(r.elapsed_years, 6) << ','
@@ -290,7 +293,9 @@ int main(int argc, char** argv) {
               << r.counters.total_erases() << ',' << r.counters.swl_erases << ','
               << r.counters.total_live_copies() << ',' << r.counters.swl_live_copies << ','
               << sim::fmt(r.erase_summary.mean, 2) << ',' << sim::fmt(r.erase_summary.stddev, 2)
-              << ',' << r.erase_summary.max << ',' << r.counters.host_writes << "\n";
+              << ',' << r.erase_summary.max << ',' << r.counters.host_writes << ','
+              << r.counters.map_reads << ',' << r.counters.map_writes << ','
+              << sim::fmt(r.counters.map_write_amplification(), 4) << "\n";
     return 0;
   }
 
@@ -317,6 +322,11 @@ int main(int argc, char** argv) {
             << r.counters.swl_live_copies << " by the leveler)\n";
   std::cout << "erase counts: mean " << sim::fmt(r.erase_summary.mean, 1) << ", stddev "
             << sim::fmt(r.erase_summary.stddev, 1) << ", max " << r.erase_summary.max << "\n";
+  if (r.counters.map_writes > 0 || r.counters.map_reads > 0) {
+    std::cout << "flash-resident map: " << r.counters.map_reads << " translation-page reads, "
+              << r.counters.map_writes << " programs (write amplification "
+              << sim::fmt(r.counters.map_write_amplification(), 4) << ")\n";
+  }
   if (opt.use_swl) {
     std::cout << "leveler: " << r.leveler_stats.activations << " activations, "
               << r.leveler_stats.collections_requested << " collections, "
