@@ -182,7 +182,7 @@ std::uint64_t layer_write(MakeLayer&& make_layer, bool store_bytes = false) {
         rng.chance(0.5) ? static_cast<Lba>(rng.below(64)) : static_cast<Lba>(rng.below(lbas));
     // Benign discard: the replay-throughput point measures the write path
     // itself; out_of_space cannot occur at this utilization.
-    discard_status(layer->write(lba, token++));
+    discard_status(layer->write(lba, token++));  // flash-lint: allow(status-provenance)
   }
   return kWrites;
 }

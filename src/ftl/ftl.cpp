@@ -78,18 +78,20 @@ void Ftl::rebuild_from_flash() {
       write_sequence_ = std::max(write_sequence_, spare.sequence);
       last_write_seq_[b] = std::max(last_write_seq_[b], spare.sequence);
       if (spare.lba == kInvalidLba || spare.lba >= config_.lba_count) {
-        // Benign discards (three below): mount-scan invalidation of a page a
-        // crash may already have consumed — page_not_programmed just means
-        // the work is already done.
+        // Benign discard: mount-scan invalidation of a page a crash may
+        // already have consumed — page_not_programmed just means the work
+        // is already done. (Same caveat for the two discards below.)
         discard_status(chip().invalidate_page(addr));  // unreadable / out of range
         continue;
       }
       const Ppa previous = map_[spare.lba];
       if (!previous.valid() || spare.sequence > winning_sequence[spare.lba]) {
+        // Benign discard: superseding an older copy of this LBA.
         if (previous.valid()) discard_status(chip().invalidate_page(previous));
         map_[spare.lba] = addr;
         winning_sequence[spare.lba] = spare.sequence;
       } else {
+        // Benign discard: this page lost to a newer copy.
         discard_status(chip().invalidate_page(addr));
       }
     }

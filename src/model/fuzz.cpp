@@ -154,14 +154,15 @@ class Runner {
     // Model observers are chip-level: they survive remounts and therefore
     // see every erase any layer incarnation ever performs.
     s.ref_wear.emplace(p.block_count);
-    (void)s.chip->add_erase_observer([rw = &*s.ref_wear](BlockIndex block, std::uint32_t) {
-      rw->on_chip_erase(block);
-    });
+    // The chip and both model observers live in the same Stack, which dies
+    // with this Runner — the registration can never dangle, and tearing it
+    // down early would blind the oracles to the final erases.
+    (void)s.chip->add_erase_observer(  // flash-lint: allow(observer-lifetime)
+        [rw = &*s.ref_wear](BlockIndex block, std::uint32_t) { rw->on_chip_erase(block); });
     if (p.with_leveler) {
       s.ref_swl.emplace(p.block_count, p.leveler);
-      (void)s.chip->add_erase_observer([rs = &*s.ref_swl](BlockIndex block, std::uint32_t) {
-        rs->on_chip_erase(block);
-      });
+      (void)s.chip->add_erase_observer(  // flash-lint: allow(observer-lifetime)
+          [rs = &*s.ref_swl](BlockIndex block, std::uint32_t) { rs->on_chip_erase(block); });
     }
     mount_stack(s, /*mounted=*/false);
     s.ref_store.emplace(s.layer->lba_count());
@@ -246,9 +247,12 @@ class Runner {
         }
         return {};
       case StepKind::observer_attach:
+        // Observer churn is the behavior under test here (tokens are redeemed
+        // by observer_detach steps or die with the owning Stack).
         for (Stack* s : {&a_, &b_}) {
-          s->extra_observers.push_back(s->chip->add_erase_observer(
-              [count = &s->extra_observer_erases](BlockIndex, std::uint32_t) { ++*count; }));
+          s->extra_observers.push_back(
+              s->chip->add_erase_observer(  // flash-lint: allow(observer-lifetime)
+                  [count = &s->extra_observer_erases](BlockIndex, std::uint32_t) { ++*count; }));
         }
         return {};
       case StepKind::observer_detach:

@@ -26,6 +26,10 @@ RefArrayWear::RefArrayWear(const array::ChipArray& array_shape,
   }
 }
 
+RefArrayWear::~RefArrayWear() {
+  if (attached_) detach(*attached_array_);
+}
+
 void RefArrayWear::attach(array::ChipArray& array) {
   SWL_REQUIRE(!attached_, "oracle already attached");
   SWL_REQUIRE(array.chip_count() == chip_count_, "oracle was built for a different array");
@@ -43,6 +47,7 @@ void RefArrayWear::attach(array::ChipArray& array) {
       ref_levelers_[c]->resync(*lev);
     }
   }
+  attached_array_ = &array;
   attached_ = true;
 }
 
@@ -57,6 +62,7 @@ void RefArrayWear::detach(array::ChipArray& array) {
     }
   }
   observer_tokens_.clear();
+  attached_array_ = nullptr;
   attached_ = false;
 }
 

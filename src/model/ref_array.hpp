@@ -39,14 +39,21 @@ class RefArrayWear {
   RefArrayWear(const array::ChipArray& array_shape, array::CoordinatorConfig coordinator,
                std::optional<wear::LevelerConfig> leveler);
 
+  /// Unhooks from the array when still attached: destroying the oracle
+  /// before the array used to leave dangling erase observers (the PR 2 bug
+  /// class); now the destructor detaches itself.
+  ~RefArrayWear();
+  RefArrayWear(const RefArrayWear&) = delete;
+  RefArrayWear& operator=(const RefArrayWear&) = delete;
+
   /// Registers erase observers on every chip and wires the per-chip
   /// RefSwLeveler mirrors (trace sink + resync). Call once, on a freshly
-  /// built array (the tallies start at the chips' all-zero counts); the
-  /// oracle must outlive the array or call detach() first.
+  /// built array (the tallies start at the chips' all-zero counts). The
+  /// array must stay alive while attached (the destructor unhooks from it).
   void attach(array::ChipArray& array);
 
-  /// Deregisters all observers and trace sinks (so the oracle may be
-  /// destroyed while the array lives on).
+  /// Deregisters all observers and trace sinks (so the array may be
+  /// destroyed while the oracle lives on).
   void detach(array::ChipArray& array);
 
   /// The decision the coordinator must make next, recomputed from the
@@ -80,6 +87,9 @@ class RefArrayWear {
   std::vector<std::uint64_t> erases_;
   std::vector<std::unique_ptr<RefSwLeveler>> ref_levelers_;  // empty w/o SWL
   std::vector<std::size_t> observer_tokens_;
+  /// The array we are attached to (null when detached); lets the destructor
+  /// redeem the observer tokens without help from the caller.
+  array::ChipArray* attached_array_ = nullptr;
   bool attached_ = false;
 };
 

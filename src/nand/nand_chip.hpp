@@ -208,7 +208,10 @@ class NandChip {
   /// consulted before every page program and block erase; when it cuts
   /// power, the chip applies the torn result (see power_loss.hpp) and
   /// throws PowerLossError. Non-owning.
-  void set_power_loss_hook(PowerLossHook* hook) noexcept { power_loss_hook_ = hook; }
+  void set_power_loss_hook(PowerLossHook* hook) noexcept {
+    thread_checker_.check("NandChip::set_power_loss_hook");
+    power_loss_hook_ = hook;
+  }
 
   /// True when no failure injection is configured and no power-loss hook is
   /// attached — programs on free pages of non-retired blocks cannot fail.
@@ -361,6 +364,10 @@ inline std::uint64_t NandChip::read_token(Ppa addr) const {
 
 inline Status NandChip::program_page(Ppa addr, std::uint64_t payload_token,
                                      const SpareArea& spare, std::span<const std::uint8_t> data) {
+  // Same confinement contract as erase_block: programs mutate block/page
+  // state and counters_ without synchronization. Compiled out under NDEBUG,
+  // so the release hot path is unchanged.
+  thread_checker_.check("NandChip::program_page");
   SWL_REQUIRE(data.empty() || data.size() == config_.geometry.page_size_bytes,
               "payload bytes must be exactly one page");
   check_ppa(addr);

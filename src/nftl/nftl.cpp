@@ -203,12 +203,13 @@ void Nftl::rebuild_from_flash() {
       const Lba lba = spare.lba;
       const Ppa previous = latest_[lba];
       if (!previous.valid() || spare.sequence > winning_sequence[lba]) {
-        // Benign discards (both below): superseded-version invalidation
-        // during the mount scan; an already-consumed page is already invalid.
+        // Benign discard: superseded-version invalidation during the mount
+        // scan; an already-consumed page is already invalid.
         if (previous.valid()) discard_status(chip().invalidate_page(previous));
         latest_[lba] = addr;
         winning_sequence[lba] = spare.sequence;
       } else {
+        // Benign discard: this page lost to a newer copy (same caveat).
         discard_status(chip().invalidate_page(addr));
       }
     }

@@ -62,9 +62,9 @@ Simulator::Simulator(const SimConfig& config) {
                        .store_payload_bytes = config.layer == LayerKind::dftl},
       &clock_);
   wear_.init(config.geometry.block_count);
-  // The chip outlives the observer (both die with this Simulator), and the
-  // tracker starts from the fresh chip's all-zero counts.
-  (void)chip_->add_erase_observer(
+  // The tracker starts from the fresh chip's all-zero counts; the token is
+  // redeemed in ~Simulator.
+  wear_observer_token_ = chip_->add_erase_observer(
       [this](BlockIndex, std::uint32_t count) { wear_.on_erase(count); });
   layer_ = make_layer(config.layer, *chip_, config.ftl, config.nftl, config.dftl,
                       /*mounted=*/false);
@@ -79,6 +79,8 @@ Simulator::Simulator(const SimConfig& config) {
   }
   batch_.resize(kBatchCapacity);
 }
+
+Simulator::~Simulator() { chip_->remove_erase_observer(wear_observer_token_); }
 
 std::uint64_t Simulator::run(trace::TraceSource& source, double max_years,
                              bool stop_on_first_failure, std::uint64_t max_records) {

@@ -106,6 +106,14 @@ struct SimResult {
 class Simulator {
  public:
   explicit Simulator(const SimConfig& config);
+  /// Unhooks the wear tracker's erase observer. The chip dies with this
+  /// Simulator anyway, but the token-based removal keeps the registration
+  /// balanced (and the observer-lifetime lint rule green) — the PR 2
+  /// dangling-observer bug class is exactly an "owner outlives the hook"
+  /// assumption that later refactors silently break.
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   /// Feeds records from `source` until (a) the source ends, (b) `max_records`
   /// records were processed, (c) the simulated clock passes `max_years`, or
@@ -182,6 +190,7 @@ class Simulator {
   std::size_t batch_pos_ = 0;
   std::size_t batch_len_ = 0;
   WearTracker wear_;
+  std::size_t wear_observer_token_ = 0;
   // Thread-confined, like the chip it drives: perf_ and the carry buffer are
   // mutated without synchronization, so one Simulator must stay on one
   // thread. Checked (debug builds) at every run()/run_serial() entry.

@@ -79,6 +79,8 @@ TEST(HostCanary, SerialConfigIsBitIdenticalToDirectDeviceCalls) {
       }
       ASSERT_EQ(st, Status::ok);
       std::uint64_t v = 0;
+      // Benign discard: only advances the serial oracle's clock/state in
+      // lockstep; the fingerprint comparison below is the real check.
       discard_status(serial.dev->read_sector(sector, &v));
     }
     if (op % 5 == 0) (void)qp.poll(comps);

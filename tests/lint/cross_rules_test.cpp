@@ -1,0 +1,368 @@
+// flash_lint v2 tests: the symbol-index pass and the four cross-file rules.
+//
+// Each rule gets (a) a seeded-violation "teeth" fixture proving it fires,
+// (b) negative shapes proving the legitimate idiom passes, and (c) a
+// `flash-lint: allow(<rule>)` suppression check — mirroring swl_fuzz's
+// --inject-bug discipline: a wall that was never seen to stop anything is
+// not a wall.
+#include "flash_lint/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "flash_lint/lint.hpp"
+#include "runner/json.hpp"
+
+namespace swl::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kFixtureDir = fs::path(SWL_SOURCE_DIR) / "tests" / "lint" / "fixtures";
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(kFixtureDir / name, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// Lints fixture files under chosen repo-relative paths (cross rules key off
+/// path prefixes, so a fixture must be able to pose as src/ code).
+std::vector<Finding> lint_as(const std::vector<std::pair<std::string, std::string>>& files,
+                             const Options& options = {}) {
+  std::vector<FileInput> inputs;
+  for (const auto& [rel_path, fixture] : files) inputs.push_back({rel_path, read_fixture(fixture)});
+  return lint_sources(inputs, options).findings;
+}
+
+std::size_t count_rule(const std::vector<Finding>& findings, std::string_view rule) {
+  return static_cast<std::size_t>(std::count_if(
+      findings.begin(), findings.end(), [&](const Finding& f) { return f.rule == rule; }));
+}
+
+bool has_finding(const std::vector<Finding>& findings, std::string_view rule, std::size_t line) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.rule == rule && f.line == line;
+  });
+}
+
+// -- tokenizer regressions (satellite: raw strings / continuations) ----------
+
+TEST(TokenizeV2, PrefixedRawStringsAreSkippedWholesale) {
+  for (const char* prefix : {"R", "LR", "uR", "UR", "u8R"}) {
+    const std::string src =
+        std::string("auto r = ") + prefix + "\"x(fwrite fopen rand srand)x\"; int z;";
+    const auto tokens = tokenize(src);
+    EXPECT_EQ(std::count_if(tokens.begin(), tokens.end(),
+                            [](const Token& t) { return t.text == "fwrite" || t.text == "rand"; }),
+              0)
+        << "prefix " << prefix << " leaked the raw body";
+    EXPECT_EQ(std::count_if(tokens.begin(), tokens.end(),
+                            [](const Token& t) { return t.text == "z"; }),
+              1)
+        << "prefix " << prefix << " swallowed trailing code";
+  }
+}
+
+TEST(TokenizeV2, LineContinuationExtendsLineComments) {
+  // The backslash-newline splices line 2 into the comment: `rand` there is
+  // commentary, not code; `ok` on line 3 is code again.
+  const auto tokens = tokenize(
+      "int a; // comment with a continuation \\\n"
+      "rand(); fwrite();\n"
+      "int ok;\n");
+  for (const auto& t : tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "fwrite");
+  }
+  const auto ok = std::find_if(tokens.begin(), tokens.end(),
+                               [](const Token& t) { return t.text == "ok"; });
+  ASSERT_NE(ok, tokens.end());
+  EXPECT_EQ(ok->line, 3u);
+}
+
+TEST(TokenizeV2, DigitSeparatorsDoNotOpenCharLiterals) {
+  // 1'000'000 once lexed the ' as a char-literal opener and swallowed source
+  // until the next quote — hiding real violations (found on src/model/fuzz.cpp).
+  const auto tokens = tokenize("int n = 1'000'000'000; int r = rand();");
+  EXPECT_EQ(std::count_if(tokens.begin(), tokens.end(),
+                          [](const Token& t) { return t.text == "rand"; }),
+            1);
+}
+
+TEST(TokenizeV2, MemberAccessAndScopeLexAsSingleTokens) {
+  const auto tokens = tokenize("a->b(); c::d(); e.f();");
+  const auto has = [&](std::string_view what) {
+    return std::any_of(tokens.begin(), tokens.end(),
+                       [&](const Token& t) { return t.text == what; });
+  };
+  EXPECT_TRUE(has("->"));
+  EXPECT_TRUE(has("::"));
+  // Member-access rand is somebody's API: `->` now actually shields it.
+  const auto findings = lint_source("src/x.cpp", "void f(Api* a) { a->rand(); }");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+// -- the symbol index --------------------------------------------------------
+
+TEST(SymbolIndex, ExtractsClassesFieldsAndCheckerMembers) {
+  const SymbolIndex index = build_index({{"src/x/dev.hpp",
+                                          "namespace x {\n"
+                                          "class Dev {\n"
+                                          " public:\n"
+                                          "  void poke();\n"
+                                          " private:\n"
+                                          "  std::uint64_t count_ = 0;\n"
+                                          "  core::ThreadChecker checker_;\n"
+                                          "};\n"
+                                          "struct Plain { int bare; };\n"
+                                          "}  // namespace x\n"}});
+  ASSERT_TRUE(index.classes.contains("Dev"));
+  const ClassInfo& dev = index.classes.at("Dev");
+  EXPECT_TRUE(dev.owns_thread_checker());
+  EXPECT_EQ(dev.checker_field, "checker_");
+  EXPECT_TRUE(dev.fields.contains("count_"));
+  ASSERT_TRUE(index.classes.contains("Plain"));
+  EXPECT_FALSE(index.classes.at("Plain").owns_thread_checker());
+  EXPECT_TRUE(index.classes.at("Plain").fields.contains("bare"));
+}
+
+TEST(SymbolIndex, MergesOutOfLineDefinitionsWithDeclaredAccess) {
+  const SymbolIndex index = build_index({
+      {"src/x/dev.hpp",
+       "class Dev {\n public:\n  void pub();\n private:\n  void priv();\n  int v_ = 0;\n};\n"},
+      {"src/x/dev.cpp",
+       "void Dev::pub() { v_ = 1; }\n"
+       "void Dev::priv() { v_ = 2; }\n"},
+  });
+  const ClassInfo& dev = index.classes.at("Dev");
+  const MethodInfo* pub = dev.find_method("pub");
+  ASSERT_NE(pub, nullptr);
+  EXPECT_TRUE(pub->has_body);
+  EXPECT_TRUE(pub->is_public);
+  EXPECT_TRUE(pub->mutated_roots.contains("v_"));
+  const MethodInfo* priv = dev.find_method("priv");
+  ASSERT_NE(priv, nullptr);
+  EXPECT_TRUE(priv->has_body);
+  EXPECT_FALSE(priv->is_public);
+}
+
+TEST(SymbolIndex, RecordsCallFlavorsAndCheckerAsserts) {
+  const SymbolIndex index = build_index({{"src/x/dev.hpp",
+                                          "class Dev {\n"
+                                          " public:\n"
+                                          "  void a() { checker_.check(\"a\"); helper(); }\n"
+                                          "  void b() { other_->submit(1); }\n"
+                                          " private:\n"
+                                          "  void helper() {}\n"
+                                          "  core::ThreadChecker checker_;\n"
+                                          "  Peer* other_;\n"
+                                          "};\n"}});
+  const ClassInfo& dev = index.classes.at("Dev");
+  const MethodInfo* a = dev.find_method("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->asserts_checker);
+  ASSERT_EQ(a->calls.size(), 2u);  // check(), helper()
+  const MethodInfo* b = dev.find_method("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_FALSE(b->asserts_checker);
+  ASSERT_EQ(b->calls.size(), 1u);
+  EXPECT_TRUE(b->calls[0].member_access);
+  EXPECT_FALSE(b->calls[0].intra_class_candidate);
+}
+
+TEST(SymbolIndex, CollectsDiscardsAndBranchTestedCallees) {
+  const SymbolIndex index = build_index({
+      {"src/a.cpp", "void f(S& s) { discard_status(s.flush()); }\n"},
+      {"src/b.cpp", "bool g(S& s) { return s.flush() == Status::ok; }\n"},
+      // Branch tests in tests/ must NOT poison src/ discards.
+      {"tests/c.cpp", "bool h(S& s) { return s.sync() != Status::ok; }\n"},
+  });
+  ASSERT_EQ(index.discards.size(), 1u);
+  EXPECT_EQ(index.discards[0].callee, "flush");
+  EXPECT_EQ(index.discards[0].file, "src/a.cpp");
+  EXPECT_TRUE(index.status_branch_tested.contains("flush"));
+  EXPECT_FALSE(index.status_branch_tested.contains("sync"));
+}
+
+TEST(SymbolIndex, CommentLinesCoverBlocksAndSkipRawStrings) {
+  const auto lines = find_comment_lines(
+      "int a;\n"
+      "// one\n"
+      "/* two\n"
+      "   three */ int b;\n"
+      "auto s = R\"(// not a comment)\";\n"
+      "int c;  // trailing\n");
+  EXPECT_FALSE(lines.contains(1));
+  EXPECT_TRUE(lines.contains(2));
+  EXPECT_TRUE(lines.contains(3));
+  EXPECT_TRUE(lines.contains(4));
+  EXPECT_FALSE(lines.contains(5));
+  EXPECT_TRUE(lines.contains(6));
+}
+
+TEST(SymbolIndex, JsonDumpRoundTrips) {
+  const SymbolIndex index = build_index(
+      {{"src/x/dev.hpp", "class Dev { public:\n void a() { v_ = 1; }\n int v_ = 0;\n};\n"}});
+  const auto doc = runner::Json::parse(index_to_json(index));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("version")->number(), 1.0);
+  EXPECT_EQ(doc->find("files_indexed")->number(), 1.0);
+  ASSERT_NE(doc->find("classes"), nullptr);
+  EXPECT_TRUE(doc->find("classes")->is_array());
+}
+
+// -- thread-confinement ------------------------------------------------------
+
+TEST(ThreadConfinement, TeethFixtureFiresAndLegitimateShapesPass) {
+  const auto findings = lint_as({{"src/fake/unchecked_mutator.cpp", "unchecked_mutator.cpp"}});
+  // Exactly the two seeded violations: the unchecked public mutator and the
+  // out-of-allowlist detach hand-off.
+  EXPECT_EQ(count_rule(findings, "thread-confinement"), 2u);
+  EXPECT_TRUE(has_finding(findings, "thread-confinement", 26u)) << "unsafe_write not flagged";
+  EXPECT_TRUE(has_finding(findings, "thread-confinement", 41u)) << "rogue hand-off not flagged";
+}
+
+TEST(ThreadConfinement, DetachInsideHandOffModulesIsAllowed) {
+  const auto findings = lint_as({{"src/host/unchecked_mutator.cpp", "unchecked_mutator.cpp"}});
+  // Same fixture under src/host/: the hand-off is allowlisted; the unchecked
+  // mutator still fires (confinement binds everywhere in src/).
+  EXPECT_EQ(count_rule(findings, "thread-confinement"), 1u);
+  EXPECT_TRUE(has_finding(findings, "thread-confinement", 26u));
+}
+
+TEST(ThreadConfinement, SuppressibleAndTestPathsExempt) {
+  const std::string seeded =
+      "class D { public:\n"
+      "  void w(int v) { v_ = v; }  // flash-lint: allow(thread-confinement) — why\n"
+      " private:\n  int v_ = 0;\n  core::ThreadChecker checker_;\n};\n";
+  EXPECT_TRUE(lint_sources({{"src/x/d.hpp", seeded}}).findings.empty());
+  const std::string bare =
+      "class D { public:\n"
+      "  void w(int v) { v_ = v; }\n"
+      " private:\n  int v_ = 0;\n  core::ThreadChecker checker_;\n};\n";
+  EXPECT_EQ(lint_sources({{"src/x/d.hpp", bare}}).findings.size(), 1u);
+  EXPECT_TRUE(lint_sources({{"tests/x/d.hpp", bare}}).findings.empty());
+  Options extra;
+  extra.extra_allow.push_back("thread-confinement:src/x/");
+  EXPECT_TRUE(lint_sources({{"src/x/d.hpp", bare}}, extra).findings.empty());
+}
+
+// -- observer-lifetime -------------------------------------------------------
+
+TEST(ObserverLifetime, TeethFixtureFiresOnlyForTheLeakyClass) {
+  const auto findings = lint_as({{"src/fake/leaky_observer.cpp", "leaky_observer.cpp"}});
+  EXPECT_EQ(count_rule(findings, "observer-lifetime"), 1u);
+  EXPECT_TRUE(has_finding(findings, "observer-lifetime", 17u));
+}
+
+TEST(ObserverLifetime, RemovalThroughHelperReachableFromDtorPasses) {
+  // TidyTracker in the same fixture removes via a private helper the dtor
+  // calls — reachability, not a literal dtor-body scan, is the contract.
+  const auto findings = lint_as({{"src/fake/leaky_observer.cpp", "leaky_observer.cpp"}});
+  for (const auto& f : findings) EXPECT_NE(f.line, 30u) << "TidyTracker falsely flagged";
+}
+
+TEST(ObserverLifetime, SuppressionSilencesTheRegistration) {
+  const std::string seeded =
+      "class L { public:\n"
+      "  explicit L(Chip& c) {\n"
+      "    t_ = c.add_erase_observer(0);  // flash-lint: allow(observer-lifetime) — why\n"
+      "  }\n"
+      " private:\n  std::size_t t_ = 0;\n};\n";
+  EXPECT_TRUE(lint_sources({{"src/x/l.hpp", seeded}}).findings.empty());
+}
+
+// -- status-provenance -------------------------------------------------------
+
+TEST(StatusProvenance, TeethFixtureFiresForBareAndBranchTestedDiscards) {
+  const auto findings = lint_as({
+      {"src/fs/silent_discard.cpp", "silent_discard.cpp"},
+      {"src/fs/silent_discard_user.cpp", "silent_discard_user.cpp"},
+  });
+  EXPECT_EQ(count_rule(findings, "status-provenance"), 2u);
+  EXPECT_TRUE(has_finding(findings, "status-provenance", 18u)) << "bare discard not flagged";
+  EXPECT_TRUE(has_finding(findings, "status-provenance", 29u)) << "branch-tested not flagged";
+}
+
+TEST(StatusProvenance, JustifiedDiscardOfAdvisoryCalleePasses) {
+  // Without the companion file flush is not branch-tested: only the bare
+  // discard (line 18) should fire.
+  const auto findings = lint_as({{"src/fs/silent_discard.cpp", "silent_discard.cpp"}});
+  EXPECT_EQ(count_rule(findings, "status-provenance"), 1u);
+  EXPECT_TRUE(has_finding(findings, "status-provenance", 18u));
+}
+
+TEST(StatusProvenance, SuppressionAndRuleBindsInTests) {
+  const std::string bare = "void f(S& s) {\n  discard_status(s.touch());\n}\n";
+  // No default allowlist: tests/ is NOT exempt.
+  EXPECT_EQ(lint_sources({{"tests/x/t.cpp", bare}}).findings.size(), 1u);
+  const std::string suppressed =
+      "void f(S& s) {\n"
+      "  discard_status(s.touch());  // flash-lint: allow(status-provenance)\n"
+      "}\n";
+  // The marker comment doubles as the justification line.
+  EXPECT_TRUE(lint_sources({{"tests/x/t.cpp", suppressed}}).findings.empty());
+}
+
+// -- erase-provenance --------------------------------------------------------
+
+TEST(EraseProvenance, TeethFixtureFiresInsideCleanerModule) {
+  // Under src/ftl/ the per-file erase-outside-cleaner rule is silent — only
+  // the function-granular cross rule can catch the rogue method.
+  const auto findings = lint_as({{"src/ftl/rogue_cleaner_erase.cpp", "rogue_cleaner_erase.cpp"}});
+  EXPECT_EQ(count_rule(findings, "erase-outside-cleaner"), 0u);
+  EXPECT_EQ(count_rule(findings, "erase-provenance"), 1u);
+  EXPECT_TRUE(has_finding(findings, "erase-provenance", 17u)) << "compact_now not flagged";
+}
+
+TEST(EraseProvenance, SuppressionSilencesTheCall) {
+  const std::string seeded =
+      "class Dftl { public:\n"
+      "  void shortcut(Chip& c) {\n"
+      "    (void)c.erase_block(1);  // flash-lint: allow(erase-provenance) — why\n"
+      "  }\n"
+      "};\n";
+  EXPECT_TRUE(lint_sources({{"src/dftl/x.cpp", seeded}}).findings.empty());
+  const std::string bare =
+      "class Dftl { public:\n"
+      "  void shortcut(Chip& c) { (void)c.erase_block(1); }\n"
+      "};\n";
+  EXPECT_EQ(lint_sources({{"src/dftl/x.cpp", bare}}).findings.size(), 1u);
+}
+
+TEST(EraseProvenance, AllowlistedCleanerMethodsPass) {
+  const std::string cleaner =
+      "class Dftl { public:\n"
+      "  void clean_data_block(Chip& c) { (void)c.erase_block(1); }\n"
+      "  void clean_translation_block(Chip& c) { (void)c.erase_block(2); }\n"
+      "  void do_collect_blocks(Chip& c) { (void)c.erase_block(3); }\n"
+      "};\n";
+  EXPECT_TRUE(lint_sources({{"src/dftl/x.cpp", cleaner}}).findings.empty());
+}
+
+// -- rule table wiring -------------------------------------------------------
+
+TEST(RuleTable, CrossRulesAreListedAndFlagged) {
+  std::size_t cross = 0;
+  for (const RuleInfo& rule : rule_table()) {
+    if (rule.cross) ++cross;
+  }
+  EXPECT_EQ(cross, 4u);
+  EXPECT_TRUE(rule_by_id("thread-confinement").cross);
+  EXPECT_TRUE(rule_by_id("observer-lifetime").cross);
+  EXPECT_TRUE(rule_by_id("status-provenance").cross);
+  EXPECT_TRUE(rule_by_id("erase-provenance").cross);
+  EXPECT_FALSE(rule_by_id("raw-rand").cross);
+  EXPECT_THROW((void)rule_by_id("no-such-rule"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace swl::lint

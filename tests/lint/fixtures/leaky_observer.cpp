@@ -1,0 +1,41 @@
+// Fixture: seeded violation of observer-lifetime. Never compiled — only fed
+// to flash_lint by cross_rules_test (as a src/-relative path).
+#include <cstddef>
+
+namespace fixture {
+
+struct Chip {
+  [[nodiscard]] std::size_t add_erase_observer(int) { return 0; }
+  void remove_erase_observer(std::size_t) {}
+};
+
+// Registers in the constructor, never removes: the destructor exists but
+// forgets the token — the PR 2 dangling-observer shape.
+class LeakyTracker {
+ public:
+  explicit LeakyTracker(Chip& chip) : chip_(&chip) {
+    token_ = chip_->add_erase_observer(0);  // line 17: finding expected
+  }
+  ~LeakyTracker() {}  // forgets remove_erase_observer(token_)
+
+ private:
+  Chip* chip_;
+  std::size_t token_ = 0;
+};
+
+// Registers AND removes through the destructor: NOT flagged.
+class TidyTracker {
+ public:
+  explicit TidyTracker(Chip& chip) : chip_(&chip) {
+    token_ = chip_->add_erase_observer(0);
+  }
+  ~TidyTracker() { unhook(); }
+
+ private:
+  void unhook() { chip_->remove_erase_observer(token_); }
+
+  Chip* chip_;
+  std::size_t token_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: seeded violation of erase-provenance. Never compiled — only fed
+// to flash_lint by cross_rules_test with a src/ftl/-relative path, where the
+// per-file erase-outside-cleaner rule is silent and only the function-level
+// cross rule can object.
+namespace fixture {
+
+struct Chip {
+  int erase_block(int b) { return b; }
+};
+
+class Ftl {
+ public:
+  // The allowlisted cleaner method: NOT flagged.
+  void clean_block(Chip& chip, int b) { (void)chip.erase_block(b); }
+
+  // line 17: finding expected — not an allowlisted cleaner method.
+  void compact_now(Chip& chip, int b) { (void)chip.erase_block(b); }
+};
+
+}  // namespace fixture

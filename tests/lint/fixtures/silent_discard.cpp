@@ -1,0 +1,32 @@
+// Fixture: seeded violations of status-provenance. Never compiled — only fed
+// to flash_lint by cross_rules_test (as a src/-relative path, alongside a
+// second file that branches on flush()'s Status). NOTE: the bare discard
+// below must stay comment-free on its own and the preceding line — a comment
+// there would count as justification.
+namespace fixture {
+
+enum class Status { ok, io_error };
+inline void discard_status(Status) {}
+
+struct Store {
+  [[nodiscard]] Status flush() { return Status::ok; }
+  [[nodiscard]] Status touch() { return Status::ok; }
+};
+
+void no_comment(Store& s) {
+
+  discard_status(s.touch());
+}
+
+void commented(Store& s) {
+  // Benign discard: touch() only warms the cache; its Status is advisory.
+  discard_status(s.touch());
+}
+
+void branch_tested_discard(Store& s) {
+  // A comment alone is not enough when the callee's Status feeds control
+  // flow elsewhere (see silent_discard_user.cpp): flush is branch-tested.
+  discard_status(s.flush());
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture companion to silent_discard.cpp: branches on flush()'s Status, so
+// the symbol index marks `flush` as feeding control flow. Never compiled.
+namespace fixture {
+
+enum class Status { ok, io_error };
+
+struct Store {
+  [[nodiscard]] Status flush() { return Status::ok; }
+};
+
+bool careful(Store& s) {
+  return s.flush() == Status::ok;  // makes `flush` branch-tested
+}
+
+}  // namespace fixture

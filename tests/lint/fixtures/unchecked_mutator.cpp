@@ -1,0 +1,44 @@
+// Fixture: seeded violations of thread-confinement. Never compiled — only
+// fed to flash_lint by cross_rules_test (as a src/-relative path, so the
+// tests/ allowlist does not swallow it).
+#include <cstdint>
+
+namespace fixture {
+
+class ThreadChecker {
+ public:
+  void check(const char*) const {}
+  void detach() noexcept {}
+};
+
+class Device {
+ public:
+  // Asserts before mutating: NOT flagged.
+  void safe_write(std::uint64_t v) {
+    thread_checker_.check("Device::safe_write");
+    value_ = v;
+  }
+
+  // Mutates through a same-class method that asserts: NOT flagged.
+  void routed_write(std::uint64_t v) { safe_write(v + 1); }
+
+  // line 26: finding expected — public, mutates value_, never asserts.
+  void unsafe_write(std::uint64_t v) { value_ = v; }
+
+  // const + non-mutating reads are exempt.
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+  // The hand-off API itself is exempt by name.
+  void detach_owner_thread() noexcept { thread_checker_.detach(); }
+
+ private:
+  std::uint64_t value_ = 0;
+  ThreadChecker thread_checker_;
+};
+
+// line 41: finding expected — detach hand-off outside src/runner|array|host.
+void rogue_handoff(Device& d) {
+  d.detach_owner_thread();
+}
+
+}  // namespace fixture

@@ -1,0 +1,276 @@
+// flash_lint v2 — pass 2: cross-file rules over the symbol index.
+//
+// Each rule here checks a *module* invariant of the DAC 2007 design that no
+// single translation unit can see: which classes confine themselves to one
+// thread, which destructors unhook which observers, whose Status results are
+// allowed to die silently, and which cleaner methods own the right to erase.
+// The index (index.hpp) is built once per lint run and shared by all four.
+#include <algorithm>
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "flash_lint/index.hpp"
+#include "flash_lint/lint.hpp"
+
+namespace swl::lint {
+
+namespace {
+
+/// Emits unless a `flash-lint: allow(<rule>)` (or allow(*)) sits on the line.
+void emit(const SymbolIndex& index, const RuleInfo& rule, const std::string& file,
+          std::size_t line, std::string message, std::vector<Finding>& findings) {
+  const auto it = index.allow_lines.find(file);
+  if (it != index.allow_lines.end()) {
+    for (const auto& [allow_line, allow_rule] : it->second) {
+      if (allow_line == line && (allow_rule == rule.id || allow_rule == "*")) return;
+    }
+  }
+  findings.push_back({std::string(rule.id), file, line, std::move(message),
+                      std::string(rule.hint)});
+}
+
+/// Method names reachable from `seeds` through unqualified / `this->` calls
+/// within the same class (fixpoint over name-level edges).
+[[nodiscard]] std::set<std::string> intra_class_closure(const ClassInfo& cls,
+                                                        std::set<std::string> seeds) {
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const MethodInfo& m : cls.methods) {
+      if (!m.has_body || seeds.contains(m.name)) continue;
+      for (const CallSite& call : m.calls) {
+        if (call.intra_class_candidate && seeds.contains(call.name) &&
+            cls.find_method(call.name) != nullptr) {
+          seeds.insert(m.name);
+          grew = true;
+          break;
+        }
+      }
+    }
+  }
+  return seeds;
+}
+
+// -- thread-confinement ------------------------------------------------------
+
+/// Hand-off sites where re-binding a ThreadChecker to another thread is the
+/// designed protocol: the sweep runner's per-channel dispatch, the array's
+/// cross-chip moves, and the host scheduler's shard hand-off. A forwarding
+/// method itself named detach_owner_thread is exempt anywhere (that is the
+/// hand-off API, not a hand-off decision).
+constexpr std::array<std::string_view, 3> kDetachSites = {"src/runner/", "src/array/",
+                                                          "src/host/"};
+
+void check_thread_confinement(const SymbolIndex& index, const Options& options,
+                              std::vector<Finding>& findings) {
+  const RuleInfo& rule = rule_by_id("thread-confinement");
+  for (const auto& [name, cls] : index.classes) {
+    if (!cls.owns_thread_checker() || path_allowed(cls.file, rule, options)) continue;
+    std::set<std::string> asserting;
+    for (const MethodInfo& m : cls.methods) {
+      if (m.has_body && m.asserts_checker) asserting.insert(m.name);
+    }
+    const std::set<std::string> covered = intra_class_closure(cls, std::move(asserting));
+    for (const MethodInfo& m : cls.methods) {
+      if (!m.has_body || !m.is_public || m.is_static || m.is_const) continue;
+      if (path_allowed(m.file, rule, options)) continue;  // e.g. defined in tests/
+      if (m.name == cls.name || m.name.starts_with("~") || m.name.starts_with("operator")) {
+        continue;  // ctors run before confinement binds; dtor teardown is the
+                   // owner's job; operators mirror whatever they wrap
+      }
+      if (m.name == "detach_owner_thread") continue;
+      const bool mutates = std::any_of(m.mutated_roots.begin(), m.mutated_roots.end(),
+                                       [&cls](const std::string& root) {
+                                         return cls.fields.contains(root);
+                                       });
+      if (mutates && !covered.contains(m.name)) {
+        emit(index, rule, m.file, m.line,
+             "public mutating method '" + name + "::" + m.name + "' never asserts the class's "
+                 "ThreadChecker ('" + cls.checker_field + "')",
+             findings);
+      }
+    }
+  }
+  // detach hand-off sites: a member call to detach_owner_thread outside the
+  // allowlisted modules silently widens who may re-home an object.
+  const auto check_detach = [&](const MethodInfo& m) {
+    if (!m.has_body || m.name == "detach_owner_thread") return;
+    if (path_allowed(m.file, rule, options)) return;
+    if (std::any_of(kDetachSites.begin(), kDetachSites.end(),
+                    [&m](std::string_view p) { return m.file.starts_with(p); })) {
+      return;
+    }
+    for (const CallSite& call : m.calls) {
+      if (call.name == "detach_owner_thread" && call.member_access) {
+        emit(index, rule, m.file, call.line,
+             "detach_owner_thread called outside the allowlisted hand-off sites "
+             "(src/runner, src/array, src/host)",
+             findings);
+      }
+    }
+  };
+  for (const auto& [name, cls] : index.classes) {
+    for (const MethodInfo& m : cls.methods) check_detach(m);
+  }
+  for (const MethodInfo& m : index.free_functions) check_detach(m);
+}
+
+// -- observer-lifetime -------------------------------------------------------
+
+void check_observer_lifetime(const SymbolIndex& index, const Options& options,
+                             std::vector<Finding>& findings) {
+  const RuleInfo& rule = rule_by_id("observer-lifetime");
+  for (const auto& [name, cls] : index.classes) {
+    if (path_allowed(cls.file, rule, options)) continue;
+    // Every add_<kind>_observer registered anywhere in the class...
+    struct Add {
+      const MethodInfo* method;
+      const CallSite* call;
+    };
+    std::vector<Add> adds;
+    for (const MethodInfo& m : cls.methods) {
+      if (!m.has_body || path_allowed(m.file, rule, options)) continue;
+      for (const CallSite& call : m.calls) {
+        if (call.name.starts_with("add_") && call.name.ends_with("_observer")) {
+          adds.push_back({&m, &call});
+        }
+      }
+    }
+    if (adds.empty()) continue;
+    // ...must have remove_<kind>_observer reachable from the destructor.
+    // intra_class_closure walks caller-ward; reachability *from* the dtor is
+    // the callee direction, so walk forward over same-class call edges.
+    const MethodInfo* dtor = cls.find_method("~" + name);
+    std::set<std::string> dtor_reach;
+    if (dtor != nullptr && dtor->has_body) {
+      dtor_reach = {dtor->name};
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (const MethodInfo& m : cls.methods) {
+          if (!m.has_body || !dtor_reach.contains(m.name)) continue;
+          for (const CallSite& call : m.calls) {
+            if (call.intra_class_candidate && cls.find_method(call.name) != nullptr &&
+                dtor_reach.insert(call.name).second) {
+              grew = true;
+            }
+          }
+        }
+      }
+    }
+    for (const Add& add : adds) {
+      const std::string kind = add.call->name.substr(4);  // "<kind>_observer"
+      const std::string remove_name = "remove_" + kind;
+      bool removed = false;
+      for (const std::string& reached : dtor_reach) {
+        for (const MethodInfo& m : cls.methods) {
+          if (!m.has_body || m.name != reached) continue;
+          for (const CallSite& call : m.calls) {
+            if (call.name == remove_name) removed = true;
+          }
+        }
+      }
+      if (!removed) {
+        emit(index, rule, add.method->file, add.call->line,
+             dtor == nullptr || !dtor->has_body
+                 ? "'" + add.call->name + "' registered by " + name + "::" + add.method->name +
+                       " but " + name + " has no destructor calling " + remove_name
+                 : "'" + add.call->name + "' registered by " + name + "::" + add.method->name +
+                       " but " + remove_name + " is not reachable from ~" + name,
+             findings);
+      }
+    }
+  }
+}
+
+// -- status-provenance -------------------------------------------------------
+
+void check_status_provenance(const SymbolIndex& index, const Options& options,
+                             std::vector<Finding>& findings) {
+  const RuleInfo& rule = rule_by_id("status-provenance");
+  for (const DiscardSite& d : index.discards) {
+    if (path_allowed(d.file, rule, options)) continue;
+    const auto comments = index.comment_lines.find(d.file);
+    const bool justified =
+        comments != index.comment_lines.end() &&
+        (comments->second.contains(d.line) || (d.line > 1 && comments->second.contains(d.line - 1)));
+    if (!justified) {
+      emit(index, rule, d.file, d.line,
+           "discard_status without a justification comment on or above the line", findings);
+    }
+    if (!d.callee.empty() && index.status_branch_tested.contains(d.callee)) {
+      emit(index, rule, d.file, d.line,
+           "discard_status wraps '" + d.callee + "', whose Status feeds control flow "
+               "elsewhere in src/ — dropping it here hides a meaningful outcome",
+           findings);
+    }
+  }
+}
+
+// -- erase-provenance --------------------------------------------------------
+
+/// The per-module cleaner allowlist: within the GC-owning modules (which the
+/// per-file erase-outside-cleaner rule exempts wholesale), only these
+/// (class, method) pairs may issue NandChip::erase_block. Everything else in
+/// those modules must route through them.
+struct CleanerSite {
+  std::string_view cls;
+  std::string_view method;
+};
+constexpr std::array<CleanerSite, 9> kCleanerSites = {{
+    // src/ftl — the paper's block-mapped FTL Cleaner.
+    {"Ftl", "clean_block"},
+    {"Ftl", "do_collect_blocks"},
+    // src/nftl — fold/rebuild paths own erases during log-block reclaim.
+    {"Nftl", "rebuild_from_flash"},
+    {"Nftl", "release_block"},
+    {"Nftl", "do_collect_blocks"},
+    // src/dftl — two-class GC (data / translation blocks).
+    {"Dftl", "clean_data_block"},
+    {"Dftl", "clean_translation_block"},
+    {"Dftl", "do_collect_blocks"},
+    // src/nand — the implementation itself.
+    {"NandChip", "erase_block"},
+}};
+
+void check_erase_provenance(const SymbolIndex& index, const Options& options,
+                            std::vector<Finding>& findings) {
+  const RuleInfo& rule = rule_by_id("erase-provenance");
+  const auto check_method = [&](const MethodInfo& m) {
+    if (!m.has_body || path_allowed(m.file, rule, options)) return;
+    const bool allowed = std::any_of(kCleanerSites.begin(), kCleanerSites.end(),
+                                     [&m](const CleanerSite& site) {
+                                       return site.cls == m.class_name && site.method == m.name;
+                                     });
+    if (allowed) return;
+    for (const CallSite& call : m.calls) {
+      if (call.name != "erase_block") continue;
+      const std::string where = m.class_name.empty() ? m.name : m.class_name + "::" + m.name;
+      emit(index, rule, m.file, call.line,
+           "erase_block called from '" + where + "', which is not an allowlisted cleaner "
+               "method — this erase bypasses the module's GC accounting",
+           findings);
+    }
+  };
+  for (const auto& [name, cls] : index.classes) {
+    for (const MethodInfo& m : cls.methods) check_method(m);
+  }
+  for (const MethodInfo& m : index.free_functions) check_method(m);
+}
+
+}  // namespace
+
+std::vector<Finding> run_cross_rules(const SymbolIndex& index, const Options& options) {
+  std::vector<Finding> findings;
+  check_thread_confinement(index, options, findings);
+  check_observer_lifetime(index, options, findings);
+  check_status_provenance(index, options, findings);
+  check_erase_provenance(index, options, findings);
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return findings;
+}
+
+}  // namespace swl::lint

@@ -1,0 +1,647 @@
+#include "flash_lint/index.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "flash_lint/lint.hpp"
+#include "runner/json.hpp"
+
+namespace swl::lint {
+
+namespace {
+
+// -- small token helpers -----------------------------------------------------
+
+[[nodiscard]] bool is_ident(std::string_view text) {
+  if (text.empty()) return false;
+  const char c = text.front();
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Keywords that look like calls when followed by '(' but are not.
+[[nodiscard]] bool is_call_keyword(std::string_view text) {
+  static constexpr std::array<std::string_view, 22> kKeywords = {
+      "if",       "for",         "while",    "switch",           "return",
+      "sizeof",   "alignof",     "decltype", "catch",            "throw",
+      "new",      "delete",      "co_await", "static_cast",      "dynamic_cast",
+      "const_cast", "reinterpret_cast", "noexcept", "assert",    "typeid",
+      "alignas",  "requires",
+  };
+  return std::find(kKeywords.begin(), kKeywords.end(), text) != kKeywords.end();
+}
+
+/// Tokens that make the *preceding* identifier (chain) a mutation — mirrors
+/// the per-file swl-state rule so the two agree on what "a write" is.
+[[nodiscard]] bool is_mutating_next(std::string_view text) {
+  static constexpr std::array<std::string_view, 13> kOps = {
+      "=",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", "++", "--",
+  };
+  return std::find(kOps.begin(), kOps.end(), text) != kOps.end();
+}
+
+// -- the per-file parser -----------------------------------------------------
+//
+// A brace/paren tracking scan over the token stream. It is not a grammar: it
+// recognizes the handful of declaration shapes this repository actually uses
+// (clang-format layout, one class per `class`/`struct` keyword, members with
+// trailing underscores) and deliberately ignores everything else. Unknown
+// constructs fall through to "skip balanced braces", so a parse never
+// derails the whole file.
+
+struct RawMethod {
+  MethodInfo info;
+  bool in_class_body = false;  ///< access came from the class body, not a merge
+};
+
+struct FileParse {
+  std::vector<ClassInfo> classes;
+  std::vector<RawMethod> out_of_line;   ///< `Class::method(...) { ... }` defs
+  std::vector<MethodInfo> free_funcs;   ///< no class qualifier
+};
+
+class Parser {
+ public:
+  Parser(const std::string& file, const std::vector<Token>& tokens, FileParse& out,
+         SymbolIndex& index)
+      : file_(file), t_(tokens), out_(out), index_(index) {}
+
+  void run() {
+    collect_stream_facts();
+    parse_scope(nullptr, /*in_class=*/false, /*public_default=*/true, /*top=*/true);
+  }
+
+ private:
+  [[nodiscard]] std::string_view text(std::size_t k) const {
+    return k < t_.size() ? t_[k].text : std::string_view{};
+  }
+  [[nodiscard]] std::size_t line(std::size_t k) const {
+    return k < t_.size() ? t_[k].line : 0;
+  }
+
+  /// Skips a balanced token run starting at an opener already consumed
+  /// conceptually: `i` points AT the opener; returns index one past the
+  /// matching closer (or t_.size()).
+  [[nodiscard]] std::size_t skip_balanced(std::size_t i, std::string_view open,
+                                          std::string_view close) const {
+    std::size_t depth = 0;
+    for (; i < t_.size(); ++i) {
+      if (text(i) == open) {
+        ++depth;
+      } else if (text(i) == close) {
+        if (--depth == 0) return i + 1;
+      }
+    }
+    return i;
+  }
+
+  /// Skips template argument/parameter angles: `i` at '<'. `>>` counts as two
+  /// closes. Bails (returning the bail position) on ';' or '{' at depth > 0 —
+  /// a comparison mistaken for an angle.
+  [[nodiscard]] std::size_t skip_angles(std::size_t i) const {
+    std::size_t depth = 0;
+    const std::size_t start = i;
+    for (; i < t_.size(); ++i) {
+      const std::string_view tok = text(i);
+      if (tok == "<") {
+        ++depth;
+      } else if (tok == ">") {
+        if (--depth == 0) return i + 1;
+      } else if (tok == ">>") {
+        if (depth <= 2) return i + 1;
+        depth -= 2;
+      } else if (tok == ";" || tok == "{") {
+        return start + 1;  // was a comparison after all; reprocess normally
+      }
+    }
+    return i;
+  }
+
+  // -- whole-stream facts (no scoping needed) -------------------------------
+
+  void collect_stream_facts() {
+    for (std::size_t i = 0; i + 1 < t_.size(); ++i) {
+      if (!is_ident(text(i)) || text(i + 1) != "(") continue;
+      if (text(i) == "discard_status") {
+        // `void discard_status(Status)` is the declaration, not a discard.
+        if (i > 0 && text(i - 1) == "void") continue;
+        DiscardSite site{file_, line(i), inner_callee(i + 1)};
+        index_.discards.push_back(std::move(site));
+        continue;
+      }
+      // `callee(...) == Status` / `!= Status`: the callee's Status feeds
+      // control flow somewhere. Collected from src/ only — a comparison in a
+      // test must not make every src discard of that callee suspicious.
+      if (!file_.starts_with("src/")) continue;
+      if (is_call_keyword(text(i))) continue;
+      const std::size_t close = skip_balanced(i + 1, "(", ")");
+      if (close >= t_.size() || close == i + 1) continue;
+      const std::string_view cmp = text(close);
+      if ((cmp == "==" || cmp == "!=") && text(close + 1) == "Status") {
+        index_.status_branch_tested.insert(std::string(text(i)));
+      }
+    }
+  }
+
+  /// First identifier-followed-by-'(' inside a parenthesized argument:
+  /// `discard_status(chip().invalidate_page(addr))` -> "invalidate_page".
+  [[nodiscard]] std::string inner_callee(std::size_t open) const {
+    std::size_t depth = 0;
+    for (std::size_t i = open; i < t_.size(); ++i) {
+      if (text(i) == "(") {
+        if (depth > 0 && is_ident(text(i - 1)) && !is_call_keyword(text(i - 1))) {
+          return std::string(text(i - 1));
+        }
+        ++depth;
+      } else if (text(i) == ")") {
+        if (--depth == 0) break;
+      }
+    }
+    return {};
+  }
+
+  // -- scoped parse ----------------------------------------------------------
+
+  /// Parses one brace scope (namespace/top-level when `cls` is null, a class
+  /// body otherwise). `i_` is positioned after the opening '{' (or at 0 for
+  /// the top level); returns after consuming the matching '}'.
+  void parse_scope(ClassInfo* cls, bool in_class, bool public_default, bool top = false) {
+    bool is_public = public_default;
+    while (i_ < t_.size()) {
+      const std::string_view tok = text(i_);
+      if (tok == "}") {
+        if (!top) ++i_;
+        return;
+      }
+      if (tok == "template") {
+        ++i_;
+        if (text(i_) == "<") i_ = skip_angles(i_);
+        continue;
+      }
+      if (tok == "namespace") {
+        ++i_;
+        while (is_ident(text(i_)) || text(i_) == "::") ++i_;
+        if (text(i_) == "=") {  // namespace alias
+          while (i_ < t_.size() && text(i_) != ";") ++i_;
+          continue;
+        }
+        if (text(i_) == "{") {
+          ++i_;
+          parse_scope(nullptr, false, true);
+        }
+        continue;
+      }
+      if (tok == "enum") {
+        ++i_;
+        while (i_ < t_.size() && text(i_) != "{" && text(i_) != ";") ++i_;
+        if (text(i_) == "{") i_ = skip_balanced(i_, "{", "}");
+        continue;
+      }
+      if (tok == "class" || tok == "struct" || tok == "union") {
+        parse_class_head(is_public);
+        continue;
+      }
+      if (in_class && (tok == "public" || tok == "private" || tok == "protected") &&
+          text(i_ + 1) == ":") {
+        is_public = tok == "public";
+        i_ += 2;
+        continue;
+      }
+      if (tok == "using" || tok == "typedef" || tok == "friend" || tok == "static_assert" ||
+          tok == "extern") {
+        while (i_ < t_.size() && text(i_) != ";") {
+          if (text(i_) == "{") {
+            i_ = skip_balanced(i_, "{", "}");
+            continue;
+          }
+          ++i_;
+        }
+        ++i_;
+        continue;
+      }
+      parse_declaration_unit(cls, is_public);
+    }
+  }
+
+  /// `class`/`struct`/`union` at `i_`. Handles forward declarations, bases,
+  /// `final`, and nested classes (recursing with a fresh ClassInfo).
+  void parse_class_head(bool enclosing_public) {
+    const bool is_struct = text(i_) != "class";
+    ++i_;
+    while (text(i_) == "[") i_ = skip_balanced(i_, "[", "]");  // attributes
+    std::string name;
+    if (is_ident(text(i_))) {
+      name = std::string(text(i_));
+      ++i_;
+    }
+    if (text(i_) == "<") i_ = skip_angles(i_);  // explicit specialization
+    // Scan to '{' (definition) or ';' (forward declaration / variable).
+    while (i_ < t_.size() && text(i_) != "{" && text(i_) != ";") {
+      if (text(i_) == "<") {
+        i_ = skip_angles(i_);
+        continue;
+      }
+      if (text(i_) == "(") {  // e.g. `struct X foo(args);` C-style — bail
+        i_ = skip_balanced(i_, "(", ")");
+        continue;
+      }
+      ++i_;
+    }
+    if (text(i_) != "{") {
+      ++i_;  // forward declaration
+      return;
+    }
+    ClassInfo info;
+    info.name = name;
+    info.file = file_;
+    info.line = line(i_);
+    ++i_;  // consume '{'
+    ClassInfo* saved = current_;
+    current_ = &info;
+    parse_scope(&info, /*in_class=*/true, /*public_default=*/is_struct);
+    current_ = saved;
+    // Trailing `;` (and any variable declarators) up to the semicolon.
+    while (i_ < t_.size() && text(i_) != ";") ++i_;
+    ++i_;
+    if (!info.name.empty()) out_.classes.push_back(std::move(info));
+    (void)enclosing_public;
+  }
+
+  /// Everything else: one declaration unit ending in ';' (declaration /
+  /// field) or '{' (definition). See the shape notes in index.hpp.
+  void parse_declaration_unit(ClassInfo* cls, bool is_public) {
+    const std::size_t start = i_;
+    std::size_t paren_depth = 0;
+    std::size_t first_open = 0;   // first top-level '(' of the unit
+    bool has_static = false;
+    std::size_t stop = t_.size();  // position of the terminating ';' or '{'
+    bool body = false;
+    for (std::size_t k = start; k < t_.size(); ++k) {
+      const std::string_view tok = text(k);
+      if (tok == "(") {
+        if (paren_depth == 0 && first_open == 0) first_open = k;
+        ++paren_depth;
+      } else if (tok == ")") {
+        if (paren_depth > 0) --paren_depth;
+      } else if (tok == "static" && paren_depth == 0) {
+        has_static = true;
+      } else if (paren_depth == 0 && (tok == ";" || tok == "{")) {
+        stop = k;
+        body = tok == "{";
+        break;
+      } else if (paren_depth == 0 && tok == "}") {
+        // Malformed unit (unbalanced scope) — hand back to the caller.
+        i_ = k;
+        return;
+      }
+    }
+    if (stop >= t_.size()) {
+      i_ = t_.size();
+      return;
+    }
+
+    // A function shape: a top-level '(' preceded by a usable name.
+    std::string fn_name;
+    std::string fn_class;
+    if (first_open > start && is_ident(text(first_open - 1)) &&
+        !is_call_keyword(text(first_open - 1))) {
+      std::size_t name_at = first_open - 1;
+      fn_name = std::string(text(name_at));
+      if (name_at > start && text(name_at - 1) == "~") {
+        fn_name = "~" + fn_name;
+        --name_at;
+      }
+      if (name_at >= start + 2 && text(name_at - 1) == "::" && is_ident(text(name_at - 2))) {
+        fn_class = std::string(text(name_at - 2));
+      }
+      // `operator` overloads: name the method "operator<op>" so the
+      // cross rules can recognize (and exempt) it.
+      if (name_at > start && text(name_at - 1) == "operator") {
+        fn_name = "operator" + fn_name;
+      }
+    }
+
+    if (!body) {
+      if (!fn_name.empty() && cls != nullptr) {
+        // In-class declaration: record name/access/const for later merging
+        // with an out-of-line definition.
+        MethodInfo m;
+        m.class_name = cls->name;
+        m.name = fn_name;
+        m.file = file_;
+        m.line = line(first_open);
+        m.is_public = is_public;
+        m.is_static = has_static;
+        m.is_const = const_after_params(first_open, stop);
+        cls->methods.push_back(std::move(m));
+      } else if (fn_name.empty() && cls != nullptr) {
+        record_fields(cls, start, stop);
+      }
+      i_ = stop + 1;
+      return;
+    }
+
+    // '{'-terminated. Without a function name this is a brace-initialized
+    // field (`std::uint64_t x{0};`) or an unrecognized construct: record
+    // fields, skip the braces.
+    if (fn_name.empty()) {
+      if (cls != nullptr) record_fields(cls, start, stop);
+      i_ = skip_balanced(stop, "{", "}");
+      if (text(i_) == ";") ++i_;
+      return;
+    }
+
+    MethodInfo m;
+    m.class_name = !fn_class.empty() ? fn_class : (cls != nullptr ? cls->name : std::string{});
+    m.name = fn_name;
+    m.file = file_;
+    m.line = line(first_open);
+    m.is_public = is_public;
+    m.is_static = has_static;
+    m.is_const = const_after_params(first_open, stop);
+    m.has_body = true;
+    i_ = stop + 1;  // past '{'
+    parse_body(m);
+
+    if (cls != nullptr) {
+      cls->methods.push_back(std::move(m));
+    } else if (!fn_class.empty()) {
+      out_.out_of_line.push_back({std::move(m), false});
+    } else {
+      out_.free_funcs.push_back(std::move(m));
+    }
+  }
+
+  /// `const` between the parameter list's ')' and the body/terminator
+  /// (stopping at a trailing-return `->`, whose type may itself be const).
+  [[nodiscard]] bool const_after_params(std::size_t open, std::size_t stop) const {
+    const std::size_t close = skip_balanced(open, "(", ")");
+    for (std::size_t k = close; k < stop; ++k) {
+      if (text(k) == "->") break;
+      if (text(k) == ":") break;  // constructor init list
+      if (text(k) == "const") return true;
+    }
+    return false;
+  }
+
+  /// Field extraction from a declaration unit [start, stop): trailing-
+  /// underscore identifiers (the repo's member idiom) plus the last
+  /// identifier before the terminator/initializer. Also spots ThreadChecker
+  /// members.
+  void record_fields(ClassInfo* cls, std::size_t start, std::size_t stop) {
+    bool saw_checker_type = false;
+    std::string last_ident;
+    for (std::size_t k = start; k < stop; ++k) {
+      const std::string_view tok = text(k);
+      if (tok == "ThreadChecker") saw_checker_type = true;
+      if (tok == "=") break;  // initializer: declarator name already seen
+      if (is_ident(tok)) {
+        last_ident = std::string(tok);
+        if (tok.size() > 1 && tok.back() == '_') cls->fields.insert(std::string(tok));
+      }
+    }
+    if (!last_ident.empty()) cls->fields.insert(last_ident);
+    if (saw_checker_type && cls->checker_field.empty() && !last_ident.empty()) {
+      cls->checker_field = last_ident;
+    }
+  }
+
+  /// Parses a method body: `i_` is just past the '{'. Collects call sites,
+  /// mutated roots, and checker assertions; consumes through the matching
+  /// '}'. Lambda bodies are attributed to the enclosing method (an observer
+  /// registered inside a lambda still belongs to the method registering it).
+  void parse_body(MethodInfo& m) {
+    std::size_t depth = 1;
+    for (; i_ < t_.size(); ++i_) {
+      const std::string_view tok = text(i_);
+      if (tok == "{") {
+        ++depth;
+        continue;
+      }
+      if (tok == "}") {
+        if (--depth == 0) {
+          ++i_;
+          return;
+        }
+        continue;
+      }
+      if (!is_ident(tok)) continue;
+
+      // Call site?
+      if (text(i_ + 1) == "(" && !is_call_keyword(tok)) {
+        const std::string_view prev = i_ > 0 ? text(i_ - 1) : std::string_view{};
+        CallSite call;
+        call.name = std::string(tok);
+        call.line = line(i_);
+        call.member_access = prev == "." || prev == "->";
+        const bool qualified = prev == "::";
+        const bool via_this = call.member_access && i_ >= 2 && text(i_ - 2) == "this";
+        call.intra_class_candidate = (!call.member_access && !qualified) || via_this;
+        if (call.member_access && (tok == "check" || tok == "detach") && i_ >= 2) {
+          const std::string_view receiver = text(i_ - 2);
+          if (receiver.ends_with("checker_") || receiver == "checker") {
+            m.asserts_checker = true;
+          }
+        }
+        m.calls.push_back(std::move(call));
+      }
+
+      // Mutation root? `x = ...`, `x.y += ...`, `++x.y`, `x--`.
+      const bool written_after = is_mutating_next(text(i_ + 1));
+      std::size_t j = i_;
+      while (j >= 2 && (text(j - 1) == "." || text(j - 1) == "->") && is_ident(text(j - 2))) {
+        j -= 2;
+      }
+      const bool written_before =
+          j > 0 && (text(j - 1) == "++" || text(j - 1) == "--");
+      if (written_after || written_before) {
+        std::string root(text(j));
+        if (root == "this" && j + 2 <= i_) root = std::string(text(j + 2));
+        m.mutated_roots.insert(std::move(root));
+      }
+    }
+  }
+
+  const std::string& file_;
+  const std::vector<Token>& t_;
+  FileParse& out_;
+  SymbolIndex& index_;
+  ClassInfo* current_ = nullptr;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+// -- comment lines -----------------------------------------------------------
+
+std::set<std::size_t> find_comment_lines(std::string_view source) {
+  std::set<std::size_t> lines;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == 'R' && i + 1 < source.size() && source[i + 1] == '"') {
+      // Raw string: its body is not a comment, whatever it contains.
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < source.size() && source[j] != '(') delim.push_back(source[j++]);
+      const std::string close = ")" + delim + "\"";
+      const std::size_t end = source.find(close, j);
+      const std::size_t stop = end == std::string_view::npos ? source.size() : end + close.size();
+      line += static_cast<std::size_t>(
+          std::count(source.begin() + static_cast<std::ptrdiff_t>(i),
+                     source.begin() + static_cast<std::ptrdiff_t>(stop), '\n'));
+      i = stop;
+      continue;
+    }
+    if (c == '\'' && i > 0 && std::isalnum(static_cast<unsigned char>(source[i - 1])) != 0) {
+      ++i;  // digit separator (1'000'000), not a char-literal opener
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < source.size()) {
+        if (source[i] == '\\' && i + 1 < source.size()) {
+          i += 2;
+          continue;
+        }
+        if (source[i] == '\n') ++line;
+        if (source[i] == quote) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      lines.insert(line);
+      // Honor backslash-newline continuations: the comment spans those
+      // lines too (mirrors the tokenizer).
+      while (i < source.size() && source[i] != '\n') {
+        if (source[i] == '\\' && i + 1 < source.size() && source[i + 1] == '\n') {
+          ++line;
+          lines.insert(line);
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+      lines.insert(line);
+      const std::size_t end = source.find("*/", i + 2);
+      const std::size_t stop = end == std::string_view::npos ? source.size() : end + 2;
+      for (std::size_t k = i; k < stop; ++k) {
+        if (source[k] == '\n') lines.insert(++line);
+      }
+      i = stop;
+      continue;
+    }
+    ++i;
+  }
+  return lines;
+}
+
+// -- index assembly ----------------------------------------------------------
+
+SymbolIndex build_index(const std::vector<FileInput>& files) {
+  SymbolIndex index;
+  std::vector<RawMethod> pending;  // out-of-line defs, merged after all files
+  for (const FileInput& f : files) {
+    const std::vector<Token> tokens = tokenize(f.source);
+    FileParse parse;
+    Parser(f.rel_path, tokens, parse, index).run();
+    for (ClassInfo& cls : parse.classes) {
+      auto [it, inserted] = index.classes.emplace(cls.name, std::move(cls));
+      if (!inserted) {
+        // Same name seen twice (e.g. a test helper shadowing a src class
+        // name): keep the src definition, merge fields/methods of the other
+        // so nothing silently vanishes.
+        ClassInfo& kept = it->second;
+        ClassInfo& other = cls;
+        if (!kept.file.starts_with("src/") && other.file.starts_with("src/")) {
+          std::swap(kept, other);
+        }
+        for (MethodInfo& m : other.methods) kept.methods.push_back(std::move(m));
+        kept.fields.insert(other.fields.begin(), other.fields.end());
+        if (kept.checker_field.empty()) kept.checker_field = other.checker_field;
+      }
+    }
+    for (RawMethod& m : parse.out_of_line) pending.push_back(std::move(m));
+    for (MethodInfo& m : parse.free_funcs) index.free_functions.push_back(std::move(m));
+    index.allow_lines[f.rel_path] = suppressions(f.source);
+    index.comment_lines[f.rel_path] = find_comment_lines(f.source);
+    ++index.files_indexed;
+  }
+  // Merge out-of-line definitions into their classes, inheriting the access
+  // of the in-class declaration (definitions in a .cpp carry no specifier).
+  for (RawMethod& raw : pending) {
+    auto it = index.classes.find(raw.info.class_name);
+    if (it == index.classes.end()) {
+      // Class body was not among the scanned files: keep the definition as
+      // a free function so call-site rules (erase-provenance) still see it.
+      index.free_functions.push_back(std::move(raw.info));
+      continue;
+    }
+    ClassInfo& cls = it->second;
+    for (const MethodInfo& decl : cls.methods) {
+      if (decl.name == raw.info.name && !decl.has_body) {
+        raw.info.is_public = decl.is_public;
+        break;
+      }
+    }
+    cls.methods.push_back(std::move(raw.info));
+  }
+  return index;
+}
+
+std::string index_to_json(const SymbolIndex& index) {
+  runner::Json doc = runner::Json::object();
+  doc.set("version", 1);
+  doc.set("files_indexed", static_cast<std::uint64_t>(index.files_indexed));
+  runner::Json classes = runner::Json::array();
+  for (const auto& [name, cls] : index.classes) {
+    runner::Json c = runner::Json::object();
+    c.set("name", name);
+    c.set("file", cls.file);
+    c.set("thread_checker", cls.checker_field);
+    c.set("fields", static_cast<std::uint64_t>(cls.fields.size()));
+    runner::Json methods = runner::Json::array();
+    for (const MethodInfo& m : cls.methods) {
+      if (!m.has_body) continue;
+      runner::Json mj = runner::Json::object();
+      mj.set("name", m.name);
+      mj.set("public", m.is_public);
+      mj.set("const", m.is_const);
+      mj.set("asserts_checker", m.asserts_checker);
+      mj.set("calls", static_cast<std::uint64_t>(m.calls.size()));
+      methods.push(std::move(mj));
+    }
+    c.set("methods", std::move(methods));
+    classes.push(std::move(c));
+  }
+  doc.set("classes", std::move(classes));
+  runner::Json discards = runner::Json::array();
+  for (const DiscardSite& d : index.discards) {
+    runner::Json dj = runner::Json::object();
+    dj.set("file", d.file);
+    dj.set("line", static_cast<std::uint64_t>(d.line));
+    dj.set("callee", d.callee);
+    discards.push(std::move(dj));
+  }
+  doc.set("discards", std::move(discards));
+  runner::Json tested = runner::Json::array();
+  for (const std::string& name : index.status_branch_tested) tested.push(name);
+  doc.set("status_branch_tested", std::move(tested));
+  return doc.dump(2);
+}
+
+}  // namespace swl::lint

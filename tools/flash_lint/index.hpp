@@ -1,0 +1,140 @@
+// flash_lint v2 — pass 1: the symbol index.
+//
+// A lightweight, token-level model of the whole repository, built once per
+// lint run and shared by every cross-file rule (pass 2, cross.cpp). It is
+// deliberately not a C++ parser: the repo's consistent style (clang-format,
+// trailing-underscore members, one class per scope) lets a brace/paren
+// tracking scan recover everything the module rules need —
+//
+//   - classes: member fields, whether one of them is a core::ThreadChecker,
+//     their methods (access, constness, staticness, definition site);
+//   - methods: the calls their bodies make (with member-access flavor), the
+//     member fields they textually mutate, and whether they assert a
+//     ThreadChecker;
+//   - repo-wide facts: `discard_status` call sites with the wrapped callee,
+//     callees whose Status is compared against `Status::...` somewhere
+//     (i.e. feeds control flow), per-file suppression comments and
+//     comment-bearing lines.
+//
+// Everything heuristic about the model is documented at the point of use in
+// index.cpp; tests/lint/cross_rules_test.cpp pins the contract.
+#ifndef SWL_TOOLS_FLASH_LINT_INDEX_HPP
+#define SWL_TOOLS_FLASH_LINT_INDEX_HPP
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "flash_lint/lint.hpp"  // FileInput, Token, Finding, Options
+
+namespace swl::lint {
+
+/// One `name(...)` call inside a method body.
+struct CallSite {
+  std::string name;
+  std::size_t line = 0;
+  /// True for `x.name(...)` / `x->name(...)`; false for unqualified calls
+  /// (the intra-class reachability edges) and `Class::name(...)`.
+  bool member_access = false;
+  /// True for unqualified or explicit `this->` calls — candidates for
+  /// same-class reachability.
+  bool intra_class_candidate = false;
+};
+
+/// One method (or free function: `class_name` empty) with a body or an
+/// in-class declaration.
+struct MethodInfo {
+  std::string class_name;  ///< empty for free functions
+  std::string name;        ///< "~Foo" for destructors; "Foo" for constructors
+  std::string file;        ///< file of the *definition* (or declaration)
+  std::size_t line = 0;
+  bool is_public = true;
+  bool is_const = false;
+  bool is_static = false;
+  bool has_body = false;
+  /// Body contains `<checker>.check(...)` or `<checker>.detach(...)` on an
+  /// identifier naming a ThreadChecker-ish member (ends in "checker_" or
+  /// equals the owning class's checker field).
+  bool asserts_checker = false;
+  std::vector<CallSite> calls;
+  /// Root identifiers the body mutates (`x = ..`, `++x.y`, ...). Intersect
+  /// with ClassInfo::fields to decide whether the method mutates the object.
+  std::set<std::string> mutated_roots;
+};
+
+struct ClassInfo {
+  std::string name;
+  std::string file;  ///< file of the definition
+  std::size_t line = 0;
+  std::set<std::string> fields;
+  /// Name of the ThreadChecker member ("" when the class owns none).
+  std::string checker_field;
+  std::vector<MethodInfo> methods;
+
+  [[nodiscard]] bool owns_thread_checker() const { return !checker_field.empty(); }
+  /// Prefers the definition (has_body) over an in-class declaration when a
+  /// method was declared in the header and defined out-of-line.
+  [[nodiscard]] const MethodInfo* find_method(std::string_view method_name) const {
+    const MethodInfo* declared = nullptr;
+    for (const MethodInfo& m : methods) {
+      if (m.name != method_name) continue;
+      if (m.has_body) return &m;
+      if (declared == nullptr) declared = &m;
+    }
+    return declared;
+  }
+};
+
+/// A `discard_status(<callee>(...))` site.
+struct DiscardSite {
+  std::string file;
+  std::size_t line = 0;
+  /// First callee inside the parentheses ("" when the argument is not a
+  /// call, e.g. `discard_status(Status::ok)`).
+  std::string callee;
+};
+
+struct SymbolIndex {
+  /// Keyed by class name. Same-named classes in different namespaces are
+  /// merged — acceptable for this tree (names are unique) and documented.
+  std::map<std::string, ClassInfo> classes;
+  /// Free functions (class_name empty), for erase-provenance attribution.
+  std::vector<MethodInfo> free_functions;
+  std::vector<DiscardSite> discards;
+  /// Callee names whose result is compared against `Status::...` somewhere
+  /// in the indexed sources — their Status feeds control flow.
+  std::set<std::string> status_branch_tested;
+  /// Per-file `flash-lint: allow(<rule>)` lines (file -> (line, rule)).
+  std::map<std::string, std::vector<std::pair<std::size_t, std::string>>> allow_lines;
+  /// Per-file set of lines carrying any comment (for the justification-
+  /// comment requirement of status-provenance).
+  std::map<std::string, std::set<std::size_t>> comment_lines;
+  std::size_t files_indexed = 0;
+};
+
+/// Builds the index over the given sources. Order-independent: the result
+/// depends only on the set of (path, source) pairs.
+[[nodiscard]] SymbolIndex build_index(const std::vector<FileInput>& files);
+
+/// Lines of `source` that carry a comment (// or a /* */ span, including
+/// every line a block comment covers). Raw strings do not count.
+[[nodiscard]] std::set<std::size_t> find_comment_lines(std::string_view source);
+
+/// Debug/CI visibility: a stable JSON rendering of the index (classes with
+/// checker/field/method facts; discard and branch-tested summaries).
+[[nodiscard]] std::string index_to_json(const SymbolIndex& index);
+
+/// Pass 2: runs every cross-file rule (thread-confinement, observer-lifetime,
+/// status-provenance, erase-provenance) over a built index. Honors per-rule
+/// path allowlists (default + Options::extra_allow) and per-line
+/// `flash-lint: allow(<rule>)` suppressions recorded in the index.
+[[nodiscard]] std::vector<Finding> run_cross_rules(const SymbolIndex& index,
+                                                   const Options& options = {});
+
+}  // namespace swl::lint
+
+#endif  // SWL_TOOLS_FLASH_LINT_INDEX_HPP

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "flash_lint/index.hpp"
 #include "runner/json.hpp"
 
 namespace swl::lint {
@@ -25,11 +26,21 @@ namespace {
 }
 
 /// Multi-character operators the rules distinguish, longest first (maximal
-/// munch): `ecnt == x` must not lex as `ecnt` `=` `= x`.
-constexpr std::array<std::string_view, 20> kOperators = {
-    "<<=", ">>=", "...", "->*", "==", "!=", "<=", ">=", "&&", "||",
-    "++",  "--",  "+=",  "-=",  "*=", "/=", "%=", "&=", "|=", "^=",
+/// munch): `ecnt == x` must not lex as `ecnt` `=` `= x`. `->` and `::` are
+/// load-bearing for member-access/qualification checks; `<<`/`>>` keep shift
+/// operators from masquerading as template angles in the symbol indexer.
+constexpr std::array<std::string_view, 24> kOperators = {
+    "<<=", ">>=", "...", "->*", "->", "::", "<<", ">>", "==", "!=", "<=", ">=",
+    "&&",  "||",  "++",  "--",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
 };
+
+/// Raw-string literal prefixes: `R"(...)"` plus the encoding-prefixed forms.
+/// A prefixed raw string mis-lexed as `u8R` + a plain `"` would dump the raw
+/// body into the token stream — exactly the false-positive class the fixture
+/// tests pin.
+[[nodiscard]] bool raw_string_prefix(std::string_view ident) noexcept {
+  return ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" || ident == "u8R";
+}
 
 /// Skips a raw string literal R"delim(...)delim", returning the index one
 /// past its end (and counting newlines into `line`).
@@ -95,7 +106,16 @@ std::vector<Token> tokenize(std::string_view source) {
     }
     line_start = false;
     if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
-      while (i < source.size() && source[i] != '\n') ++i;
+      // A backslash-newline splices the next line into the comment; without
+      // honoring it the continuation line would leak into the token stream.
+      while (i < source.size() && source[i] != '\n') {
+        if (source[i] == '\\' && i + 1 < source.size() && source[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
       continue;
     }
     if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
@@ -118,13 +138,32 @@ std::vector<Token> tokenize(std::string_view source) {
     if (ident_start(c)) {
       std::size_t j = i + 1;
       while (j < source.size() && ident_char(source[j])) ++j;
-      tokens.push_back({source.substr(i, j - i), line});
+      const std::string_view ident = source.substr(i, j - i);
+      // Prefixed raw string (u8R"(...)"): the whole literal is one token-free
+      // span; skip_raw_string expects to sit on the 'R' before the quote.
+      if (j < source.size() && source[j] == '"' && raw_string_prefix(ident)) {
+        i = skip_raw_string(source, j - 1, line);
+        continue;
+      }
+      // Prefixed ordinary string (u8"...", L"..."): drop the literal too.
+      if (j < source.size() && source[j] == '"' &&
+          (ident == "u8" || ident == "u" || ident == "U" || ident == "L")) {
+        i = skip_quoted(source, j, line);
+        continue;
+      }
+      tokens.push_back({ident, line});
       i = j;
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
       std::size_t j = i + 1;  // crude number scan; rules never inspect numbers
-      while (j < source.size() && (ident_char(source[j]) || source[j] == '.')) ++j;
+      // Digit separators (1'000'000) belong to the literal: treating the '
+      // as a char-literal opener would swallow source until the next quote.
+      while (j < source.size() &&
+             (ident_char(source[j]) || source[j] == '.' ||
+              (source[j] == '\'' && j + 1 < source.size() && ident_char(source[j + 1])))) {
+        ++j;
+      }
       tokens.push_back({source.substr(i, j - i), line});
       i = j;
       continue;
@@ -212,21 +251,65 @@ const std::vector<RuleInfo>& rule_table() {
                   "write-fsync-rename slot path is what makes snapshots crash-consistent",
           .default_allow = {"src/swl/snapshot."},
       },
+      // -- pass-2 cross-file rules (cross.cpp, over the symbol index) -------
+      {
+          .id = "thread-confinement",
+          .summary = "class owns a core::ThreadChecker but a public mutating method never "
+                     "asserts it, or detach_owner_thread is called outside the allowlisted "
+                     "hand-off sites",
+          .hint = "call thread_checker_.check(\"Class::method\") at the top of the method "
+                  "(or route through a same-class method that does); move ownership "
+                  "hand-offs into src/runner, src/array, or src/host",
+          // tests construct and exercise objects on whatever thread gtest
+          // provides; the confinement contract binds in src/.
+          .default_allow = {"tests/"},
+          .cross = true,
+      },
+      {
+          .id = "observer-lifetime",
+          .summary = "add_*_observer registration with no token-based remove_*_observer "
+                     "reachable from the registering class's destructor",
+          .hint = "store the ObserverToken returned by add_*_observer in a member and call "
+                  "remove_*_observer(token) from the destructor (directly or via a method "
+                  "the destructor calls) — the PR 2 dangling-observer bug class",
+          .default_allow = {"tests/"},
+          .cross = true,
+      },
+      {
+          .id = "status-provenance",
+          .summary = "discard_status() without a justification comment, or wrapping a callee "
+                     "whose Status feeds control flow elsewhere in src/",
+          .hint = "write a comment on (or directly above) the discard_status line saying why "
+                  "the Status is safe to drop; if the callee's Status is branched on "
+                  "elsewhere, handle it instead — or suppress with "
+                  "`// justification  flash-lint: allow(status-provenance)`",
+          // No allowlist: the discard discipline binds everywhere, tests
+          // included (a test that drops a Status silently proves nothing).
+          .default_allow = {},
+          .cross = true,
+      },
+      {
+          .id = "erase-provenance",
+          .summary = "erase_block called from a non-cleaner method inside the GC-owning "
+                     "modules (function-granular tightening of erase-outside-cleaner)",
+          .hint = "only the per-module cleaner methods (GC victim collection, fold/rebuild, "
+                  "release paths) may erase; route other paths through them so "
+                  "SWL-BETUpdate sees every erase",
+          .default_allow = {"tests/"},
+          .cross = true,
+      },
   };
   return kRules;
 }
 
-namespace {
-
-[[nodiscard]] const RuleInfo& rule_by_id(std::string_view id) {
+const RuleInfo& rule_by_id(std::string_view id) {
   for (const RuleInfo& r : rule_table()) {
     if (r.id == id) return r;
   }
   throw std::runtime_error("unknown flash_lint rule: " + std::string(id));
 }
 
-[[nodiscard]] bool path_allowed(std::string_view rel_path, const RuleInfo& rule,
-                                const Options& options) {
+bool path_allowed(std::string_view rel_path, const RuleInfo& rule, const Options& options) {
   for (const std::string_view prefix : rule.default_allow) {
     if (rel_path.starts_with(prefix)) return true;
   }
@@ -239,6 +322,8 @@ namespace {
   }
   return false;
 }
+
+namespace {
 
 /// Identifiers whose *any* appearance violates raw-rand. `random` itself is
 /// deliberately absent: LevelerConfig::Selection::random is a legitimate
@@ -394,24 +479,41 @@ namespace {
 
 }  // namespace
 
-Report lint_files(const std::vector<std::filesystem::path>& files,
-                  const std::filesystem::path& root, const Options& options) {
+std::vector<FileInput> read_inputs(const std::vector<std::filesystem::path>& files,
+                                   const std::filesystem::path& root) {
   std::error_code ec;
   const std::filesystem::path canon_root = std::filesystem::weakly_canonical(root, ec);
-  Report report;
+  std::vector<FileInput> inputs;
+  inputs.reserve(files.size());
   for (const auto& file : files) {
-    const std::string source = read_file(file);
-    const std::string rel = rel_display(file, ec ? root : canon_root);
-    auto findings = lint_source(rel, source, options);
+    inputs.push_back({rel_display(file, ec ? root : canon_root), read_file(file)});
+  }
+  return inputs;
+}
+
+Report lint_sources(const std::vector<FileInput>& files, const Options& options) {
+  Report report;
+  for (const FileInput& f : files) {
+    auto findings = lint_source(f.rel_path, f.source, options);
     report.findings.insert(report.findings.end(), std::make_move_iterator(findings.begin()),
                            std::make_move_iterator(findings.end()));
     ++report.files_scanned;
   }
+  // Pass 2: one symbol index shared by every cross-file rule.
+  const SymbolIndex index = build_index(files);
+  auto cross = run_cross_rules(index, options);
+  report.findings.insert(report.findings.end(), std::make_move_iterator(cross.begin()),
+                         std::make_move_iterator(cross.end()));
   std::sort(report.findings.begin(), report.findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
             });
   return report;
+}
+
+Report lint_files(const std::vector<std::filesystem::path>& files,
+                  const std::filesystem::path& root, const Options& options) {
+  return lint_sources(read_inputs(files, root), options);
 }
 
 std::vector<std::filesystem::path> collect_sources(

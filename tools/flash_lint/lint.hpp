@@ -26,12 +26,37 @@
 //                           write-fsync-rename path or it is not
 //                           crash-consistent.
 //
+// v2 adds a second, whole-repo pass over a symbol index (index.hpp) with
+// cross-file rules that no single translation unit can check:
+//
+//   thread-confinement      A class owning a core::ThreadChecker must assert
+//                           it (directly or via a same-class callee) in every
+//                           public mutating method, and detach_owner_thread
+//                           may only be called at the allowlisted hand-off
+//                           sites (runner/array/host).
+//   observer-lifetime       Every add_*_observer registration must have a
+//                           matching token-based remove_*_observer reachable
+//                           from the registering class's destructor (the
+//                           PR 2 dangling-observer bug class).
+//   status-provenance       discard_status() requires a justification comment
+//                           on or above its line, and may not wrap a callee
+//                           whose Status is compared against Status::...
+//                           anywhere in src/ (its result feeds control flow —
+//                           the PR 7 dropped-result bug class).
+//   erase-provenance        Inside the Cleaner/GC modules themselves,
+//                           NandChip::erase_block may only be called from the
+//                           per-module allowlisted cleaner methods (GC,
+//                           fold/rebuild) — function-granular tightening of
+//                           erase-outside-cleaner.
+//
 // The checker is a token-level AST-lite pass: each translation unit is
 // tokenized with comments, string/char literals and preprocessor directives
 // stripped (libclang is deliberately not a dependency — the container's
 // toolchain is gcc-only), then per-rule token patterns run over the stream.
-// File-scope policy comes from per-rule path allowlists; line-scope
-// exceptions use a `flash-lint: allow(<rule>)` comment on the offending line.
+// Cross rules share one symbol index built over all inputs in the same lint
+// run (built once, cached across rules). File-scope policy comes from
+// per-rule path allowlists; line-scope exceptions use a
+// `flash-lint: allow(<rule>)` comment on the offending line.
 //
 // The library (this header + lint.cpp) is separate from the CLI (main.cpp)
 // so tests can drive rules on in-memory fixtures; tools/run_lint.sh is the
@@ -55,10 +80,16 @@ struct RuleInfo {
   /// Repo-relative path prefixes where the rule does not apply (the modules
   /// that legitimately own the behavior). Forward slashes, case-sensitive.
   std::vector<std::string_view> default_allow;
+  /// True for pass-2 rules that run over the whole-repo symbol index rather
+  /// than a single file's token stream.
+  bool cross = false;
 };
 
 /// The built-in rule table (stable order; index is not part of the API).
 [[nodiscard]] const std::vector<RuleInfo>& rule_table();
+
+/// Looks a rule up by id; throws std::runtime_error for unknown ids.
+[[nodiscard]] const RuleInfo& rule_by_id(std::string_view id);
 
 /// One violation.
 struct Finding {
@@ -77,6 +108,10 @@ struct Options {
   std::vector<std::string> extra_allow;
 };
 
+/// Whether `rel_path` is exempt from `rule` (default_allow or extra_allow).
+[[nodiscard]] bool path_allowed(std::string_view rel_path, const RuleInfo& rule,
+                                const Options& options);
+
 /// One lexed token: an identifier, number, or punctuation run (maximal-munch
 /// over the multi-character operators the rules care about).
 struct Token {
@@ -94,19 +129,36 @@ struct Token {
 [[nodiscard]] std::vector<std::pair<std::size_t, std::string>> suppressions(
     std::string_view source);
 
-/// Runs every rule over one file's contents. `rel_path` is the repo-relative
-/// path (forward slashes) used for allowlists and reporting.
+/// Runs every *per-file* rule over one file's contents. `rel_path` is the
+/// repo-relative path (forward slashes) used for allowlists and reporting.
+/// Cross-file rules need the whole input set — use lint_sources/lint_files.
 [[nodiscard]] std::vector<Finding> lint_source(std::string_view rel_path, std::string_view source,
                                                const Options& options = {});
+
+/// One source file handed to lint_sources / the symbol indexer.
+struct FileInput {
+  std::string rel_path;  ///< repo-relative, forward slashes
+  std::string source;
+};
 
 struct Report {
   std::vector<Finding> findings;
   std::size_t files_scanned = 0;
 };
 
-/// Lints files on disk. Paths outside `root` are reported as given; paths
-/// under `root` are reported root-relative. Unreadable files throw
+/// Runs both passes — per-file rules on each input, then the cross-file
+/// rules over a symbol index built from the whole set. The in-memory
+/// counterpart of lint_files (tests drive fixtures through this).
+[[nodiscard]] Report lint_sources(const std::vector<FileInput>& files,
+                                  const Options& options = {});
+
+/// Reads files into FileInputs. Paths outside `root` keep their given
+/// spelling; paths under `root` become root-relative. Unreadable files throw
 /// std::runtime_error.
+[[nodiscard]] std::vector<FileInput> read_inputs(const std::vector<std::filesystem::path>& files,
+                                                 const std::filesystem::path& root);
+
+/// Lints files on disk: read_inputs + lint_sources.
 [[nodiscard]] Report lint_files(const std::vector<std::filesystem::path>& files,
                                 const std::filesystem::path& root, const Options& options = {});
 

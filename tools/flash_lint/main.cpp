@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "flash_lint/index.hpp"
 #include "flash_lint/lint.hpp"
 
 namespace {
@@ -28,6 +29,8 @@ void print_usage(std::ostream& os) {
         "  --json                 machine-readable report on stdout\n"
         "  --fix-hints            include a fix hint with each text finding\n"
         "  --list-rules           print the rule table and exit\n"
+        "  --dump-index           print the pass-1 symbol index as JSON and exit\n"
+        "                         (no rules run; CI artifacts / debugging)\n"
         "  -h, --help             this message\n";
 }
 
@@ -39,6 +42,7 @@ struct Args {
   bool json = false;
   bool fix_hints = false;
   bool list_rules = false;
+  bool dump_index = false;
 };
 
 [[nodiscard]] const char* need_value(int argc, char** argv, int& i) {
@@ -79,6 +83,8 @@ struct Args {
       args.fix_hints = true;
     } else if (arg == "--list-rules") {
       args.list_rules = true;
+    } else if (arg == "--dump-index") {
+      args.dump_index = true;
     } else if (arg == "-h" || arg == "--help") {
       print_usage(std::cout);
       std::exit(0);
@@ -125,6 +131,11 @@ int main(int argc, char** argv) {
         std::cerr << "flash_lint: nothing to lint under " << args.root << "\n";
         return 2;
       }
+    }
+    if (args.dump_index) {
+      const auto inputs = swl::lint::read_inputs(files, args.root);
+      std::cout << swl::lint::index_to_json(swl::lint::build_index(inputs)) << "\n";
+      return 0;
     }
     const swl::lint::Report report = swl::lint::lint_files(files, args.root, args.options);
     if (args.json) {
